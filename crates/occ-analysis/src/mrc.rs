@@ -1,0 +1,239 @@
+//! Reuse distances and miss-ratio curves (Mattson's stack algorithm).
+//!
+//! LRU is a *stack algorithm*: a request hits in an LRU cache of size `k`
+//! iff its reuse (stack) distance is `≤ k`. One pass over the trace
+//! therefore yields LRU miss counts for **every** cache size at once —
+//! the classical tool for sizing shared caches, and the input to the
+//! cost-vs-cache-size experiment (how the convex objective decays with
+//! `k` for each policy).
+//!
+//! The implementation uses the standard order-statistics trick: a
+//! Fenwick tree over time stamps counts how many *distinct* pages were
+//! touched since a page's previous access, giving `O(T log T)` overall.
+
+use occ_sim::Trace;
+
+/// Fenwick (binary indexed) tree over `n` slots.
+struct Fenwick {
+    tree: Vec<u32>,
+}
+
+impl Fenwick {
+    fn new(n: usize) -> Self {
+        Fenwick {
+            tree: vec![0; n + 1],
+        }
+    }
+
+    fn add(&mut self, mut i: usize, delta: i32) {
+        i += 1;
+        while i < self.tree.len() {
+            self.tree[i] = (self.tree[i] as i32 + delta) as u32;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Sum of slots `0..=i`.
+    fn prefix(&self, mut i: usize) -> u32 {
+        i += 1;
+        let mut s = 0;
+        while i > 0 {
+            s += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        s
+    }
+}
+
+/// Reuse distances of every request: `distances[t]` is the number of
+/// distinct pages referenced since the previous access to `p_t`
+/// (`None` for first accesses — cold misses).
+pub fn reuse_distances(trace: &Trace) -> Vec<Option<u32>> {
+    let t_len = trace.len();
+    let pages = trace.universe().num_pages() as usize;
+    let mut last_access: Vec<Option<usize>> = vec![None; pages];
+    let mut fen = Fenwick::new(t_len);
+    let mut out = Vec::with_capacity(t_len);
+    for (t, r) in trace.iter() {
+        let t = t as usize;
+        let pi = r.page.index();
+        match last_access[pi] {
+            None => out.push(None),
+            Some(prev) => {
+                // Distinct pages touched in (prev, t) = active stamps in
+                // that range (each distinct page keeps exactly one stamp,
+                // at its most recent access).
+                let between = fen.prefix(t.saturating_sub(1)) as i64
+                    - fen.prefix(prev) as i64;
+                out.push(Some(between as u32 + 1)); // +1 for the page itself
+            }
+        }
+        if let Some(prev) = last_access[pi] {
+            fen.add(prev, -1);
+        }
+        fen.add(t, 1);
+        last_access[pi] = Some(t);
+    }
+    out
+}
+
+/// A miss-ratio curve: LRU miss counts for every cache size `1..=max_k`,
+/// overall and per user.
+#[derive(Clone, Debug)]
+pub struct MissRatioCurve {
+    /// `misses[k-1]` = total LRU misses with cache size `k`.
+    pub misses: Vec<u64>,
+    /// `per_user[u][k-1]` = user `u`'s LRU misses with cache size `k`.
+    pub per_user: Vec<Vec<u64>>,
+    /// Trace length.
+    pub requests: u64,
+}
+
+impl MissRatioCurve {
+    /// Miss ratio at cache size `k`.
+    pub fn ratio(&self, k: usize) -> f64 {
+        self.misses[k - 1] as f64 / self.requests as f64
+    }
+
+    /// Per-user miss vector at cache size `k` (for cost evaluation).
+    pub fn miss_vector(&self, k: usize) -> Vec<u64> {
+        self.per_user.iter().map(|u| u[k - 1]).collect()
+    }
+}
+
+/// Compute the LRU miss-ratio curve for all cache sizes up to `max_k` in
+/// one pass (`O(T log T + max_k · (T_hist))`).
+pub fn lru_mrc(trace: &Trace, max_k: usize) -> MissRatioCurve {
+    assert!(max_k >= 1);
+    let num_users = trace.universe().num_users() as usize;
+    let distances = reuse_distances(trace);
+    // Histogram per user: hist[u][d] = accesses of user u with reuse
+    // distance d (d capped at max_k+1; cold misses counted separately).
+    let mut hist: Vec<Vec<u64>> = vec![vec![0; max_k + 2]; num_users];
+    let mut cold: Vec<u64> = vec![0; num_users];
+    for (t, r) in trace.iter() {
+        match distances[t as usize] {
+            None => cold[r.user.index()] += 1,
+            Some(d) => {
+                let d = (d as usize).min(max_k + 1);
+                hist[r.user.index()][d] += 1;
+            }
+        }
+    }
+    // Misses at size k = cold + accesses with distance > k.
+    let mut per_user = vec![vec![0u64; max_k]; num_users];
+    for u in 0..num_users {
+        // suffix[d] = Σ_{d' ≥ d} hist[u][d'].
+        let mut suffix = vec![0u64; max_k + 3];
+        for d in (1..=max_k + 1).rev() {
+            suffix[d] = suffix[d + 1] + hist[u][d];
+        }
+        for k in 1..=max_k {
+            per_user[u][k - 1] = cold[u] + suffix[k + 1];
+        }
+    }
+    let misses = (0..max_k)
+        .map(|i| per_user.iter().map(|u| u[i]).sum())
+        .collect();
+    MissRatioCurve {
+        misses,
+        per_user,
+        requests: trace.len() as u64,
+    }
+}
+
+/// Evaluate the convex objective along the curve:
+/// `cost_curve(costs)[k-1] = Σ_i f_i(misses_i(k))` for LRU.
+pub fn lru_cost_curve(mrc: &MissRatioCurve, costs: &occ_core::CostProfile) -> Vec<f64> {
+    (1..=mrc.misses.len())
+        .map(|k| costs.total_cost(&mrc.miss_vector(k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_baselines::Lru;
+    use occ_core::{CostProfile, Monomial};
+    use occ_sim::{Simulator, Universe};
+
+    fn trace(pages: &[u32], universe_pages: u32) -> Trace {
+        Trace::from_page_indices(&Universe::single_user(universe_pages), pages)
+    }
+
+    #[test]
+    fn reuse_distance_basics() {
+        // 0 1 0: distance of the second 0 is 2 (pages {1, 0}).
+        let t = trace(&[0, 1, 0], 2);
+        let d = reuse_distances(&t);
+        assert_eq!(d, vec![None, None, Some(2)]);
+    }
+
+    #[test]
+    fn repeated_page_has_distance_one() {
+        let t = trace(&[3, 3, 3], 4);
+        let d = reuse_distances(&t);
+        assert_eq!(d, vec![None, Some(1), Some(1)]);
+    }
+
+    #[test]
+    fn distance_counts_distinct_not_total() {
+        // 0 1 1 1 0: only one distinct page between the 0s.
+        let t = trace(&[0, 1, 1, 1, 0], 2);
+        let d = reuse_distances(&t);
+        assert_eq!(d[4], Some(2));
+    }
+
+    #[test]
+    fn mrc_matches_direct_lru_simulation() {
+        let u = Universe::uniform(2, 4);
+        let pages: Vec<u32> = (0..500u32).map(|i| (i * 13 + 7) % 8).collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mrc = lru_mrc(&t, 8);
+        for k in 1..=8usize {
+            let direct = Simulator::new(k).run(&mut Lru::new(), &t);
+            assert_eq!(
+                mrc.misses[k - 1],
+                direct.total_misses(),
+                "total mismatch at k={k}"
+            );
+            assert_eq!(
+                mrc.miss_vector(k),
+                direct.miss_vector(),
+                "per-user mismatch at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn mrc_is_monotone_in_k() {
+        let u = Universe::single_user(16);
+        let pages: Vec<u32> = (0..2000u32).map(|i| (i * 7 + i / 3) % 16).collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mrc = lru_mrc(&t, 16);
+        for k in 1..16 {
+            assert!(
+                mrc.misses[k] <= mrc.misses[k - 1],
+                "more cache cannot hurt LRU (stack property)"
+            );
+        }
+        assert!(mrc.ratio(16) <= mrc.ratio(1));
+    }
+
+    #[test]
+    fn cost_curve_applies_profile() {
+        let u = Universe::uniform(2, 2);
+        let t = Trace::from_page_indices(&u, &[0, 2, 1, 3, 0, 2, 1, 3]);
+        let mrc = lru_mrc(&t, 4);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let curve = lru_cost_curve(&mrc, &costs);
+        assert_eq!(curve.len(), 4);
+        // k = 4 holds everything: only the 4 cold misses remain.
+        assert_eq!(mrc.miss_vector(4), vec![2, 2]);
+        assert_eq!(curve[3], 8.0);
+        // Cost is non-increasing in k.
+        for k in 1..4 {
+            assert!(curve[k] <= curve[k - 1] + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Minimal table rendering: markdown for the terminal, CSV for files.
+//!
+//! The experiment binaries print the same rows the paper's results
+//! describe; keeping the renderer local avoids a formatting dependency.
+
+/// A simple column-aligned table.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create with column headers.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; must match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether there are no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render as a GitHub-flavored markdown table with padded columns.
+    pub fn to_markdown(&self) -> String {
+        let cols = self.header.len();
+        let mut width = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            width[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = width.iter().map(|&w| "-".repeat(w)).collect();
+        out.push_str(&fmt_row(&sep));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-ish; quotes cells containing separators).
+    pub fn to_csv(&self) -> String {
+        let esc = |c: &str| -> String {
+            if c.contains(',') || c.contains('"') || c.contains('\n') {
+                format!("\"{}\"", c.replace('"', "\"\""))
+            } else {
+                c.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .header
+                .iter()
+                .map(|h| esc(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| esc(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a float compactly for tables (3 significant-ish decimals,
+/// scientific for very large/small magnitudes).
+pub fn fnum(v: f64) -> String {
+    if v == 0.0 {
+        "0".into()
+    } else if !v.is_finite() {
+        format!("{v}")
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.2e}")
+    } else if (v - v.round()).abs() < 1e-9 && v.abs() < 1e6 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_is_aligned() {
+        let mut t = Table::new(vec!["name", "value"]);
+        t.row(vec!["a", "1"]).row(vec!["longer", "2.5"]);
+        let md = t.to_markdown();
+        let lines: Vec<&str> = md.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| name"));
+        assert!(lines.iter().all(|l| l.starts_with('|') && l.ends_with('|')));
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "all rows same width");
+    }
+
+    #[test]
+    fn csv_escapes() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["x,y", "q\"r"]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "a,b\n\"x,y\",\"q\"\"r\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        Table::new(vec!["a"]).row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn fnum_forms() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(3.25), "3.250");
+        assert_eq!(fnum(1.5e7), "1.50e7");
+        assert_eq!(fnum(2e-4), "2.00e-4");
+    }
+}

@@ -1,0 +1,208 @@
+//! Landlord / GreedyDual — the classical *weighted* caching algorithm
+//! (Young \[20\]).
+//!
+//! Each page receives credit equal to its (static) weight when requested;
+//! on eviction the minimum credit `δ` is charged to every cached page and
+//! a zero-credit page is evicted. This is the `k`-competitive primal–dual
+//! algorithm for linear costs — exactly the `α = 1` special case of the
+//! paper. Accordingly, `GreedyDual` with per-user weights `w_i` must make
+//! the *same decisions* as [`occ_core::ConvexCaching`] with
+//! `f_i(x) = w_i·x` (cross-validated in the tests below), while being an
+//! independent implementation with the textbook lazy-offset structure.
+
+use occ_sim::{EngineCtx, PageId, ReplacementPolicy, UserId};
+use std::collections::BTreeSet;
+
+/// Totally ordered f64 (no NaNs in this module).
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct Key(f64);
+impl Eq for Key {}
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// GreedyDual/Landlord with per-user weights and a lazy global offset.
+#[derive(Debug)]
+pub struct GreedyDual {
+    /// Per-user page weight.
+    weights: Vec<f64>,
+    /// Global charged offset `Σ δ`.
+    offset: f64,
+    seq: u64,
+    /// Per-page stored credit key (`credit + offset-at-set`).
+    key: Vec<f64>,
+    stamp: Vec<u64>,
+    /// Cached pages ordered by absolute key.
+    order: BTreeSet<(Key, u64, u32)>,
+}
+
+impl GreedyDual {
+    /// Create with one weight per user (`weights[i]` > 0).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        GreedyDual {
+            weights,
+            offset: 0.0,
+            seq: 0,
+            key: Vec::new(),
+            stamp: Vec::new(),
+            order: BTreeSet::new(),
+        }
+    }
+
+    /// Uniform weight 1 for `n` users — plain unweighted paging.
+    pub fn unweighted(n: u32) -> Self {
+        Self::new(vec![1.0; n as usize])
+    }
+
+    fn touch(&mut self, ctx: &EngineCtx, page: PageId, cached_before: bool) {
+        let n = ctx.universe.num_pages() as usize;
+        if self.key.len() < n {
+            self.key.resize(n, 0.0);
+            self.stamp.resize(n, 0);
+        }
+        if cached_before {
+            self.order
+                .remove(&(Key(self.key[page.index()]), self.stamp[page.index()], page.0));
+        }
+        let user: UserId = ctx.universe.owner(page);
+        self.seq += 1;
+        // credit := weight ⇒ stored key = weight + current offset.
+        self.key[page.index()] = self.weights[user.index()] + self.offset;
+        self.stamp[page.index()] = self.seq;
+        self.order
+            .insert((Key(self.key[page.index()]), self.stamp[page.index()], page.0));
+    }
+}
+
+impl ReplacementPolicy for GreedyDual {
+    fn name(&self) -> String {
+        "greedy-dual".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page, true);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page, false);
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        let &(key, stamp, page) = self.order.first().expect("cache is full");
+        self.order.remove(&(key, stamp, page));
+        // Charge δ = remaining credit of the victim to everyone (lazily).
+        self.offset = key.0;
+        PageId(page)
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.order
+            .remove(&(Key(self.key[page.index()]), self.stamp[page.index()], page.0));
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0.0;
+        self.seq = 0;
+        self.key.clear();
+        self.stamp.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_core::{ConvexCaching, CostFn, CostProfile, Linear};
+    use occ_sim::{Simulator, Trace, Universe};
+    use std::sync::Arc;
+
+    fn pseudo_pages(len: usize, universe_pages: u32, seed: u64) -> Vec<u32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % universe_pages as u64) as u32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unweighted_greedy_dual_is_lru() {
+        use crate::lru::Lru;
+        let u = Universe::single_user(6);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(300, 6, 1));
+        let a = Simulator::new(3)
+            .record_events(true)
+            .run(&mut GreedyDual::unweighted(1), &trace)
+            .events
+            .unwrap()
+            .eviction_sequence();
+        let b = Simulator::new(3)
+            .record_events(true)
+            .run(&mut Lru::new(), &trace)
+            .events
+            .unwrap()
+            .eviction_sequence();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_convex_caching_with_linear_costs() {
+        // The paper's algorithm degenerates to weighted caching when all
+        // costs are linear: both implementations must agree decision for
+        // decision.
+        let u = Universe::uniform(3, 3);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(500, 9, 2));
+        let weights = vec![1.0, 4.0, 2.0];
+        let costs = CostProfile::new(
+            weights
+                .iter()
+                .map(|&w| Arc::new(Linear::new(w)) as CostFn)
+                .collect(),
+        );
+        for k in [2, 4, 6] {
+            let a = Simulator::new(k)
+                .record_events(true)
+                .run(&mut GreedyDual::new(weights.clone()), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            let b = Simulator::new(k)
+                .record_events(true)
+                .run(&mut ConvexCaching::new(costs.clone()), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            assert_eq!(a, b, "divergence at k={k}");
+        }
+    }
+
+    #[test]
+    fn heavy_user_pages_survive() {
+        let u = Universe::uniform(2, 2); // u0 heavy, u1 light
+        let trace = Trace::from_page_indices(&u, &[0, 2, 3, 2, 3, 2, 3]);
+        let mut gd = GreedyDual::new(vec![100.0, 1.0]);
+        let r = Simulator::new(2).record_events(true).run(&mut gd, &trace);
+        // p0 (weight 100) should never be the victim.
+        for (_, victim) in r.events.unwrap().eviction_sequence() {
+            assert_ne!(victim, PageId(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weight() {
+        GreedyDual::new(vec![0.0]);
+    }
+}

@@ -1,0 +1,128 @@
+//! LRU — evict the least-recently-used page.
+//!
+//! Sleator & Tarjan \[19\] showed LRU is `k`-competitive for unweighted
+//! paging, which is the single-user linear special case of the paper's
+//! model. LRU is also the cost-blind default that the cost-aware
+//! algorithm is measured against in the multi-tenant experiments.
+
+use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use std::collections::BTreeSet;
+
+/// Least-recently-used replacement in `O(log k)` per operation.
+#[derive(Debug, Default)]
+pub struct Lru {
+    /// Monotone counter stamping each request.
+    seq: u64,
+    /// Last-use stamp per page (lazily sized).
+    stamp: Vec<u64>,
+    /// Cached pages ordered by last-use stamp.
+    order: BTreeSet<(u64, u32)>,
+}
+
+impl Lru {
+    /// A fresh LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, ctx: &EngineCtx, page: PageId, cached_before: bool) {
+        if self.stamp.len() < ctx.universe.num_pages() as usize {
+            self.stamp.resize(ctx.universe.num_pages() as usize, 0);
+        }
+        if cached_before {
+            self.order.remove(&(self.stamp[page.index()], page.0));
+        }
+        self.seq += 1;
+        self.stamp[page.index()] = self.seq;
+        self.order.insert((self.seq, page.0));
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> String {
+        "lru".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page, true);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page, false);
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        let &(stamp, page) = self.order.first().expect("cache is full");
+        self.order.remove(&(stamp, page));
+        PageId(page)
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.order.remove(&(self.stamp[page.index()], page.0));
+    }
+
+    fn reset(&mut self) {
+        self.seq = 0;
+        self.stamp.clear();
+        self.order.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_sim::{Simulator, Trace, Universe};
+
+    fn misses(pages: &[u32], num_pages: u32, k: usize) -> u64 {
+        let u = Universe::single_user(num_pages);
+        let trace = Trace::from_page_indices(&u, pages);
+        Simulator::new(k).run(&mut Lru::new(), &trace).total_misses()
+    }
+
+    #[test]
+    fn classic_lru_behavior() {
+        // 0 1 2 0 3: at 3, LRU order is 1,2,0 → evict 1.
+        let u = Universe::single_user(4);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 0, 3]);
+        let r = Simulator::new(3)
+            .record_events(true)
+            .run(&mut Lru::new(), &trace);
+        let ev = r.events.unwrap().eviction_sequence();
+        assert_eq!(ev, vec![(4, PageId(1))]);
+    }
+
+    #[test]
+    fn sequential_scan_thrashes() {
+        // The classic (k+1)-cycle worst case: every request misses.
+        let pages: Vec<u32> = (0..40).map(|i| i % 4).collect();
+        assert_eq!(misses(&pages, 4, 3), 40);
+    }
+
+    #[test]
+    fn working_set_fits() {
+        let pages: Vec<u32> = (0..30).map(|i| i % 3).collect();
+        assert_eq!(misses(&pages, 3, 3), 3);
+    }
+
+    #[test]
+    fn hit_refreshes_recency() {
+        // 0 1 0 2 → evicting for 2 picks 1 (0 was refreshed).
+        let u = Universe::single_user(3);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 0, 2]);
+        let r = Simulator::new(2)
+            .record_events(true)
+            .run(&mut Lru::new(), &trace);
+        assert_eq!(r.events.unwrap().eviction_sequence(), vec![(3, PageId(1))]);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let u = Universe::single_user(3);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 0]);
+        let mut lru = Lru::new();
+        let a = Simulator::new(2).run(&mut lru, &trace).total_misses();
+        lru.reset();
+        let b = Simulator::new(2).run(&mut lru, &trace).total_misses();
+        assert_eq!(a, b);
+    }
+}

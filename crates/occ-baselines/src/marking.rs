@@ -1,0 +1,113 @@
+//! The marking algorithm — phase-based paging.
+//!
+//! Pages are marked when requested; a victim is always an unmarked page,
+//! and when every cached page is marked a new phase begins (all marks are
+//! cleared). Deterministic marking is `k`-competitive; it is the textbook
+//! alternative to LRU and a useful cost-blind baseline because its phase
+//! structure reacts differently to adversarial cycles.
+
+use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+
+/// Deterministic marking: evicts the unmarked page with the oldest last
+/// use.
+#[derive(Debug, Default)]
+pub struct Marking {
+    seq: u64,
+    marked: Vec<bool>,
+    stamp: Vec<u64>,
+}
+
+impl Marking {
+    /// A fresh marking policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn touch(&mut self, ctx: &EngineCtx, page: PageId) {
+        let n = ctx.universe.num_pages() as usize;
+        if self.marked.len() < n {
+            self.marked.resize(n, false);
+            self.stamp.resize(n, 0);
+        }
+        self.seq += 1;
+        self.marked[page.index()] = true;
+        self.stamp[page.index()] = self.seq;
+    }
+}
+
+impl ReplacementPolicy for Marking {
+    fn name(&self) -> String {
+        "marking".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        // New phase if everything is marked.
+        if ctx.cache.iter().all(|p| self.marked[p.index()]) {
+            for p in ctx.cache.iter() {
+                self.marked[p.index()] = false;
+            }
+        }
+        // Oldest unmarked page.
+        ctx.cache
+            .iter()
+            .filter(|p| !self.marked[p.index()])
+            .min_by_key(|p| (self.stamp[p.index()], p.0))
+            .expect("a phase reset guarantees an unmarked page")
+    }
+
+    fn reset(&mut self) {
+        self.seq = 0;
+        self.marked.clear();
+        self.stamp.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_sim::{Simulator, Trace, Universe};
+
+    #[test]
+    fn marked_pages_survive_within_phase() {
+        // k=2: 0 1 — both marked. 2 arrives: phase reset, evict oldest (0).
+        // Then 1 is still cached (marked anew? no: reset unmarked both, 2
+        // got marked on insert). Request 1 hits and marks it.
+        let u = Universe::single_user(4);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 1, 3]);
+        let r = Simulator::new(2)
+            .record_events(true)
+            .run(&mut Marking::new(), &trace);
+        let ev = r.events.unwrap().eviction_sequence();
+        // t=2: evict 0. t=4: cache {2 marked, 1 marked} → reset, evict 2
+        // (older stamp than 1's refreshed stamp).
+        assert_eq!(ev, vec![(2, PageId(0)), (4, PageId(2))]);
+    }
+
+    #[test]
+    fn cycle_still_k_competitive_shape() {
+        let u = Universe::single_user(4);
+        let pages: Vec<u32> = (0..40).map(|i| i % 4).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let r = Simulator::new(3).run(&mut Marking::new(), &trace);
+        // Marking also thrashes on the (k+1)-cycle.
+        assert_eq!(r.total_misses(), 40);
+    }
+
+    #[test]
+    fn working_set_protected() {
+        let u = Universe::single_user(5);
+        // Hot pages 0,1 plus a stream of cold singles: hot pages stay.
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 0, 1, 3, 0, 1, 4, 0, 1]);
+        let r = Simulator::new(3).run(&mut Marking::new(), &trace);
+        // Hot pages miss once each; cold pages miss each time: 2 + 3.
+        assert_eq!(r.total_misses(), 5);
+    }
+}

@@ -1,0 +1,137 @@
+//! Randomized marking — the classical `O(log k)`-competitive randomized
+//! paging algorithm (Fiat et al.), referenced by the paper via Bansal,
+//! Buchbinder & Naor \[3\], who bring randomization to *weighted* caching.
+//!
+//! Identical phase structure to deterministic [`crate::Marking`], but the
+//! victim is a *uniformly random* unmarked page. Against oblivious
+//! adversaries this breaks the `Ω(k)` deterministic barrier; against the
+//! §4 *adaptive* adversary it does not (the adversary sees the cache) —
+//! both facts are exercised by the experiment suite.
+
+use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Randomized marking with a seeded RNG (reproducible runs).
+#[derive(Debug)]
+pub struct RandomizedMarking {
+    seed: u64,
+    rng: StdRng,
+    marked: Vec<bool>,
+}
+
+impl RandomizedMarking {
+    /// Create with an explicit RNG seed.
+    pub fn new(seed: u64) -> Self {
+        RandomizedMarking {
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            marked: Vec::new(),
+        }
+    }
+
+    fn mark(&mut self, ctx: &EngineCtx, page: PageId) {
+        let n = ctx.universe.num_pages() as usize;
+        if self.marked.len() < n {
+            self.marked.resize(n, false);
+        }
+        self.marked[page.index()] = true;
+    }
+}
+
+impl ReplacementPolicy for RandomizedMarking {
+    fn name(&self) -> String {
+        "rand-marking".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.mark(ctx, page);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.mark(ctx, page);
+    }
+
+    fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        if ctx.cache.iter().all(|p| self.marked[p.index()]) {
+            for p in ctx.cache.iter() {
+                self.marked[p.index()] = false;
+            }
+        }
+        let unmarked: Vec<PageId> = ctx
+            .cache
+            .iter()
+            .filter(|p| !self.marked[p.index()])
+            .collect();
+        unmarked[self.rng.gen_range(0..unmarked.len())]
+    }
+
+    fn reset(&mut self) {
+        self.rng = StdRng::seed_from_u64(self.seed);
+        self.marked.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_sim::{Simulator, Trace, Universe};
+
+    #[test]
+    fn marked_pages_are_never_victims() {
+        let u = Universe::single_user(6);
+        let pages: Vec<u32> = (0..400u32).map(|i| (i * 7 + 1) % 6).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        // The engine itself would panic if a non-cached page were chosen;
+        // here we check the run completes and is reproducible.
+        let mut p = RandomizedMarking::new(3);
+        let a = Simulator::new(3).run(&mut p, &trace).total_misses();
+        p.reset();
+        let b = Simulator::new(3).run(&mut p, &trace).total_misses();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn beats_deterministic_marking_on_oblivious_cycle_in_expectation() {
+        // The (k+1)-cycle is the deterministic worst case: deterministic
+        // marking misses everything. Randomized marking hits sometimes
+        // because the adversary cannot aim at its random hole.
+        let u = Universe::single_user(5);
+        let pages: Vec<u32> = (0..2_000u32).map(|i| i % 5).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let det = Simulator::new(4)
+            .run(&mut crate::Marking::new(), &trace)
+            .total_misses();
+        assert_eq!(det, 2_000, "deterministic marking misses every request");
+        let mut total = 0u64;
+        for seed in 0..5 {
+            total += Simulator::new(4)
+                .run(&mut RandomizedMarking::new(seed), &trace)
+                .total_misses();
+        }
+        let avg = total / 5;
+        assert!(
+            avg < 1_500,
+            "randomization must dodge a fixed cycle: avg {avg} misses"
+        );
+    }
+
+    #[test]
+    fn adaptive_adversary_still_wins() {
+        // Against the §4 adversary (which observes the cache) randomness
+        // does not help: every request still misses.
+        use occ_sim::{AdaptiveSource, RequestSource};
+        let u = Universe::uniform(5, 1);
+        let mut remaining = 200;
+        let mut src = AdaptiveSource::new(u, move |cached: &[PageId]| {
+            if remaining == 0 {
+                return None;
+            }
+            remaining -= 1;
+            (0..5).map(PageId).find(|p| !cached.contains(p))
+        });
+        let r = Simulator::new(4).run_source(&mut RandomizedMarking::new(1), &mut src);
+        assert_eq!(r.total_misses(), 200);
+        let _ = &src as &dyn RequestSource;
+    }
+}

@@ -1,0 +1,76 @@
+//! P2 — offline machinery scaling: Belady, the cost-aware heuristic,
+//! exact OPT, convex-program construction, and the ALG-CONT reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use occ_core::{run_continuous, ConvexProgram, CostProfile, Marginals, Monomial, TieBreak};
+use occ_offline::{belady_total_misses, cost_belady_miss_vector, exact_opt};
+use occ_sim::{Trace, Universe};
+use occ_workloads::zipf_trace;
+
+fn bench_belady(c: &mut Criterion) {
+    let mut group = c.benchmark_group("belady");
+    for &len in &[10_000usize, 50_000] {
+        let trace = zipf_trace(256, len, 0.9, 1);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("min", len), &len, |b, _| {
+            b.iter(|| belady_total_misses(&trace, 64));
+        });
+        let costs = CostProfile::uniform(1, Monomial::power(2.0));
+        group.bench_with_input(BenchmarkId::new("cost-aware", len), &len, |b, _| {
+            b.iter(|| cost_belady_miss_vector(&trace, 64, &costs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_opt");
+    group.sample_size(10);
+    for &t_len in &[8usize, 12] {
+        let u = Universe::uniform(2, 2);
+        let pages: Vec<u32> = (0..t_len).map(|i| (i as u32 * 5 + 1 + (i as u32 * i as u32)) % 4).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        group.bench_with_input(BenchmarkId::new("T", t_len), &t_len, |b, _| {
+            b.iter(|| exact_opt(&trace, 2, &costs));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cp_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cp_construction");
+    for &len in &[1_000usize, 5_000] {
+        let trace = zipf_trace(64, len, 0.8, 2);
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("build", len), &len, |b, _| {
+            b.iter(|| ConvexProgram::new(&trace, 16));
+        });
+    }
+    group.finish();
+}
+
+fn bench_continuous_reference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alg_cont_reference");
+    group.sample_size(20);
+    for &len in &[2_000usize, 8_000] {
+        let trace = zipf_trace(48, len, 0.8, 4);
+        let costs = CostProfile::uniform(1, Monomial::power(2.0));
+        group.throughput(Throughput::Elements(len as u64));
+        group.bench_with_input(BenchmarkId::new("T", len), &len, |b, _| {
+            b.iter(|| {
+                run_continuous(&trace, 12, &costs, Marginals::Derivative, TieBreak::OldestRequest)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_belady,
+    bench_exact_opt,
+    bench_cp_construction,
+    bench_continuous_reference
+);
+criterion_main!(benches);

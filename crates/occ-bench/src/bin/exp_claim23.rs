@@ -1,0 +1,91 @@
+//! E4 — Claim 2.3: numeric verification of the curvature inequality.
+//!
+//! `f'(Σx)·Σx ≤ α·Σ_j x_j·f'(Σ_{i≤j} x_i)` for convex increasing `f`
+//! with `f(0)=0`. Swept over function families and random partitions;
+//! the table reports the worst (smallest) observed slack ratio rhs/lhs —
+//! it must never fall below 1.
+
+use occ_analysis::{fnum, Table};
+use occ_bench::{finish, Reporter};
+use occ_core::theory::claim23::check_inequality_6;
+use occ_core::{
+    check_claim_2_3, CostFn, Linear, Monomial, PiecewiseLinear, Polynomial,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+fn random_partitions(rng: &mut StdRng, trials: usize) -> Vec<Vec<f64>> {
+    (0..trials)
+        .map(|_| {
+            let n = rng.gen_range(1..=12);
+            (0..n).map(|_| rng.gen_range(0.0..5.0)).collect()
+        })
+        .collect()
+}
+
+fn main() {
+    let r = Reporter::from_args();
+    let mut all_ok = true;
+    let mut rng = StdRng::seed_from_u64(2015);
+
+    let functions: Vec<(&str, CostFn)> = vec![
+        ("linear w=3", Arc::new(Linear::new(3.0))),
+        ("x^1.5", Arc::new(Monomial::power(1.5))),
+        ("x^2", Arc::new(Monomial::power(2.0))),
+        ("x^4", Arc::new(Monomial::power(4.0))),
+        ("2x + x^3", Arc::new(Polynomial::new(vec![2.0, 0.0, 1.0]))),
+        (
+            "sla(tol=5, 1→10)",
+            Arc::new(PiecewiseLinear::sla(5.0, 1.0, 10.0)),
+        ),
+    ];
+
+    r.section("E4 — Claim 2.3 over function families × 2000 random partitions");
+    let mut t = Table::new(vec![
+        "f", "alpha", "trials", "min slack rhs/lhs", "violations", "ineq(6) violations",
+    ]);
+    for (name, f) in &functions {
+        let partitions = random_partitions(&mut rng, 2000);
+        let mut min_slack = f64::INFINITY;
+        let mut violations = 0usize;
+        let mut ineq6_violations = 0usize;
+        for xs in &partitions {
+            let out = check_claim_2_3(&**f, xs, None);
+            if !out.holds(1e-9) {
+                violations += 1;
+            }
+            if out.slack_ratio.is_finite() {
+                min_slack = min_slack.min(out.slack_ratio);
+            }
+            // The proof's intermediate inequality (6).
+            let (weighted, total_f) = check_inequality_6(&**f, xs);
+            if weighted + 1e-9 < total_f {
+                ineq6_violations += 1;
+            }
+        }
+        all_ok &= violations == 0 && ineq6_violations == 0 && min_slack >= 1.0 - 1e-9;
+        t.row(vec![
+            name.to_string(),
+            fnum(f.alpha().expect("families chosen with finite α")),
+            partitions.len().to_string(),
+            fnum(min_slack),
+            violations.to_string(),
+            ineq6_violations.to_string(),
+        ]);
+    }
+    r.table("e4_claim23", &t);
+    r.note(
+        "min slack = smallest rhs/lhs observed; 1.0 means the inequality is \
+         tight (attained by single-element partitions of linear f).",
+    );
+
+    // Tightness demonstration: single-element partitions with linear f.
+    let tight = check_claim_2_3(&Linear::new(2.0), &[4.0], None);
+    if (tight.slack_ratio - 1.0).abs() > 1e-9 {
+        println!("!! expected exact tightness for linear single-element case");
+        all_ok = false;
+    }
+
+    finish("exp_claim23", all_ok);
+}

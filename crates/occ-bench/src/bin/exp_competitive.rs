@@ -1,0 +1,151 @@
+//! E1 — Theorem 1.1 / Corollary 1.2: measured competitive behavior of
+//! ALG-DISCRETE against offline references, versus the proven bounds.
+//!
+//! Part A (exact): small instances where `occ_offline::exact_opt` gives
+//! the true optimum of the convex objective; verifies
+//! `Σ f_i(a_i) ≤ Σ f_i(α·k·b_i)` (Theorem 1.1) and reports the plain
+//! cost ratio against the `β^β k^β` factor of Corollary 1.2.
+//!
+//! Part B (scale): single-user traces where Belady's MIN *is* the exact
+//! offline optimum (one user ⇒ the objective is monotone in the miss
+//! count), swept over `k` and `β` on cyclic / Zipf / uniform workloads.
+//!
+//! Expected shape: every bound satisfied; measured ratios orders of
+//! magnitude below the worst-case factor on benign workloads, and
+//! approaching `Θ(k^β)` on the adversarial cycle.
+
+use occ_analysis::{check_theorem_1_1, fnum, Table};
+use occ_bench::{finish, Reporter};
+use occ_core::{corollary_1_2_factor, ConvexCaching, CostProfile, Monomial};
+use occ_offline::{belady_miss_vector, exact_opt};
+use occ_sim::{Simulator, Trace, Universe};
+use occ_workloads::{cycle_trace, uniform_trace, zipf_trace};
+
+fn online_misses(costs: &CostProfile, trace: &Trace, k: usize) -> Vec<u64> {
+    let mut alg = ConvexCaching::new(costs.clone());
+    Simulator::new(k).run(&mut alg, trace).miss_vector()
+}
+
+fn main() {
+    let r = Reporter::from_args();
+    let mut all_ok = true;
+
+    // ---------- Part A: exact OPT on small instances ----------
+    r.section("E1a — Theorem 1.1 against the exact convex OPT (small instances)");
+    let mut t = Table::new(vec![
+        "users", "k", "beta", "trace", "online cost", "OPT cost", "ratio", "Thm1.1 rhs",
+        "bound ok",
+    ]);
+    for &beta in &[1.0f64, 2.0, 3.0] {
+        for &k in &[2usize, 3] {
+            for seed in 0..4u32 {
+                let universe = Universe::uniform(2, 2);
+                let pages: Vec<u32> = (0..12).map(|i| (i * 5 + seed * 3 + i * i) % 4).collect();
+                let trace = Trace::from_page_indices(&universe, &pages);
+                let costs = CostProfile::uniform(2, Monomial::power(beta));
+                let a = online_misses(&costs, &trace, k);
+                let opt = exact_opt(&trace, k, &costs);
+                let check = check_theorem_1_1(&costs, &a, &opt.misses, beta, k);
+                all_ok &= check.satisfied;
+                t.row(vec![
+                    "2".to_string(),
+                    k.to_string(),
+                    fnum(beta),
+                    format!("rand#{seed}"),
+                    fnum(check.online_cost),
+                    fnum(check.offline_cost),
+                    fnum(check.ratio),
+                    fnum(check.rhs),
+                    check.satisfied.to_string(),
+                ]);
+            }
+        }
+    }
+    r.table("e1a_exact", &t);
+    r.note("OPT: exact convex-objective optimum by memoized search.");
+
+    // ---------- Part B: single-user scale (Belady = exact OPT) ----------
+    r.section("E1b — Corollary 1.2 at scale (single user; MIN is exact OPT)");
+    let mut t = Table::new(vec![
+        "workload",
+        "k",
+        "beta",
+        "online misses",
+        "OPT misses",
+        "cost ratio",
+        "Cor1.2 factor",
+        "bound ok",
+    ]);
+    let len = 20_000;
+    for &beta in &[1.0f64, 2.0, 3.0] {
+        for &k in &[4usize, 8, 16] {
+            let workloads: Vec<(&str, Trace)> = vec![
+                ("cycle(k+1)", cycle_trace(k as u32 + 1, len)),
+                ("zipf(0.9)", zipf_trace(4 * k as u32, len, 0.9, 7)),
+                ("uniform", uniform_trace(2 * k as u32, len, 7)),
+            ];
+            for (name, trace) in workloads {
+                let costs = CostProfile::uniform(1, Monomial::power(beta));
+                let a = online_misses(&costs, &trace, k);
+                let b = belady_miss_vector(&trace, k);
+                let check = check_theorem_1_1(&costs, &a, &b, beta, k);
+                all_ok &= check.satisfied;
+                t.row(vec![
+                    name.to_string(),
+                    k.to_string(),
+                    fnum(beta),
+                    a[0].to_string(),
+                    b[0].to_string(),
+                    fnum(check.ratio),
+                    fnum(corollary_1_2_factor(beta, k)),
+                    check.satisfied.to_string(),
+                ]);
+            }
+        }
+    }
+    r.table("e1b_scale", &t);
+    r.note(
+        "cost ratio = Σf(a)/Σf(b); the worst case over workloads stays below \
+         β^β·k^β, with the adversarial cycle the closest.",
+    );
+
+    // ---------- Part C: multi-tenant with the offline heuristic ----------
+    r.section("E1c — multi-tenant Theorem 1.1 form (offline = best heuristic)");
+    let mut t = Table::new(vec![
+        "tenants", "k", "beta", "online cost", "offline cost", "Thm1.1 rhs", "bound ok",
+    ]);
+    for &beta in &[1.0f64, 2.0] {
+        for &k in &[8usize, 16] {
+            let trace = occ_workloads::generate_multi_tenant(
+                &[
+                    occ_workloads::TenantSpec::new(24, 2.0, occ_workloads::AccessPattern::Zipf { s: 0.9 }),
+                    occ_workloads::TenantSpec::new(24, 1.0, occ_workloads::AccessPattern::Cycle { len: 20 }),
+                    occ_workloads::TenantSpec::new(16, 1.0, occ_workloads::AccessPattern::Uniform),
+                ],
+                30_000,
+                13,
+            );
+            let costs = CostProfile::uniform(3, Monomial::power(beta));
+            let a = online_misses(&costs, &trace, k);
+            let (off_cost, b) = occ_offline::best_offline_heuristic(&trace, k, &costs);
+            let check = check_theorem_1_1(&costs, &a, &b, beta, k);
+            all_ok &= check.satisfied;
+            t.row(vec![
+                "3".to_string(),
+                k.to_string(),
+                fnum(beta),
+                fnum(check.online_cost),
+                fnum(off_cost),
+                fnum(check.rhs),
+                check.satisfied.to_string(),
+            ]);
+        }
+    }
+    r.table("e1c_multitenant", &t);
+    r.note(
+        "offline = min(Belady, cost-aware Belady): an upper bound on OPT, so \
+         'bound ok' is a necessary check of Theorem 1.1 at scale.",
+    );
+
+    finish("exp_competitive", all_ok);
+}

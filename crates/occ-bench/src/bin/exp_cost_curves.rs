@@ -1,0 +1,89 @@
+//! E10 — cost versus cache size: how the convex objective decays with
+//! `k` for the cost-aware algorithm versus LRU (whole miss-ratio curve
+//! via Mattson's stack algorithm) and the offline references.
+//!
+//! This is the operator's view of the paper: for a given tenant mix and
+//! SLA profile, how much memory buys how much cost, and how much of the
+//! gap to offline is closed by cost-awareness at each size.
+
+use occ_analysis::{fnum, lru_cost_curve, lru_mrc, Table};
+use occ_bench::{finish, Reporter};
+use occ_core::{ConvexCaching, CostProfile};
+use occ_offline::best_offline_heuristic;
+use occ_sim::Simulator;
+use occ_workloads::two_tier;
+
+fn main() {
+    let r = Reporter::from_args();
+    let mut all_ok = true;
+
+    let scenario = two_tier();
+    let trace = scenario.trace(40_000, 17);
+    let costs: &CostProfile = &scenario.costs;
+    let max_k = 48usize;
+
+    // Whole LRU curve in one pass.
+    let mrc = lru_mrc(&trace, max_k);
+    let lru_curve = lru_cost_curve(&mrc, costs);
+
+    r.section("E10 — convex cost vs cache size (scenario 'two-tier')");
+    let mut t = Table::new(vec![
+        "k",
+        "LRU miss ratio",
+        "LRU cost",
+        "convex-caching cost",
+        "offline heuristic cost",
+        "aware/blind",
+    ]);
+    let ks = [4usize, 8, 12, 16, 24, 32, 48];
+    for &k in &ks {
+        let mut alg = ConvexCaching::new(costs.clone());
+        let ours = Simulator::new(k).run(&mut alg, &trace);
+        let ours_cost = costs.total_cost(&ours.miss_vector());
+        let (off_cost, _) = best_offline_heuristic(&trace, k, costs);
+        let lru_cost = lru_curve[k - 1];
+        t.row(vec![
+            k.to_string(),
+            format!("{:.3}", mrc.ratio(k)),
+            fnum(lru_cost),
+            fnum(ours_cost),
+            fnum(off_cost),
+            format!("{:.2}x", lru_cost / ours_cost),
+        ]);
+        // Sanity: the offline schedule can't cost more than LRU (LRU is
+        // one of the candidate schedules MIN dominates in misses; the
+        // heuristic takes a min with a cost-aware schedule).
+        if off_cost > lru_cost * 1.0001 {
+            println!("!! offline heuristic above LRU at k={k}");
+            all_ok = false;
+        }
+    }
+    r.table("e10_cost_curves", &t);
+    r.note(
+        "aware/blind = LRU cost / convex-caching cost. At tiny k everyone \
+         thrashes and the curves converge; as k grows, cost-awareness can \
+         shield the quadratic tenant almost completely while LRU keeps \
+         splitting misses evenly — the ratio explodes (convexity amplifies \
+         every miss LRU needlessly gives the expensive tenant).",
+    );
+
+    // Validation: cost-awareness must win at the contended sizes.
+    for &k in &[8usize, 16, 24] {
+        let mut alg = ConvexCaching::new(costs.clone());
+        let ours = Simulator::new(k).run(&mut alg, &trace);
+        let ours_cost = costs.total_cost(&ours.miss_vector());
+        if ours_cost > lru_curve[k - 1] {
+            println!("!! cost-aware above LRU at contended k={k}");
+            all_ok = false;
+        }
+    }
+    // And the MRC itself must be monotone.
+    for k in 1..max_k {
+        if mrc.misses[k] > mrc.misses[k - 1] {
+            println!("!! LRU stack property violated at k={}", k + 1);
+            all_ok = false;
+        }
+    }
+
+    finish("exp_cost_curves", all_ok);
+}

@@ -1,0 +1,142 @@
+//! E5 — Figures 2 & 3: ALG-CONT ≡ ALG-DISCRETE, and the §2.3 invariants.
+//!
+//! Three implementations of the paper's algorithm — the fast closed-form
+//! `ConvexCaching`, the literal Figure 3 `DiscreteReference`, and the
+//! continuous primal–dual `run_continuous` — must produce identical
+//! eviction sequences on identical inputs. The continuous run's recorded
+//! dual trajectory must satisfy every invariant of §2.3 (under the §2.1
+//! dummy-flush convention for gradient condition (3a)).
+
+use occ_analysis::{fnum, Table};
+use occ_bench::{finish, Reporter};
+use occ_core::{
+    check_invariants, run_continuous, ConvexCaching, CostFn, CostProfile, DiscreteReference,
+    Linear, Marginals, Monomial, PiecewiseLinear, TieBreak, with_dummy_flush,
+};
+use occ_sim::{ReplacementPolicy, Simulator, Trace, Universe};
+use std::sync::Arc;
+
+fn pseudo_pages(len: usize, universe_pages: u32, seed: u64) -> Vec<u32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    (0..len)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % universe_pages as u64) as u32
+        })
+        .collect()
+}
+
+fn evictions<P: ReplacementPolicy>(p: &mut P, trace: &Trace, k: usize) -> Vec<(u64, u32)> {
+    Simulator::new(k)
+        .record_events(true)
+        .run(p, trace)
+        .events
+        .unwrap()
+        .eviction_sequence()
+        .iter()
+        .map(|&(t, pg)| (t, pg.0))
+        .collect()
+}
+
+fn main() {
+    let r = Reporter::from_args();
+    let mut all_ok = true;
+
+    r.section("E5 — implementation equivalence (fast vs Figure 3 vs Figure 2)");
+    let mut t = Table::new(vec![
+        "costs", "users", "k", "T", "seed", "evictions", "fast==fig3", "fast==fig2",
+    ]);
+    let profiles: Vec<(&str, CostProfile)> = vec![
+        ("uniform x^2", CostProfile::uniform(3, Monomial::power(2.0))),
+        (
+            "mixed lin/quad/sla",
+            CostProfile::new(vec![
+                Arc::new(Linear::new(2.0)) as CostFn,
+                Arc::new(Monomial::power(2.0)) as CostFn,
+                Arc::new(PiecewiseLinear::sla(4.0, 1.0, 8.0)) as CostFn,
+            ]),
+        ),
+    ];
+    for (cname, costs) in &profiles {
+        for &k in &[3usize, 6] {
+            for seed in 1..=4u64 {
+                let universe = Universe::uniform(3, 3);
+                let trace =
+                    Trace::from_page_indices(&universe, &pseudo_pages(2_000, 9, seed));
+                let mut fast = ConvexCaching::new(costs.clone());
+                let mut fig3 = DiscreteReference::new(costs.clone());
+                let e_fast = evictions(&mut fast, &trace, k);
+                let e_fig3 = evictions(&mut fig3, &trace, k);
+                let cont = run_continuous(
+                    &trace,
+                    k,
+                    costs,
+                    Marginals::Derivative,
+                    TieBreak::OldestRequest,
+                );
+                let e_fig2: Vec<(u64, u32)> = cont
+                    .eviction_sequence
+                    .iter()
+                    .map(|&(t, p)| (t, p.0))
+                    .collect();
+                let eq3 = e_fast == e_fig3;
+                let eq2 = e_fast == e_fig2;
+                all_ok &= eq3 && eq2;
+                t.row(vec![
+                    cname.to_string(),
+                    "3".to_string(),
+                    k.to_string(),
+                    trace.len().to_string(),
+                    seed.to_string(),
+                    e_fast.len().to_string(),
+                    eq3.to_string(),
+                    eq2.to_string(),
+                ]);
+            }
+        }
+    }
+    r.table("e5_equivalence", &t);
+
+    r.section("E5 — §2.3 invariants of the recorded primal–dual trajectory");
+    let mut t = Table::new(vec![
+        "costs",
+        "marginals",
+        "k",
+        "primal(1a)",
+        "dual≥0(1c)",
+        "slack(2a)",
+        "tight(2b)",
+        "grad(3a)",
+        "max |2b residual|",
+        "min 3a slack",
+    ]);
+    for (cname, costs) in &profiles {
+        for mode in [Marginals::Derivative, Marginals::Discrete] {
+            let k = 4usize;
+            let universe = Universe::uniform(3, 3);
+            let trace = Trace::from_page_indices(&universe, &pseudo_pages(1_500, 9, 42));
+            let (ft, fc) = with_dummy_flush(&trace, costs, k);
+            let run = run_continuous(&ft, k, &fc, mode, TieBreak::OldestRequest);
+            let report = check_invariants(&ft, k, &fc, mode, &run, true, 1e-6);
+            all_ok &= report.all_ok();
+            t.row(vec![
+                cname.to_string(),
+                format!("{mode:?}"),
+                k.to_string(),
+                report.primal_feasible.to_string(),
+                report.dual_nonneg.to_string(),
+                report.comp_slack_z.to_string(),
+                report.tightness_at_eviction.to_string(),
+                report.gradient_ok.to_string(),
+                fnum(report.max_tightness_residual),
+                fnum(report.min_gradient_slack),
+            ]);
+        }
+    }
+    r.table("e5_invariants", &t);
+    r.note("All conditions must hold exactly (residuals at float precision).");
+
+    finish("exp_equivalence", all_ok);
+}

@@ -1,0 +1,160 @@
+//! E9 — the §5 future-work system: multiple memory pools with user
+//! migration and switching costs.
+//!
+//! Six tenants with drifting load share two pools. The sweep varies the
+//! switching cost and compares assignment policies (static, cost-blind
+//! load balancing, cost-aware rebalancing), with the paper's algorithm
+//! as the per-pool replacement policy. Expected shape: the cost-aware
+//! rebalancer wins at low-to-moderate switching costs and converges to
+//! the static assigner's cost as the fee grows (it migrates less and
+//! less); the cost-blind balancer migrates regardless and is penalized
+//! at high fees.
+
+use occ_analysis::{fnum, Table};
+use occ_bench::{finish, Reporter};
+use occ_core::{ConvexCaching, CostFn, CostProfile, Linear, Monomial, PiecewiseLinear};
+use occ_pools::{
+    run_pools, CostAwareRebalancer, LoadBalancer, PoolAssigner, PoolsConfig, StaticAssigner,
+};
+use occ_sim::{ReplacementPolicy, Trace};
+use occ_workloads::{generate_multi_tenant, AccessPattern, TenantSpec};
+use std::sync::Arc;
+
+fn workload() -> (Trace, CostProfile) {
+    // Tenants 0 and 2 are heavy with large conflicting working sets; the
+    // round-robin initial placement colocates them (both even ⇒ pool 0),
+    // so a good rebalancer has something real to fix. The rest are light.
+    let trace = generate_multi_tenant(
+        &[
+            TenantSpec::new(20, 3.0, AccessPattern::Phased { s: 1.2, phase_len: 4_000 }),
+            TenantSpec::new(8, 1.0, AccessPattern::Zipf { s: 1.0 }),
+            TenantSpec::new(20, 3.0, AccessPattern::Cycle { len: 16 }),
+            TenantSpec::new(8, 1.0, AccessPattern::Zipf { s: 1.0 }),
+            TenantSpec::new(8, 0.5, AccessPattern::Uniform),
+            TenantSpec::new(8, 0.5, AccessPattern::Uniform),
+        ],
+        60_000,
+        31,
+    );
+    let costs = CostProfile::new(vec![
+        Arc::new(Monomial::power(2.0)) as CostFn,
+        Arc::new(Linear::new(2.0)) as CostFn,
+        Arc::new(PiecewiseLinear::sla(100.0, 1.0, 10.0)) as CostFn,
+        Arc::new(Linear::new(2.0)) as CostFn,
+        Arc::new(Linear::unit()) as CostFn,
+        Arc::new(Linear::unit()) as CostFn,
+    ]);
+    (trace, costs)
+}
+
+fn main() {
+    let r = Reporter::from_args();
+    let mut all_ok = true;
+    let (trace, costs) = workload();
+    let epoch = 2_000u64;
+
+    r.section("E9 — two pools of 20 pages, 6 tenants, epoch = 2000 requests");
+    let mut t = Table::new(vec![
+        "switching cost",
+        "assigner",
+        "migrations",
+        "miss cost",
+        "switch total",
+        "total cost",
+    ]);
+    let mut totals: Vec<(f64, String, f64)> = Vec::new();
+    for &fee in &[0.0f64, 100.0, 1_000.0, 100_000.0] {
+        let assigners: Vec<Box<dyn PoolAssigner>> = vec![
+            Box::new(StaticAssigner),
+            Box::new(LoadBalancer),
+            Box::new(CostAwareRebalancer::default()),
+        ];
+        for mut assigner in assigners {
+            let costs_factory = costs.clone();
+            let result = run_pools(
+                &trace,
+                PoolsConfig::uniform(2, 20, fee),
+                &costs,
+                &mut *assigner,
+                epoch,
+                move |_| {
+                    Box::new(ConvexCaching::new(costs_factory.clone()))
+                        as Box<dyn ReplacementPolicy>
+                },
+            );
+            totals.push((fee, assigner.name(), result.total_cost()));
+            t.row(vec![
+                fnum(fee),
+                assigner.name(),
+                result.migrations.to_string(),
+                fnum(result.miss_cost),
+                fnum(result.switching_total),
+                fnum(result.total_cost()),
+            ]);
+        }
+    }
+    r.table("e9_pools", &t);
+
+    // Validation: at the highest fee the cost-aware assigner must be
+    // within a whisker of static (it should stop migrating)…
+    let cost_of = |fee: f64, name: &str| {
+        totals
+            .iter()
+            .find(|(f, n, _)| *f == fee && n == name)
+            .map(|&(_, _, c)| c)
+            .expect("row present")
+    };
+    let high = 100_000.0;
+    if cost_of(high, "cost-aware") > cost_of(high, "static") * 1.02 {
+        println!("!! cost-aware must converge to static at prohibitive fees");
+        all_ok = false;
+    }
+    // …and at zero fee it must strictly beat static (free migrations).
+    if cost_of(0.0, "cost-aware") >= cost_of(0.0, "static") {
+        println!(
+            "!! free migrations should help: cost-aware {} vs static {}",
+            cost_of(0.0, "cost-aware"),
+            cost_of(0.0, "static")
+        );
+        all_ok = false;
+    }
+
+    r.section("E9 — pooling gain: one big pool vs two halves (static)");
+    let mut t = Table::new(vec!["configuration", "miss cost"]);
+    let one_pool = run_pools(
+        &trace,
+        PoolsConfig::uniform(1, 40, 0.0),
+        &costs,
+        &mut StaticAssigner,
+        epoch,
+        {
+            let costs = costs.clone();
+            move |_| Box::new(ConvexCaching::new(costs.clone())) as Box<dyn ReplacementPolicy>
+        },
+    );
+    let two_pools = run_pools(
+        &trace,
+        PoolsConfig::uniform(2, 20, 0.0),
+        &costs,
+        &mut StaticAssigner,
+        epoch,
+        {
+            let costs = costs.clone();
+            move |_| Box::new(ConvexCaching::new(costs.clone())) as Box<dyn ReplacementPolicy>
+        },
+    );
+    t.row(vec!["1 × 40 pages".to_string(), fnum(one_pool.miss_cost)]);
+    t.row(vec!["2 × 20 pages (static)".to_string(), fnum(two_pools.miss_cost)]);
+    r.table("e9_pooling_gain", &t);
+    r.note(
+        "statistical multiplexing: the single shared pool dominates any \
+         static partition — the reason multi-tenancy pools memory at all \
+         (§1.1), and the gap a good rebalancer narrows.",
+    );
+    if one_pool.miss_cost > two_pools.miss_cost {
+        println!("!! pooling gain inverted");
+        all_ok = false;
+    }
+
+    finish("exp_pools", all_ok);
+}

@@ -1,0 +1,60 @@
+//! Shared plumbing for the experiment binaries (`src/bin/exp_*.rs`).
+//!
+//! Each binary regenerates one table of EXPERIMENTS.md; see DESIGN.md's
+//! experiment index for the mapping to the paper's theorems and figures.
+
+use occ_analysis::Table;
+use std::path::PathBuf;
+
+/// Common CLI handling: `--csv <dir>` dumps every printed table as a CSV
+/// file into `dir` in addition to stdout markdown.
+pub struct Reporter {
+    csv_dir: Option<PathBuf>,
+}
+
+impl Reporter {
+    /// Parse `std::env::args()` (only `--csv <dir>` is recognized).
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let csv_dir = args
+            .iter()
+            .position(|a| a == "--csv")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create --csv output dir");
+        }
+        Reporter { csv_dir }
+    }
+
+    /// Print a section header.
+    pub fn section(&self, title: &str) {
+        println!("\n## {title}\n");
+    }
+
+    /// Print a table as markdown (and CSV if `--csv` was given).
+    pub fn table(&self, slug: &str, table: &Table) {
+        println!("{}", table.to_markdown());
+        if let Some(dir) = &self.csv_dir {
+            let path = dir.join(format!("{slug}.csv"));
+            std::fs::write(&path, table.to_csv()).expect("write csv");
+            println!("(csv written to {})", path.display());
+        }
+    }
+
+    /// Print a one-line note below a table.
+    pub fn note(&self, text: &str) {
+        println!("{text}\n");
+    }
+}
+
+/// Mark experiment outcome at the end of a binary: prints PASS/FAIL and
+/// sets a non-zero exit code on failure so CI can gate on experiments.
+pub fn finish(name: &str, ok: bool) {
+    if ok {
+        println!("\n[{name}] PASS");
+    } else {
+        println!("\n[{name}] FAIL");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,114 @@
+//! Tiny flag parser (`--name value` pairs plus one subcommand), kept
+//! in-tree to stay inside the workspace's dependency budget.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand plus `--key value` flags.
+#[derive(Debug, Default)]
+pub struct Args {
+    /// First positional argument.
+    pub command: Option<String>,
+    flags: BTreeMap<String, String>,
+}
+
+impl Args {
+    /// Parse an iterator of raw arguments (excluding `argv[0]`).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut out = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                if out.flags.insert(name.to_string(), value).is_some() {
+                    return Err(format!("flag --{name} given twice"));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(tok);
+            } else {
+                return Err(format!("unexpected positional argument '{tok}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Parse the process arguments.
+    pub fn from_env() -> Result<Args, String> {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    /// String flag with a default.
+    pub fn str_or(&self, name: &str, default: &str) -> String {
+        self.flags
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+
+    /// Required string flag.
+    pub fn str_required(&self, name: &str) -> Result<String, String> {
+        self.flags
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Numeric flag with a default.
+    pub fn num_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("bad value for --{name}: {e}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Result<Args, String> {
+        Args::parse(tokens.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn command_and_flags() {
+        let a = parse(&["run", "--k", "8", "--policy", "lru"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.num_or("k", 0usize).unwrap(), 8);
+        assert_eq!(a.str_or("policy", "x"), "lru");
+        assert_eq!(a.str_or("missing", "dflt"), "dflt");
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(parse(&["run", "--k"]).is_err());
+    }
+
+    #[test]
+    fn duplicate_flag_is_error() {
+        assert!(parse(&["run", "--k", "1", "--k", "2"]).is_err());
+    }
+
+    #[test]
+    fn extra_positional_is_error() {
+        assert!(parse(&["run", "again"]).is_err());
+    }
+
+    #[test]
+    fn bad_number_reported() {
+        let a = parse(&["run", "--k", "many"]).unwrap();
+        assert!(a.num_or("k", 0usize).is_err());
+    }
+
+    #[test]
+    fn required_flag() {
+        let a = parse(&["run"]).unwrap();
+        assert!(a.str_required("trace").is_err());
+    }
+}

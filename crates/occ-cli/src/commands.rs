@@ -1,0 +1,270 @@
+//! Subcommand implementations for the `occ` binary.
+
+use crate::args::Args;
+use occ_analysis::{compare_policies, evaluate_policy, fnum, lru_cost_curve, lru_mrc, Table};
+use occ_baselines::{CostGreedy, Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict};
+use occ_core::{ConvexCaching, CostProfile};
+use occ_offline::{Belady, CostAwareBelady};
+use occ_sim::{read_trace, write_trace, ReplacementPolicy, Trace};
+use occ_workloads::{all_scenarios, Scenario};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+occ — online caching with convex costs
+
+USAGE:
+  occ scenarios                                 list built-in scenarios
+  occ generate --scenario NAME [--len N] [--seed S] --out FILE
+  occ run      --policy NAME --k K (--trace FILE --scenario NAME | --scenario NAME [--len N] [--seed S])
+  occ compare  --scenario NAME --k K [--len N] [--seed S]
+  occ mrc      --scenario NAME [--len N] [--seed S] [--max-k K]
+
+POLICIES:
+  convex (the paper's algorithm), lru, fifo, lfu, marking, lru2, random,
+  greedy-dual, cost-greedy, belady (offline), belady-cost (offline)
+";
+
+/// Print to stdout, exiting quietly if the consumer closed the pipe
+/// (e.g. `occ mrc | head`).
+fn emit(text: &str) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut lock = stdout.lock();
+    if let Err(e) = writeln!(lock, "{text}") {
+        if e.kind() == std::io::ErrorKind::BrokenPipe {
+            std::process::exit(0);
+        }
+        eprintln!("error writing output: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn find_scenario(name: &str) -> Result<Scenario, String> {
+    all_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .ok_or_else(|| {
+            let names: Vec<&str> = all_scenarios().iter().map(|s| s.name).collect();
+            format!("unknown scenario '{name}' (available: {})", names.join(", "))
+        })
+}
+
+fn make_policy(
+    name: &str,
+    costs: &CostProfile,
+    trace: &Trace,
+) -> Result<Box<dyn ReplacementPolicy>, String> {
+    let weights: Vec<f64> = (0..costs.num_users())
+        .map(|u| costs.user(occ_sim::UserId(u)).eval(1.0).max(1e-9))
+        .collect();
+    Ok(match name {
+        "convex" => Box::new(ConvexCaching::new(costs.clone())),
+        "lru" => Box::new(Lru::new()),
+        "fifo" => Box::new(Fifo::new()),
+        "lfu" => Box::new(Lfu::new()),
+        "marking" => Box::new(Marking::new()),
+        "lru2" => Box::new(LruK::new(2)),
+        "random" => Box::new(RandomEvict::new(0xC0FFEE)),
+        "greedy-dual" => Box::new(GreedyDual::new(weights)),
+        "cost-greedy" => Box::new(CostGreedy::new(costs.clone())),
+        "belady" => Box::new(Belady::new(trace)),
+        "belady-cost" => Box::new(CostAwareBelady::new(trace, costs.clone())),
+        other => return Err(format!("unknown policy '{other}'")),
+    })
+}
+
+/// `occ scenarios`
+pub fn scenarios() -> Result<(), String> {
+    let mut t = Table::new(vec!["name", "tenants", "pages", "suggested k", "costs"]);
+    for s in all_scenarios() {
+        let pages: u32 = s.tenants.iter().map(|t| t.pages).sum();
+        let costs: Vec<String> = (0..s.costs.num_users())
+            .map(|u| s.costs.user(occ_sim::UserId(u)).describe())
+            .collect();
+        t.row(vec![
+            s.name.to_string(),
+            s.tenants.len().to_string(),
+            pages.to_string(),
+            s.suggested_k.to_string(),
+            costs.join("; "),
+        ]);
+    }
+    emit(&t.to_markdown());
+    Ok(())
+}
+
+/// `occ generate`
+pub fn generate(args: &Args) -> Result<(), String> {
+    let scenario = find_scenario(&args.str_required("scenario")?)?;
+    let len: usize = args.num_or("len", 60_000usize)?;
+    let seed: u64 = args.num_or("seed", 7u64)?;
+    let out = args.str_required("out")?;
+    let trace = scenario.trace(len, seed);
+    let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
+    write_trace(&trace, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} requests over {} pages / {} users to {out}",
+        trace.len(),
+        trace.universe().num_pages(),
+        trace.universe().num_users()
+    );
+    Ok(())
+}
+
+fn load_or_generate(args: &Args, scenario: &Scenario) -> Result<Trace, String> {
+    match args.str_or("trace", "") {
+        path if !path.is_empty() => {
+            let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
+            let trace = read_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
+            if trace.universe().num_users() != scenario.costs.num_users() {
+                return Err(format!(
+                    "trace has {} users but scenario '{}' defines costs for {}",
+                    trace.universe().num_users(),
+                    scenario.name,
+                    scenario.costs.num_users()
+                ));
+            }
+            Ok(trace)
+        }
+        _ => {
+            let len: usize = args.num_or("len", 60_000usize)?;
+            let seed: u64 = args.num_or("seed", 7u64)?;
+            Ok(scenario.trace(len, seed))
+        }
+    }
+}
+
+/// `occ run`
+pub fn run(args: &Args) -> Result<(), String> {
+    let scenario = find_scenario(&args.str_required("scenario")?)?;
+    let trace = load_or_generate(args, &scenario)?;
+    let k: usize = args.num_or("k", scenario.suggested_k)?;
+    let policy_name = args.str_or("policy", "convex");
+    let mut policy = make_policy(&policy_name, &scenario.costs, &trace)?;
+    let report = evaluate_policy(&mut policy, &trace, k, &scenario.costs);
+
+    let mut t = Table::new(vec!["policy", "k", "T", "total cost", "miss rate", "per-tenant misses"]);
+    t.row(vec![
+        report.name.clone(),
+        k.to_string(),
+        report.steps.to_string(),
+        fnum(report.cost),
+        format!("{:.3}", report.miss_rate()),
+        format!("{:?}", report.misses),
+    ]);
+    emit(&t.to_markdown());
+    Ok(())
+}
+
+/// `occ compare`
+pub fn compare(args: &Args) -> Result<(), String> {
+    let scenario = find_scenario(&args.str_required("scenario")?)?;
+    let trace = load_or_generate(args, &scenario)?;
+    let k: usize = args.num_or("k", scenario.suggested_k)?;
+
+    let mut suite = occ_baselines::standard_suite(&scenario.costs);
+    let mut reports = compare_policies(&mut suite, &trace, k, &scenario.costs);
+    let mut ours = ConvexCaching::new(scenario.costs.clone());
+    reports.push(evaluate_policy(&mut ours, &trace, k, &scenario.costs));
+    reports.sort_by(|a, b| a.cost.total_cmp(&b.cost));
+
+    let best = reports[0].cost;
+    let mut t = Table::new(vec!["policy", "total cost", "vs best", "miss rate"]);
+    for r in &reports {
+        t.row(vec![
+            r.name.clone(),
+            fnum(r.cost),
+            format!("{:.2}x", r.cost / best),
+            format!("{:.3}", r.miss_rate()),
+        ]);
+    }
+    emit(&t.to_markdown());
+    Ok(())
+}
+
+/// `occ mrc`
+pub fn mrc(args: &Args) -> Result<(), String> {
+    let scenario = find_scenario(&args.str_required("scenario")?)?;
+    let trace = load_or_generate(args, &scenario)?;
+    let max_k: usize = args.num_or("max-k", scenario.suggested_k * 2)?;
+    let curve = lru_mrc(&trace, max_k);
+    let costs = lru_cost_curve(&curve, &scenario.costs);
+
+    let mut t = Table::new(vec!["k", "LRU misses", "miss ratio", "LRU total cost"]);
+    let step = (max_k / 16).max(1);
+    for k in (1..=max_k).step_by(step) {
+        t.row(vec![
+            k.to_string(),
+            curve.misses[k - 1].to_string(),
+            format!("{:.3}", curve.ratio(k)),
+            fnum(costs[k - 1]),
+        ]);
+    }
+    emit(&t.to_markdown());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn scenarios_lists_without_error() {
+        scenarios().unwrap();
+    }
+
+    #[test]
+    fn unknown_scenario_is_friendly() {
+        let err = find_scenario("nope").map(|_| ()).unwrap_err();
+        assert!(err.contains("available"));
+    }
+
+    #[test]
+    fn run_compare_and_mrc_on_generated_trace() {
+        run(&args(&["run", "--scenario", "two-tier", "--len", "500", "--k", "8"])).unwrap();
+        compare(&args(&["compare", "--scenario", "two-tier", "--len", "500", "--k", "8"])).unwrap();
+        mrc(&args(&["mrc", "--scenario", "two-tier", "--len", "500", "--max-k", "8"])).unwrap();
+    }
+
+    #[test]
+    fn every_policy_name_constructs() {
+        let s = find_scenario("two-tier").unwrap();
+        let trace = s.trace(50, 1);
+        for name in [
+            "convex", "lru", "fifo", "lfu", "marking", "lru2", "random",
+            "greedy-dual", "cost-greedy", "belady", "belady-cost",
+        ] {
+            make_policy(name, &s.costs, &trace).unwrap();
+        }
+        assert!(make_policy("nope", &s.costs, &trace).is_err());
+    }
+
+    #[test]
+    fn generate_then_run_round_trip() {
+        let dir = std::env::temp_dir().join("occ-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.occ");
+        let path_s = path.to_str().unwrap();
+        generate(&args(&[
+            "generate", "--scenario", "two-tier", "--len", "300", "--out", path_s,
+        ]))
+        .unwrap();
+        run(&args(&[
+            "run", "--scenario", "two-tier", "--trace", path_s, "--policy", "lru", "--k", "8",
+        ]))
+        .unwrap();
+        // A trace whose user count mismatches the scenario is rejected.
+        let err = run(&args(&[
+            "run", "--scenario", "sqlvm-like", "--trace", path_s, "--k", "8",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("users"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,46 @@
+//! `occ` — command-line front end for the online-convex-caching
+//! workspace.
+//!
+//! ```text
+//! occ generate --scenario two-tier --len 60000 --seed 7 --out trace.occ
+//! occ run      --trace trace.occ --scenario two-tier --policy convex --k 24
+//! occ compare  --scenario sqlvm-like --len 60000 --k 96
+//! occ mrc      --scenario two-tier --len 40000 --max-k 48
+//! occ scenarios
+//! ```
+//!
+//! Scenarios name both a tenant mix and a cost profile (see
+//! `occ_workloads::presets`); policies are the names used throughout the
+//! experiment tables.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let args = match Args::from_env() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match args.command.as_deref() {
+        Some("generate") => commands::generate(&args),
+        Some("run") => commands::run(&args),
+        Some("compare") => commands::compare(&args),
+        Some("mrc") => commands::mrc(&args),
+        Some("scenarios") => commands::scenarios(),
+        Some("help") | None => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,346 @@
+//! ALG-CONT (Figure 2): the continuous primal–dual algorithm with its
+//! full dual state materialized.
+//!
+//! The continuous algorithm raises `y_t°` until the first cached page's
+//! gradient condition
+//! `f'_{i(p')}(m(i(p'), t−1)+1) − Σ y° + z°(p', j) = 0` becomes tight,
+//! then evicts that page. All continuous raises collapse to one discrete
+//! amount per eviction — exactly the victim's remaining budget — which is
+//! why ALG-DISCRETE implements it (§2.5). This runner executes those
+//! discrete amounts while recording the entire primal solution `x°(p, j)`,
+//! dual solution `(y°, z°)` and the eviction timestamps `s(p, j)`, so the
+//! §2.3 invariants can be checked *ex post* by
+//! [`crate::cp::invariants`].
+//!
+//! Complexity is `O(T · (k + |P|))` — this is a reference implementation
+//! for validation, not the production policy.
+
+use crate::alg::tiebreak::{Candidate, TieBreak};
+use crate::cost::{CostProfile, Marginals};
+use occ_sim::{CacheSet, PageId, SimStats, Time, Trace, UserId};
+use std::collections::BTreeSet;
+
+/// The complete primal–dual trajectory of one ALG-CONT run.
+#[derive(Clone, Debug)]
+pub struct PrimalDualState {
+    /// `x[p][j-1]`: was page `p` evicted during its `j`-th interval?
+    pub x: Vec<Vec<bool>>,
+    /// `z[p][j-1]`: dual variable of the `x(p,j) ≤ 1` constraint.
+    pub z: Vec<Vec<f64>>,
+    /// `set_at[p][j-1]`: time at which `x(p,j)` was set to 1 (the paper's
+    /// `s(p, j)`), if it was.
+    pub set_at: Vec<Vec<Option<Time>>>,
+    /// `m_at_eviction[p][j-1]`: the victim owner's eviction count `m(i(p), ŝ)`
+    /// *including* this eviction, recorded at `s(p, j)`.
+    pub m_at_eviction: Vec<Vec<Option<u64>>>,
+    /// `y[t]`: dual variable of the time-`t` covering constraint.
+    pub y: Vec<f64>,
+    /// Final per-user eviction counts `m(i, T)`.
+    pub final_m: Vec<u64>,
+}
+
+impl PrimalDualState {
+    /// Total number of `(p, j)` interval variables.
+    pub fn num_vars(&self) -> usize {
+        self.x.iter().map(Vec::len).sum()
+    }
+
+    /// Sum of all dual `y` mass.
+    pub fn total_y(&self) -> f64 {
+        self.y.iter().sum()
+    }
+}
+
+/// Result of running ALG-CONT over a trace.
+#[derive(Clone, Debug)]
+pub struct ContinuousRun {
+    /// Per-user hit/miss/eviction counters (identical semantics to the
+    /// engine's).
+    pub stats: SimStats,
+    /// The recorded primal–dual trajectory.
+    pub state: PrimalDualState,
+    /// `(t, victim)` pairs, for equivalence tests against ALG-DISCRETE.
+    pub eviction_sequence: Vec<(Time, PageId)>,
+}
+
+/// Run ALG-CONT over `trace` with cache size `k`.
+///
+/// `costs` must cover every user of the trace's universe. Use
+/// [`crate::flush::with_dummy_flush`] first if the run will feed the
+/// gradient-condition invariant (3a), which the paper proves under the
+/// dummy-user flush convention.
+pub fn run_continuous(
+    trace: &Trace,
+    k: usize,
+    costs: &CostProfile,
+    mode: Marginals,
+    tiebreak: TieBreak,
+) -> ContinuousRun {
+    let universe = trace.universe();
+    let num_pages = universe.num_pages() as usize;
+    let num_users = universe.num_users() as usize;
+    assert!(k > 0, "cache size must be positive");
+    assert!(
+        costs.num_users() as usize >= num_users,
+        "cost profile covers {} users, trace has {num_users}",
+        costs.num_users()
+    );
+
+    let mut cache = CacheSet::new(k, universe.num_pages());
+    let mut stats = SimStats::new(universe.num_users());
+    let mut x: Vec<Vec<bool>> = vec![Vec::new(); num_pages];
+    let mut z: Vec<Vec<f64>> = vec![Vec::new(); num_pages];
+    let mut set_at: Vec<Vec<Option<Time>>> = vec![Vec::new(); num_pages];
+    let mut m_at_eviction: Vec<Vec<Option<u64>>> = vec![Vec::new(); num_pages];
+    let mut y: Vec<f64> = vec![0.0; trace.len()];
+    let mut m: Vec<u64> = vec![0; num_users];
+
+    // Per-page bookkeeping for the open interval.
+    let mut occ: Vec<u32> = vec![0; num_pages]; // requests seen so far
+    let mut acc_y: Vec<f64> = vec![0.0; num_pages]; // Σ y inside open interval
+    let mut last_seq: Vec<u64> = vec![0; num_pages];
+    let mut seq: u64 = 0;
+    // Pages evicted since their last request (their current interval has
+    // x = 1); these accumulate z, not interval-y.
+    let mut outside: BTreeSet<u32> = BTreeSet::new();
+    let mut evictions: Vec<(Time, PageId)> = Vec::new();
+
+    for (t, req) in trace.iter() {
+        let p = req.page;
+        let pi = p.index();
+
+        if cache.contains(p) {
+            // Hit: close interval occ[p], open interval occ[p]+1.
+            stats.record_hit(req.user);
+            occ[pi] += 1;
+            open_interval(pi, &mut x, &mut z, &mut set_at, &mut m_at_eviction);
+            acc_y[pi] = 0.0;
+            seq += 1;
+            last_seq[pi] = seq;
+            continue;
+        }
+
+        // Miss. If the page was seen before it is currently "outside".
+        stats.record_miss(req.user);
+        if occ[pi] > 0 {
+            let removed = outside.remove(&p.0);
+            debug_assert!(removed, "a previously seen uncached page must be outside");
+        }
+        occ[pi] += 1;
+        open_interval(pi, &mut x, &mut z, &mut set_at, &mut m_at_eviction);
+        acc_y[pi] = 0.0;
+        seq += 1;
+        last_seq[pi] = seq;
+
+        if !cache.is_full() {
+            cache.insert(p);
+            continue;
+        }
+
+        // Full cache: raise y_t° until the smallest budget hits zero.
+        let mut best: Option<Candidate> = None;
+        for q in cache.iter() {
+            let qu = universe.owner(q);
+            let g = costs.next_eviction_cost(mode, qu, m[qu.index()]);
+            let cand = Candidate {
+                key: g - acc_y[q.index()],
+                seq: last_seq[q.index()],
+                page: q.0,
+                user: qu.0,
+            };
+            if best.map_or(true, |b| cand.beats(&b, tiebreak, 0.0)) {
+                best = Some(cand);
+            }
+        }
+        let victim = best.expect("cache is full");
+        let y_t = victim.key; // the victim's remaining budget
+        y[t as usize] = y_t;
+
+        // Every other cached page accumulates y_t inside its open interval.
+        for q in cache.iter() {
+            if q.0 != victim.page {
+                acc_y[q.index()] += y_t;
+            }
+        }
+        // Every page outside the cache (except p_t, which is being brought
+        // in) accumulates z on its closed interval.
+        for &q in &outside {
+            let j = occ[q as usize] as usize; // current interval index
+            z[q as usize][j - 1] += y_t;
+        }
+
+        // Evict the victim: set x°(victim, j) = 1.
+        let vi = victim.page as usize;
+        let vj = occ[vi] as usize;
+        x[vi][vj - 1] = true;
+        set_at[vi][vj - 1] = Some(t);
+        let vu = victim.user as usize;
+        m[vu] += 1;
+        m_at_eviction[vi][vj - 1] = Some(m[vu]);
+        stats.record_eviction(UserId(victim.user));
+        cache.remove(PageId(victim.page));
+        outside.insert(victim.page);
+        evictions.push((t, PageId(victim.page)));
+
+        cache.insert(p);
+    }
+
+    ContinuousRun {
+        stats,
+        state: PrimalDualState {
+            x,
+            z,
+            set_at,
+            m_at_eviction,
+            y,
+            final_m: m,
+        },
+        eviction_sequence: evictions,
+    }
+}
+
+/// Append a fresh interval's variables for page `pi`.
+fn open_interval(
+    pi: usize,
+    x: &mut [Vec<bool>],
+    z: &mut [Vec<f64>],
+    set_at: &mut [Vec<Option<Time>>],
+    m_at_eviction: &mut [Vec<Option<u64>>],
+) {
+    x[pi].push(false);
+    z[pi].push(0.0);
+    set_at[pi].push(None);
+    m_at_eviction[pi].push(None);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::discrete::ConvexCaching;
+    use crate::cost::{CostFn, Linear, Monomial, PiecewiseLinear};
+    use occ_sim::{ReplacementPolicy, Simulator, Universe};
+    use std::sync::Arc;
+
+    fn pseudo_pages(len: usize, universe_pages: u32, seed: u64) -> Vec<u32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % universe_pages as u64) as u32
+            })
+            .collect()
+    }
+
+    fn discrete_evictions<P: ReplacementPolicy>(p: &mut P, trace: &Trace, k: usize) -> Vec<(Time, PageId)> {
+        Simulator::new(k)
+            .record_events(true)
+            .run(p, trace)
+            .events
+            .unwrap()
+            .eviction_sequence()
+    }
+
+    #[test]
+    fn continuous_equals_discrete_quadratic() {
+        let u = Universe::uniform(2, 4);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(400, 8, 3));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let cont = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let mut disc = ConvexCaching::new(costs);
+        assert_eq!(cont.eviction_sequence, discrete_evictions(&mut disc, &trace, 3));
+    }
+
+    #[test]
+    fn continuous_equals_discrete_heterogeneous() {
+        let u = Universe::with_sizes(&[2, 3, 3]);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(500, 8, 11));
+        let costs = CostProfile::new(vec![
+            Arc::new(Linear::new(3.0)) as CostFn,
+            Arc::new(Monomial::power(2.0)) as CostFn,
+            Arc::new(PiecewiseLinear::sla(4.0, 1.0, 8.0)) as CostFn,
+        ]);
+        for k in [2, 5] {
+            let cont =
+                run_continuous(&trace, k, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+            let mut disc = ConvexCaching::new(costs.clone());
+            assert_eq!(
+                cont.eviction_sequence,
+                discrete_evictions(&mut disc, &trace, k),
+                "divergence at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn dual_y_is_nonnegative_and_charged_only_on_evictions() {
+        let u = Universe::uniform(2, 3);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(200, 6, 17));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let run = run_continuous(&trace, 2, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let eviction_times: std::collections::BTreeSet<u64> =
+            run.eviction_sequence.iter().map(|&(t, _)| t).collect();
+        for (t, &yt) in run.state.y.iter().enumerate() {
+            assert!(yt >= 0.0, "y[{t}] = {yt} negative");
+            if yt > 0.0 {
+                assert!(
+                    eviction_times.contains(&(t as u64)),
+                    "positive y at non-eviction time {t}"
+                );
+            }
+        }
+        assert!(run.state.total_y() > 0.0);
+    }
+
+    #[test]
+    fn z_positive_only_on_evicted_intervals() {
+        // Complementary slackness (2a): z(p,j) > 0 ⇒ x(p,j) = 1.
+        let u = Universe::uniform(2, 4);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(300, 8, 23));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let run = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        for (p, zs) in run.state.z.iter().enumerate() {
+            for (j, &zv) in zs.iter().enumerate() {
+                assert!(zv >= 0.0);
+                if zv > 0.0 {
+                    assert!(
+                        run.state.x[p][j],
+                        "z(p{p},{}) = {zv} > 0 but x = 0",
+                        j + 1
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_engine_semantics() {
+        let u = Universe::uniform(2, 3);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(150, 6, 31));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let cont = run_continuous(&trace, 2, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let mut disc = ConvexCaching::new(costs);
+        let r = Simulator::new(2).run(&mut disc, &trace);
+        assert_eq!(cont.stats.miss_vector(), r.stats.miss_vector());
+        assert_eq!(cont.stats.eviction_vector(), r.stats.eviction_vector());
+        assert_eq!(cont.stats.total_hits(), r.stats.total_hits());
+    }
+
+    #[test]
+    fn interval_variable_counts_match_request_counts() {
+        let u = Universe::single_user(4);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 0, 3, 1, 0]);
+        let costs = CostProfile::uniform(1, Linear::unit());
+        let run = run_continuous(&trace, 2, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let idx = trace.index();
+        for p in 0..4u32 {
+            assert_eq!(
+                run.state.x[p as usize].len() as u32,
+                idx.total_requests(PageId(p)),
+                "one interval variable per request of p{p}"
+            );
+        }
+        assert_eq!(run.state.num_vars(), trace.len());
+    }
+}

@@ -1,0 +1,25 @@
+//! The paper's online algorithm in three forms.
+//!
+//! * [`ConvexCaching`] — the production implementation of ALG-DISCRETE
+//!   (Figure 3), with the two `O(k)` per-eviction update rules collapsed
+//!   into closed form so each request costs `O(n)` in the worst case
+//!   (`n` = number of users) and `O(1)` on hits.
+//! * [`DiscreteReference`] — a literal transcription of Figure 3 that
+//!   pays the `O(k)` updates; exists to validate `ConvexCaching` against.
+//! * [`continuous::run_continuous`] — ALG-CONT (Figure 2) with the full
+//!   primal–dual state `(x°, y°, z°)` materialized, feeding the §2.3
+//!   invariant checker.
+//!
+//! All three produce identical eviction sequences on the same input
+//! (tested exhaustively and property-based), which is the paper's claim
+//! that ALG-DISCRETE implements ALG-CONT.
+
+pub mod continuous;
+pub mod discrete;
+pub mod reference;
+pub mod tiebreak;
+
+pub use continuous::{run_continuous, ContinuousRun, PrimalDualState};
+pub use discrete::ConvexCaching;
+pub use reference::DiscreteReference;
+pub use tiebreak::TieBreak;

@@ -1,0 +1,136 @@
+//! Deterministic tie-breaking between pages with equal budgets.
+//!
+//! Figure 2 says "let p' be the *first* page in the cache for which … is
+//! satisfied": when the continuously rising dual `y_t` hits several
+//! budgets simultaneously, the paper leaves the choice unspecified. The
+//! choice does not affect the guarantees (any zero-budget page is a valid
+//! victim) but must be deterministic for the ALG-CONT ≡ ALG-DISCRETE
+//! equivalence tests, and it is an ablation axis (experiment E8).
+
+/// How to break ties between equal-budget eviction candidates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Prefer the page whose last request is oldest (LRU-like). With
+    /// uniform linear costs this makes ALG-DISCRETE *exactly* LRU.
+    #[default]
+    OldestRequest,
+    /// Prefer the smallest page id.
+    LowestPage,
+    /// Prefer the page owned by the smallest user id, then the oldest
+    /// request within that user.
+    LowestUser,
+}
+
+impl TieBreak {
+    /// All variants, for ablation sweeps.
+    pub const ALL: [TieBreak; 3] = [
+        TieBreak::OldestRequest,
+        TieBreak::LowestPage,
+        TieBreak::LowestUser,
+    ];
+
+    /// Stable label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            TieBreak::OldestRequest => "oldest-request",
+            TieBreak::LowestPage => "lowest-page",
+            TieBreak::LowestUser => "lowest-user",
+        }
+    }
+}
+
+/// A candidate victim: budget key plus the tie-breaking attributes.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Candidate {
+    /// The comparison key (budget, or budget-equivalent).
+    pub key: f64,
+    /// Global sequence number of the page's last request (lower = older).
+    pub seq: u64,
+    /// Page id raw value.
+    pub page: u32,
+    /// User id raw value.
+    pub user: u32,
+}
+
+impl Candidate {
+    /// Whether `self` beats `other` under `tb`, comparing keys with an
+    /// absolute tolerance `eps` (keys within `eps` count as tied).
+    pub fn beats(&self, other: &Candidate, tb: TieBreak, eps: f64) -> bool {
+        let d = self.key - other.key;
+        if d < -eps {
+            return true;
+        }
+        if d > eps {
+            return false;
+        }
+        match tb {
+            TieBreak::OldestRequest => (self.seq, self.page) < (other.seq, other.page),
+            TieBreak::LowestPage => self.page < other.page,
+            TieBreak::LowestUser => (self.user, self.seq, self.page) < (other.user, other.seq, other.page),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(key: f64, seq: u64, page: u32, user: u32) -> Candidate {
+        Candidate {
+            key,
+            seq,
+            page,
+            user,
+        }
+    }
+
+    #[test]
+    fn strict_key_order_wins_regardless_of_tiebreak() {
+        let a = cand(1.0, 99, 9, 9);
+        let b = cand(2.0, 0, 0, 0);
+        for tb in TieBreak::ALL {
+            assert!(a.beats(&b, tb, 0.0));
+            assert!(!b.beats(&a, tb, 0.0));
+        }
+    }
+
+    #[test]
+    fn oldest_request_breaks_ties_by_seq() {
+        let a = cand(1.0, 5, 9, 1);
+        let b = cand(1.0, 3, 1, 0);
+        assert!(b.beats(&a, TieBreak::OldestRequest, 0.0));
+        assert!(!a.beats(&b, TieBreak::OldestRequest, 0.0));
+    }
+
+    #[test]
+    fn lowest_page_breaks_ties_by_page() {
+        let a = cand(1.0, 5, 2, 1);
+        let b = cand(1.0, 3, 7, 0);
+        assert!(a.beats(&b, TieBreak::LowestPage, 0.0));
+    }
+
+    #[test]
+    fn lowest_user_then_recency() {
+        let a = cand(1.0, 9, 5, 0);
+        let b = cand(1.0, 1, 2, 1);
+        assert!(a.beats(&b, TieBreak::LowestUser, 0.0));
+        let c = cand(1.0, 1, 2, 0);
+        assert!(c.beats(&a, TieBreak::LowestUser, 0.0));
+    }
+
+    #[test]
+    fn epsilon_tolerance_groups_near_ties() {
+        let a = cand(1.0 + 1e-12, 1, 1, 0);
+        let b = cand(1.0, 9, 9, 0);
+        // Without tolerance b wins on key; with tolerance a wins on seq.
+        assert!(b.beats(&a, TieBreak::OldestRequest, 0.0));
+        assert!(a.beats(&b, TieBreak::OldestRequest, 1e-9));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<_> = TieBreak::ALL.iter().map(|t| t.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 3);
+    }
+}

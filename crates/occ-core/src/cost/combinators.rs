@@ -1,0 +1,146 @@
+//! Cost-function combinators: scaling and sums.
+//!
+//! Both preserve the properties the paper needs: a positive scaling leaves
+//! the curvature constant unchanged (`x·(c·f)'/(c·f) = x·f'/f`), and a sum
+//! of convex functions is convex with `α(f+g) ≤ max(α(f), α(g))` by the
+//! mediant inequality — an upper bound, which is the safe direction for
+//! every bound in the paper (they all hold for any `α' ≥ α`).
+
+use super::{CostFn, CostFunction};
+use std::sync::Arc;
+
+/// `factor · f(x)` for a positive `factor`.
+#[derive(Clone, Debug)]
+pub struct Scaled {
+    inner: CostFn,
+    factor: f64,
+}
+
+impl Scaled {
+    /// Scale `inner` by `factor > 0`.
+    pub fn new(inner: CostFn, factor: f64) -> Self {
+        assert!(factor > 0.0, "scale factor must be positive");
+        Scaled { inner, factor }
+    }
+}
+
+impl CostFunction for Scaled {
+    fn eval(&self, x: f64) -> f64 {
+        self.factor * self.inner.eval(x)
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        self.factor * self.inner.deriv(x)
+    }
+
+    fn marginal(&self, m: u64) -> f64 {
+        self.factor * self.inner.marginal(m)
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        self.inner.alpha()
+    }
+
+    fn is_convex(&self) -> bool {
+        self.inner.is_convex()
+    }
+
+    fn describe(&self) -> String {
+        format!("{}·[{}]", self.factor, self.inner.describe())
+    }
+}
+
+/// `f(x) + g(x) + …` over one or more parts.
+#[derive(Clone, Debug)]
+pub struct SumCost {
+    parts: Vec<CostFn>,
+}
+
+impl SumCost {
+    /// Sum of the given parts (at least one).
+    pub fn new(parts: Vec<CostFn>) -> Self {
+        assert!(!parts.is_empty(), "a sum needs at least one part");
+        SumCost { parts }
+    }
+
+    /// Convenience for a two-part sum.
+    pub fn of(a: impl CostFunction + 'static, b: impl CostFunction + 'static) -> Self {
+        SumCost::new(vec![Arc::new(a), Arc::new(b)])
+    }
+}
+
+impl CostFunction for SumCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.parts.iter().map(|p| p.eval(x)).sum()
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        self.parts.iter().map(|p| p.deriv(x)).sum()
+    }
+
+    fn marginal(&self, m: u64) -> f64 {
+        self.parts.iter().map(|p| p.marginal(m)).sum()
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        // Upper bound: max over parts (mediant inequality). `None` if any
+        // part's α is unknown/unbounded.
+        self.parts
+            .iter()
+            .map(|p| p.alpha())
+            .try_fold(1.0_f64, |acc, a| a.map(|a| acc.max(a)))
+    }
+
+    fn is_convex(&self) -> bool {
+        self.parts.iter().all(|p| p.is_convex())
+    }
+
+    fn describe(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.describe())
+            .collect::<Vec<_>>()
+            .join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{Exponential, Linear, Monomial};
+    use super::*;
+
+    #[test]
+    fn scaled_preserves_alpha() {
+        let f = Scaled::new(Arc::new(Monomial::power(3.0)), 7.0);
+        assert_eq!(f.alpha(), Some(3.0));
+        assert_eq!(f.eval(2.0), 7.0 * 8.0);
+        assert_eq!(f.deriv(2.0), 7.0 * 12.0);
+        assert_eq!(f.marginal(1), 7.0 * (8.0 - 1.0));
+    }
+
+    #[test]
+    fn sum_evaluates_and_bounds_alpha() {
+        let f = SumCost::of(Linear::new(2.0), Monomial::power(2.0));
+        assert_eq!(f.eval(3.0), 6.0 + 9.0);
+        assert_eq!(f.deriv(3.0), 2.0 + 6.0);
+        // α(f) ≤ max(1, 2) = 2, and the pointwise ratio respects it.
+        let alpha = f.alpha().unwrap();
+        assert_eq!(alpha, 2.0);
+        for x in [0.5, 1.0, 4.0, 50.0] {
+            assert!(x * f.deriv(x) / f.eval(x) <= alpha + 1e-9);
+        }
+        assert!(f.is_convex());
+    }
+
+    #[test]
+    fn sum_with_unbounded_part_has_no_alpha() {
+        let f = SumCost::of(Linear::unit(), Exponential::new(1.0, 1.0));
+        assert_eq!(f.alpha(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one part")]
+    fn empty_sum_rejected() {
+        SumCost::new(vec![]);
+    }
+}

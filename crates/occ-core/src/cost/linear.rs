@@ -1,0 +1,88 @@
+//! Linear costs `f(x) = w·x` — the weighted-caching special case.
+//!
+//! With linear costs each miss of user `i` costs a fixed `w_i`, recovering
+//! the weighted caching problem of Young [20] / Bansal–Buchbinder–Naor [3];
+//! `α = 1` and Theorem 1.1 degenerates to the classical `k`-competitive
+//! guarantee. With *uniform* weights, ALG-DISCRETE's eviction rule
+//! provably coincides with LRU (tested in `occ-core/src/alg`).
+
+use super::CostFunction;
+
+/// `f(x) = weight · x` with `weight > 0`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Linear {
+    weight: f64,
+}
+
+impl Linear {
+    /// Create a linear cost with the given per-miss weight.
+    pub fn new(weight: f64) -> Self {
+        assert!(weight > 0.0, "weight must be positive");
+        Linear { weight }
+    }
+
+    /// Unit weight — classical unweighted paging.
+    pub fn unit() -> Self {
+        Linear { weight: 1.0 }
+    }
+
+    /// The per-miss weight `w`.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+}
+
+impl CostFunction for Linear {
+    fn eval(&self, x: f64) -> f64 {
+        self.weight * x
+    }
+
+    fn deriv(&self, _x: f64) -> f64 {
+        self.weight
+    }
+
+    fn marginal(&self, _m: u64) -> f64 {
+        self.weight
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(1.0)
+    }
+
+    fn is_convex(&self) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        format!("{}·x", self.weight)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn basics() {
+        let f = Linear::new(2.5);
+        assert_eq!(f.eval(4.0), 10.0);
+        assert_eq!(f.deriv(100.0), 2.5);
+        assert_eq!(f.marginal(7), 2.5);
+        assert_eq!(f.alpha(), Some(1.0));
+        testutil::check_contract(&f, 100.0);
+    }
+
+    #[test]
+    fn unit_weight() {
+        let f = Linear::unit();
+        assert_eq!(f.weight(), 1.0);
+        assert_eq!(f.eval(3.0), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weight() {
+        Linear::new(0.0);
+    }
+}

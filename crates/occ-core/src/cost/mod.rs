@@ -1,0 +1,164 @@
+//! User cost functions `f_i` mapping miss counts to costs.
+//!
+//! The paper assumes each `f_i : ℝ → ℝ` is differentiable, convex,
+//! increasing and non-negative with `f_i(0) = 0` for its *guarantees*, but
+//! the algorithm itself runs on arbitrary (even discontinuous) cost
+//! functions using discrete marginals (§2.5). The trait therefore exposes
+//! both the analytic derivative and the discrete marginal, and the
+//! algorithms select between them via [`Marginals`].
+//!
+//! The curvature constant that drives every bound in the paper is
+//! `α = sup_x x·f'(x)/f(x)` (Theorem 1.1); [`CostFunction::alpha`] reports
+//! it analytically when known, and `crate::theory::alpha` estimates it
+//! numerically otherwise.
+
+mod combinators;
+mod linear;
+mod monomial;
+mod piecewise;
+mod polynomial;
+mod profile;
+mod special;
+
+pub use combinators::{Scaled, SumCost};
+pub use linear::Linear;
+pub use monomial::Monomial;
+pub use piecewise::PiecewiseLinear;
+pub use polynomial::Polynomial;
+pub use profile::CostProfile;
+pub use special::{Exponential, HugeCost, ThresholdCost};
+
+use std::fmt::Debug;
+use std::sync::Arc;
+
+/// A per-user miss cost function.
+///
+/// Implementations must satisfy `eval(0) == 0` and be non-decreasing; the
+/// convexity-dependent guarantees additionally require convexity, which
+/// [`Self::is_convex`] advertises.
+pub trait CostFunction: Debug + Send + Sync {
+    /// `f(x)`: cost of `x` misses. Defined for `x ≥ 0`.
+    fn eval(&self, x: f64) -> f64;
+
+    /// `f'(x)`: the (right-)derivative at `x`.
+    fn deriv(&self, x: f64) -> f64;
+
+    /// Discrete marginal `f(m+1) − f(m)`, the §2.5 replacement for the
+    /// derivative when `f` is not differentiable (or not even continuous).
+    fn marginal(&self, m: u64) -> f64 {
+        self.eval((m + 1) as f64) - self.eval(m as f64)
+    }
+
+    /// The curvature constant `sup_{x>0} x·f'(x)/f(x)` if analytically
+    /// known; `None` when unknown or unbounded.
+    fn alpha(&self) -> Option<f64>;
+
+    /// Whether the function is convex on `x ≥ 0` (determines whether the
+    /// paper's guarantees apply).
+    fn is_convex(&self) -> bool;
+
+    /// Short human-readable description for experiment tables.
+    fn describe(&self) -> String;
+}
+
+/// Shared-ownership handle to a cost function.
+pub type CostFn = Arc<dyn CostFunction>;
+
+/// Which notion of marginal cost the algorithms feed into the budgets of
+/// Figure 3 (§2.5 permits either).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Marginals {
+    /// The analytic derivative `f'(m+1)` — the form used in the paper's
+    /// pseudo-code and analysis.
+    #[default]
+    Derivative,
+    /// The discrete marginal `f(m+1) − f(m)` — works for arbitrary `f`.
+    Discrete,
+}
+
+impl Marginals {
+    /// The marginal cost charged for a user's next eviction given `m`
+    /// evictions so far.
+    #[inline]
+    pub fn next_eviction_cost(self, f: &dyn CostFunction, m: u64) -> f64 {
+        match self {
+            Marginals::Derivative => f.deriv((m + 1) as f64),
+            Marginals::Discrete => f.marginal(m),
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+
+    /// Check basic contract properties of a cost function on a grid.
+    pub fn check_contract(f: &dyn CostFunction, xmax: f64) {
+        assert!(
+            f.eval(0.0).abs() < 1e-12,
+            "{}: f(0) must be 0, got {}",
+            f.describe(),
+            f.eval(0.0)
+        );
+        let steps = 200;
+        let mut prev = f.eval(0.0);
+        for i in 1..=steps {
+            let x = xmax * i as f64 / steps as f64;
+            let v = f.eval(x);
+            assert!(
+                v + 1e-9 >= prev,
+                "{}: not non-decreasing at x={x}: {v} < {prev}",
+                f.describe()
+            );
+            assert!(v.is_finite(), "{}: non-finite value at x={x}", f.describe());
+            assert!(
+                f.deriv(x) >= -1e-12,
+                "{}: negative derivative at x={x}",
+                f.describe()
+            );
+            prev = v;
+        }
+    }
+
+    /// Check that `deriv` matches a central finite difference of `eval`.
+    pub fn check_derivative(f: &dyn CostFunction, xs: &[f64], tol: f64) {
+        let h = 1e-5;
+        for &x in xs {
+            let num = (f.eval(x + h) - f.eval(x - h)) / (2.0 * h);
+            let ana = f.deriv(x);
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + ana.abs()),
+                "{}: derivative mismatch at x={x}: analytic {ana}, numeric {num}",
+                f.describe()
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marginals_modes_agree_for_linear() {
+        let f = Linear::new(3.0);
+        // For linear costs f'(m+1) == f(m+1) - f(m) == w.
+        assert_eq!(Marginals::Derivative.next_eviction_cost(&f, 5), 3.0);
+        assert_eq!(Marginals::Discrete.next_eviction_cost(&f, 5), 3.0);
+    }
+
+    #[test]
+    fn marginals_modes_differ_for_quadratic() {
+        let f = Monomial::new(1.0, 2.0);
+        // f(x) = x²: f'(m+1) = 2(m+1); Δf(m) = 2m+1.
+        assert_eq!(Marginals::Derivative.next_eviction_cost(&f, 3), 8.0);
+        assert_eq!(Marginals::Discrete.next_eviction_cost(&f, 3), 7.0);
+    }
+
+    #[test]
+    fn default_marginal_is_difference_of_eval() {
+        let f = Monomial::new(2.0, 3.0);
+        let expect = 2.0 * (5f64.powi(3) - 4f64.powi(3));
+        assert!((f.marginal(4) - expect).abs() < 1e-9);
+    }
+}

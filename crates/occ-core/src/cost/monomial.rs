@@ -1,0 +1,119 @@
+//! Monomial costs `f(x) = c·x^β` — the family of Corollary 1.2.
+
+use super::CostFunction;
+
+/// `f(x) = scale · x^beta` with `scale > 0`, `beta ≥ 1`.
+///
+/// For this family the curvature constant is exactly `α = β`
+/// (`x f'(x)/f(x) = β` for every `x > 0`), so Corollary 1.2's competitive
+/// ratio is `β^β k^β`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Monomial {
+    scale: f64,
+    beta: f64,
+}
+
+impl Monomial {
+    /// Create `scale · x^beta`. Panics unless `scale > 0` and `beta ≥ 1`
+    /// (the paper's convexity assumption needs `β ≥ 1`).
+    pub fn new(scale: f64, beta: f64) -> Self {
+        assert!(scale > 0.0, "scale must be positive");
+        assert!(beta >= 1.0, "beta must be at least 1 for convexity");
+        Monomial { scale, beta }
+    }
+
+    /// `x^beta` with unit scale.
+    pub fn power(beta: f64) -> Self {
+        Self::new(1.0, beta)
+    }
+
+    /// The exponent `β`.
+    pub fn beta(&self) -> f64 {
+        self.beta
+    }
+
+    /// The multiplicative scale `c`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl CostFunction for Monomial {
+    fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x >= 0.0, "cost functions are defined on x ≥ 0");
+        self.scale * x.powf(self.beta)
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        if self.beta == 1.0 {
+            self.scale
+        } else {
+            self.scale * self.beta * x.powf(self.beta - 1.0)
+        }
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(self.beta)
+    }
+
+    fn is_convex(&self) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        if (self.scale - 1.0).abs() < 1e-12 {
+            format!("x^{}", self.beta)
+        } else {
+            format!("{}·x^{}", self.scale, self.beta)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn values_and_derivatives() {
+        let f = Monomial::new(2.0, 3.0);
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(2.0), 16.0);
+        assert_eq!(f.deriv(2.0), 24.0);
+        testutil::check_contract(&f, 50.0);
+        testutil::check_derivative(&f, &[0.5, 1.0, 3.0, 10.0], 1e-5);
+    }
+
+    #[test]
+    fn linear_special_case_derivative_at_zero() {
+        let f = Monomial::new(4.0, 1.0);
+        // β = 1 must not produce 0^0 trouble.
+        assert_eq!(f.deriv(0.0), 4.0);
+        assert_eq!(f.eval(5.0), 20.0);
+    }
+
+    #[test]
+    fn alpha_is_beta() {
+        for beta in [1.0, 1.5, 2.0, 4.0] {
+            let f = Monomial::power(beta);
+            assert_eq!(f.alpha(), Some(beta));
+            // Verify x f'(x)/f(x) == β pointwise.
+            for x in [0.3, 1.0, 7.0] {
+                let ratio = x * f.deriv(x) / f.eval(x);
+                assert!((ratio - beta).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beta")]
+    fn rejects_concave_exponent() {
+        Monomial::new(1.0, 0.5);
+    }
+
+    #[test]
+    fn describe_forms() {
+        assert_eq!(Monomial::power(2.0).describe(), "x^2");
+        assert_eq!(Monomial::new(3.0, 2.0).describe(), "3·x^2");
+    }
+}

@@ -1,0 +1,211 @@
+//! Convex piecewise-linear costs — the paper's motivating SLA shape.
+//!
+//! §1.1: *"a user can tolerate up to around M misses in a time window, and
+//! any number of misses greater than that will result in substantial
+//! degradation in performance. Such scenarios can be captured through,
+//! e.g., piecewise-linear, convex cost functions."* These model SLA refund
+//! schedules in the SQLVM prototype [14].
+
+use super::CostFunction;
+
+/// A convex piecewise-linear function through the origin.
+///
+/// Defined by segment slopes `s_0 ≤ s_1 ≤ …` and the breakpoints where the
+/// slope changes. `f` is linear with slope `s_j` on `[b_j, b_{j+1})` where
+/// `b_0 = 0`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PiecewiseLinear {
+    /// Breakpoints `b_1 < b_2 < …` (excluding the implicit `b_0 = 0`).
+    breaks: Vec<f64>,
+    /// `slopes[j]` applies on `[b_j, b_{j+1})`; one more slope than breaks.
+    slopes: Vec<f64>,
+    /// `values[j] = f(b_j)` for `b_0 = 0, b_1, …` (precomputed prefix).
+    values: Vec<f64>,
+}
+
+impl PiecewiseLinear {
+    /// Build from slopes and breakpoints. `slopes.len()` must equal
+    /// `breaks.len() + 1`; breakpoints strictly increasing and positive;
+    /// slopes non-negative and non-decreasing (convexity).
+    pub fn new(slopes: Vec<f64>, breaks: Vec<f64>) -> Self {
+        assert_eq!(
+            slopes.len(),
+            breaks.len() + 1,
+            "need one more slope than breakpoints"
+        );
+        assert!(
+            slopes.windows(2).all(|w| w[0] <= w[1]),
+            "slopes must be non-decreasing for convexity"
+        );
+        assert!(slopes[0] >= 0.0, "slopes must be non-negative");
+        assert!(
+            breaks.windows(2).all(|w| w[0] < w[1]),
+            "breakpoints must be strictly increasing"
+        );
+        assert!(
+            breaks.first().map_or(true, |&b| b > 0.0),
+            "breakpoints must be positive"
+        );
+        let mut values = Vec::with_capacity(breaks.len() + 1);
+        values.push(0.0);
+        let mut prev_b = 0.0;
+        let mut v = 0.0;
+        for (j, &b) in breaks.iter().enumerate() {
+            v += slopes[j] * (b - prev_b);
+            values.push(v);
+            prev_b = b;
+        }
+        PiecewiseLinear {
+            breaks,
+            slopes,
+            values,
+        }
+    }
+
+    /// The SLA shape of §1.1: a gentle `base_slope` up to a tolerance of
+    /// `tolerance` misses, then a steep `penalty_slope` beyond it.
+    ///
+    /// `base_slope` must be positive: with a perfectly flat first segment
+    /// the curvature constant `α = sup x f'(x)/f(x)` is unbounded (the
+    /// denominator vanishes at the tolerance) and the paper's guarantee is
+    /// vacuous — the algorithm still runs, but `alpha()` returns `None`.
+    pub fn sla(tolerance: f64, base_slope: f64, penalty_slope: f64) -> Self {
+        assert!(tolerance > 0.0);
+        assert!(penalty_slope >= base_slope);
+        Self::new(vec![base_slope, penalty_slope], vec![tolerance])
+    }
+
+    /// Index of the segment containing `x`.
+    fn segment(&self, x: f64) -> usize {
+        // breaks is sorted; partition_point = number of breaks ≤ x.
+        self.breaks.partition_point(|&b| b <= x)
+    }
+
+    /// Segment slopes.
+    pub fn slopes(&self) -> &[f64] {
+        &self.slopes
+    }
+
+    /// Breakpoints (excluding the implicit 0).
+    pub fn breaks(&self) -> &[f64] {
+        &self.breaks
+    }
+}
+
+impl CostFunction for PiecewiseLinear {
+    fn eval(&self, x: f64) -> f64 {
+        let j = self.segment(x);
+        let b_j = if j == 0 { 0.0 } else { self.breaks[j - 1] };
+        self.values[j] + self.slopes[j] * (x - b_j)
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        // Right-derivative: at a breakpoint, the steeper next slope.
+        self.slopes[self.segment(x)]
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        // Within segment j, f(x) = s_j·x + c_j with c_j ≤ 0 by convexity,
+        // so x f'/f = s_j x / (s_j x + c_j) is non-increasing in x and the
+        // supremum over the segment is attained at the left breakpoint.
+        if self.slopes[0] <= 0.0 && self.slopes.len() > 1 {
+            return None; // flat start: f(b_1) = 0, ratio unbounded.
+        }
+        let mut alpha: f64 = 1.0; // segment 0 ratio is identically 1.
+        for (j, &b) in self.breaks.iter().enumerate() {
+            let f_b = self.values[j + 1];
+            if f_b <= 0.0 {
+                return None;
+            }
+            alpha = alpha.max(self.slopes[j + 1] * b / f_b);
+        }
+        Some(alpha)
+    }
+
+    fn is_convex(&self) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        format!("pwl(slopes={:?}, breaks={:?})", self.slopes, self.breaks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    fn sla() -> PiecewiseLinear {
+        // Slope 1 up to 10 misses, slope 20 beyond.
+        PiecewiseLinear::sla(10.0, 1.0, 20.0)
+    }
+
+    #[test]
+    fn eval_across_segments() {
+        let f = sla();
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(5.0), 5.0);
+        assert_eq!(f.eval(10.0), 10.0);
+        assert_eq!(f.eval(12.0), 10.0 + 40.0);
+        testutil::check_contract(&f, 50.0);
+    }
+
+    #[test]
+    fn right_derivative_at_breakpoint() {
+        let f = sla();
+        assert_eq!(f.deriv(9.999), 1.0);
+        assert_eq!(f.deriv(10.0), 20.0); // right-derivative
+        assert_eq!(f.deriv(11.0), 20.0);
+    }
+
+    #[test]
+    fn three_segments() {
+        let f = PiecewiseLinear::new(vec![1.0, 2.0, 4.0], vec![2.0, 5.0]);
+        assert_eq!(f.eval(2.0), 2.0);
+        assert_eq!(f.eval(5.0), 2.0 + 6.0);
+        assert_eq!(f.eval(6.0), 8.0 + 4.0);
+        assert_eq!(f.deriv(3.0), 2.0);
+    }
+
+    #[test]
+    fn alpha_matches_numeric_sup() {
+        let f = sla();
+        let alpha = f.alpha().expect("positive base slope ⇒ finite α");
+        // Analytic: sup is at x = 10⁺, ratio = 20·10/f(10) = 200/10 = 20.
+        assert!((alpha - 20.0).abs() < 1e-9);
+        // Pointwise the ratio never exceeds α.
+        for i in 1..2000 {
+            let x = i as f64 * 0.05;
+            let ratio = x * f.deriv(x) / f.eval(x);
+            assert!(ratio <= alpha + 1e-9, "ratio {ratio} at x={x}");
+        }
+    }
+
+    #[test]
+    fn flat_start_has_unbounded_alpha() {
+        let f = PiecewiseLinear::new(vec![0.0, 5.0], vec![3.0]);
+        assert_eq!(f.alpha(), None);
+        assert_eq!(f.eval(3.0), 0.0);
+        assert_eq!(f.eval(4.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-decreasing")]
+    fn rejects_concave_slopes() {
+        PiecewiseLinear::new(vec![2.0, 1.0], vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one more slope")]
+    fn rejects_mismatched_lengths() {
+        PiecewiseLinear::new(vec![1.0], vec![1.0]);
+    }
+
+    #[test]
+    fn single_segment_is_linear() {
+        let f = PiecewiseLinear::new(vec![3.0], vec![]);
+        assert_eq!(f.eval(7.0), 21.0);
+        assert_eq!(f.alpha(), Some(1.0));
+    }
+}

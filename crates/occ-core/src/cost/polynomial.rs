@@ -1,0 +1,143 @@
+//! Polynomial costs with non-negative coefficients and no constant term.
+//!
+//! Claim 2.3's closing remark: for a polynomial with positive coefficients
+//! and degree `β`, the curvature constant is `α = β` (each monomial term
+//! contributes `x f'(x)/f(x)` at most its own degree, and the ratio is a
+//! coefficient-weighted average of the term degrees, approaching the top
+//! degree as `x → ∞`).
+
+use super::CostFunction;
+
+/// `f(x) = Σ_{d=1}^{D} coeffs[d-1] · x^d`, all coefficients `≥ 0`, at
+/// least one positive.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Polynomial {
+    /// `coeffs[d-1]` multiplies `x^d`.
+    coeffs: Vec<f64>,
+}
+
+impl Polynomial {
+    /// Create from coefficients of `x^1, x^2, …` in order. Panics if any
+    /// coefficient is negative, the list is empty, or all are zero.
+    pub fn new(coeffs: Vec<f64>) -> Self {
+        assert!(!coeffs.is_empty(), "need at least one coefficient");
+        assert!(
+            coeffs.iter().all(|&c| c >= 0.0),
+            "coefficients must be non-negative for convexity"
+        );
+        assert!(
+            coeffs.iter().any(|&c| c > 0.0),
+            "at least one coefficient must be positive"
+        );
+        Polynomial { coeffs }
+    }
+
+    /// Degree of the highest term with a positive coefficient.
+    pub fn degree(&self) -> usize {
+        self.coeffs
+            .iter()
+            .rposition(|&c| c > 0.0)
+            .expect("constructor guarantees a positive coefficient")
+            + 1
+    }
+
+    /// The coefficient vector (index `d-1` multiplies `x^d`).
+    pub fn coeffs(&self) -> &[f64] {
+        &self.coeffs
+    }
+}
+
+impl CostFunction for Polynomial {
+    fn eval(&self, x: f64) -> f64 {
+        // Horner over c_D x^D + … + c_1 x  =  x·(c_1 + x·(c_2 + …)).
+        let mut acc = 0.0;
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * x + c;
+        }
+        acc * x
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        let mut acc = 0.0;
+        for (d, &c) in self.coeffs.iter().enumerate().rev() {
+            acc = acc * x + c * (d as f64 + 1.0);
+        }
+        acc
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        Some(self.degree() as f64)
+    }
+
+    fn is_convex(&self) -> bool {
+        true
+    }
+
+    fn describe(&self) -> String {
+        let terms: Vec<String> = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0.0)
+            .map(|(i, &c)| format!("{}·x^{}", c, i + 1))
+            .collect();
+        terms.join(" + ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil;
+    use super::*;
+
+    #[test]
+    fn eval_and_deriv() {
+        // f(x) = 2x + 3x³
+        let f = Polynomial::new(vec![2.0, 0.0, 3.0]);
+        assert_eq!(f.eval(0.0), 0.0);
+        assert_eq!(f.eval(2.0), 4.0 + 24.0);
+        assert_eq!(f.deriv(2.0), 2.0 + 9.0 * 4.0);
+        testutil::check_contract(&f, 20.0);
+        testutil::check_derivative(&f, &[0.1, 1.0, 5.0], 1e-4);
+    }
+
+    #[test]
+    fn degree_skips_trailing_zeros() {
+        let f = Polynomial::new(vec![1.0, 2.0, 0.0]);
+        assert_eq!(f.degree(), 2);
+        assert_eq!(f.alpha(), Some(2.0));
+    }
+
+    #[test]
+    fn alpha_bounds_pointwise_ratio() {
+        // x f'(x)/f(x) ≤ degree pointwise for positive coefficients.
+        let f = Polynomial::new(vec![1.0, 0.5, 0.25]);
+        let alpha = f.alpha().unwrap();
+        for x in [0.1, 1.0, 10.0, 100.0] {
+            let ratio = x * f.deriv(x) / f.eval(x);
+            assert!(ratio <= alpha + 1e-9, "ratio {ratio} exceeds α={alpha} at x={x}");
+        }
+        // …and approaches the degree for large x.
+        let x = 1e6;
+        let ratio = x * f.deriv(x) / f.eval(x);
+        assert!((ratio - alpha).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_coefficient() {
+        Polynomial::new(vec![1.0, -0.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_all_zero() {
+        Polynomial::new(vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn describe_lists_nonzero_terms() {
+        let f = Polynomial::new(vec![2.0, 0.0, 1.0]);
+        assert_eq!(f.describe(), "2·x^1 + 1·x^3");
+    }
+}

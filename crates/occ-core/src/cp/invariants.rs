@@ -1,0 +1,323 @@
+//! The §2.3 invariant checker: validates a recorded ALG-CONT trajectory
+//! against every condition the analysis of Theorem 1.1 relies on.
+//!
+//! Conditions checked (numbering from §2.3):
+//!
+//! * (1a) primal feasibility of the final `x°` in (CP);
+//! * (1b) `0 ≤ x° ≤ 1` — structural for the boolean encoding;
+//! * (1c) `y°, z° ≥ 0` — dual feasibility;
+//! * (2a) `z°(p,j) > 0 ⇒ x°(p,j) = 1`;
+//! * (2b) for every `x°(p,j)` set to 1 at time `ŝ`:
+//!   `f'(m(i(p), ŝ)) − Σ_{t ∈ (t(p,j), t(p,j+1))} y°_t + z°(p,j) = 0`;
+//! * (3a) for every `(p, j)`:
+//!   `f'(m(i(p), T)) − Σ y°_t + z°(p,j) ≥ 0`.
+//!
+//! Condition (3a)'s proof uses the dummy-flush convention (every page's
+//! last interval ends in an eviction), so pass a run produced from
+//! [`crate::flush::with_dummy_flush`] when `check_gradient` is on.
+
+use crate::alg::continuous::ContinuousRun;
+use crate::cost::{CostProfile, Marginals};
+use crate::cp::program::ConvexProgram;
+use crate::cp::solution::Assignment;
+use occ_sim::{Time, Trace, UserId};
+
+/// Outcome of checking all §2.3 invariants.
+#[derive(Clone, Debug)]
+pub struct InvariantReport {
+    /// (1a): final `x°` feasible for (CP).
+    pub primal_feasible: bool,
+    /// (1c): all recorded `y°`, `z°` non-negative.
+    pub dual_nonneg: bool,
+    /// (2a): `z° > 0` only on evicted intervals.
+    pub comp_slack_z: bool,
+    /// (2b): gradient tight at every eviction.
+    pub tightness_at_eviction: bool,
+    /// (3a): gradient non-negative everywhere (only meaningful with the
+    /// flush convention; `true` when skipped).
+    pub gradient_ok: bool,
+    /// Whether (3a) was actually evaluated.
+    pub gradient_checked: bool,
+    /// Largest |residual| seen in (2b).
+    pub max_tightness_residual: f64,
+    /// Smallest slack seen in (3a) (negative = violation).
+    pub min_gradient_slack: f64,
+    /// Human-readable descriptions of the first few violations.
+    pub violations: Vec<String>,
+}
+
+impl InvariantReport {
+    /// Whether every checked invariant holds.
+    pub fn all_ok(&self) -> bool {
+        self.primal_feasible
+            && self.dual_nonneg
+            && self.comp_slack_z
+            && self.tightness_at_eviction
+            && self.gradient_ok
+    }
+}
+
+const MAX_REPORTED: usize = 8;
+
+/// Check the §2.3 invariants of `run` (produced by
+/// [`crate::alg::run_continuous`] on `trace` with cache size `k`).
+pub fn check_invariants(
+    trace: &Trace,
+    k: usize,
+    costs: &CostProfile,
+    mode: Marginals,
+    run: &ContinuousRun,
+    check_gradient: bool,
+    eps: f64,
+) -> InvariantReport {
+    let universe = trace.universe();
+    let idx = trace.index();
+    let state = &run.state;
+    let t_end = trace.len() as Time;
+    let mut violations = Vec::new();
+    let note = |v: String, violations: &mut Vec<String>| {
+        if violations.len() < MAX_REPORTED {
+            violations.push(v);
+        }
+    };
+
+    // (1a) + (1b): static feasibility of the final primal solution.
+    let assignment = Assignment::from_primal(state);
+    let cp = ConvexProgram::new(trace, k);
+    let primal_feasible = match cp.check_feasible(&assignment, eps) {
+        Ok(()) => true,
+        Err(v) => {
+            note(format!("(1a) {v}"), &mut violations);
+            false
+        }
+    };
+
+    // (1c): dual non-negativity.
+    let mut dual_nonneg = true;
+    for (t, &yt) in state.y.iter().enumerate() {
+        if yt < -eps {
+            dual_nonneg = false;
+            note(format!("(1c) y[{t}] = {yt} < 0"), &mut violations);
+        }
+    }
+    for (p, zs) in state.z.iter().enumerate() {
+        for (j0, &zv) in zs.iter().enumerate() {
+            if zv < -eps {
+                dual_nonneg = false;
+                note(
+                    format!("(1c) z(p{p},{}) = {zv} < 0", j0 + 1),
+                    &mut violations,
+                );
+            }
+        }
+    }
+
+    // (2a): z > 0 ⇒ x = 1.
+    let mut comp_slack_z = true;
+    for (p, zs) in state.z.iter().enumerate() {
+        for (j0, &zv) in zs.iter().enumerate() {
+            if zv > eps && !state.x[p][j0] {
+                comp_slack_z = false;
+                note(
+                    format!("(2a) z(p{p},{}) = {zv} > 0 with x = 0", j0 + 1),
+                    &mut violations,
+                );
+            }
+        }
+    }
+
+    // Prefix sums of y for interval sums: pref[i] = Σ_{t < i} y_t.
+    let mut pref = Vec::with_capacity(state.y.len() + 1);
+    pref.push(0.0f64);
+    for &yt in &state.y {
+        pref.push(pref.last().unwrap() + yt);
+    }
+    // Σ y over the open range (t(p,j), t(p,j+1)) = [t_j + 1, t_next − 1].
+    let interval_y = |p: usize, j0: usize| -> f64 {
+        let times = &idx.request_times[p];
+        let t_j = times[j0];
+        let t_next = times.get(j0 + 1).copied().unwrap_or(t_end);
+        pref[t_next as usize] - pref[(t_j + 1) as usize]
+    };
+    // The analysis' gradient term: f'(m) (or its discrete analog).
+    let grad_term = |u: UserId, m: u64| -> f64 {
+        match mode {
+            Marginals::Derivative => costs.user(u).deriv(m as f64),
+            Marginals::Discrete => costs.user(u).marginal(m.saturating_sub(1)),
+        }
+    };
+
+    // (2b): tightness at each eviction.
+    let mut tightness_at_eviction = true;
+    let mut max_tightness_residual = 0.0f64;
+    for p in 0..universe.num_pages() as usize {
+        for j0 in 0..state.x[p].len() {
+            let Some(s) = state.set_at[p][j0] else {
+                continue;
+            };
+            let u = universe.owner(occ_sim::PageId(p as u32));
+            let m_at = state.m_at_eviction[p][j0]
+                .expect("eviction must record the miss count");
+            let residual = grad_term(u, m_at) - interval_y(p, j0) + state.z[p][j0];
+            max_tightness_residual = max_tightness_residual.max(residual.abs());
+            if residual.abs() > eps {
+                tightness_at_eviction = false;
+                note(
+                    format!(
+                        "(2b) residual {residual} at (p{p}, j={}) evicted at t={s}",
+                        j0 + 1
+                    ),
+                    &mut violations,
+                );
+            }
+        }
+    }
+
+    // (3a): gradient condition with the final miss counts.
+    let mut gradient_ok = true;
+    let mut min_gradient_slack = f64::INFINITY;
+    if check_gradient {
+        for p in 0..universe.num_pages() as usize {
+            let u = universe.owner(occ_sim::PageId(p as u32));
+            let m_t = state.final_m[u.index()];
+            for j0 in 0..state.x[p].len() {
+                let slack = grad_term(u, m_t) - interval_y(p, j0) + state.z[p][j0];
+                min_gradient_slack = min_gradient_slack.min(slack);
+                if slack < -eps {
+                    gradient_ok = false;
+                    note(
+                        format!("(3a) slack {slack} at (p{p}, j={})", j0 + 1),
+                        &mut violations,
+                    );
+                }
+            }
+        }
+    }
+
+    InvariantReport {
+        primal_feasible,
+        dual_nonneg,
+        comp_slack_z,
+        tightness_at_eviction,
+        gradient_ok,
+        gradient_checked: check_gradient,
+        max_tightness_residual,
+        min_gradient_slack,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{run_continuous, TieBreak};
+    use crate::cost::{CostFn, Linear, Monomial, PiecewiseLinear};
+    use crate::flush::with_dummy_flush;
+    use occ_sim::Universe;
+    use std::sync::Arc;
+
+    fn pseudo_pages(len: usize, universe_pages: u32, seed: u64) -> Vec<u32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % universe_pages as u64) as u32
+            })
+            .collect()
+    }
+
+    fn check(
+        universe: Universe,
+        pages: &[u32],
+        costs: CostProfile,
+        k: usize,
+    ) -> InvariantReport {
+        let trace = Trace::from_page_indices(&universe, pages);
+        let (ft, fc) = with_dummy_flush(&trace, &costs, k);
+        let run = run_continuous(&ft, k, &fc, Marginals::Derivative, TieBreak::OldestRequest);
+        check_invariants(&ft, k, &fc, Marginals::Derivative, &run, true, 1e-6)
+    }
+
+    #[test]
+    fn invariants_hold_quadratic_uniform() {
+        let u = Universe::uniform(2, 4);
+        let r = check(
+            u,
+            &pseudo_pages(300, 8, 1),
+            CostProfile::uniform(2, Monomial::power(2.0)),
+            3,
+        );
+        assert!(r.all_ok(), "violations: {:?}", r.violations);
+        assert!(r.max_tightness_residual < 1e-6);
+        assert!(r.min_gradient_slack > -1e-6);
+    }
+
+    #[test]
+    fn invariants_hold_heterogeneous() {
+        let u = Universe::with_sizes(&[2, 3, 4]);
+        let costs = CostProfile::new(vec![
+            Arc::new(Linear::new(2.0)) as CostFn,
+            Arc::new(Monomial::power(3.0)) as CostFn,
+            Arc::new(PiecewiseLinear::sla(3.0, 1.0, 9.0)) as CostFn,
+        ]);
+        let r = check(u, &pseudo_pages(400, 9, 5), costs, 4);
+        assert!(r.all_ok(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn invariants_hold_discrete_marginals() {
+        let u = Universe::uniform(2, 3);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(200, 6, 9));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let k = 2;
+        let (ft, fc) = with_dummy_flush(&trace, &costs, k);
+        let run = run_continuous(&ft, k, &fc, Marginals::Discrete, TieBreak::OldestRequest);
+        let r = check_invariants(&ft, k, &fc, Marginals::Discrete, &run, true, 1e-6);
+        assert!(r.all_ok(), "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn gradient_check_can_be_skipped() {
+        // Without flush, (3a) may legitimately fail; skipping it must
+        // report gradient_ok = true but gradient_checked = false.
+        let u = Universe::uniform(2, 4);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(100, 8, 2));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let run = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let r = check_invariants(&trace, 3, &costs, Marginals::Derivative, &run, false, 1e-6);
+        assert!(!r.gradient_checked);
+        assert!(r.gradient_ok);
+        assert!(r.primal_feasible && r.dual_nonneg && r.comp_slack_z);
+        assert!(r.tightness_at_eviction, "violations: {:?}", r.violations);
+    }
+
+    #[test]
+    fn detects_corrupted_dual() {
+        let u = Universe::uniform(2, 4);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(150, 8, 3));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let k = 3;
+        let (ft, fc) = with_dummy_flush(&trace, &costs, k);
+        let mut run = run_continuous(&ft, k, &fc, Marginals::Derivative, TieBreak::OldestRequest);
+        // Corrupt one y entry: tightness (2b) must notice.
+        let t_evict = run.eviction_sequence[0].0 as usize;
+        run.state.y[t_evict] += 0.5;
+        let r = check_invariants(&ft, k, &fc, Marginals::Derivative, &run, true, 1e-6);
+        assert!(!r.tightness_at_eviction);
+        assert!(!r.all_ok());
+    }
+
+    #[test]
+    fn detects_negative_dual() {
+        let u = Universe::uniform(2, 4);
+        let trace = Trace::from_page_indices(&u, &pseudo_pages(150, 8, 4));
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let run = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let mut bad = run.clone();
+        bad.state.y[0] = -1.0;
+        let r = check_invariants(&trace, 3, &costs, Marginals::Derivative, &bad, false, 1e-6);
+        assert!(!r.dual_nonneg);
+    }
+}

@@ -1,0 +1,18 @@
+//! The convex-programming view of the caching problem (Figures 1 and 4)
+//! and the §2.3 invariant checker.
+//!
+//! The paper never *solves* the convex program — it is the scaffolding
+//! that guides the primal–dual algorithm and carries the analysis. This
+//! module materializes that scaffolding so the workspace can verify, on
+//! concrete traces, everything the analysis asserts: that the algorithm's
+//! decisions induce a feasible integer solution of (ICP), that its
+//! objective equals the simulated cost, and that the recorded dual
+//! trajectory satisfies the invariants of §2.3.
+
+pub mod invariants;
+pub mod program;
+pub mod solution;
+
+pub use invariants::{check_invariants, InvariantReport};
+pub use program::{ConvexProgram, Violation};
+pub use solution::Assignment;

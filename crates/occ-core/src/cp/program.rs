@@ -1,0 +1,289 @@
+//! Construction of (ICP)/(CP) from a trace — Figure 1 — and the
+//! cache-size-`h` variants (ICP-h)/(CP-h) — Figure 4.
+//!
+//! Variables: `x(p, j)` for each page `p` and each request index
+//! `1 ≤ j ≤ r(p, T)`, meaning "`p` is evicted between its `j`-th and
+//! `(j+1)`-th request". Constraints: for every time `t`,
+//! `Σ_{p ∈ B(t) \ {p_t}} x(p, j(p,t)) ≥ |B(t)| − k` — all but `k` of the
+//! pages seen so far must be outside the cache, and the page requested at
+//! `t` cannot be one of the excluded ones.
+
+use crate::cost::CostProfile;
+use crate::cp::solution::Assignment;
+use occ_sim::{PageId, Trace, UserId};
+
+/// One covering constraint (indexed by a time `t`).
+#[derive(Clone, Debug)]
+struct Constraint {
+    /// Time this constraint belongs to.
+    t: u64,
+    /// Variables on the left-hand side: `(page, j)` with `j` 1-based.
+    vars: Vec<(u32, u32)>,
+    /// Right-hand side `|B(t)| − cache_size` (may be ≤ 0, in which case
+    /// the constraint is vacuous but still recorded).
+    rhs: i64,
+}
+
+/// A constraint violation found by [`ConvexProgram::check_feasible`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Violation {
+    /// Time of the violated constraint.
+    pub t: u64,
+    /// Left-hand side value achieved.
+    pub lhs: f64,
+    /// Required right-hand side.
+    pub rhs: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "constraint at t={} violated: lhs {} < rhs {}",
+            self.t, self.lhs, self.rhs
+        )
+    }
+}
+
+/// The (integer) convex program of Figure 1 (or Figure 4 with `h < k`).
+#[derive(Clone, Debug)]
+pub struct ConvexProgram {
+    cache_size: usize,
+    /// `r(p, T)`: number of interval variables per page.
+    intervals_per_page: Vec<u32>,
+    /// Owner of each page (for the objective).
+    owner: Vec<UserId>,
+    num_users: u32,
+    constraints: Vec<Constraint>,
+}
+
+impl ConvexProgram {
+    /// Build the program for `trace` with the given cache size (`k` for
+    /// Figure 1, `h ≤ k` for Figure 4).
+    pub fn new(trace: &Trace, cache_size: usize) -> Self {
+        assert!(cache_size > 0);
+        let universe = trace.universe();
+        let num_pages = universe.num_pages() as usize;
+        let mut occ = vec![0u32; num_pages];
+        let mut seen: Vec<u32> = Vec::new(); // pages seen, in first-seen order
+        let mut seen_flag = vec![false; num_pages];
+        let mut constraints = Vec::with_capacity(trace.len());
+        for (t, req) in trace.iter() {
+            let pi = req.page.index();
+            if !seen_flag[pi] {
+                seen_flag[pi] = true;
+                seen.push(req.page.0);
+            }
+            occ[pi] += 1;
+            // Constraint over B(t) \ {p_t} with the *current* interval
+            // index of every other seen page.
+            let vars: Vec<(u32, u32)> = seen
+                .iter()
+                .filter(|&&p| p != req.page.0)
+                .map(|&p| (p, occ[p as usize]))
+                .collect();
+            let rhs = seen.len() as i64 - cache_size as i64;
+            constraints.push(Constraint { t, vars, rhs });
+        }
+        ConvexProgram {
+            cache_size,
+            intervals_per_page: occ,
+            owner: (0..num_pages)
+                .map(|p| universe.owner(PageId(p as u32)))
+                .collect(),
+            num_users: universe.num_users(),
+            constraints,
+        }
+    }
+
+    /// The cache size this program was built with.
+    pub fn cache_size(&self) -> usize {
+        self.cache_size
+    }
+
+    /// Total number of `x(p, j)` variables (= number of requests `T`).
+    pub fn num_vars(&self) -> usize {
+        self.intervals_per_page.iter().map(|&r| r as usize).sum()
+    }
+
+    /// Number of covering constraints (= `T`).
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of constraints with a positive right-hand side (the binding
+    /// ones; the rest are vacuous).
+    pub fn num_binding_constraints(&self) -> usize {
+        self.constraints.iter().filter(|c| c.rhs > 0).count()
+    }
+
+    /// `r(p, T)` for each page.
+    pub fn intervals_per_page(&self) -> &[u32] {
+        &self.intervals_per_page
+    }
+
+    /// An all-zero assignment shaped for this program.
+    pub fn zero_assignment(&self) -> Assignment {
+        Assignment::zeros(&self.intervals_per_page)
+    }
+
+    /// Check `assignment` against every covering constraint and the
+    /// `0 ≤ x ≤ 1` bounds, up to tolerance `eps`. Returns the first
+    /// violation found, if any.
+    pub fn check_feasible(&self, assignment: &Assignment, eps: f64) -> Result<(), Violation> {
+        for (p, xs) in assignment.per_page().iter().enumerate() {
+            assert_eq!(
+                xs.len() as u32,
+                self.intervals_per_page[p],
+                "assignment shape mismatch on page p{p}"
+            );
+            for (j, &v) in xs.iter().enumerate() {
+                if !(-eps..=1.0 + eps).contains(&v) {
+                    return Err(Violation {
+                        t: 0,
+                        lhs: v,
+                        rhs: f64::from(u8::from(v > 1.0)),
+                    });
+                }
+                let _ = j;
+            }
+        }
+        for c in &self.constraints {
+            if c.rhs <= 0 {
+                continue;
+            }
+            let lhs: f64 = c
+                .vars
+                .iter()
+                .map(|&(p, j)| assignment.get(PageId(p), j))
+                .sum();
+            if lhs + eps < c.rhs as f64 {
+                return Err(Violation {
+                    t: c.t,
+                    lhs,
+                    rhs: c.rhs as f64,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The objective `Σ_i f_i(Σ_{p ∈ P_i} Σ_j x(p, j))` for a (possibly
+    /// fractional) assignment.
+    pub fn objective(&self, assignment: &Assignment, costs: &CostProfile) -> f64 {
+        let per_user = self.fractional_misses(assignment);
+        per_user
+            .iter()
+            .enumerate()
+            .map(|(u, &m)| costs.user(UserId(u as u32)).eval(m))
+            .sum()
+    }
+
+    /// Per-user total eviction mass `Σ_{p ∈ P_i} Σ_j x(p, j)`.
+    pub fn fractional_misses(&self, assignment: &Assignment) -> Vec<f64> {
+        let mut per_user = vec![0.0f64; self.num_users as usize];
+        for (p, xs) in assignment.per_page().iter().enumerate() {
+            let u = self.owner[p].index();
+            per_user[u] += xs.iter().sum::<f64>();
+        }
+        per_user
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{CostProfile, Monomial};
+    use occ_sim::Universe;
+
+    fn trace() -> Trace {
+        let u = Universe::uniform(2, 2); // u0: p0 p1; u1: p2 p3
+        Trace::from_page_indices(&u, &[0, 2, 0, 3, 2])
+    }
+
+    #[test]
+    fn program_shape() {
+        let cp = ConvexProgram::new(&trace(), 2);
+        assert_eq!(cp.num_vars(), 5); // one variable per request
+        assert_eq!(cp.num_constraints(), 5);
+        assert_eq!(cp.intervals_per_page(), &[2, 0, 2, 1]);
+        // |B(t)| over time: 1,2,2,3,3 → rhs −1, 0, 0, 1, 1.
+        assert_eq!(cp.num_binding_constraints(), 2);
+    }
+
+    #[test]
+    fn zero_assignment_feasible_only_when_cache_large_enough() {
+        let t = trace();
+        let big = ConvexProgram::new(&t, 3); // 3 distinct pages fit
+        assert!(big.check_feasible(&big.zero_assignment(), 1e-9).is_ok());
+        let small = ConvexProgram::new(&t, 2);
+        let err = small
+            .check_feasible(&small.zero_assignment(), 1e-9)
+            .unwrap_err();
+        assert_eq!(err.t, 3); // first time |B(t)| = 3 > 2
+        assert_eq!(err.rhs, 1.0);
+    }
+
+    #[test]
+    fn eviction_assignment_becomes_feasible() {
+        let t = trace();
+        let cp = ConvexProgram::new(&t, 2);
+        let mut a = cp.zero_assignment();
+        // Evict p0 during its 2nd interval? No — constraints at t=3,4 need
+        // a page other than p_t excluded. At t=3 (p3): B={0,2,3}; exclude
+        // p0's interval 2 (its current interval). At t=4 (p2): B same;
+        // exclude p0 again (still interval 2).
+        a.set(PageId(0), 2, 1.0);
+        assert!(cp.check_feasible(&a, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn objective_applies_user_costs() {
+        let t = trace();
+        let cp = ConvexProgram::new(&t, 2);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let mut a = cp.zero_assignment();
+        a.set(PageId(0), 1, 1.0); // u0: 1 eviction
+        a.set(PageId(0), 2, 1.0); // u0: 2 evictions
+        a.set(PageId(2), 1, 1.0); // u1: 1 eviction
+        assert_eq!(cp.fractional_misses(&a), vec![2.0, 1.0]);
+        assert_eq!(cp.objective(&a, &costs), 4.0 + 1.0);
+    }
+
+    #[test]
+    fn fractional_assignment_supported() {
+        let t = trace();
+        let cp = ConvexProgram::new(&t, 2);
+        let mut a = cp.zero_assignment();
+        a.set(PageId(0), 2, 0.5);
+        a.set(PageId(2), 1, 0.5);
+        // t=3: vars (p0,2),(p2,1): lhs = 1.0 ≥ 1 ✓; t=4: vars (p0,2),(p3,1):
+        // lhs = 0.5 < 1 ✗.
+        let err = cp.check_feasible(&a, 1e-9).unwrap_err();
+        assert_eq!(err.t, 4);
+        a.set(PageId(3), 1, 0.5);
+        assert!(cp.check_feasible(&a, 1e-9).is_ok());
+    }
+
+    #[test]
+    fn smaller_cache_h_program_is_stricter() {
+        // Figure 4: same structure, tighter rhs.
+        let u = Universe::single_user(4);
+        let t = Trace::from_page_indices(&u, &[0, 1, 2, 3]);
+        let k_prog = ConvexProgram::new(&t, 3);
+        let h_prog = ConvexProgram::new(&t, 2);
+        assert!(h_prog.num_binding_constraints() > k_prog.num_binding_constraints());
+        let a = k_prog.zero_assignment();
+        assert!(k_prog.check_feasible(&a, 1e-9).is_err());
+        assert!(h_prog.check_feasible(&a, 1e-9).is_err());
+    }
+
+    #[test]
+    fn bounds_checked() {
+        let t = trace();
+        let cp = ConvexProgram::new(&t, 2);
+        let mut a = cp.zero_assignment();
+        a.set(PageId(0), 1, 1.5); // out of [0, 1]
+        assert!(cp.check_feasible(&a, 1e-9).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Assignments of the `x(p, j)` variables and their extraction from
+//! simulation artifacts.
+//!
+//! Any algorithm run induces an integer assignment: `x(p, j) = 1` iff the
+//! algorithm evicted `p` between its `j`-th and `(j+1)`-th requests
+//! (§2.1: "every algorithm must imply a feasible solution to (ICP)").
+//! [`Assignment::from_eviction_log`] performs that extraction from an
+//! engine event log; [`Assignment::from_primal`] reads it off an ALG-CONT
+//! trajectory.
+
+use crate::alg::continuous::PrimalDualState;
+use occ_sim::{EventLog, PageId, Trace};
+
+/// A (possibly fractional) assignment of the `x(p, j)` variables, stored
+/// densely per page.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// `x[p][j-1]` for `1 ≤ j ≤ r(p, T)`.
+    x: Vec<Vec<f64>>,
+}
+
+impl Assignment {
+    /// All-zero assignment with `intervals[p]` variables for page `p`.
+    pub fn zeros(intervals: &[u32]) -> Self {
+        Assignment {
+            x: intervals.iter().map(|&r| vec![0.0; r as usize]).collect(),
+        }
+    }
+
+    /// Value of `x(p, j)` (`j` 1-based).
+    #[inline]
+    pub fn get(&self, page: PageId, j: u32) -> f64 {
+        self.x[page.index()][(j - 1) as usize]
+    }
+
+    /// Set `x(p, j) = v`.
+    pub fn set(&mut self, page: PageId, j: u32, v: f64) {
+        self.x[page.index()][(j - 1) as usize] = v;
+    }
+
+    /// Dense per-page view.
+    pub fn per_page(&self) -> &[Vec<f64>] {
+        &self.x
+    }
+
+    /// Total assigned mass (for integer assignments, the eviction count).
+    pub fn total(&self) -> f64 {
+        self.x.iter().flatten().sum()
+    }
+
+    /// Whether every variable is 0 or 1 (up to `eps`).
+    pub fn is_integral(&self, eps: f64) -> bool {
+        self.x
+            .iter()
+            .flatten()
+            .all(|&v| v.abs() <= eps || (v - 1.0).abs() <= eps)
+    }
+
+    /// Extract the integer assignment induced by an engine run: for every
+    /// `Evict` event at time `t` with victim `v`, set `x(v, j(v, t)) = 1`
+    /// where `j(v, t)` is the number of requests of `v` up to `t`.
+    pub fn from_eviction_log(trace: &Trace, events: &EventLog) -> Self {
+        let idx = trace.index();
+        let mut a = Assignment::zeros(&idx.total_requests);
+        for &(t, victim) in &events.eviction_sequence() {
+            let times = idx.request_times[victim.index()].as_slice();
+            // j = number of requests of victim at or before t.
+            let j = times.partition_point(|&rt| rt <= t) as u32;
+            assert!(j >= 1, "evicted a page that was never requested");
+            a.set(victim, j, 1.0);
+        }
+        a
+    }
+
+    /// Read the integer assignment off an ALG-CONT trajectory.
+    pub fn from_primal(state: &PrimalDualState) -> Self {
+        Assignment {
+            x: state
+                .x
+                .iter()
+                .map(|xs| xs.iter().map(|&b| f64::from(u8::from(b))).collect())
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{run_continuous, ConvexCaching, TieBreak};
+    use crate::cost::{CostProfile, Marginals, Monomial};
+    use crate::cp::program::ConvexProgram;
+    use occ_sim::{Simulator, Universe};
+
+    fn setup() -> (Trace, CostProfile) {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..60u32).map(|i| (i * 7 + i * i * 3) % 6).collect();
+        (
+            Trace::from_page_indices(&u, &pages),
+            CostProfile::uniform(2, Monomial::power(2.0)),
+        )
+    }
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut a = Assignment::zeros(&[2, 0, 1]);
+        assert_eq!(a.get(PageId(0), 1), 0.0);
+        a.set(PageId(0), 2, 1.0);
+        a.set(PageId(2), 1, 0.5);
+        assert_eq!(a.get(PageId(0), 2), 1.0);
+        assert_eq!(a.total(), 1.5);
+        assert!(!a.is_integral(1e-9));
+        a.set(PageId(2), 1, 1.0);
+        assert!(a.is_integral(1e-9));
+    }
+
+    #[test]
+    fn log_extraction_is_feasible_and_matches_cost() {
+        // §2.1's claim: any algorithm's decisions form a feasible (ICP)
+        // solution whose objective equals the algorithm's eviction cost.
+        let (trace, costs) = setup();
+        let k = 3;
+        let mut alg = ConvexCaching::new(costs.clone());
+        let r = Simulator::new(k).record_events(true).run(&mut alg, &trace);
+        let a = Assignment::from_eviction_log(&trace, r.events.as_ref().unwrap());
+        assert!(a.is_integral(0.0));
+        assert_eq!(a.total() as u64, r.stats.total_evictions());
+
+        let cp = ConvexProgram::new(&trace, k);
+        cp.check_feasible(&a, 1e-9).expect("induced solution feasible");
+        let per_user = cp.fractional_misses(&a);
+        for (u, &m) in per_user.iter().enumerate() {
+            assert_eq!(m as u64, r.stats.eviction_vector()[u]);
+        }
+        // Objective equals Σ f_i(evictions_i).
+        let obj = cp.objective(&a, &costs);
+        let direct = costs.total_cost(&r.stats.eviction_vector());
+        assert!((obj - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn primal_extraction_matches_log_extraction() {
+        let (trace, costs) = setup();
+        let k = 3;
+        let run = run_continuous(&trace, k, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let from_primal = Assignment::from_primal(&run.state);
+
+        let mut alg = ConvexCaching::new(costs);
+        let r = Simulator::new(k).record_events(true).run(&mut alg, &trace);
+        let from_log = Assignment::from_eviction_log(&trace, r.events.as_ref().unwrap());
+        assert_eq!(from_primal, from_log);
+    }
+
+    #[test]
+    fn lru_induced_solution_is_feasible_too() {
+        // Not just our algorithm: any valid policy induces feasibility.
+        struct EvictFirst;
+        impl occ_sim::ReplacementPolicy for EvictFirst {
+            fn name(&self) -> String {
+                "evict-first".into()
+            }
+            fn choose_victim(&mut self, ctx: &occ_sim::EngineCtx, _: PageId) -> PageId {
+                ctx.cache.pages()[0]
+            }
+        }
+        let (trace, _) = setup();
+        let r = Simulator::new(2).record_events(true).run(&mut EvictFirst, &trace);
+        let a = Assignment::from_eviction_log(&trace, r.events.as_ref().unwrap());
+        let cp = ConvexProgram::new(&trace, 2);
+        cp.check_feasible(&a, 1e-9).expect("feasible");
+    }
+}

@@ -1,0 +1,97 @@
+//! The dummy-user flush convention of §2.1.
+//!
+//! The paper charges *evictions*, and equalizes evictions with fetches by
+//! appending a dummy user who owns `k` pages, all requested once at the
+//! very end of the sequence: serving them forces every real page out of
+//! the cache, closing every open interval with an eviction. The dummy
+//! user's cost is effectively infinite so its own pages are never chosen
+//! as victims while real pages remain.
+//!
+//! [`with_dummy_flush`] produces the extended instance; the invariant
+//! checker requires it for gradient condition (3a), whose proof uses the
+//! fact that every page's last interval ends in an eviction.
+
+use crate::cost::{CostProfile, HugeCost};
+use occ_sim::{PageId, Trace, TraceBuilder, Universe, UserId};
+
+/// Extend `(trace, costs)` with the §2.1 dummy user: `k` fresh pages owned
+/// by a new user with [`HugeCost`], each requested once after the real
+/// sequence. Returns the extended trace and cost profile.
+pub fn with_dummy_flush(trace: &Trace, costs: &CostProfile, k: usize) -> (Trace, CostProfile) {
+    let universe = trace.universe();
+    let n = universe.num_users();
+    let p0 = universe.num_pages();
+
+    // Extended universe: same owner table plus k pages for user n.
+    let mut owner: Vec<UserId> = (0..p0).map(|p| universe.owner(PageId(p))).collect();
+    owner.extend(std::iter::repeat(UserId(n)).take(k));
+    let extended = Universe::new(n + 1, owner);
+
+    let mut builder = TraceBuilder::new(extended);
+    for r in trace.requests() {
+        builder.push(r.page);
+    }
+    for i in 0..k as u32 {
+        builder.push(PageId(p0 + i));
+    }
+    (builder.build(), costs.with_extra_user(HugeCost))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alg::{run_continuous, TieBreak};
+    use crate::cost::{Marginals, Monomial};
+
+    #[test]
+    fn flush_extends_universe_and_trace() {
+        let u = Universe::uniform(2, 2);
+        let trace = Trace::from_page_indices(&u, &[0, 2, 1]);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let (ft, fc) = with_dummy_flush(&trace, &costs, 3);
+        assert_eq!(ft.universe().num_users(), 3);
+        assert_eq!(ft.universe().num_pages(), 4 + 3);
+        assert_eq!(ft.len(), 3 + 3);
+        assert_eq!(fc.num_users(), 3);
+        // The appended requests belong to the dummy user.
+        assert_eq!(ft.at(3).user, UserId(2));
+        assert_eq!(ft.at(5).page, PageId(6));
+    }
+
+    #[test]
+    fn flush_closes_every_real_interval_with_an_eviction() {
+        let u = Universe::uniform(2, 3);
+        let trace = Trace::from_page_indices(&u, &[0, 3, 1, 4, 0, 3, 2]);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let k = 3;
+        let (ft, fc) = with_dummy_flush(&trace, &costs, k);
+        let run = run_continuous(&ft, k, &fc, Marginals::Derivative, TieBreak::OldestRequest);
+        // After the flush, every real user's evictions equal its misses.
+        for user in 0..2 {
+            let s = run.stats.per_user()[user];
+            assert_eq!(
+                s.evictions, s.misses,
+                "flush must equalize evictions and misses for u{user}"
+            );
+        }
+        // The final interval of every requested real page is evicted.
+        for p in 0..6usize {
+            if let Some(last) = run.state.x[p].last() {
+                assert!(*last, "last interval of p{p} must close with an eviction");
+            }
+        }
+    }
+
+    #[test]
+    fn dummy_pages_survive_real_pages() {
+        // During the flush the dummy's huge cost keeps its pages cached.
+        let u = Universe::single_user(4);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 3, 0, 1]);
+        let costs = CostProfile::uniform(1, Monomial::power(2.0));
+        let k = 2;
+        let (ft, fc) = with_dummy_flush(&trace, &costs, k);
+        let run = run_continuous(&ft, k, &fc, Marginals::Derivative, TieBreak::OldestRequest);
+        // No dummy eviction: dummy user's eviction count is 0.
+        assert_eq!(run.stats.per_user()[1].evictions, 0);
+    }
+}

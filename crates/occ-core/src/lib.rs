@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+//! Online caching with convex costs — the primary contribution of
+//! Menache & Singh, *Online Caching with Convex Costs* (SPAA 2015).
+//!
+//! A single cache of size `k` is shared by `n` tenants; tenant `i` pays
+//! `f_i(m_i)` for `m_i` misses, with `f_i` convex and increasing. This
+//! crate implements:
+//!
+//! * the **cost-function library** ([`cost`]): monomials, polynomials,
+//!   piecewise-linear SLA shapes, combinators, and the curvature constant
+//!   `α = sup x f'(x)/f(x)` that governs every bound;
+//! * **ALG-DISCRETE** ([`alg::ConvexCaching`]) — the paper's Figure 3
+//!   budget algorithm in closed form (`O(log k)` structure maintenance
+//!   per request instead of the figure's `O(k)` sweeps);
+//! * **ALG-CONT** ([`alg::run_continuous`]) — Figure 2 with the full
+//!   primal–dual trajectory `(x°, y°, z°)` recorded;
+//! * the **convex programs** (ICP)/(CP)/(CP-h) of Figures 1 and 4
+//!   ([`cp`]), with feasibility checking and objective evaluation;
+//! * the **§2.3 invariant checker** ([`cp::invariants`]);
+//! * the **theory toolkit** ([`theory`]): Theorem 1.1/1.3 right-hand
+//!   sides, Corollary 1.2 and Theorem 1.4 factors, and a Claim 2.3
+//!   verifier.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use occ_core::prelude::*;
+//! use occ_sim::prelude::*;
+//!
+//! // Two tenants share a cache of 3 pages. Tenant 0 has a steep SLA
+//! // (quadratic), tenant 1 pays per miss.
+//! let universe = Universe::uniform(2, 4);
+//! let costs = CostProfile::new(vec![
+//!     std::sync::Arc::new(Monomial::power(2.0)) as CostFn,
+//!     std::sync::Arc::new(Linear::unit()) as CostFn,
+//! ]);
+//!
+//! let pages: Vec<u32> = (0..100).map(|i| (i * 5 + 2) % 8).collect();
+//! let trace = Trace::from_page_indices(&universe, &pages);
+//!
+//! let mut alg = ConvexCaching::new(costs.clone());
+//! let result = Simulator::new(3).run(&mut alg, &trace);
+//! let cost = costs.total_cost(&result.miss_vector());
+//! assert!(cost > 0.0);
+//! ```
+
+pub mod alg;
+pub mod cost;
+pub mod cp;
+pub mod flush;
+pub mod theory;
+
+pub use alg::{run_continuous, ContinuousRun, ConvexCaching, DiscreteReference, TieBreak};
+pub use cost::{
+    CostFn, CostFunction, CostProfile, Exponential, HugeCost, Linear, Marginals, Monomial,
+    PiecewiseLinear, Polynomial, Scaled, SumCost, ThresholdCost,
+};
+pub use cp::{check_invariants, Assignment, ConvexProgram, InvariantReport};
+pub use flush::with_dummy_flush;
+pub use theory::{
+    alpha_numeric, alpha_of_profile, check_claim_2_3, corollary_1_2_factor, theorem_1_1_rhs,
+    theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower,
+};
+
+/// Convenient glob import.
+pub mod prelude {
+    pub use crate::alg::{
+        run_continuous, ContinuousRun, ConvexCaching, DiscreteReference, TieBreak,
+    };
+    pub use crate::cost::{
+        CostFn, CostFunction, CostProfile, Exponential, HugeCost, Linear, Marginals, Monomial,
+        PiecewiseLinear, Polynomial, Scaled, SumCost, ThresholdCost,
+    };
+    pub use crate::cp::{check_invariants, Assignment, ConvexProgram, InvariantReport};
+    pub use crate::flush::with_dummy_flush;
+    pub use crate::theory::{
+        alpha_numeric, alpha_of_profile, check_claim_2_3, corollary_1_2_factor, theorem_1_1_rhs,
+        theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower,
+    };
+}

@@ -1,0 +1,111 @@
+//! The curvature constant `α = sup_{x>0} x·f'(x)/f(x)` (Theorem 1.1).
+//!
+//! `α` measures how far `f` is from linear: `α = 1` for linear costs,
+//! `α = β` for `x^β`, unbounded for exponentials. Every guarantee in the
+//! paper degrades as `α^α k^α`, so experiments report it alongside the
+//! measured ratios. Cost functions advertise an analytic `α` when they
+//! can ([`crate::cost::CostFunction::alpha`]); this module provides the
+//! numeric fallback and the profile-level maximum.
+
+use crate::cost::{CostFunction, CostProfile};
+
+/// Numerically estimate `sup_{0 < x ≤ x_max} x·f'(x)/f(x)` over a
+/// log-spaced grid of `samples` points.
+///
+/// The estimate is a *lower* bound on the true supremum (it only inspects
+/// grid points); pair it with the analytic value when validating. Points
+/// where `f(x)` is not strictly positive are skipped; if every point is
+/// skipped the function is degenerate on the range and `None` is
+/// returned.
+pub fn alpha_numeric(f: &dyn CostFunction, x_max: f64, samples: usize) -> Option<f64> {
+    assert!(x_max > 0.0 && samples >= 2);
+    let lo = (x_max * 1e-6).max(1e-12);
+    let ratio = (x_max / lo).powf(1.0 / (samples - 1) as f64);
+    let mut best: Option<f64> = None;
+    let mut x = lo;
+    for _ in 0..samples {
+        let fx = f.eval(x);
+        if fx > 0.0 {
+            let r = x * f.deriv(x) / fx;
+            if r.is_finite() {
+                best = Some(best.map_or(r, |b: f64| b.max(r)));
+            }
+        }
+        x *= ratio;
+    }
+    best
+}
+
+/// The profile-level `α = sup_{x,i} x f_i'(x)/f_i(x)`: the analytic
+/// maximum when every user advertises one, otherwise the numeric estimate
+/// over `(0, x_max]`.
+pub fn alpha_of_profile(costs: &CostProfile, x_max: f64) -> Option<f64> {
+    if let Some(a) = costs.alpha() {
+        return Some(a);
+    }
+    let mut best: Option<f64> = None;
+    for u in 0..costs.num_users() {
+        let a = alpha_numeric(costs.user(occ_sim::UserId(u)), x_max, 512)?;
+        best = Some(best.map_or(a, |b: f64| b.max(a)));
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::{Exponential, Linear, Monomial, PiecewiseLinear};
+
+    #[test]
+    fn numeric_matches_analytic_for_monomials() {
+        for beta in [1.0, 2.0, 3.5] {
+            let f = Monomial::power(beta);
+            let est = alpha_numeric(&f, 1e4, 256).unwrap();
+            assert!(
+                (est - beta).abs() < 1e-6,
+                "β={beta}: numeric α = {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_matches_analytic_for_sla() {
+        let f = PiecewiseLinear::sla(10.0, 1.0, 20.0);
+        let analytic = f.alpha().unwrap();
+        // Grid won't hit x = 10 exactly; allow a small shortfall but
+        // never an overshoot (numeric is a lower bound on the sup).
+        let est = alpha_numeric(&f, 1e3, 20_000).unwrap();
+        assert!(est <= analytic + 1e-9);
+        assert!(est > 0.9 * analytic, "est {est} vs analytic {analytic}");
+    }
+
+    #[test]
+    fn exponential_alpha_grows_with_range() {
+        let f = Exponential::new(1.0, 1.0);
+        let small = alpha_numeric(&f, 5.0, 256).unwrap();
+        let large = alpha_numeric(&f, 50.0, 256).unwrap();
+        assert!(large > small * 2.0, "α estimate must diverge: {small} → {large}");
+    }
+
+    #[test]
+    fn profile_alpha_prefers_analytic() {
+        let p = CostProfile::uniform(2, Monomial::power(3.0));
+        assert_eq!(alpha_of_profile(&p, 100.0), Some(3.0));
+    }
+
+    #[test]
+    fn profile_alpha_numeric_fallback() {
+        // Exponential reports None analytically; fallback estimates on
+        // the given range.
+        let p = CostProfile::uniform(1, Exponential::new(1.0, 0.5));
+        let a = alpha_of_profile(&p, 10.0).unwrap();
+        // x f'/f at x = 10: 5·e^5/(e^5 − 1) ≈ 5.03.
+        assert!((a - 5.034).abs() < 0.1, "got {a}");
+    }
+
+    #[test]
+    fn linear_alpha_is_one() {
+        let a = alpha_numeric(&Linear::new(4.0), 100.0, 64).unwrap();
+        assert!((a - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! The guarantees of Theorems 1.1, 1.3, 1.4 and Corollary 1.2 as
+//! evaluatable quantities.
+//!
+//! The paper's guarantees are *not* plain multiplicative ratios: Theorem
+//! 1.1 bounds the online cost by the offline cost evaluated at *inflated
+//! miss counts*, `Σ_i f_i(α·k·b_i)`. For monomials this collapses to the
+//! familiar `β^β k^β` multiplicative form of Corollary 1.2. The bench
+//! harness reports both forms.
+
+use crate::cost::CostProfile;
+
+/// Right-hand side of Theorem 1.1: `Σ_i f_i(α·k·b_i)` where `b_i` are the
+/// offline algorithm's per-user miss counts.
+pub fn theorem_1_1_rhs(costs: &CostProfile, opt_misses: &[u64], alpha: f64, k: usize) -> f64 {
+    costs.total_cost_scaled(opt_misses, alpha * k as f64)
+}
+
+/// The bi-criteria inflation factor of Theorem 1.3: `α·k/(k−h+1)` for an
+/// offline cache of size `h ≤ k`.
+pub fn theorem_1_3_factor(alpha: f64, k: usize, h: usize) -> f64 {
+    assert!(h >= 1 && h <= k, "need 1 ≤ h ≤ k");
+    alpha * k as f64 / (k - h + 1) as f64
+}
+
+/// Right-hand side of Theorem 1.3: `Σ_i f_i(α·k/(k−h+1)·b_i)` where `b_i`
+/// are the misses of the offline optimum with cache size `h`.
+pub fn theorem_1_3_rhs(
+    costs: &CostProfile,
+    opt_misses_h: &[u64],
+    alpha: f64,
+    k: usize,
+    h: usize,
+) -> f64 {
+    costs.total_cost_scaled(opt_misses_h, theorem_1_3_factor(alpha, k, h))
+}
+
+/// Corollary 1.2's multiplicative competitive ratio for `f(x) = x^β`:
+/// `β^β · k^β`.
+pub fn corollary_1_2_factor(beta: f64, k: usize) -> f64 {
+    beta.powf(beta) * (k as f64).powf(beta)
+}
+
+/// Theorem 1.4's lower bound on the competitive ratio of *any*
+/// deterministic online algorithm on the §4 instance with `n` users
+/// (cache size `k = n−1`) and costs `x^β`: `(k/4)^β` up to the paper's
+/// constants (`(n/4)^β` with `k = n−1`; we report `(n/4)^β`).
+pub fn theorem_1_4_lower(n: usize, beta: f64) -> f64 {
+    (n as f64 / 4.0).powf(beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::Monomial;
+
+    #[test]
+    fn theorem_1_1_rhs_inflates_miss_counts() {
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        // α = 2, k = 4 ⇒ factor 8: Σ f(8·b) = 64 + 256.
+        let rhs = theorem_1_1_rhs(&costs, &[1, 2], 2.0, 4);
+        assert_eq!(rhs, 64.0 + 256.0);
+    }
+
+    #[test]
+    fn monomial_rhs_equals_corollary_factor_times_opt() {
+        // For f = x^β: f(αk·b) = (βk)^β · f(b) = β^β k^β f(b).
+        let beta = 3.0;
+        let k = 5;
+        let costs = CostProfile::uniform(1, Monomial::power(beta));
+        let b = [4u64];
+        let rhs = theorem_1_1_rhs(&costs, &b, beta, k);
+        let factor_form = corollary_1_2_factor(beta, k) * costs.total_cost(&b);
+        assert!((rhs - factor_form).abs() < 1e-6 * rhs);
+    }
+
+    #[test]
+    fn bicriteria_factor_interpolates() {
+        // h = k recovers αk; h = 1 recovers α (up to k/k).
+        assert_eq!(theorem_1_3_factor(2.0, 8, 8), 16.0);
+        assert_eq!(theorem_1_3_factor(2.0, 8, 1), 2.0);
+        // And it is monotone in h.
+        let f: Vec<f64> = (1..=8).map(|h| theorem_1_3_factor(1.0, 8, h)).collect();
+        assert!(f.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ h ≤ k")]
+    fn bicriteria_rejects_h_above_k() {
+        theorem_1_3_factor(1.0, 4, 5);
+    }
+
+    #[test]
+    fn corollary_factor_linear_case_is_k() {
+        assert_eq!(corollary_1_2_factor(1.0, 10), 10.0);
+        assert_eq!(corollary_1_2_factor(2.0, 10), 400.0);
+    }
+
+    #[test]
+    fn lower_bound_grows_with_n_and_beta() {
+        assert!(theorem_1_4_lower(16, 2.0) > theorem_1_4_lower(8, 2.0));
+        assert!(theorem_1_4_lower(16, 3.0) > theorem_1_4_lower(16, 2.0));
+        assert_eq!(theorem_1_4_lower(8, 1.0), 2.0);
+    }
+
+    #[test]
+    fn upper_and_lower_bounds_sandwich() {
+        // Corollary 1.2 vs Theorem 1.4: they differ by at most β^β·4^β
+        // (constants aside), and upper ≥ lower always.
+        for n in [4usize, 8, 32] {
+            for beta in [1.0, 2.0, 3.0] {
+                let k = n - 1;
+                assert!(corollary_1_2_factor(beta, k) >= theorem_1_4_lower(n, beta));
+            }
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Theory utilities: the curvature constant `α`, the bounds of Theorems
+//! 1.1/1.3 and Corollary 1.2, and a numeric verifier for Claim 2.3.
+
+pub mod alpha;
+pub mod bounds;
+pub mod claim23;
+
+pub use alpha::{alpha_numeric, alpha_of_profile};
+pub use bounds::{
+    corollary_1_2_factor, theorem_1_1_rhs, theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower,
+};
+pub use claim23::{check_claim_2_3, Claim23Outcome};

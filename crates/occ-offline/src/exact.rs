@@ -1,0 +1,245 @@
+//! Exact offline optimum for the convex objective, by memoized search.
+//!
+//! The offline problem minimizes `Σ_i f_i(m_i)` over all valid eviction
+//! schedules — unlike classic paging the objective is *not* the total
+//! miss count, so Belady's exchange argument does not apply and the
+//! per-user miss vector matters. This solver explores
+//! `(time, cache set, per-user miss vector)` states with memoization;
+//! it is exponential and intended for instances with roughly
+//! `|P| ≤ 10, T ≤ 16`, where it provides ground truth for:
+//!
+//! * the competitive-ratio experiments' small-instance mode (E1), and
+//! * correctness tests of every offline heuristic and of Theorem 1.1's
+//!   inequality itself.
+
+use occ_core::CostProfile;
+use occ_sim::{Trace, UserId};
+use std::collections::HashMap;
+
+/// Result of the exact solver.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExactOpt {
+    /// Minimal achievable total cost `Σ_i f_i(b_i)`.
+    pub cost: f64,
+    /// A per-user miss vector `b_i` attaining it.
+    pub misses: Vec<u64>,
+}
+
+/// Hard cap on explored states, to fail fast on oversized instances.
+const MAX_STATES: usize = 20_000_000;
+
+/// Compute the exact offline optimum of `Σ_i f_i(m_i)` for `trace` with
+/// cache size `k`.
+///
+/// Panics if the instance exceeds the supported size (more than 30 pages
+/// or a state-space blowup beyond the internal state cap).
+pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
+    let universe = trace.universe();
+    let num_pages = universe.num_pages();
+    assert!(num_pages <= 30, "exact solver supports ≤ 30 pages");
+    assert!(k >= 1);
+    let num_users = universe.num_users() as usize;
+
+    // Requests as (page bit, user index).
+    let reqs: Vec<(u32, usize)> = trace
+        .requests()
+        .iter()
+        .map(|r| (r.page.0, r.user.index()))
+        .collect();
+
+    // Memo: (t, cache mask, miss vector) → best completion cost given
+    // misses-so-far are *not* yet charged (cost charged only at the end).
+    // Because the final cost depends on absolute miss counts, the miss
+    // vector must be part of the key.
+    struct Ctx<'a> {
+        reqs: &'a [(u32, usize)],
+        k: usize,
+        costs: &'a CostProfile,
+        memo: HashMap<(u32, u32, Vec<u16>), f64>,
+        states: usize,
+    }
+
+    fn final_cost(costs: &CostProfile, misses: &[u16]) -> f64 {
+        misses
+            .iter()
+            .enumerate()
+            .map(|(u, &m)| costs.user(UserId(u as u32)).eval(m as f64))
+            .sum()
+    }
+
+    fn go(ctx: &mut Ctx, t: usize, mask: u32, misses: &mut Vec<u16>) -> f64 {
+        if t == ctx.reqs.len() {
+            return final_cost(ctx.costs, misses);
+        }
+        let key = (t as u32, mask, misses.clone());
+        if let Some(&v) = ctx.memo.get(&key) {
+            return v;
+        }
+        ctx.states += 1;
+        assert!(
+            ctx.states <= MAX_STATES,
+            "exact solver state space exceeded {MAX_STATES} states"
+        );
+        let (page, user) = ctx.reqs[t];
+        let bit = 1u32 << page;
+        let value = if mask & bit != 0 {
+            go(ctx, t + 1, mask, misses)
+        } else {
+            misses[user] += 1;
+            let v = if (mask.count_ones() as usize) < ctx.k {
+                go(ctx, t + 1, mask | bit, misses)
+            } else {
+                let mut best = f64::INFINITY;
+                let mut m = mask;
+                while m != 0 {
+                    let victim = m & m.wrapping_neg();
+                    m ^= victim;
+                    let v = go(ctx, t + 1, (mask ^ victim) | bit, misses);
+                    if v < best {
+                        best = v;
+                    }
+                }
+                best
+            };
+            misses[user] -= 1;
+            v
+        };
+        ctx.memo.insert(key, value);
+        value
+    }
+
+    let mut ctx = Ctx {
+        reqs: &reqs,
+        k,
+        costs,
+        memo: HashMap::new(),
+        states: 0,
+    };
+    let mut misses = vec![0u16; num_users];
+    let cost = go(&mut ctx, 0, 0, &mut misses);
+
+    // Reconstruct one optimal miss vector by replaying greedy choices.
+    let mut mask = 0u32;
+    let mut mvec = vec![0u16; num_users];
+    for (t, &(page, user)) in reqs.iter().enumerate() {
+        let bit = 1u32 << page;
+        if mask & bit != 0 {
+            continue;
+        }
+        mvec[user] += 1;
+        if (mask.count_ones() as usize) < k {
+            mask |= bit;
+            continue;
+        }
+        // Pick the victim whose completion matches the memoized optimum.
+        let mut chosen = None;
+        let mut best = f64::INFINITY;
+        let mut m = mask;
+        while m != 0 {
+            let victim = m & m.wrapping_neg();
+            m ^= victim;
+            let v = go(&mut ctx, t + 1, (mask ^ victim) | bit, &mut mvec);
+            if v < best {
+                best = v;
+                chosen = Some(victim);
+            }
+        }
+        mask = (mask ^ chosen.expect("cache non-empty")) | bit;
+    }
+
+    ExactOpt {
+        cost,
+        misses: mvec.iter().map(|&m| m as u64).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::belady::belady_total_misses;
+    use occ_core::{CostFn, Linear, Monomial};
+    use occ_sim::Universe;
+    use std::sync::Arc;
+
+    #[test]
+    fn equals_belady_for_uniform_linear() {
+        // With identical linear costs the objective is the total miss
+        // count, for which MIN is provably optimal.
+        let u = Universe::single_user(4);
+        for seed in 0..20u32 {
+            let pages: Vec<u32> = (0..10).map(|i| (i * 7 + seed) % 4).collect();
+            let trace = Trace::from_page_indices(&u, &pages);
+            let costs = CostProfile::uniform(1, Linear::unit());
+            let opt = exact_opt(&trace, 2, &costs);
+            assert_eq!(
+                opt.cost as u64,
+                belady_total_misses(&trace, 2),
+                "trace {pages:?}"
+            );
+            assert_eq!(opt.misses.iter().sum::<u64>() as f64, opt.cost);
+        }
+    }
+
+    #[test]
+    fn convex_opt_can_beat_miss_count_opt() {
+        // Two users, u0 quadratic, u1 linear-with-tiny-weight: the convex
+        // optimum may take *more* total misses to spare u0.
+        let u = Universe::uniform(2, 2); // u0: p0 p1; u1: p2 p3
+        let costs = CostProfile::new(vec![
+            Arc::new(Monomial::power(2.0)) as CostFn,
+            Arc::new(Linear::new(0.1)) as CostFn,
+        ]);
+        // Alternate u0's two pages with u1's two pages; k=2 forces churn.
+        let trace = Trace::from_page_indices(&u, &[0, 2, 1, 3, 0, 2, 1, 3, 0, 2]);
+        let opt = exact_opt(&trace, 2, &costs);
+        // The optimum should shift misses onto the cheap user.
+        assert!(
+            opt.misses[1] >= opt.misses[0],
+            "expected cheap user to absorb misses, got {:?}",
+            opt.misses
+        );
+        // And its cost must be ≤ the cost-blind MIN vector's cost.
+        let blind = crate::belady::belady_miss_vector(&trace, 2);
+        assert!(opt.cost <= costs.total_cost(&blind) + 1e-9);
+    }
+
+    #[test]
+    fn zero_misses_when_everything_fits() {
+        let u = Universe::single_user(3);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 0, 1, 2]);
+        let costs = CostProfile::uniform(1, Monomial::power(2.0));
+        let opt = exact_opt(&trace, 3, &costs);
+        assert_eq!(opt.misses, vec![3]); // compulsory misses only
+        assert_eq!(opt.cost, 9.0);
+    }
+
+    #[test]
+    fn miss_vector_is_consistent_with_cost() {
+        let u = Universe::uniform(2, 2);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let trace = Trace::from_page_indices(&u, &[0, 2, 3, 1, 0, 2, 3, 1]);
+        let opt = exact_opt(&trace, 2, &costs);
+        assert!((costs.total_cost(&opt.misses) - opt.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn opt_lower_bounds_any_online_policy() {
+        use occ_core::ConvexCaching;
+        use occ_sim::Simulator;
+        let u = Universe::uniform(2, 2);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        for seed in 0..12u32 {
+            let pages: Vec<u32> = (0..12).map(|i| (i * 5 + seed) % 4).collect();
+            let trace = Trace::from_page_indices(&u, &pages);
+            let opt = exact_opt(&trace, 2, &costs);
+            let mut alg = ConvexCaching::new(costs.clone());
+            let online = Simulator::new(2).run(&mut alg, &trace);
+            let online_cost = costs.total_cost(&online.miss_vector());
+            assert!(
+                online_cost + 1e-9 >= opt.cost,
+                "online {online_cost} below OPT {} on {pages:?}",
+                opt.cost
+            );
+        }
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+//! Offline algorithms and optimality references.
+//!
+//! Everything the competitive-ratio experiments compare against:
+//!
+//! * [`Belady`] — classic MIN \[4\], exact for the aggregate miss count
+//!   (and exact for the paper's objective in the single-user case);
+//! * [`CostAwareBelady`] — a scalable offline heuristic for the convex
+//!   objective (upper bound on OPT);
+//! * [`exact_opt`] — the exact convex-objective optimum by memoized
+//!   search, for small instances (ground truth in tests and E1);
+//! * [`batch_offline`] — the §4 batch schedule that certifies Theorem
+//!   1.4's lower bound.
+
+pub mod batch;
+pub mod belady;
+pub mod belady_cost;
+pub mod exact;
+
+pub use batch::{batch_offline, BatchOfflineResult};
+pub use belady::{belady_miss_vector, belady_total_misses, Belady};
+pub use belady_cost::{cost_belady_miss_vector, CostAwareBelady};
+pub use exact::{exact_opt, ExactOpt};
+
+use occ_core::CostProfile;
+use occ_sim::Trace;
+
+/// The tightest offline *upper bound* on OPT's cost that scales to large
+/// traces: the better of cost-blind MIN and the cost-aware heuristic.
+///
+/// Returns `(cost, miss_vector)` of the better schedule. Since both are
+/// valid offline schedules, the true OPT cost is ≤ the returned cost.
+pub fn best_offline_heuristic(trace: &Trace, k: usize, costs: &CostProfile) -> (f64, Vec<u64>) {
+    let blind = belady_miss_vector(trace, k);
+    let aware = cost_belady_miss_vector(trace, k, costs);
+    let cb = costs.total_cost(&blind);
+    let ca = costs.total_cost(&aware);
+    if ca <= cb {
+        (ca, aware)
+    } else {
+        (cb, blind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_core::Monomial;
+    use occ_sim::Universe;
+
+    #[test]
+    fn best_heuristic_upper_bounds_exact_opt() {
+        let u = Universe::uniform(2, 2);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        for seed in 0..10u32 {
+            let pages: Vec<u32> = (0..12).map(|i| (i * 7 + seed) % 4).collect();
+            let trace = Trace::from_page_indices(&u, &pages);
+            let (heur_cost, heur_misses) = best_offline_heuristic(&trace, 2, &costs);
+            let opt = exact_opt(&trace, 2, &costs);
+            assert!(
+                heur_cost + 1e-9 >= opt.cost,
+                "heuristic {heur_cost} below OPT {} on {pages:?}",
+                opt.cost
+            );
+            assert!((costs.total_cost(&heur_misses) - heur_cost).abs() < 1e-9);
+        }
+    }
+}

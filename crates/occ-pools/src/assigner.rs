@@ -1,0 +1,326 @@
+//! User→pool assignment policies.
+//!
+//! The runner invokes the assigner once at the start (initial placement)
+//! and once per epoch boundary with a summary of the last epoch; the
+//! assigner returns migrations, which the runner applies (each one
+//! charging the switching cost and dropping the user's cached pages).
+
+use occ_core::CostProfile;
+use occ_sim::UserId;
+
+/// Epoch summary handed to [`PoolAssigner::rebalance`].
+pub struct EpochView<'a> {
+    /// Zero-based index of the epoch that just ended.
+    pub epoch: u64,
+    /// Current user→pool assignment.
+    pub assignment: &'a [usize],
+    /// Cache size of each pool.
+    pub pool_sizes: &'a [usize],
+    /// Per-user misses during the last epoch.
+    pub epoch_misses: &'a [u64],
+    /// Per-user requests during the last epoch.
+    pub epoch_requests: &'a [u64],
+    /// Per-user cumulative misses since the start.
+    pub total_misses: &'a [u64],
+    /// Per-user cost functions.
+    pub costs: &'a CostProfile,
+    /// Flat fee per migration.
+    pub switching_cost: f64,
+}
+
+impl EpochView<'_> {
+    /// Requests per pool during the last epoch.
+    pub fn pool_loads(&self) -> Vec<u64> {
+        let mut loads = vec![0u64; self.pool_sizes.len()];
+        for (u, &pool) in self.assignment.iter().enumerate() {
+            loads[pool] += self.epoch_requests[u];
+        }
+        loads
+    }
+
+    /// Estimated marginal cost pressure of a user: the cost of repeating
+    /// last epoch's misses at the user's current position on its cost
+    /// curve, `f(m + e) − f(m)`.
+    pub fn pressure(&self, user: UserId) -> f64 {
+        let f = self.costs.user(user);
+        let m = self.total_misses[user.index()] as f64;
+        let e = self.epoch_misses[user.index()] as f64;
+        f.eval(m + e) - f.eval(m)
+    }
+}
+
+/// Decides initial placement and per-epoch migrations.
+pub trait PoolAssigner {
+    /// Name for experiment tables.
+    fn name(&self) -> String;
+
+    /// Initial user→pool assignment.
+    fn initial(&mut self, num_users: u32, num_pools: usize) -> Vec<usize>;
+
+    /// Called at each epoch boundary; returns `(user, destination pool)`
+    /// migrations to apply.
+    fn rebalance(&mut self, _view: &EpochView) -> Vec<(UserId, usize)> {
+        Vec::new()
+    }
+}
+
+/// Round-robin initial placement, never migrates.
+#[derive(Debug, Default)]
+pub struct StaticAssigner;
+
+impl PoolAssigner for StaticAssigner {
+    fn name(&self) -> String {
+        "static".into()
+    }
+
+    fn initial(&mut self, num_users: u32, num_pools: usize) -> Vec<usize> {
+        (0..num_users as usize).map(|u| u % num_pools).collect()
+    }
+}
+
+/// Balances request load: each epoch, moves the heaviest user of the most
+/// loaded pool to the least loaded pool when the imbalance exceeds a
+/// factor of two — a classic load-balancer oblivious to cost functions.
+#[derive(Debug, Default)]
+pub struct LoadBalancer;
+
+impl PoolAssigner for LoadBalancer {
+    fn name(&self) -> String {
+        "load-balance".into()
+    }
+
+    fn initial(&mut self, num_users: u32, num_pools: usize) -> Vec<usize> {
+        (0..num_users as usize).map(|u| u % num_pools).collect()
+    }
+
+    fn rebalance(&mut self, view: &EpochView) -> Vec<(UserId, usize)> {
+        let loads = view.pool_loads();
+        let (max_pool, &max_load) = loads
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &l)| l)
+            .expect("at least one pool");
+        let (min_pool, &min_load) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("at least one pool");
+        if max_pool == min_pool || max_load < 2 * min_load.max(1) {
+            return Vec::new();
+        }
+        // Heaviest user in the overloaded pool.
+        let user = view
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == max_pool)
+            .max_by_key(|&(u, _)| view.epoch_requests[u])
+            .map(|(u, _)| UserId(u as u32));
+        match user {
+            Some(u) => vec![(u, min_pool)],
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Cost-aware rebalancer: migrates only when *contention* (request load
+/// per cache slot) is genuinely asymmetric across pools, and then moves
+/// the hot pool's highest-cost-pressure user to the calmest pool if the
+/// estimated relief clears the switching fee.
+///
+/// The split of roles is deliberate: contention decides *whether* a
+/// migration can help at all (a user with intrinsically growing convex
+/// cost suffers in any pool — relocating it buys nothing and drops its
+/// cached pages), while cost pressure decides *who* is worth the fee.
+/// Using cost pressure as the trigger instead causes flapping: a
+/// quadratic tenant's pressure grows with its cumulative misses, so its
+/// pool always looks "hot" and the rebalancer would shuttle it forever.
+#[derive(Debug, Default)]
+pub struct CostAwareRebalancer {
+    /// Cooldown: do not move the same user twice in a row.
+    last_moved: Option<u32>,
+}
+
+impl PoolAssigner for CostAwareRebalancer {
+    fn name(&self) -> String {
+        "cost-aware".into()
+    }
+
+    fn initial(&mut self, num_users: u32, num_pools: usize) -> Vec<usize> {
+        (0..num_users as usize).map(|u| u % num_pools).collect()
+    }
+
+    fn rebalance(&mut self, view: &EpochView) -> Vec<(UserId, usize)> {
+        let num_pools = view.pool_sizes.len();
+        if num_pools < 2 {
+            return Vec::new();
+        }
+        // Contention = request load per cache slot.
+        let loads = view.pool_loads();
+        let contention: Vec<f64> = loads
+            .iter()
+            .zip(view.pool_sizes)
+            .map(|(&l, &s)| l as f64 / s.max(1) as f64)
+            .collect();
+        let (src, src_c) = contention
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &c)| (i, c))
+            .expect("at least one pool");
+        let (dest, dest_c) = contention
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, &c)| (i, c))
+            .expect("at least one pool");
+        // Guard 1: migration only relieves *asymmetric* contention.
+        if src == dest || src_c < 2.0 * dest_c.max(1.0) {
+            return Vec::new();
+        }
+
+        // Candidate: the highest-cost-pressure user of the hot pool
+        // (skipping the cooldown user) — the one whose misses are most
+        // expensive is the one most worth protecting.
+        let candidate = view
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|&(u, &p)| p == src && Some(u as u32) != self.last_moved)
+            .max_by(|a, b| {
+                view.pressure(UserId(a.0 as u32))
+                    .total_cmp(&view.pressure(UserId(b.0 as u32)))
+            })
+            .map(|(u, _)| UserId(u as u32));
+        let Some(user) = candidate else {
+            return Vec::new();
+        };
+        // Guard 2: the fee must be recoverable from the candidate's own
+        // pressure (conservatively, half of it).
+        let relief = 0.5 * view.pressure(user);
+        if relief > view.switching_cost {
+            self.last_moved = Some(user.0);
+            vec![(user, dest)]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_core::{CostProfile, Monomial};
+
+    fn view<'a>(
+        assignment: &'a [usize],
+        pool_sizes: &'a [usize],
+        epoch_misses: &'a [u64],
+        epoch_requests: &'a [u64],
+        total_misses: &'a [u64],
+        costs: &'a CostProfile,
+        switching_cost: f64,
+    ) -> EpochView<'a> {
+        EpochView {
+            epoch: 0,
+            assignment,
+            pool_sizes,
+            epoch_misses,
+            epoch_requests,
+            total_misses,
+            costs,
+            switching_cost,
+        }
+    }
+
+    #[test]
+    fn static_assigner_round_robins_and_never_moves() {
+        let mut a = StaticAssigner;
+        assert_eq!(a.initial(5, 2), vec![0, 1, 0, 1, 0]);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let v = view(&[0, 1], &[4, 4], &[10, 0], &[100, 1], &[10, 0], &costs, 0.0);
+        assert!(a.rebalance(&v).is_empty());
+    }
+
+    #[test]
+    fn load_balancer_moves_heaviest_from_hot_pool() {
+        let mut a = LoadBalancer;
+        let costs = CostProfile::uniform(4, Monomial::power(1.0));
+        // Pool 0 has users 0,1 with heavy load; pool 1 has 2,3 idle.
+        let v = view(
+            &[0, 0, 1, 1],
+            &[4, 4],
+            &[5, 5, 0, 0],
+            &[90, 40, 3, 2],
+            &[5, 5, 0, 0],
+            &costs,
+            1.0,
+        );
+        let moves = a.rebalance(&v);
+        assert_eq!(moves, vec![(UserId(0), 1)]);
+    }
+
+    #[test]
+    fn load_balancer_tolerates_mild_imbalance() {
+        let mut a = LoadBalancer;
+        let costs = CostProfile::uniform(2, Monomial::power(1.0));
+        let v = view(&[0, 1], &[4, 4], &[1, 1], &[30, 20], &[1, 1], &costs, 1.0);
+        assert!(a.rebalance(&v).is_empty());
+    }
+
+    #[test]
+    fn cost_aware_respects_switching_fee() {
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        // Pool 0 is contended (25 req/slot vs 5) and user 0 is suffering.
+        let mk = |fee| {
+            let mut a = CostAwareRebalancer::default();
+            let v = view(&[0, 1], &[4, 4], &[10, 0], &[100, 20], &[20, 0], &costs, fee);
+            a.rebalance(&v)
+        };
+        // pressure = f(30) − f(20) = 900 − 400 = 500; relief 250.
+        assert_eq!(mk(100.0), vec![(UserId(0), 1)]);
+        assert!(mk(1_000.0).is_empty(), "fee dwarfs the relief");
+    }
+
+    #[test]
+    fn cost_aware_needs_contention_asymmetry() {
+        // Even a suffering user stays put when pools are equally loaded:
+        // its pressure is intrinsic, not caused by colocation.
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let mut a = CostAwareRebalancer::default();
+        let v = view(&[0, 1], &[4, 4], &[10, 0], &[50, 50], &[20, 0], &costs, 0.0);
+        assert!(a.rebalance(&v).is_empty());
+    }
+
+    #[test]
+    fn cost_aware_cooldown_prevents_flapping() {
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let mut a = CostAwareRebalancer::default();
+        let assignment = [0usize, 1];
+        let v = view(&assignment, &[4, 4], &[10, 0], &[100, 20], &[20, 0], &costs, 1.0);
+        let first = a.rebalance(&v);
+        assert_eq!(first, vec![(UserId(0), 1)]);
+        // Both users now share pool 1: it is the contended pool, but the
+        // only non-cooldown candidate (user 1) has zero pressure.
+        let v2 = view(&[1, 1], &[4, 4], &[10, 0], &[0, 120], &[30, 0], &costs, 1.0);
+        assert!(a.rebalance(&v2).is_empty());
+    }
+
+    #[test]
+    fn epoch_view_helpers() {
+        let costs = CostProfile::uniform(3, Monomial::power(2.0));
+        let v = view(
+            &[0, 0, 1],
+            &[4, 4],
+            &[2, 0, 1],
+            &[10, 5, 7],
+            &[4, 0, 1],
+            &costs,
+            0.0,
+        );
+        assert_eq!(v.pool_loads(), vec![15, 7]);
+        // pressure(u0) = f(6) − f(4) = 36 − 16 = 20.
+        assert_eq!(v.pressure(UserId(0)), 20.0);
+        assert_eq!(v.pressure(UserId(1)), 0.0);
+    }
+}

@@ -1,0 +1,57 @@
+#![warn(missing_docs)]
+//! Multiple memory pools with user migration — the paper's §5 future
+//! work, built out:
+//!
+//! > *"An interesting direction for future work is to consider the case
+//! > of multiple memory pools (e.g., each pool corresponds to a single
+//! > physical server), where each user has to be assigned to a single
+//! > pool, with potentially switching cost incurred for migrating users
+//! > between servers."*
+//!
+//! * [`PoolSystem`] — several independent caches (each with its own
+//!   replacement policy, typically the paper's
+//!   [`occ_core::ConvexCaching`]), request routing by user assignment,
+//!   and migration that drops the migrating user's cached pages and
+//!   charges a switching fee;
+//! * [`PoolAssigner`] — the placement/rebalancing interface, with
+//!   [`StaticAssigner`], [`LoadBalancer`] (cost-blind) and
+//!   [`CostAwareRebalancer`] (moves the user under the highest convex
+//!   cost pressure when the estimated relief clears the fee);
+//! * [`run_pools`] — epoch-driven execution over a trace.
+//!
+//! The `exp_pools` binary in `occ-bench` sweeps switching costs and
+//! compares assigners; see EXPERIMENTS.md.
+//!
+//! ```
+//! use occ_core::{ConvexCaching, CostProfile, Monomial};
+//! use occ_pools::{run_pools, PoolsConfig, StaticAssigner};
+//! use occ_sim::{ReplacementPolicy, Trace, Universe};
+//!
+//! // Four single-page users served by two pools of 2 pages each.
+//! let universe = Universe::uniform(4, 1);
+//! let trace = Trace::from_page_indices(&universe, &[0, 1, 2, 3, 0, 1, 2, 3]);
+//! let costs = CostProfile::uniform(4, Monomial::power(2.0));
+//!
+//! let result = run_pools(
+//!     &trace,
+//!     PoolsConfig::uniform(2, 2, 10.0),
+//!     &costs,
+//!     &mut StaticAssigner,
+//!     4, // epoch length
+//!     |_pool| Box::new(ConvexCaching::new(
+//!         CostProfile::uniform(4, Monomial::power(2.0)),
+//!     )) as Box<dyn ReplacementPolicy>,
+//! );
+//! // Round-robin placement gives each pool two single-page users: all
+//! // eight requests fit, so only the four compulsory misses occur.
+//! assert_eq!(result.misses, vec![1, 1, 1, 1]);
+//! assert_eq!(result.migrations, 0);
+//! ```
+
+pub mod assigner;
+pub mod runner;
+pub mod system;
+
+pub use assigner::{CostAwareRebalancer, EpochView, LoadBalancer, PoolAssigner, StaticAssigner};
+pub use runner::{run_pools, PoolsRunResult};
+pub use system::{PoolSystem, PoolsConfig};

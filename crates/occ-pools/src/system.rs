@@ -1,0 +1,234 @@
+//! The multi-pool cache system: several independent caches, each running
+//! its own replacement policy; every user is assigned to exactly one
+//! pool; moving a user between pools costs a switching fee and drops the
+//! user's cached pages (they were physically resident in the old pool).
+//!
+//! This is the model sketched in the paper's conclusion (§5): *"the case
+//! of multiple memory pools (e.g., each pool corresponds to a single
+//! physical server), where each user has to be assigned to a single
+//! pool, with potentially switching cost incurred for migrating users
+//! between servers."*
+
+use occ_core::CostProfile;
+use occ_sim::{Request, ReplacementPolicy, StepOutcome, SteppingEngine, Universe, UserId};
+
+/// Static configuration of a multi-pool system.
+#[derive(Clone, Debug)]
+pub struct PoolsConfig {
+    /// Cache size of each pool.
+    pub pool_sizes: Vec<usize>,
+    /// Flat cost charged per user migration.
+    pub switching_cost: f64,
+}
+
+impl PoolsConfig {
+    /// Uniform pools: `num_pools` pools of `size` pages each.
+    pub fn uniform(num_pools: usize, size: usize, switching_cost: f64) -> Self {
+        assert!(num_pools >= 1 && size >= 1);
+        assert!(switching_cost >= 0.0);
+        PoolsConfig {
+            pool_sizes: vec![size; num_pools],
+            switching_cost,
+        }
+    }
+
+    /// Number of pools.
+    pub fn num_pools(&self) -> usize {
+        self.pool_sizes.len()
+    }
+}
+
+/// A running multi-pool system.
+pub struct PoolSystem {
+    config: PoolsConfig,
+    universe: Universe,
+    engines: Vec<SteppingEngine<Box<dyn ReplacementPolicy>>>,
+    /// `assignment[user]` = current pool of the user.
+    assignment: Vec<usize>,
+    migrations: u64,
+    /// Pages dropped from caches by migrations (each will re-miss).
+    dropped_pages: u64,
+}
+
+impl PoolSystem {
+    /// Build a system. `make_policy(pool)` constructs the replacement
+    /// policy of each pool; `initial_assignment[user]` must name a valid
+    /// pool for every user of `universe`.
+    pub fn new(
+        config: PoolsConfig,
+        universe: Universe,
+        initial_assignment: Vec<usize>,
+        mut make_policy: impl FnMut(usize) -> Box<dyn ReplacementPolicy>,
+    ) -> Self {
+        assert_eq!(
+            initial_assignment.len(),
+            universe.num_users() as usize,
+            "one pool per user"
+        );
+        assert!(
+            initial_assignment.iter().all(|&p| p < config.num_pools()),
+            "assignment references a pool that does not exist"
+        );
+        let engines = (0..config.num_pools())
+            .map(|i| SteppingEngine::new(config.pool_sizes[i], universe.clone(), make_policy(i)))
+            .collect();
+        PoolSystem {
+            config,
+            universe,
+            engines,
+            assignment: initial_assignment,
+            migrations: 0,
+            dropped_pages: 0,
+        }
+    }
+
+    /// Serve one request: routed to the owner's current pool.
+    pub fn serve(&mut self, req: Request) -> StepOutcome {
+        let pool = self.assignment[req.user.index()];
+        self.engines[pool].step(req)
+    }
+
+    /// Migrate `user` to `to_pool`: the user's cached pages are dropped
+    /// from the old pool (freeing space there) and the switching fee is
+    /// charged. No-op if the user is already there.
+    pub fn migrate(&mut self, user: UserId, to_pool: usize) {
+        assert!(to_pool < self.config.num_pools(), "no such pool");
+        let from = self.assignment[user.index()];
+        if from == to_pool {
+            return;
+        }
+        let dropped = self.engines[from].remove_user_externally(user);
+        self.dropped_pages += dropped as u64;
+        self.assignment[user.index()] = to_pool;
+        self.migrations += 1;
+    }
+
+    /// Per-user total miss counts, aggregated across pools (a user only
+    /// ever misses in its current pool, but history spans pools).
+    pub fn miss_vector(&self) -> Vec<u64> {
+        let mut v = vec![0u64; self.universe.num_users() as usize];
+        for eng in &self.engines {
+            for (u, s) in eng.stats().per_user().iter().enumerate() {
+                v[u] += s.misses;
+            }
+        }
+        v
+    }
+
+    /// Total objective: `Σ_i f_i(misses_i) + switching_cost × migrations`.
+    pub fn total_cost(&self, costs: &CostProfile) -> f64 {
+        costs.total_cost(&self.miss_vector()) + self.config.switching_cost * self.migrations as f64
+    }
+
+    /// Number of migrations performed.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Pages dropped from caches by migrations so far.
+    pub fn dropped_pages(&self) -> u64 {
+        self.dropped_pages
+    }
+
+    /// Current user→pool assignment.
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PoolsConfig {
+        &self.config
+    }
+
+    /// The universe.
+    pub fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    /// Cached-page count per pool (occupancy).
+    pub fn occupancy(&self) -> Vec<usize> {
+        self.engines.iter().map(|e| e.cache().len()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_baselines::Lru;
+    use occ_core::{CostProfile, Monomial};
+    use occ_sim::PageId;
+
+    fn lru_factory(_: usize) -> Box<dyn ReplacementPolicy> {
+        Box::new(Lru::new())
+    }
+
+    fn system(switching: f64) -> PoolSystem {
+        // 4 users × 2 pages; 2 pools of 3 pages.
+        PoolSystem::new(
+            PoolsConfig::uniform(2, 3, switching),
+            Universe::uniform(4, 2),
+            vec![0, 0, 1, 1],
+            lru_factory,
+        )
+    }
+
+    #[test]
+    fn requests_route_to_assigned_pool() {
+        let mut s = system(1.0);
+        let u = s.universe().clone();
+        // User 0 (pool 0) and user 2 (pool 1) fill separate caches.
+        s.serve(u.request(PageId(0)));
+        s.serve(u.request(PageId(4)));
+        assert_eq!(s.occupancy(), vec![1, 1]);
+        assert_eq!(s.miss_vector(), vec![1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn migration_drops_pages_and_charges_fee() {
+        let mut s = system(10.0);
+        let u = s.universe().clone();
+        s.serve(u.request(PageId(0)));
+        s.serve(u.request(PageId(1)));
+        assert_eq!(s.occupancy(), vec![2, 0]);
+        s.migrate(UserId(0), 1);
+        assert_eq!(s.occupancy(), vec![0, 0]);
+        assert_eq!(s.migrations(), 1);
+        assert_eq!(s.dropped_pages(), 2);
+        // Re-request: misses again, now in pool 1.
+        s.serve(u.request(PageId(0)));
+        assert_eq!(s.occupancy(), vec![0, 1]);
+        let costs = CostProfile::uniform(4, Monomial::power(1.0));
+        // 3 misses + 1 migration × 10.
+        assert_eq!(s.total_cost(&costs), 3.0 + 10.0);
+    }
+
+    #[test]
+    fn migrate_to_same_pool_is_free() {
+        let mut s = system(10.0);
+        s.migrate(UserId(0), 0);
+        assert_eq!(s.migrations(), 0);
+    }
+
+    #[test]
+    fn pools_are_isolated() {
+        // Thrashing in pool 0 never evicts pool 1's pages.
+        let mut s = system(0.0);
+        let u = s.universe().clone();
+        s.serve(u.request(PageId(4))); // user 2 → pool 1
+        for _ in 0..5 {
+            for p in [0u32, 1, 2, 3] {
+                s.serve(u.request(PageId(p))); // users 0,1 churn pool 0
+            }
+        }
+        // User 2's page is still resident: a re-request hits.
+        let before = s.miss_vector()[2];
+        s.serve(u.request(PageId(4)));
+        assert_eq!(s.miss_vector()[2], before);
+    }
+
+    #[test]
+    #[should_panic(expected = "no such pool")]
+    fn migrate_to_missing_pool_panics() {
+        system(0.0).migrate(UserId(0), 9);
+    }
+}

@@ -1,0 +1,377 @@
+//! The simulation engine: exact replay of a request sequence against a
+//! replacement policy, with per-tenant accounting.
+//!
+//! The engine is the single owner of ground truth (cache contents and
+//! counters); policies only pick victims. This guarantees that two policies
+//! run on the same trace see byte-identical hit/miss classification, which
+//! is what makes cross-policy cost comparisons meaningful.
+
+use crate::cache::CacheSet;
+use crate::event::{EventLog, SimEvent};
+use crate::ids::{PageId, Time};
+use crate::policy::ReplacementPolicy;
+use crate::source::{RequestSource, TraceSource};
+use crate::stats::SimStats;
+use crate::trace::{Trace, Universe};
+
+/// Read-only view of the engine state handed to policies and sources.
+pub struct EngineCtx<'a> {
+    /// Current time (zero-based request index).
+    pub time: Time,
+    /// Current cache contents.
+    pub cache: &'a CacheSet,
+    /// Counters so far. During [`ReplacementPolicy::choose_victim`] these
+    /// exclude the in-flight request, so `stats.user(u).evictions` is the
+    /// paper's `m(u, t-1)`.
+    pub stats: &'a SimStats,
+    /// The page/user universe.
+    pub universe: &'a Universe,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Record a [`SimEvent`] per request (off by default: costs memory
+    /// proportional to the trace).
+    pub record_events: bool,
+    /// After the last request, evict every cached page and count those
+    /// evictions. This models the paper's dummy-user flush (§2.1), making
+    /// per-user eviction counts equal per-user miss counts.
+    pub flush_at_end: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            record_events: false,
+            flush_at_end: false,
+        }
+    }
+}
+
+/// Outcome of a simulation run.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// Per-user counters.
+    pub stats: SimStats,
+    /// Event log, present iff [`SimOptions::record_events`] was set.
+    pub events: Option<EventLog>,
+    /// Pages cached after the final request (before any flush), ascending.
+    pub final_cache: Vec<PageId>,
+    /// Number of requests served.
+    pub steps: u64,
+}
+
+impl SimResult {
+    /// Total misses (fetches) across users.
+    pub fn total_misses(&self) -> u64 {
+        self.stats.total_misses()
+    }
+
+    /// Per-user miss vector `a_i(σ)`, indexed by user id.
+    pub fn miss_vector(&self) -> Vec<u64> {
+        self.stats.miss_vector()
+    }
+
+    /// Miss rate over the whole run (`0.0` for an empty run).
+    pub fn miss_rate(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.total_misses() as f64 / self.steps as f64
+        }
+    }
+}
+
+/// The simulator: a cache size plus run options.
+#[derive(Clone, Copy, Debug)]
+pub struct Simulator {
+    capacity: usize,
+    options: SimOptions,
+}
+
+impl Simulator {
+    /// A simulator with cache size `k` and default options.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache size k must be positive");
+        Simulator {
+            capacity,
+            options: SimOptions::default(),
+        }
+    }
+
+    /// Replace the options wholesale.
+    pub fn with_options(mut self, options: SimOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Enable per-request event recording.
+    pub fn record_events(mut self, on: bool) -> Self {
+        self.options.record_events = on;
+        self
+    }
+
+    /// Enable the end-of-run flush (count one eviction per page left in the
+    /// cache).
+    pub fn flush_at_end(mut self, on: bool) -> Self {
+        self.options.flush_at_end = on;
+        self
+    }
+
+    /// Cache size `k`.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Run `policy` over a fixed `trace`.
+    pub fn run<P: ReplacementPolicy>(&self, policy: &mut P, trace: &Trace) -> SimResult {
+        let mut source = TraceSource::new(trace);
+        self.run_source(policy, &mut source)
+    }
+
+    /// Run `policy` against a (possibly adaptive) request source.
+    pub fn run_source<P, S>(&self, policy: &mut P, source: &mut S) -> SimResult
+    where
+        P: ReplacementPolicy,
+        S: RequestSource,
+    {
+        let universe = source.universe().clone();
+        let mut cache = CacheSet::new(self.capacity, universe.num_pages());
+        let mut stats = SimStats::new(universe.num_users());
+        let mut events = self.options.record_events.then(EventLog::new);
+        let mut t: Time = 0;
+
+        loop {
+            let req = {
+                let ctx = EngineCtx {
+                    time: t,
+                    cache: &cache,
+                    stats: &stats,
+                    universe: &universe,
+                };
+                match source.next_request(&ctx) {
+                    Some(r) => r,
+                    None => break,
+                }
+            };
+            debug_assert_eq!(
+                universe.owner(req.page),
+                req.user,
+                "request owner disagrees with the universe"
+            );
+
+            if cache.contains(req.page) {
+                stats.record_hit(req.user);
+                let ctx = EngineCtx {
+                    time: t,
+                    cache: &cache,
+                    stats: &stats,
+                    universe: &universe,
+                };
+                policy.on_hit(&ctx, req.page);
+                if let Some(log) = events.as_mut() {
+                    log.push(SimEvent::Hit { t, page: req.page });
+                }
+            } else if !cache.is_full() {
+                cache.insert(req.page);
+                stats.record_miss(req.user);
+                let ctx = EngineCtx {
+                    time: t,
+                    cache: &cache,
+                    stats: &stats,
+                    universe: &universe,
+                };
+                policy.on_insert(&ctx, req.page);
+                if let Some(log) = events.as_mut() {
+                    log.push(SimEvent::Insert { t, page: req.page });
+                }
+            } else {
+                // Full cache: the policy picks a victim against the
+                // pre-eviction state (stats exclude this request).
+                let victim = {
+                    let ctx = EngineCtx {
+                        time: t,
+                        cache: &cache,
+                        stats: &stats,
+                        universe: &universe,
+                    };
+                    policy.choose_victim(&ctx, req.page)
+                };
+                assert!(
+                    cache.contains(victim),
+                    "policy {} chose victim {victim} which is not cached",
+                    policy.name()
+                );
+                assert_ne!(
+                    victim, req.page,
+                    "policy {} tried to evict the incoming page",
+                    policy.name()
+                );
+                let victim_user = universe.owner(victim);
+                cache.remove(victim);
+                stats.record_eviction(victim_user);
+                cache.insert(req.page);
+                stats.record_miss(req.user);
+                let ctx = EngineCtx {
+                    time: t,
+                    cache: &cache,
+                    stats: &stats,
+                    universe: &universe,
+                };
+                policy.on_evicted(&ctx, victim);
+                policy.on_insert(&ctx, req.page);
+                if let Some(log) = events.as_mut() {
+                    log.push(SimEvent::Evict {
+                        t,
+                        page: req.page,
+                        victim,
+                        victim_user,
+                    });
+                }
+            }
+            t += 1;
+        }
+
+        let final_cache = cache.sorted_pages();
+        if self.options.flush_at_end {
+            for page in cache.drain_all() {
+                stats.record_eviction(universe.owner(page));
+            }
+        }
+
+        SimResult {
+            stats,
+            events,
+            final_cache,
+            steps: t,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::UserId;
+    use crate::trace::Universe;
+
+    /// Evicts the page cached in physical slot 0 — arbitrary but valid.
+    struct EvictFirst;
+    impl ReplacementPolicy for EvictFirst {
+        fn name(&self) -> String {
+            "evict-first".into()
+        }
+        fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+            ctx.cache.pages()[0]
+        }
+    }
+
+    fn two_user_trace() -> Trace {
+        let u = Universe::uniform(2, 2); // u0: p0 p1; u1: p2 p3
+        Trace::from_page_indices(&u, &[0, 2, 1, 0, 3, 2])
+    }
+
+    #[test]
+    fn hits_and_misses_classified_exactly() {
+        // k=3: 0m 2m 1m 0h 3m(evict) 2? depends on victim.
+        let trace = two_user_trace();
+        let r = Simulator::new(3).run(&mut EvictFirst, &trace);
+        assert_eq!(r.steps, 6);
+        assert_eq!(r.stats.total_hits() + r.total_misses(), 6);
+        // First three requests fill the cache; the fourth (p0) hits.
+        assert!(r.stats.user(UserId(0)).hits >= 1);
+    }
+
+    #[test]
+    fn eviction_counts_charged_to_victim_owner() {
+        let u = Universe::uniform(2, 1); // p0 owned by u0, p1 by u1
+        let trace = Trace::from_page_indices(&u, &[0, 1, 0, 1]);
+        let r = Simulator::new(1).run(&mut EvictFirst, &trace);
+        // Every request after the first evicts the other user's page.
+        assert_eq!(r.stats.user(UserId(0)).evictions, 2); // p0 evicted at t=1, t=3
+        assert_eq!(r.stats.user(UserId(1)).evictions, 1); // p1 evicted at t=2
+        assert_eq!(r.total_misses(), 4);
+    }
+
+    #[test]
+    fn flush_makes_evictions_equal_misses() {
+        let trace = two_user_trace();
+        let no_flush = Simulator::new(2).run(&mut EvictFirst, &trace);
+        assert!(no_flush.stats.total_evictions() < no_flush.total_misses());
+        let flushed = Simulator::new(2).flush_at_end(true).run(&mut EvictFirst, &trace);
+        assert_eq!(flushed.stats.total_evictions(), flushed.total_misses());
+        // Per-user too, which is the paper's accounting identity.
+        assert_eq!(flushed.stats.miss_vector(), flushed.stats.eviction_vector());
+    }
+
+    #[test]
+    fn event_log_matches_counters() {
+        let trace = two_user_trace();
+        let r = Simulator::new(2).record_events(true).run(&mut EvictFirst, &trace);
+        let log = r.events.as_ref().expect("events were requested");
+        assert_eq!(log.len() as u64, r.steps);
+        let evictions = log.eviction_sequence().len() as u64;
+        assert_eq!(evictions, r.stats.total_evictions());
+        let hits = log
+            .events()
+            .iter()
+            .filter(|e| matches!(e, SimEvent::Hit { .. }))
+            .count() as u64;
+        assert_eq!(hits, r.stats.total_hits());
+    }
+
+    #[test]
+    fn final_cache_is_reported_sorted() {
+        let trace = two_user_trace();
+        let r = Simulator::new(3).run(&mut EvictFirst, &trace);
+        let mut sorted = r.final_cache.clone();
+        sorted.sort();
+        assert_eq!(r.final_cache, sorted);
+        assert!(r.final_cache.len() <= 3);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let u = Universe::single_user(2);
+        let trace = Trace::from_page_indices(&u, &[0, 0, 0, 1]);
+        let r = Simulator::new(2).run(&mut EvictFirst, &trace);
+        assert_eq!(r.total_misses(), 2);
+        assert!((r.miss_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let u = Universe::single_user(2);
+        let trace = Trace::from_page_indices(&u, &[]);
+        let r = Simulator::new(2).run(&mut EvictFirst, &trace);
+        assert_eq!(r.steps, 0);
+        assert_eq!(r.miss_rate(), 0.0);
+        assert!(r.final_cache.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "not cached")]
+    fn bad_victim_is_rejected() {
+        struct Liar;
+        impl ReplacementPolicy for Liar {
+            fn name(&self) -> String {
+                "liar".into()
+            }
+            fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+                PageId(999_999 % 4) // p3 won't be cached in this scenario
+            }
+        }
+        let u = Universe::single_user(4);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2]);
+        Simulator::new(2).run(&mut Liar, &trace);
+    }
+
+    #[test]
+    fn capacity_one_cache() {
+        let u = Universe::single_user(3);
+        let trace = Trace::from_page_indices(&u, &[0, 0, 1, 1, 2]);
+        let r = Simulator::new(1).run(&mut EvictFirst, &trace);
+        assert_eq!(r.total_misses(), 3);
+        assert_eq!(r.stats.total_hits(), 2);
+    }
+}

@@ -1,0 +1,128 @@
+//! Optional per-request event log.
+//!
+//! Invariant checkers (the primal–dual conditions of §2.3) and the
+//! ALG-CONT ≡ ALG-DISCRETE equivalence experiment need the exact eviction
+//! sequence, not just counts. Event recording is off by default because a
+//! log entry per request would dominate the engine's memory traffic in
+//! throughput benchmarks.
+
+use crate::ids::{PageId, Time, UserId};
+use serde::{Deserialize, Serialize};
+
+/// What happened at one time step.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimEvent {
+    /// The requested page was already cached.
+    Hit {
+        /// Time of the request.
+        t: Time,
+        /// Requested page.
+        page: PageId,
+    },
+    /// The page was fetched into free space (no eviction).
+    Insert {
+        /// Time of the request.
+        t: Time,
+        /// Requested page.
+        page: PageId,
+    },
+    /// The page was fetched and `victim` was evicted to make room.
+    Evict {
+        /// Time of the request.
+        t: Time,
+        /// Requested page.
+        page: PageId,
+        /// Page removed from the cache.
+        victim: PageId,
+        /// Owner of the victim page.
+        victim_user: UserId,
+    },
+}
+
+impl SimEvent {
+    /// Time of the event.
+    pub fn time(&self) -> Time {
+        match *self {
+            SimEvent::Hit { t, .. } | SimEvent::Insert { t, .. } | SimEvent::Evict { t, .. } => t,
+        }
+    }
+
+    /// The evicted page, if this event evicted one.
+    pub fn victim(&self) -> Option<PageId> {
+        match *self {
+            SimEvent::Evict { victim, .. } => Some(victim),
+            _ => None,
+        }
+    }
+}
+
+/// An append-only sequence of [`SimEvent`]s.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<SimEvent>,
+}
+
+impl EventLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an event.
+    #[inline]
+    pub fn push(&mut self, event: SimEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in time order.
+    pub fn events(&self) -> &[SimEvent] {
+        &self.events
+    }
+
+    /// Number of logged events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The eviction decisions only, as `(t, victim)` pairs — the canonical
+    /// fingerprint for algorithm-equivalence tests.
+    pub fn eviction_sequence(&self) -> Vec<(Time, PageId)> {
+        self.events
+            .iter()
+            .filter_map(|e| e.victim().map(|v| (e.time(), v)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_and_fingerprint() {
+        let mut log = EventLog::new();
+        log.push(SimEvent::Insert {
+            t: 0,
+            page: PageId(1),
+        });
+        log.push(SimEvent::Hit {
+            t: 1,
+            page: PageId(1),
+        });
+        log.push(SimEvent::Evict {
+            t: 2,
+            page: PageId(2),
+            victim: PageId(1),
+            victim_user: UserId(0),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.eviction_sequence(), vec![(2, PageId(1))]);
+        assert_eq!(log.events()[2].time(), 2);
+        assert_eq!(log.events()[0].victim(), None);
+    }
+}

@@ -1,0 +1,83 @@
+#![warn(missing_docs)]
+//! Multi-tenant cache simulation substrate.
+//!
+//! This crate provides the machinery shared by every algorithm in the
+//! workspace: page/user identifiers, request traces, an exact-replay
+//! simulation engine, replacement-policy and request-source traits, and
+//! per-tenant accounting.
+//!
+//! The model follows Menache & Singh, *Online Caching with Convex Costs*
+//! (SPAA 2015), §1.2: a single cache of size `k` shared by `n` users; each
+//! page belongs to exactly one user; on a request the page must be in the
+//! cache (hit) or be fetched into it (miss), evicting some cached page when
+//! the cache is full.
+//!
+//! The substrate is deliberately *cost-agnostic*: it reports hit / miss /
+//! eviction counts per user, and the convex cost machinery in `occ-core`
+//! turns those counts into costs. This keeps the engine reusable for
+//! classical (cost-blind) baselines.
+//!
+//! # Quick example
+//!
+//! ```
+//! use occ_sim::prelude::*;
+//!
+//! // Two users, three pages each; a tiny fixed trace.
+//! let universe = Universe::uniform(2, 3);
+//! let trace = Trace::from_page_indices(&universe, &[0, 3, 1, 0, 4, 3]);
+//!
+//! // A trivial policy: evict the page that has been cached the longest.
+//! struct Fifo { order: std::collections::VecDeque<PageId> }
+//! impl ReplacementPolicy for Fifo {
+//!     fn name(&self) -> String { "fifo".into() }
+//!     fn on_insert(&mut self, _ctx: &EngineCtx, page: PageId) {
+//!         self.order.push_back(page);
+//!     }
+//!     fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+//!         self.order.pop_front().expect("cache is full, so the queue is non-empty")
+//!     }
+//! }
+//!
+//! let mut policy = Fifo { order: Default::default() };
+//! let result = Simulator::new(2).run(&mut policy, &trace);
+//! assert_eq!(result.total_misses(), 6); // FIFO with k=2 misses every request here
+//! assert_eq!(result.stats.total_evictions(), 4);
+//! ```
+
+pub mod cache;
+pub mod engine;
+pub mod event;
+pub mod ids;
+pub mod nextuse;
+pub mod policy;
+pub mod source;
+pub mod stats;
+pub mod stepper;
+pub mod textio;
+pub mod trace;
+
+pub use cache::CacheSet;
+pub use engine::{EngineCtx, SimOptions, SimResult, Simulator};
+pub use event::{EventLog, SimEvent};
+pub use ids::{PageId, Time, UserId};
+pub use nextuse::NextUseIndex;
+pub use policy::ReplacementPolicy;
+pub use source::{AdaptiveSource, RequestSource, TraceSource};
+pub use stats::{SimStats, UserStats};
+pub use stepper::{StepOutcome, SteppingEngine};
+pub use textio::{read_trace, write_trace, TraceIoError};
+pub use trace::{Request, Trace, TraceBuilder, Universe};
+
+/// Convenient glob import for downstream crates and examples.
+pub mod prelude {
+    pub use crate::cache::CacheSet;
+    pub use crate::engine::{EngineCtx, SimOptions, SimResult, Simulator};
+    pub use crate::event::{EventLog, SimEvent};
+    pub use crate::ids::{PageId, Time, UserId};
+    pub use crate::nextuse::NextUseIndex;
+    pub use crate::policy::ReplacementPolicy;
+    pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};
+    pub use crate::stats::{SimStats, UserStats};
+    pub use crate::stepper::{StepOutcome, SteppingEngine};
+    pub use crate::trace::{Request, Trace, TraceBuilder, Universe};
+}

@@ -1,0 +1,127 @@
+//! Forward-reference index over a trace: "when is this page requested
+//! next?".
+//!
+//! Offline algorithms (Belady's MIN and its cost-aware variant in
+//! `occ-offline`) need, at time `t`, the next request time of each cached
+//! page. The index precomputes, for every request, the time of the *next*
+//! request to the same page, and supports an `O(log)` arbitrary
+//! `(page, t)` lookup via binary search over each page's request times.
+
+use crate::ids::{PageId, Time};
+use crate::trace::Trace;
+
+/// Sentinel meaning "never requested again".
+pub const NEVER: Time = Time::MAX;
+
+/// Precomputed next-use times for a fixed trace.
+#[derive(Clone, Debug)]
+pub struct NextUseIndex {
+    /// `next_of_request[t]` = time of the next request to page `p_t` after
+    /// `t`, or [`NEVER`].
+    next_of_request: Vec<Time>,
+    /// Ascending request times per page.
+    request_times: Vec<Vec<Time>>,
+}
+
+impl NextUseIndex {
+    /// Build the index in `O(T + |P|)`.
+    pub fn build(trace: &Trace) -> Self {
+        let pages = trace.universe().num_pages() as usize;
+        let mut request_times: Vec<Vec<Time>> = vec![Vec::new(); pages];
+        for (t, r) in trace.iter() {
+            request_times[r.page.index()].push(t);
+        }
+        let mut next_of_request = vec![NEVER; trace.len()];
+        let mut last_seen: Vec<Option<Time>> = vec![None; pages];
+        for (t, r) in trace.iter().collect::<Vec<_>>().into_iter().rev() {
+            if let Some(next) = last_seen[r.page.index()] {
+                next_of_request[t as usize] = next;
+            }
+            last_seen[r.page.index()] = Some(t);
+        }
+        NextUseIndex {
+            next_of_request,
+            request_times,
+        }
+    }
+
+    /// Next request time of the page requested at `t`, or [`NEVER`].
+    #[inline]
+    pub fn next_of_request(&self, t: Time) -> Time {
+        self.next_of_request[t as usize]
+    }
+
+    /// Next request time of `page` strictly after `t`, or [`NEVER`].
+    pub fn next_request_after(&self, page: PageId, t: Time) -> Time {
+        let times = &self.request_times[page.index()];
+        match times.binary_search(&(t + 1)) {
+            Ok(i) => times[i],
+            Err(i) => times.get(i).copied().unwrap_or(NEVER),
+        }
+    }
+
+    /// First request time of `page` at or after `t`, or [`NEVER`].
+    pub fn next_request_at_or_after(&self, page: PageId, t: Time) -> Time {
+        let times = &self.request_times[page.index()];
+        match times.binary_search(&t) {
+            Ok(i) => times[i],
+            Err(i) => times.get(i).copied().unwrap_or(NEVER),
+        }
+    }
+
+    /// All request times of `page`, ascending.
+    pub fn request_times(&self, page: PageId) -> &[Time] {
+        &self.request_times[page.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Universe;
+
+    fn trace() -> Trace {
+        let u = Universe::single_user(3);
+        //                 t: 0  1  2  3  4  5
+        Trace::from_page_indices(&u, &[0, 1, 0, 2, 1, 0])
+    }
+
+    #[test]
+    fn next_of_request() {
+        let idx = NextUseIndex::build(&trace());
+        assert_eq!(idx.next_of_request(0), 2); // p0 next at t=2
+        assert_eq!(idx.next_of_request(1), 4); // p1 next at t=4
+        assert_eq!(idx.next_of_request(2), 5); // p0 next at t=5
+        assert_eq!(idx.next_of_request(3), NEVER); // p2 never again
+        assert_eq!(idx.next_of_request(5), NEVER);
+    }
+
+    #[test]
+    fn arbitrary_lookup() {
+        let idx = NextUseIndex::build(&trace());
+        assert_eq!(idx.next_request_after(PageId(0), 0), 2);
+        assert_eq!(idx.next_request_after(PageId(0), 2), 5);
+        assert_eq!(idx.next_request_after(PageId(0), 5), NEVER);
+        assert_eq!(idx.next_request_after(PageId(2), 0), 3);
+        assert_eq!(idx.next_request_after(PageId(2), 3), NEVER);
+        // at-or-after includes the boundary
+        assert_eq!(idx.next_request_at_or_after(PageId(0), 2), 2);
+        assert_eq!(idx.next_request_at_or_after(PageId(0), 3), 5);
+    }
+
+    #[test]
+    fn request_times_exposed() {
+        let idx = NextUseIndex::build(&trace());
+        assert_eq!(idx.request_times(PageId(0)), &[0, 2, 5]);
+        assert_eq!(idx.request_times(PageId(1)), &[1, 4]);
+    }
+
+    #[test]
+    fn never_requested_page() {
+        let u = Universe::single_user(4);
+        let t = Trace::from_page_indices(&u, &[0, 1]);
+        let idx = NextUseIndex::build(&t);
+        assert_eq!(idx.next_request_after(PageId(3), 0), NEVER);
+        assert!(idx.request_times(PageId(3)).is_empty());
+    }
+}

@@ -1,0 +1,154 @@
+//! Request sources: fixed traces and adaptive adversaries.
+//!
+//! Competitive lower bounds (the paper's §4) are proved against an
+//! *adaptive* adversary that watches the online algorithm's cache and
+//! requests whatever is missing. Such a sequence cannot be a fixed
+//! [`Trace`] — it is a function of the algorithm — so the
+//! engine can also be driven by a [`RequestSource`], which gets to inspect
+//! the live engine state before emitting each request.
+
+use crate::engine::EngineCtx;
+use crate::ids::PageId;
+use crate::trace::{Request, Trace, Universe};
+
+/// A (possibly adaptive) stream of requests.
+pub trait RequestSource {
+    /// The universe the requests range over.
+    fn universe(&self) -> &Universe;
+
+    /// Produce the next request, or `None` to end the run. `ctx` exposes
+    /// the engine state *before* this request is served — in particular the
+    /// current cache contents, which is what an adaptive adversary needs.
+    fn next_request(&mut self, ctx: &EngineCtx) -> Option<Request>;
+}
+
+/// A fixed trace replayed in order.
+pub struct TraceSource<'a> {
+    trace: &'a Trace,
+    pos: usize,
+}
+
+impl<'a> TraceSource<'a> {
+    /// Replay `trace` from the beginning.
+    pub fn new(trace: &'a Trace) -> Self {
+        TraceSource { trace, pos: 0 }
+    }
+}
+
+impl RequestSource for TraceSource<'_> {
+    fn universe(&self) -> &Universe {
+        self.trace.universe()
+    }
+
+    fn next_request(&mut self, _ctx: &EngineCtx) -> Option<Request> {
+        let r = self.trace.requests().get(self.pos).copied();
+        self.pos += 1;
+        r
+    }
+}
+
+/// An adaptive source driven by a closure: each step sees the cached pages
+/// and returns the next page to request (or `None` to stop).
+///
+/// This is the building block for the §4 adversary (implemented in
+/// `occ-workloads`), and handy for one-off adversaries in tests:
+///
+/// ```
+/// use occ_sim::prelude::*;
+///
+/// // Universe of 3 single-page users, cache of 2: always request a page
+/// // that is not currently cached.
+/// let universe = Universe::uniform(3, 1);
+/// let mut steps = 0;
+/// let mut adversary = AdaptiveSource::new(universe, move |cached: &[PageId]| {
+///     steps += 1;
+///     if steps > 10 {
+///         return None;
+///     }
+///     (0..3).map(PageId).find(|p| !cached.contains(p))
+/// });
+///
+/// struct EvictFirst;
+/// impl ReplacementPolicy for EvictFirst {
+///     fn name(&self) -> String { "evict-first".into() }
+///     fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+///         ctx.cache.pages()[0]
+///     }
+/// }
+///
+/// let result = Simulator::new(2).run_source(&mut EvictFirst, &mut adversary);
+/// assert_eq!(result.total_misses(), 10); // every adaptive request misses
+/// ```
+pub struct AdaptiveSource<F> {
+    universe: Universe,
+    next: F,
+}
+
+impl<F> AdaptiveSource<F>
+where
+    F: FnMut(&[PageId]) -> Option<PageId>,
+{
+    /// Create an adaptive source; `next` maps the current cache contents to
+    /// the next requested page.
+    pub fn new(universe: Universe, next: F) -> Self {
+        AdaptiveSource { universe, next }
+    }
+}
+
+impl<F> RequestSource for AdaptiveSource<F>
+where
+    F: FnMut(&[PageId]) -> Option<PageId>,
+{
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn next_request(&mut self, ctx: &EngineCtx) -> Option<Request> {
+        (self.next)(ctx.cache.pages()).map(|p| self.universe.request(p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prelude::*;
+
+    struct EvictFirst;
+    impl ReplacementPolicy for EvictFirst {
+        fn name(&self) -> String {
+            "evict-first".into()
+        }
+        fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+            ctx.cache.pages()[0]
+        }
+    }
+
+    #[test]
+    fn trace_source_replays_in_order() {
+        let u = Universe::single_user(3);
+        let trace = Trace::from_page_indices(&u, &[2, 0, 2]);
+        let via_trace = Simulator::new(2).run(&mut EvictFirst, &trace);
+        let mut src = TraceSource::new(&trace);
+        let via_source = Simulator::new(2).run_source(&mut EvictFirst, &mut src);
+        assert_eq!(via_trace.stats.miss_vector(), via_source.stats.miss_vector());
+        assert_eq!(via_source.steps, 3);
+    }
+
+    #[test]
+    fn adaptive_source_sees_live_cache() {
+        // Request the lowest non-cached page, 6 times. With capacity 2 and
+        // 3 pages every request is a miss regardless of the policy.
+        let u = Universe::uniform(3, 1);
+        let mut remaining = 6;
+        let mut src = AdaptiveSource::new(u, move |cached: &[PageId]| {
+            if remaining == 0 {
+                return None;
+            }
+            remaining -= 1;
+            (0..3).map(PageId).find(|p| !cached.contains(p))
+        });
+        let r = Simulator::new(2).run_source(&mut EvictFirst, &mut src);
+        assert_eq!(r.total_misses(), 6);
+        assert_eq!(r.stats.total_hits(), 0);
+    }
+}

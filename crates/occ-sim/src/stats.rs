@@ -1,0 +1,139 @@
+//! Per-user and aggregate counters maintained by the engine.
+//!
+//! The paper distinguishes two accountings that coincide up to the final
+//! flush: charging *fetches* (misses) versus charging *evictions* (§2.1
+//! introduces a dummy user whose trailing requests flush the cache so the
+//! two are equal). The engine tracks both so experiments can use either.
+
+use crate::ids::UserId;
+use serde::{Deserialize, Serialize};
+
+/// Counters for one user.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserStats {
+    /// Requests that found the page cached.
+    pub hits: u64,
+    /// Requests that had to fetch the page (the paper's miss count `a_i`).
+    pub misses: u64,
+    /// Evictions of this user's pages (the algorithm-internal `m(i, t)`).
+    pub evictions: u64,
+}
+
+impl UserStats {
+    /// Total requests seen for this user.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.misses
+    }
+}
+
+/// Counters for the whole simulation, indexed by user.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    per_user: Vec<UserStats>,
+}
+
+impl SimStats {
+    /// Zeroed stats for `num_users` users.
+    pub fn new(num_users: u32) -> Self {
+        SimStats {
+            per_user: vec![UserStats::default(); num_users as usize],
+        }
+    }
+
+    /// Counters for one user.
+    #[inline]
+    pub fn user(&self, user: UserId) -> &UserStats {
+        &self.per_user[user.index()]
+    }
+
+    /// All per-user counters, indexed by user id.
+    #[inline]
+    pub fn per_user(&self) -> &[UserStats] {
+        &self.per_user
+    }
+
+    /// Number of users.
+    #[inline]
+    pub fn num_users(&self) -> usize {
+        self.per_user.len()
+    }
+
+    /// Record a hit for `user`.
+    #[inline]
+    pub fn record_hit(&mut self, user: UserId) {
+        self.per_user[user.index()].hits += 1;
+    }
+
+    /// Record a miss (fetch) for `user`.
+    #[inline]
+    pub fn record_miss(&mut self, user: UserId) {
+        self.per_user[user.index()].misses += 1;
+    }
+
+    /// Record an eviction of one of `user`'s pages.
+    #[inline]
+    pub fn record_eviction(&mut self, user: UserId) {
+        self.per_user[user.index()].evictions += 1;
+    }
+
+    /// Total hits across users.
+    pub fn total_hits(&self) -> u64 {
+        self.per_user.iter().map(|u| u.hits).sum()
+    }
+
+    /// Total misses (fetches) across users.
+    pub fn total_misses(&self) -> u64 {
+        self.per_user.iter().map(|u| u.misses).sum()
+    }
+
+    /// Total evictions across users.
+    pub fn total_evictions(&self) -> u64 {
+        self.per_user.iter().map(|u| u.evictions).sum()
+    }
+
+    /// Miss counts as a dense vector indexed by user id — the `a_i(σ)`
+    /// vector that convex cost functions are applied to.
+    pub fn miss_vector(&self) -> Vec<u64> {
+        self.per_user.iter().map(|u| u.misses).collect()
+    }
+
+    /// Eviction counts as a dense vector indexed by user id.
+    pub fn eviction_vector(&self) -> Vec<u64> {
+        self.per_user.iter().map(|u| u.evictions).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = SimStats::new(2);
+        s.record_hit(UserId(0));
+        s.record_miss(UserId(0));
+        s.record_miss(UserId(1));
+        s.record_eviction(UserId(1));
+        assert_eq!(s.user(UserId(0)).hits, 1);
+        assert_eq!(s.user(UserId(0)).misses, 1);
+        assert_eq!(s.user(UserId(1)).misses, 1);
+        assert_eq!(s.user(UserId(1)).evictions, 1);
+        assert_eq!(s.total_hits(), 1);
+        assert_eq!(s.total_misses(), 2);
+        assert_eq!(s.total_evictions(), 1);
+        assert_eq!(s.miss_vector(), vec![1, 1]);
+        assert_eq!(s.eviction_vector(), vec![0, 1]);
+    }
+
+    #[test]
+    fn requests_is_hits_plus_misses() {
+        let mut s = SimStats::new(1);
+        for _ in 0..3 {
+            s.record_hit(UserId(0));
+        }
+        for _ in 0..2 {
+            s.record_miss(UserId(0));
+        }
+        assert_eq!(s.user(UserId(0)).requests(), 5);
+    }
+}

@@ -1,0 +1,283 @@
+//! A step-at-a-time engine for interactive simulations.
+//!
+//! [`Simulator`](crate::Simulator) replays a whole request stream;
+//! [`SteppingEngine`] exposes the same hit/miss/evict state machine one
+//! request at a time, for callers that interleave simulation with other
+//! decisions — the multi-pool system of `occ-pools` (the paper's §5
+//! future-work direction) routes each request to one of several engines
+//! and migrates users between them mid-stream.
+//!
+//! The stepping engine also supports *external removal* of pages (a user
+//! migrating away takes its pages with it), which the batch replay never
+//! needs.
+
+use crate::cache::CacheSet;
+use crate::engine::EngineCtx;
+use crate::event::{EventLog, SimEvent};
+use crate::ids::{PageId, Time, UserId};
+use crate::policy::ReplacementPolicy;
+use crate::stats::SimStats;
+use crate::trace::{Request, Universe};
+
+/// What happened when a request was served.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// The page was already cached.
+    Hit,
+    /// The page was fetched into free space.
+    Inserted,
+    /// The page was fetched; the contained page was evicted.
+    Evicted(PageId),
+}
+
+/// One cache + one policy, driven request by request.
+pub struct SteppingEngine<P> {
+    universe: Universe,
+    cache: CacheSet,
+    stats: SimStats,
+    policy: P,
+    time: Time,
+    events: Option<EventLog>,
+}
+
+impl<P: ReplacementPolicy> SteppingEngine<P> {
+    /// Create an engine with cache size `capacity`.
+    pub fn new(capacity: usize, universe: Universe, policy: P) -> Self {
+        let cache = CacheSet::new(capacity, universe.num_pages());
+        let stats = SimStats::new(universe.num_users());
+        SteppingEngine {
+            universe,
+            cache,
+            stats,
+            policy,
+            time: 0,
+            events: None,
+        }
+    }
+
+    /// Enable per-request event recording.
+    pub fn with_events(mut self) -> Self {
+        self.events = Some(EventLog::new());
+        self
+    }
+
+    /// Serve one request; advances time by one tick.
+    pub fn step(&mut self, req: Request) -> StepOutcome {
+        debug_assert_eq!(
+            self.universe.owner(req.page),
+            req.user,
+            "request owner disagrees with the universe"
+        );
+        let t = self.time;
+        let outcome = if self.cache.contains(req.page) {
+            self.stats.record_hit(req.user);
+            let ctx = EngineCtx {
+                time: t,
+                cache: &self.cache,
+                stats: &self.stats,
+                universe: &self.universe,
+            };
+            self.policy.on_hit(&ctx, req.page);
+            if let Some(log) = self.events.as_mut() {
+                log.push(SimEvent::Hit { t, page: req.page });
+            }
+            StepOutcome::Hit
+        } else if !self.cache.is_full() {
+            self.cache.insert(req.page);
+            self.stats.record_miss(req.user);
+            let ctx = EngineCtx {
+                time: t,
+                cache: &self.cache,
+                stats: &self.stats,
+                universe: &self.universe,
+            };
+            self.policy.on_insert(&ctx, req.page);
+            if let Some(log) = self.events.as_mut() {
+                log.push(SimEvent::Insert { t, page: req.page });
+            }
+            StepOutcome::Inserted
+        } else {
+            let victim = {
+                let ctx = EngineCtx {
+                    time: t,
+                    cache: &self.cache,
+                    stats: &self.stats,
+                    universe: &self.universe,
+                };
+                self.policy.choose_victim(&ctx, req.page)
+            };
+            assert!(
+                self.cache.contains(victim),
+                "policy {} chose victim {victim} which is not cached",
+                self.policy.name()
+            );
+            assert_ne!(
+                victim, req.page,
+                "policy {} tried to evict the incoming page",
+                self.policy.name()
+            );
+            let victim_user = self.universe.owner(victim);
+            self.cache.remove(victim);
+            self.stats.record_eviction(victim_user);
+            self.cache.insert(req.page);
+            self.stats.record_miss(req.user);
+            let ctx = EngineCtx {
+                time: t,
+                cache: &self.cache,
+                stats: &self.stats,
+                universe: &self.universe,
+            };
+            self.policy.on_evicted(&ctx, victim);
+            self.policy.on_insert(&ctx, req.page);
+            if let Some(log) = self.events.as_mut() {
+                log.push(SimEvent::Evict {
+                    t,
+                    page: req.page,
+                    victim,
+                    victim_user,
+                });
+            }
+            StepOutcome::Evicted(victim)
+        };
+        self.time += 1;
+        outcome
+    }
+
+    /// Remove `page` from the cache without charging an eviction (the
+    /// page leaves for reasons outside the replacement policy's control,
+    /// e.g. its owner migrating to another pool). Notifies the policy via
+    /// [`ReplacementPolicy::on_external_removal`]. No-op if not cached.
+    pub fn remove_externally(&mut self, page: PageId) -> bool {
+        if !self.cache.contains(page) {
+            return false;
+        }
+        self.cache.remove(page);
+        let ctx = EngineCtx {
+            time: self.time,
+            cache: &self.cache,
+            stats: &self.stats,
+            universe: &self.universe,
+        };
+        self.policy.on_external_removal(&ctx, page);
+        true
+    }
+
+    /// Remove every cached page owned by `user` (see
+    /// [`Self::remove_externally`]); returns how many were removed.
+    pub fn remove_user_externally(&mut self, user: UserId) -> usize {
+        let pages: Vec<PageId> = self
+            .cache
+            .iter()
+            .filter(|&p| self.universe.owner(p) == user)
+            .collect();
+        for p in &pages {
+            let removed = self.remove_externally(*p);
+            debug_assert!(removed);
+        }
+        pages.len()
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Current cache contents.
+    pub fn cache(&self) -> &CacheSet {
+        &self.cache
+    }
+
+    /// Requests served so far.
+    pub fn time(&self) -> Time {
+        self.time
+    }
+
+    /// The recorded events, if enabled.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
+    }
+
+    /// Access the wrapped policy.
+    pub fn policy(&self) -> &P {
+        &self.policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Trace;
+
+    struct EvictFirst;
+    impl ReplacementPolicy for EvictFirst {
+        fn name(&self) -> String {
+            "evict-first".into()
+        }
+        fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+            ctx.cache.pages()[0]
+        }
+    }
+
+    #[test]
+    fn stepper_matches_batch_simulator() {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..120u32).map(|i| (i * 7 + 1) % 6).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let batch = crate::Simulator::new(3).run(&mut EvictFirst, &trace);
+
+        let mut eng = SteppingEngine::new(3, u.clone(), EvictFirst);
+        for (_, r) in trace.iter() {
+            eng.step(r);
+        }
+        assert_eq!(eng.stats().miss_vector(), batch.miss_vector());
+        assert_eq!(eng.stats().eviction_vector(), batch.stats.eviction_vector());
+        assert_eq!(eng.time(), batch.steps);
+    }
+
+    #[test]
+    fn outcomes_classified() {
+        let u = Universe::single_user(3);
+        let mut eng = SteppingEngine::new(2, u.clone(), EvictFirst);
+        assert_eq!(eng.step(u.request(PageId(0))), StepOutcome::Inserted);
+        assert_eq!(eng.step(u.request(PageId(0))), StepOutcome::Hit);
+        assert_eq!(eng.step(u.request(PageId(1))), StepOutcome::Inserted);
+        assert_eq!(
+            eng.step(u.request(PageId(2))),
+            StepOutcome::Evicted(PageId(0))
+        );
+    }
+
+    #[test]
+    fn external_removal_frees_space_without_eviction_charge() {
+        let u = Universe::uniform(2, 2); // u0: p0 p1, u1: p2 p3
+        let mut eng = SteppingEngine::new(2, u.clone(), EvictFirst);
+        eng.step(u.request(PageId(0)));
+        eng.step(u.request(PageId(2)));
+        assert!(eng.cache().is_full());
+        let removed = eng.remove_user_externally(UserId(0));
+        assert_eq!(removed, 1);
+        assert!(!eng.cache().contains(PageId(0)));
+        // No eviction was charged.
+        assert_eq!(eng.stats().total_evictions(), 0);
+        // The freed slot is reusable without an eviction.
+        assert_eq!(eng.step(u.request(PageId(3))), StepOutcome::Inserted);
+    }
+
+    #[test]
+    fn removing_uncached_page_is_a_noop() {
+        let u = Universe::single_user(2);
+        let mut eng = SteppingEngine::new(1, u, EvictFirst);
+        assert!(!eng.remove_externally(PageId(1)));
+    }
+
+    #[test]
+    fn events_recorded_when_enabled() {
+        let u = Universe::single_user(3);
+        let mut eng = SteppingEngine::new(1, u.clone(), EvictFirst).with_events();
+        eng.step(u.request(PageId(0)));
+        eng.step(u.request(PageId(1)));
+        let log = eng.events().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.eviction_sequence().len(), 1);
+    }
+}

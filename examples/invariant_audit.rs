@@ -1,0 +1,75 @@
+//! Audit the primal–dual machinery end to end: run ALG-CONT (Figure 2)
+//! with the dummy-flush convention, then check every §2.3 invariant and
+//! the Theorem 1.1 inequality against the exact offline optimum.
+//!
+//! Run with: `cargo run --release --example invariant_audit`
+
+use occ_core::{
+    check_invariants, run_continuous, with_dummy_flush, CostProfile, Marginals, Monomial,
+    TieBreak,
+};
+use occ_offline::exact_opt;
+use occ_sim::{Trace, Universe};
+
+fn main() {
+    // Small instance so the exact convex-objective OPT is computable.
+    let universe = Universe::uniform(2, 2);
+    let pages = [0u32, 2, 1, 3, 0, 2, 1, 3, 0, 2, 1, 0];
+    let trace = Trace::from_page_indices(&universe, &pages);
+    let k = 2;
+    let beta = 2.0;
+    let costs = CostProfile::uniform(2, Monomial::power(beta));
+
+    // --- run the continuous primal–dual algorithm with the flush ---
+    let (flushed_trace, flushed_costs) = with_dummy_flush(&trace, &costs, k);
+    let run = run_continuous(
+        &flushed_trace,
+        k,
+        &flushed_costs,
+        Marginals::Derivative,
+        TieBreak::OldestRequest,
+    );
+
+    println!("trace: {:?} (+{k} flush requests)", pages);
+    println!(
+        "ALG-CONT: {} evictions, total dual mass Σy = {:.3}",
+        run.eviction_sequence.len(),
+        run.state.total_y()
+    );
+
+    // --- §2.3 invariants ---
+    let report = check_invariants(
+        &flushed_trace,
+        k,
+        &flushed_costs,
+        Marginals::Derivative,
+        &run,
+        true,
+        1e-6,
+    );
+    println!("\n§2.3 invariants:");
+    println!("  (1a) primal feasible ........ {}", report.primal_feasible);
+    println!("  (1c) duals non-negative ..... {}", report.dual_nonneg);
+    println!("  (2a) z slack ................ {}", report.comp_slack_z);
+    println!(
+        "  (2b) tight at evictions ..... {} (max residual {:.2e})",
+        report.tightness_at_eviction, report.max_tightness_residual
+    );
+    println!(
+        "  (3a) gradient condition ..... {} (min slack {:.2e})",
+        report.gradient_ok, report.min_gradient_slack
+    );
+    assert!(report.all_ok(), "violations: {:?}", report.violations);
+
+    // --- Theorem 1.1 against the exact optimum ---
+    let online_misses: Vec<u64> = run.stats.miss_vector()[..2].to_vec();
+    let opt = exact_opt(&trace, k, &costs);
+    let online_cost = costs.total_cost(&online_misses);
+    let rhs = occ_core::theorem_1_1_rhs(&costs, &opt.misses, beta, k);
+    println!("\nTheorem 1.1 on this instance:");
+    println!("  online misses a = {online_misses:?}, cost = {online_cost}");
+    println!("  OPT misses    b = {:?}, cost = {}", opt.misses, opt.cost);
+    println!("  rhs Σ f(αk·b) = {rhs}");
+    assert!(online_cost <= rhs + 1e-9, "Theorem 1.1 must hold");
+    println!("  bound holds ✓");
+}

@@ -1,0 +1,8 @@
+//! Facade crate: re-exports the whole workspace. See README.md.
+pub use occ_analysis as analysis;
+pub use occ_baselines as baselines;
+pub use occ_core as core;
+pub use occ_offline as offline;
+pub use occ_pools as pools;
+pub use occ_sim as sim;
+pub use occ_workloads as workloads;

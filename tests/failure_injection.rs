@@ -1,0 +1,103 @@
+//! Failure-injection tests: external page removals (pool migrations)
+//! interleaved randomly with requests must keep every policy's internal
+//! index structures consistent with the cache.
+//!
+//! The engine asserts that a chosen victim is actually cached, so a
+//! policy with a stale index (e.g. an ordered set still holding a
+//! removed page) fails loudly here.
+
+use occ_baselines::{Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict, RandomizedMarking};
+use occ_core::{ConvexCaching, CostProfile, Monomial};
+use occ_offline::Belady;
+use occ_sim::{PageId, ReplacementPolicy, SteppingEngine, Trace, Universe, UserId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn trace() -> Trace {
+    let u = Universe::uniform(3, 4);
+    let pages: Vec<u32> = (0..3_000u32).map(|i| (i * 13 + 5) % 12).collect();
+    Trace::from_page_indices(&u, &pages)
+}
+
+/// Drive `policy` with random external removals injected every few
+/// requests. Returns total misses.
+fn run_with_removals<P: ReplacementPolicy>(policy: P, trace: &Trace, k: usize, seed: u64) -> u64 {
+    let universe = trace.universe().clone();
+    let mut engine = SteppingEngine::new(k, universe.clone(), policy);
+    let mut rng = StdRng::seed_from_u64(seed);
+    for (t, req) in trace.iter() {
+        engine.step(req);
+        if t % 17 == 16 {
+            // Remove a random page (no-op if not cached) or a whole user.
+            if rng.gen_bool(0.3) {
+                let user = UserId(rng.gen_range(0..universe.num_users()));
+                engine.remove_user_externally(user);
+            } else {
+                let page = PageId(rng.gen_range(0..universe.num_pages()));
+                engine.remove_externally(page);
+            }
+        }
+    }
+    engine.stats().total_misses()
+}
+
+#[test]
+fn every_policy_survives_random_external_removals() {
+    let trace = trace();
+    let costs = CostProfile::uniform(3, Monomial::power(2.0));
+    let k = 6;
+    let weights = vec![1.0, 2.0, 3.0];
+
+    let baseline_misses = run_with_removals(Lru::new(), &trace, k, 1);
+    assert!(baseline_misses > 0);
+
+    // Each policy must complete without tripping the engine's
+    // victim-must-be-cached assertion.
+    run_with_removals(ConvexCaching::new(costs.clone()), &trace, k, 2);
+    run_with_removals(Fifo::new(), &trace, k, 3);
+    run_with_removals(Lfu::new(), &trace, k, 4);
+    run_with_removals(Marking::new(), &trace, k, 5);
+    run_with_removals(LruK::new(2), &trace, k, 6);
+    run_with_removals(RandomEvict::new(7), &trace, k, 7);
+    run_with_removals(RandomizedMarking::new(8), &trace, k, 8);
+    run_with_removals(GreedyDual::new(weights), &trace, k, 9);
+    run_with_removals(occ_baselines::CostGreedy::new(costs.clone()), &trace, k, 10);
+    run_with_removals(Belady::new(&trace), &trace, k, 11);
+}
+
+#[test]
+fn removals_only_increase_misses() {
+    let trace = trace();
+    let k = 6;
+    // Same policy, with vs without injected removals.
+    let with = run_with_removals(Lru::new(), &trace, k, 42);
+    let without = {
+        let mut lru = Lru::new();
+        occ_sim::Simulator::new(k).run(&mut lru, &trace).total_misses()
+    };
+    assert!(
+        with >= without,
+        "dropping cached pages cannot reduce LRU misses: {with} < {without}"
+    );
+}
+
+#[test]
+fn convex_caching_decisions_stay_dual_feasible_under_removals() {
+    let trace = trace();
+    let costs = CostProfile::uniform(3, Monomial::power(2.0));
+    let universe = trace.universe().clone();
+    let mut engine = SteppingEngine::new(6, universe, ConvexCaching::new(costs));
+    for (t, req) in trace.iter() {
+        engine.step(req);
+        if t % 29 == 28 {
+            engine.remove_externally(req.page);
+        }
+    }
+    let diag = engine.policy().diagnostics();
+    assert!(diag.evictions > 0);
+    assert!(
+        diag.min_budget >= -1e-9,
+        "budgets must stay non-negative even with external removals: {}",
+        diag.min_budget
+    );
+}

@@ -1,0 +1,159 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * ALG-DISCRETE (fast) ≡ Figure 3 reference ≡ ALG-CONT on random
+//!   traces, cost profiles and cache sizes;
+//! * budgets / duals stay non-negative for convex costs;
+//! * the §2.3 invariant checker passes on every random flushed run;
+//! * Theorem 1.1 holds against the exact OPT on random small instances;
+//! * Claim 2.3 holds for random convex functions and partitions;
+//! * the induced (ICP) solution is always feasible with matching
+//!   objective.
+
+use occ_core::{
+    check_claim_2_3, check_invariants, run_continuous, with_dummy_flush, Assignment,
+    ConvexCaching, ConvexProgram, CostFn, CostProfile, DiscreteReference, Linear, Marginals,
+    Monomial, PiecewiseLinear, TieBreak,
+};
+use occ_offline::exact_opt;
+use occ_sim::{ReplacementPolicy, Simulator, Trace, Universe};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Integer-parameter cost functions keep all budget arithmetic exactly
+/// representable in f64, so implementation-equivalence tests can require
+/// bit-identical decisions.
+fn arb_cost() -> impl Strategy<Value = CostFn> {
+    prop_oneof![
+        (1u32..=5).prop_map(|w| Arc::new(Linear::new(w as f64)) as CostFn),
+        (2u32..=3).prop_map(|b| Arc::new(Monomial::power(b as f64)) as CostFn),
+        ((1u32..=8), (2u32..=20)).prop_map(|(s, b)| Arc::new(PiecewiseLinear::sla(
+            b as f64,
+            s as f64,
+            (s * 4) as f64
+        )) as CostFn),
+    ]
+}
+
+fn arb_instance() -> impl Strategy<Value = (Universe, Vec<u32>, CostProfile, usize)> {
+    (2u32..=3, 2u32..=4).prop_flat_map(|(users, pages_per)| {
+        let total = users * pages_per;
+        (
+            proptest::collection::vec(0..total, 20..200),
+            proptest::collection::vec(arb_cost(), users as usize),
+            2..=((total - 1).max(2) as usize),
+        )
+            .prop_map(move |(pages, fns, k)| {
+                (
+                    Universe::uniform(users, pages_per),
+                    pages,
+                    CostProfile::new(fns),
+                    k.min(total as usize - 1),
+                )
+            })
+    })
+}
+
+fn evictions<P: ReplacementPolicy>(p: &mut P, trace: &Trace, k: usize) -> Vec<(u64, u32)> {
+    Simulator::new(k)
+        .record_events(true)
+        .run(p, trace)
+        .events
+        .unwrap()
+        .eviction_sequence()
+        .iter()
+        .map(|&(t, pg)| (t, pg.0))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn three_implementations_agree((universe, pages, costs, k) in arb_instance()) {
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let mut fast = ConvexCaching::new(costs.clone());
+        let mut reference = DiscreteReference::new(costs.clone());
+        let e_fast = evictions(&mut fast, &trace, k);
+        let e_ref = evictions(&mut reference, &trace, k);
+        prop_assert_eq!(&e_fast, &e_ref);
+        let cont = run_continuous(&trace, k, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let e_cont: Vec<(u64, u32)> =
+            cont.eviction_sequence.iter().map(|&(t, p)| (t, p.0)).collect();
+        prop_assert_eq!(&e_fast, &e_cont);
+    }
+
+    #[test]
+    fn budgets_nonnegative_for_convex_costs((universe, pages, costs, k) in arb_instance()) {
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let mut alg = ConvexCaching::new(costs);
+        Simulator::new(k).run(&mut alg, &trace);
+        let d = alg.diagnostics();
+        prop_assert!(
+            d.evictions == 0 || d.min_budget >= -1e-9,
+            "negative budget {} with convex costs", d.min_budget
+        );
+        prop_assert!(d.global_y >= -1e-9, "dual offset went negative");
+    }
+
+    #[test]
+    fn invariants_hold_on_flushed_runs((universe, pages, costs, k) in arb_instance()) {
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let (ft, fc) = with_dummy_flush(&trace, &costs, k);
+        let run = run_continuous(&ft, k, &fc, Marginals::Derivative, TieBreak::OldestRequest);
+        let report = check_invariants(&ft, k, &fc, Marginals::Derivative, &run, true, 1e-6);
+        prop_assert!(report.all_ok(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn induced_solution_feasible_with_matching_objective(
+        (universe, pages, costs, k) in arb_instance()
+    ) {
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let mut alg = ConvexCaching::new(costs.clone());
+        let result = Simulator::new(k).record_events(true).run(&mut alg, &trace);
+        let assignment = Assignment::from_eviction_log(&trace, result.events.as_ref().unwrap());
+        let cp = ConvexProgram::new(&trace, k);
+        prop_assert!(cp.check_feasible(&assignment, 1e-9).is_ok());
+        let objective = cp.objective(&assignment, &costs);
+        let direct = costs.total_cost(&result.stats.eviction_vector());
+        prop_assert!((objective - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn claim_2_3_random_partitions(
+        cost in arb_cost(),
+        xs in proptest::collection::vec(0.0f64..10.0, 1..15)
+    ) {
+        let out = check_claim_2_3(&*cost, &xs, None);
+        prop_assert!(out.holds(1e-9), "claim 2.3 failed: {:?} on {:?}", out, xs);
+    }
+}
+
+proptest! {
+    // The exact solver is exponential; keep the instances tiny and the
+    // case count small.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn theorem_1_1_vs_exact_opt(
+        pages in proptest::collection::vec(0u32..4, 6..13),
+        beta in 1u32..=3,
+        k in 2usize..=3,
+    ) {
+        let universe = Universe::uniform(2, 2);
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let costs = CostProfile::uniform(2, Monomial::power(beta as f64));
+        let mut alg = ConvexCaching::new(costs.clone());
+        let a = Simulator::new(k).run(&mut alg, &trace).miss_vector();
+        let opt = exact_opt(&trace, k, &costs);
+        let online = costs.total_cost(&a);
+        let rhs = occ_core::theorem_1_1_rhs(&costs, &opt.misses, beta as f64, k);
+        prop_assert!(
+            online <= rhs + 1e-9,
+            "Theorem 1.1 violated: online {online} > rhs {rhs} (opt misses {:?}, online misses {:?}, pages {:?})",
+            opt.misses, a, pages
+        );
+        // ...and OPT really is a lower bound on the online cost.
+        prop_assert!(opt.cost <= online + 1e-9);
+    }
+}
