@@ -57,9 +57,9 @@ pub fn epoch_costs<P: ReplacementPolicy>(
     let mut at_epoch_start = vec![0u64; num_users];
 
     let flush_epoch = |engine: &SteppingEngine<P>,
-                           at_start: &mut Vec<u64>,
-                           per_epoch: &mut Vec<f64>,
-                           epoch_misses: &mut Vec<Vec<u64>>| {
+                       at_start: &mut Vec<u64>,
+                       per_epoch: &mut Vec<f64>,
+                       epoch_misses: &mut Vec<Vec<u64>>| {
         let now = engine.stats().miss_vector();
         let in_epoch: Vec<u64> = now
             .iter()
@@ -74,11 +74,21 @@ pub fn epoch_costs<P: ReplacementPolicy>(
     for (t, req) in trace.iter() {
         engine.step(req);
         if (t + 1) % epoch_len == 0 {
-            flush_epoch(&engine, &mut at_epoch_start, &mut per_epoch, &mut epoch_misses);
+            flush_epoch(
+                &engine,
+                &mut at_epoch_start,
+                &mut per_epoch,
+                &mut epoch_misses,
+            );
         }
     }
-    if trace.len() as u64 % epoch_len != 0 {
-        flush_epoch(&engine, &mut at_epoch_start, &mut per_epoch, &mut epoch_misses);
+    if !(trace.len() as u64).is_multiple_of(epoch_len) {
+        flush_epoch(
+            &engine,
+            &mut at_epoch_start,
+            &mut per_epoch,
+            &mut epoch_misses,
+        );
     }
 
     EpochCosts {
@@ -147,13 +157,7 @@ mod tests {
     #[test]
     fn works_with_the_papers_algorithm() {
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let ec = epoch_costs(
-            ConvexCaching::new(costs.clone()),
-            &trace(),
-            3,
-            &costs,
-            250,
-        );
+        let ec = epoch_costs(ConvexCaching::new(costs.clone()), &trace(), 3, &costs, 250);
         assert_eq!(ec.per_epoch.len(), 4);
         assert!(ec.windowed_total() > 0.0);
     }

@@ -63,8 +63,7 @@ pub fn reuse_distances(trace: &Trace) -> Vec<Option<u32>> {
                 // Distinct pages touched in (prev, t) = active stamps in
                 // that range (each distinct page keeps exactly one stamp,
                 // at its most recent access).
-                let between = fen.prefix(t.saturating_sub(1)) as i64
-                    - fen.prefix(prev) as i64;
+                let between = fen.prefix(t.saturating_sub(1)) as i64 - fen.prefix(prev) as i64;
                 out.push(Some(between as u32 + 1)); // +1 for the page itself
             }
         }

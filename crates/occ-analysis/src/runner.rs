@@ -131,8 +131,10 @@ pub fn check_theorem_1_3(
     )
 }
 
-/// Parallel map over sweep points, preserving input order. Uses scoped
-/// threads (crossbeam), bounded by available parallelism.
+/// Parallel map over sweep points, preserving input order. Uses
+/// `std::thread::scope` with the output split into disjoint `&mut`
+/// chunks, one per worker: no locks, no per-slot boxing, no atomics on
+/// the write path.
 pub fn parallel_sweep<I, R, F>(items: Vec<I>, f: F) -> Vec<R>
 where
     I: Sync,
@@ -148,23 +150,22 @@ where
         .unwrap_or(4)
         .min(n);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let slots: Vec<parking_lot::Mutex<&mut Option<R>>> =
-        results.iter_mut().map(parking_lot::Mutex::new).collect();
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n {
-                    break;
+    // Split items and output into matching contiguous chunks. Chunk i
+    // covers [i*chunk, …): every worker owns its output window outright,
+    // so writes need no synchronization at all. Contiguous stripes also
+    // keep each worker's writes on its own cache lines (no false sharing
+    // beyond the two chunk-boundary lines).
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in items.chunks(chunk).zip(results.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (item, slot) in in_chunk.iter().zip(out_chunk.iter_mut()) {
+                    *slot = Some(f(item));
                 }
-                let r = f(&items[i]);
-                **slots[i].lock() = Some(r);
             });
         }
-    })
-    .expect("sweep worker panicked");
-    drop(slots);
+    });
     results
         .into_iter()
         .map(|r| r.expect("every slot filled"))

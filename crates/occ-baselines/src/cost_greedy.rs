@@ -87,7 +87,9 @@ impl ReplacementPolicy for CostGreedy {
             };
             // m(u, t−1) from the engine's pre-eviction stats.
             let m = ctx.stats.per_user()[u].evictions;
-            let marginal = self.costs.next_eviction_cost(self.mode, UserId(u as u32), m);
+            let marginal = self
+                .costs
+                .next_eviction_cost(self.mode, UserId(u as u32), m);
             let better = match best {
                 None => true,
                 Some((bm, bs, bp, _)) => {

@@ -1,12 +1,19 @@
 //! FIFO — evict the page that entered the cache earliest.
+//!
+//! [`Fifo`] (the default) keeps insertion order in an intrusive
+//! [`PageList`]: `O(1)` per operation with no allocation and no stale
+//! entries, because external removals unlink eagerly. [`FifoReference`]
+//! is the original `VecDeque` form whose queue is lazily self-cleaning;
+//! both make byte-identical eviction decisions.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use occ_sim::{EngineCtx, PageId, PageList, ReplacementPolicy};
 use std::collections::VecDeque;
 
-/// First-in-first-out replacement.
+/// First-in-first-out replacement over an intrusive insertion-order list.
 #[derive(Debug, Default)]
 pub struct Fifo {
-    queue: VecDeque<PageId>,
+    /// Cached pages, earliest insert at the front.
+    queue: PageList,
 }
 
 impl Fifo {
@@ -19,6 +26,43 @@ impl Fifo {
 impl ReplacementPolicy for Fifo {
     fn name(&self) -> String {
         "fifo".into()
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.queue.ensure(ctx.universe.num_pages() as usize);
+        self.queue.push_back(page);
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        self.queue.pop_front().expect("cache is full")
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.queue.remove_if_linked(page);
+    }
+
+    fn reset(&mut self) {
+        self.queue.reset();
+    }
+}
+
+/// The original `VecDeque` FIFO, retained as the equivalence oracle and
+/// benchmark baseline for [`Fifo`].
+#[derive(Debug, Default)]
+pub struct FifoReference {
+    queue: VecDeque<PageId>,
+}
+
+impl FifoReference {
+    /// A fresh reference FIFO policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl ReplacementPolicy for FifoReference {
+    fn name(&self) -> String {
+        "fifo-reference".into()
     }
 
     fn on_insert(&mut self, _ctx: &EngineCtx, page: PageId) {
@@ -75,5 +119,35 @@ mod tests {
         f.reset();
         let b = Simulator::new(2).run(&mut f, &trace).total_misses();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_reference_eviction_for_eviction() {
+        let u = Universe::single_user(12);
+        let mut state = 0xDEADBEEFu64;
+        let pages: Vec<u32> = (0..2_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 12) as u32
+            })
+            .collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        for k in [1, 3, 7, 11] {
+            let a = Simulator::new(k)
+                .record_events(true)
+                .run(&mut Fifo::new(), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            let b = Simulator::new(k)
+                .record_events(true)
+                .run(&mut FifoReference::new(), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            assert_eq!(a, b, "diverged at k={k}");
+        }
     }
 }

@@ -70,16 +70,22 @@ impl GreedyDual {
             self.stamp.resize(n, 0);
         }
         if cached_before {
-            self.order
-                .remove(&(Key(self.key[page.index()]), self.stamp[page.index()], page.0));
+            self.order.remove(&(
+                Key(self.key[page.index()]),
+                self.stamp[page.index()],
+                page.0,
+            ));
         }
         let user: UserId = ctx.universe.owner(page);
         self.seq += 1;
         // credit := weight ⇒ stored key = weight + current offset.
         self.key[page.index()] = self.weights[user.index()] + self.offset;
         self.stamp[page.index()] = self.seq;
-        self.order
-            .insert((Key(self.key[page.index()]), self.stamp[page.index()], page.0));
+        self.order.insert((
+            Key(self.key[page.index()]),
+            self.stamp[page.index()],
+            page.0,
+        ));
     }
 }
 
@@ -105,8 +111,11 @@ impl ReplacementPolicy for GreedyDual {
     }
 
     fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
-        self.order
-            .remove(&(Key(self.key[page.index()]), self.stamp[page.index()], page.0));
+        self.order.remove(&(
+            Key(self.key[page.index()]),
+            self.stamp[page.index()],
+            page.0,
+        ));
     }
 
     fn reset(&mut self) {

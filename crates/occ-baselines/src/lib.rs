@@ -11,6 +11,13 @@
 //!   `α = 1` linear special case of the paper;
 //! * cost-aware but myopic: [`CostGreedy`] — marginal-cost eviction with
 //!   no dual accounting, isolating the value of the paper's budgets.
+//!
+//! The hot-path policies ship in two forms: the default (`Lru`, `Fifo`,
+//! `Marking`, `RandomizedMarking`, `LruK`) runs on `O(1)`/`O(log k)`
+//! dense structures (intrusive recency lists, swap-remove pools, flat
+//! history rings), and a `*Reference` twin keeps the original
+//! straightforward implementation as the equivalence oracle for the
+//! property tests and the baseline for the throughput benchmarks.
 
 pub mod cost_greedy;
 pub mod fifo;
@@ -23,13 +30,13 @@ pub mod rand_marking;
 pub mod random_policy;
 
 pub use cost_greedy::CostGreedy;
-pub use fifo::Fifo;
+pub use fifo::{Fifo, FifoReference};
 pub use greedy_dual::GreedyDual;
 pub use lfu::Lfu;
-pub use lru::Lru;
-pub use lruk::LruK;
-pub use marking::Marking;
-pub use rand_marking::RandomizedMarking;
+pub use lru::{Lru, LruReference};
+pub use lruk::{LruK, LruKReference};
+pub use marking::{Marking, MarkingReference};
+pub use rand_marking::{RandomizedMarking, RandomizedMarkingReference};
 pub use random_policy::RandomEvict;
 
 use occ_core::CostProfile;

@@ -4,13 +4,70 @@
 //! paging, which is the single-user linear special case of the paper's
 //! model. LRU is also the cost-blind default that the cost-aware
 //! algorithm is measured against in the multi-tenant experiments.
+//!
+//! Two implementations live here: [`Lru`], the default, keeps recency in
+//! an intrusive [`PageList`] — `O(1)` per request, no allocation on the
+//! hot path — and [`LruReference`] keeps the original
+//! `BTreeSet<(stamp, page)>` form at `O(log k)` per request. They make
+//! byte-identical eviction decisions (see the equivalence tests here and
+//! the property suite in `tests/equivalence.rs`); the reference exists as
+//! the oracle for those tests and as the baseline of the throughput
+//! benchmarks.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use occ_sim::{EngineCtx, PageId, PageList, ReplacementPolicy};
 use std::collections::BTreeSet;
 
-/// Least-recently-used replacement in `O(log k)` per operation.
+/// Least-recently-used replacement in `O(1)` per operation via an
+/// intrusive recency list.
 #[derive(Debug, Default)]
 pub struct Lru {
+    /// Cached pages, oldest use at the front.
+    order: PageList,
+}
+
+impl Lru {
+    /// A fresh LRU policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn touch(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.order.ensure(ctx.universe.num_pages() as usize);
+        self.order.move_to_back(page);
+    }
+}
+
+impl ReplacementPolicy for Lru {
+    fn name(&self) -> String {
+        "lru".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        self.order.pop_front().expect("cache is full")
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.order.remove_if_linked(page);
+    }
+
+    fn reset(&mut self) {
+        self.order.reset();
+    }
+}
+
+/// The original ordered-set LRU (`O(log k)` per operation), retained as
+/// the equivalence oracle and benchmark baseline for [`Lru`].
+#[derive(Debug, Default)]
+pub struct LruReference {
     /// Monotone counter stamping each request.
     seq: u64,
     /// Last-use stamp per page (lazily sized).
@@ -19,8 +76,8 @@ pub struct Lru {
     order: BTreeSet<(u64, u32)>,
 }
 
-impl Lru {
-    /// A fresh LRU policy.
+impl LruReference {
+    /// A fresh reference LRU policy.
     pub fn new() -> Self {
         Self::default()
     }
@@ -38,9 +95,9 @@ impl Lru {
     }
 }
 
-impl ReplacementPolicy for Lru {
+impl ReplacementPolicy for LruReference {
     fn name(&self) -> String {
-        "lru".into()
+        "lru-reference".into()
     }
 
     fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
@@ -76,7 +133,9 @@ mod tests {
     fn misses(pages: &[u32], num_pages: u32, k: usize) -> u64 {
         let u = Universe::single_user(num_pages);
         let trace = Trace::from_page_indices(&u, pages);
-        Simulator::new(k).run(&mut Lru::new(), &trace).total_misses()
+        Simulator::new(k)
+            .run(&mut Lru::new(), &trace)
+            .total_misses()
     }
 
     #[test]
@@ -124,5 +183,37 @@ mod tests {
         lru.reset();
         let b = Simulator::new(2).run(&mut lru, &trace).total_misses();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn matches_reference_eviction_for_eviction() {
+        // Deterministic pseudo-random trace: the intrusive-list LRU and
+        // the ordered-set LRU must evict the same pages at the same times.
+        let u = Universe::single_user(16);
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let pages: Vec<u32> = (0..3_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 16) as u32
+            })
+            .collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        for k in [1, 2, 5, 8, 15] {
+            let a = Simulator::new(k)
+                .record_events(true)
+                .run(&mut Lru::new(), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            let b = Simulator::new(k)
+                .record_events(true)
+                .run(&mut LruReference::new(), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            assert_eq!(a, b, "diverged at k={k}");
+        }
     }
 }

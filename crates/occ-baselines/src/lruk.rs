@@ -6,17 +6,33 @@
 //! page touched twice recently beats a page scanned once. Pages with
 //! fewer than K references have backward K-distance ∞ and are preferred
 //! victims (ties by oldest last reference — the classic tie-break).
+//!
+//! [`LruK`] (the default) stores each page's last-K reference times in
+//! one flat `num_pages × K` ring buffer (no per-page `VecDeque`, no
+//! allocation after sizing) and keeps the cached pages in an incremental
+//! ordered set keyed by `(kth-recent, last, page)`: touches are `O(log k)`
+//! and victim selection is `O(log k)` instead of the reference's `O(k)`
+//! cache scan. [`LruKReference`] is the original form; both make
+//! byte-identical eviction decisions.
 
 use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 /// LRU-K replacement. `K = 1` degenerates to LRU.
 #[derive(Debug)]
 pub struct LruK {
     k: usize,
-    /// Last K reference times per page (front = oldest of the K).
-    history: Vec<VecDeque<u64>>,
     seq: u64,
+    /// Flat ring of the last K reference times per page:
+    /// `hist[p*k + slot]`.
+    hist: Vec<u64>,
+    /// Next write slot of each page's ring.
+    head: Vec<u32>,
+    /// Number of recorded references per page, saturating at K.
+    count: Vec<u32>,
+    /// Cached pages ordered by `(kth-recent stamp, last stamp, page)` —
+    /// the first entry is the next victim.
+    order: BTreeSet<(u64, u64, u32)>,
 }
 
 impl LruK {
@@ -24,6 +40,119 @@ impl LruK {
     pub fn new(k: usize) -> Self {
         assert!(k >= 1, "K must be at least 1");
         LruK {
+            k,
+            seq: 0,
+            hist: Vec::new(),
+            head: Vec::new(),
+            count: Vec::new(),
+            order: BTreeSet::new(),
+        }
+    }
+
+    fn ensure(&mut self, ctx: &EngineCtx) {
+        let n = ctx.universe.num_pages() as usize;
+        if self.head.len() < n {
+            self.hist.resize(n * self.k, 0);
+            self.head.resize(n, 0);
+            self.count.resize(n, 0);
+        }
+    }
+
+    /// Record a reference to `page` in its ring.
+    #[inline]
+    fn record(&mut self, page: PageId) {
+        let base = page.index() * self.k;
+        let h = self.head[page.index()] as usize;
+        self.seq += 1;
+        self.hist[base + h] = self.seq;
+        self.head[page.index()] = ((h + 1) % self.k) as u32;
+        if (self.count[page.index()] as usize) < self.k {
+            self.count[page.index()] += 1;
+        }
+    }
+
+    /// Backward K-distance key: the time of the K-th most recent
+    /// reference, or 0 (∞ distance) with the last reference as tie-break.
+    #[inline]
+    fn key(&self, page: PageId) -> (u64, u64) {
+        let base = page.index() * self.k;
+        let h = self.head[page.index()] as usize;
+        let count = self.count[page.index()] as usize;
+        // After a write, `head` points at the oldest stored stamp and
+        // `head - 1` at the newest.
+        let kth = if count >= self.k {
+            self.hist[base + h]
+        } else {
+            0
+        };
+        let last = if count > 0 {
+            self.hist[base + (h + self.k - 1) % self.k]
+        } else {
+            0
+        };
+        (kth, last)
+    }
+
+    #[inline]
+    fn set_entry(&self, page: PageId) -> (u64, u64, u32) {
+        let (kth, last) = self.key(page);
+        (kth, last, page.0)
+    }
+}
+
+impl ReplacementPolicy for LruK {
+    fn name(&self) -> String {
+        format!("lru-{}", self.k)
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.ensure(ctx);
+        self.order.remove(&self.set_entry(page));
+        self.record(page);
+        self.order.insert(self.set_entry(page));
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.ensure(ctx);
+        self.record(page);
+        self.order.insert(self.set_entry(page));
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        let &(kth, last, page) = self.order.first().expect("cache is full");
+        self.order.remove(&(kth, last, page));
+        PageId(page)
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.order.remove(&self.set_entry(page));
+    }
+
+    fn reset(&mut self) {
+        self.seq = 0;
+        self.hist.clear();
+        self.head.clear();
+        self.count.clear();
+        self.order.clear();
+    }
+}
+
+/// The original LRU-K with per-page `VecDeque` histories and an `O(k)`
+/// cache scan per eviction, retained as the equivalence oracle and
+/// benchmark baseline for [`LruK`].
+#[derive(Debug)]
+pub struct LruKReference {
+    k: usize,
+    /// Last K reference times per page (front = oldest of the K).
+    history: Vec<VecDeque<u64>>,
+    seq: u64,
+}
+
+impl LruKReference {
+    /// Create LRU-K with the given history depth `K ≥ 1`.
+    pub fn new(k: usize) -> Self {
+        assert!(k >= 1, "K must be at least 1");
+        LruKReference {
             k,
             history: Vec::new(),
             seq: 0,
@@ -57,9 +186,9 @@ impl LruK {
     }
 }
 
-impl ReplacementPolicy for LruK {
+impl ReplacementPolicy for LruKReference {
     fn name(&self) -> String {
-        format!("lru-{}", self.k)
+        format!("lru-{}-reference", self.k)
     }
 
     fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
@@ -120,7 +249,11 @@ mod tests {
             .record_events(true)
             .run(&mut LruK::new(2), &trace);
         let ev = r.events.unwrap().eviction_sequence();
-        assert_eq!(ev, vec![(5, PageId(2))], "the single-reference scan page goes first");
+        assert_eq!(
+            ev,
+            vec![(5, PageId(2))],
+            "the single-reference scan page goes first"
+        );
     }
 
     #[test]
@@ -138,5 +271,37 @@ mod tests {
     #[should_panic(expected = "at least 1")]
     fn zero_k_rejected() {
         LruK::new(0);
+    }
+
+    #[test]
+    fn matches_reference_eviction_for_eviction() {
+        let u = Universe::single_user(9);
+        let mut state = 0x5555AAAA5555u64;
+        let pages: Vec<u32> = (0..2_500)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 9) as u32
+            })
+            .collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        for kk in [1, 2, 3, 5] {
+            for cache in [2, 4, 8] {
+                let a = Simulator::new(cache)
+                    .record_events(true)
+                    .run(&mut LruK::new(kk), &trace)
+                    .events
+                    .unwrap()
+                    .eviction_sequence();
+                let b = Simulator::new(cache)
+                    .record_events(true)
+                    .run(&mut LruKReference::new(kk), &trace)
+                    .events
+                    .unwrap()
+                    .eviction_sequence();
+                assert_eq!(a, b, "diverged at K={kk}, k={cache}");
+            }
+        }
     }
 }

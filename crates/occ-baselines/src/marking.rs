@@ -5,20 +5,92 @@
 //! cleared). Deterministic marking is `k`-competitive; it is the textbook
 //! alternative to LRU and a useful cost-blind baseline because its phase
 //! structure reacts differently to adversarial cycles.
+//!
+//! [`Marking`] (the default) runs in `O(1)` per request on two intrusive
+//! lists sharing one [`PageLists`] arena: the cached *unmarked* pages and
+//! the cached *marked* pages, each kept in last-use order. A touch moves
+//! the page to the back of the marked list; a phase reset splices the
+//! whole marked list (already in last-use order, since touches append)
+//! onto the empty unmarked list in `O(k)` — amortized `O(1)`, as a phase
+//! spans at least `k` requests. The victim is always the unmarked front.
+//! [`MarkingReference`] is the original form that rescans the cache per
+//! eviction (`O(k)`); both make byte-identical eviction decisions.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use occ_sim::{EngineCtx, PageId, PageLists, ReplacementPolicy};
+
+/// Index of the unmarked list in the shared arena.
+const UNMARKED: usize = 0;
+/// Index of the marked list in the shared arena.
+const MARKED: usize = 1;
 
 /// Deterministic marking: evicts the unmarked page with the oldest last
-/// use.
+/// use, in `O(1)` amortized per request.
 #[derive(Debug, Default)]
 pub struct Marking {
+    /// Two lists over the cached pages: `UNMARKED` and `MARKED`, each in
+    /// increasing last-use order.
+    lists: PageLists,
+}
+
+impl Marking {
+    /// A fresh marking policy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn touch(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.lists.ensure(2, ctx.universe.num_pages() as usize);
+        self.lists.move_to_back(MARKED, page);
+    }
+}
+
+impl ReplacementPolicy for Marking {
+    fn name(&self) -> String {
+        "marking".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        if self.lists.is_empty(UNMARKED) {
+            // New phase: every cached page is marked. The marked list is
+            // already in last-use order, so it becomes the unmarked list
+            // wholesale.
+            self.lists.append_list(UNMARKED, MARKED);
+        }
+        self.lists
+            .pop_front(UNMARKED)
+            .expect("a phase reset guarantees an unmarked page")
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.lists.remove_if_linked(page);
+    }
+
+    fn reset(&mut self) {
+        self.lists.reset();
+    }
+}
+
+/// The original scan-per-eviction marking (`O(k)` victim selection),
+/// retained as the equivalence oracle and benchmark baseline for
+/// [`Marking`].
+#[derive(Debug, Default)]
+pub struct MarkingReference {
     seq: u64,
     marked: Vec<bool>,
     stamp: Vec<u64>,
 }
 
-impl Marking {
-    /// A fresh marking policy.
+impl MarkingReference {
+    /// A fresh reference marking policy.
     pub fn new() -> Self {
         Self::default()
     }
@@ -35,9 +107,9 @@ impl Marking {
     }
 }
 
-impl ReplacementPolicy for Marking {
+impl ReplacementPolicy for MarkingReference {
     fn name(&self) -> String {
-        "marking".into()
+        "marking-reference".into()
     }
 
     fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
@@ -109,5 +181,35 @@ mod tests {
         let r = Simulator::new(3).run(&mut Marking::new(), &trace);
         // Hot pages miss once each; cold pages miss each time: 2 + 3.
         assert_eq!(r.total_misses(), 5);
+    }
+
+    #[test]
+    fn matches_reference_eviction_for_eviction() {
+        let u = Universe::single_user(10);
+        let mut state = 0xABCDEF12345u64;
+        let pages: Vec<u32> = (0..3_000)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % 10) as u32
+            })
+            .collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        for k in [1, 2, 4, 7, 9] {
+            let a = Simulator::new(k)
+                .record_events(true)
+                .run(&mut Marking::new(), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            let b = Simulator::new(k)
+                .record_events(true)
+                .run(&mut MarkingReference::new(), &trace)
+                .events
+                .unwrap()
+                .eviction_sequence();
+            assert_eq!(a, b, "diverged at k={k}");
+        }
     }
 }

@@ -28,7 +28,9 @@ fn bench_exact_opt(c: &mut Criterion) {
     group.sample_size(10);
     for &t_len in &[8usize, 12] {
         let u = Universe::uniform(2, 2);
-        let pages: Vec<u32> = (0..t_len).map(|i| (i as u32 * 5 + 1 + (i as u32 * i as u32)) % 4).collect();
+        let pages: Vec<u32> = (0..t_len)
+            .map(|i| (i as u32 * 5 + 1 + (i as u32 * i as u32)) % 4)
+            .collect();
         let trace = Trace::from_page_indices(&u, &pages);
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
         group.bench_with_input(BenchmarkId::new("T", t_len), &t_len, |b, _| {
@@ -59,7 +61,13 @@ fn bench_continuous_reference(c: &mut Criterion) {
         group.throughput(Throughput::Elements(len as u64));
         group.bench_with_input(BenchmarkId::new("T", len), &len, |b, _| {
             b.iter(|| {
-                run_continuous(&trace, 12, &costs, Marginals::Derivative, TieBreak::OldestRequest)
+                run_continuous(
+                    &trace,
+                    12,
+                    &costs,
+                    Marginals::Derivative,
+                    TieBreak::OldestRequest,
+                )
             });
         });
     }

@@ -6,7 +6,10 @@
 //! Figure 3 `DiscreteReference` degrades with `k` (its `O(k)` sweeps).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use occ_baselines::{GreedyDual, Lru};
+use occ_baselines::{
+    Fifo, FifoReference, GreedyDual, Lru, LruK, LruKReference, LruReference, Marking,
+    MarkingReference, RandomizedMarking, RandomizedMarkingReference,
+};
 use occ_core::{ConvexCaching, CostProfile, DiscreteReference, Monomial};
 use occ_sim::{ReplacementPolicy, Simulator, Trace};
 use occ_workloads::{generate_multi_tenant, zipf_trace, AccessPattern, TenantSpec};
@@ -44,19 +47,46 @@ fn bench_policies_vs_k(c: &mut Criterion) {
     group.finish();
 }
 
+/// Each `O(1)`/`O(log k)` default policy against its retained reference
+/// implementation, on the same trace: the measured gap is the payoff of
+/// the intrusive-list / dense-pool / flat-ring ports.
+fn bench_fast_vs_reference(c: &mut Criterion) {
+    let len = 50_000usize;
+    let mut group = c.benchmark_group("fast_vs_reference");
+    group.throughput(Throughput::Elements(len as u64));
+    for &k in &[256usize, 4096] {
+        let trace = zipf_trace(4 * k as u32, len, 0.9, 11);
+        let mut pairs: Vec<(Box<dyn ReplacementPolicy>, Box<dyn ReplacementPolicy>)> = vec![
+            (Box::new(Lru::new()), Box::new(LruReference::new())),
+            (Box::new(Fifo::new()), Box::new(FifoReference::new())),
+            (Box::new(Marking::new()), Box::new(MarkingReference::new())),
+            (Box::new(LruK::new(2)), Box::new(LruKReference::new(2))),
+            (
+                Box::new(RandomizedMarking::new(7)),
+                Box::new(RandomizedMarkingReference::new(7)),
+            ),
+        ];
+        for (fast, reference) in &mut pairs {
+            let fast_name = fast.name();
+            group.bench_with_input(BenchmarkId::new(fast_name, k), &k, |b, &k| {
+                b.iter(|| run_policy(fast, &trace, k));
+            });
+            let ref_name = reference.name();
+            group.bench_with_input(BenchmarkId::new(ref_name, k), &k, |b, &k| {
+                b.iter(|| run_policy(reference, &trace, k));
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_tenant_scaling(c: &mut Criterion) {
     let len = 50_000usize;
     let mut group = c.benchmark_group("convex_caching_vs_tenants");
     group.throughput(Throughput::Elements(len as u64));
     for &n in &[2usize, 8, 32] {
         let specs: Vec<TenantSpec> = (0..n)
-            .map(|i| {
-                TenantSpec::new(
-                    16,
-                    1.0 + (i % 3) as f64,
-                    AccessPattern::Zipf { s: 0.8 },
-                )
-            })
+            .map(|i| TenantSpec::new(16, 1.0 + (i % 3) as f64, AccessPattern::Zipf { s: 0.8 }))
             .collect();
         let trace = generate_multi_tenant(&specs, len, 5);
         let costs = CostProfile::uniform(n as u32, Monomial::power(2.0));
@@ -84,6 +114,7 @@ fn bench_engine_overhead(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_policies_vs_k,
+    bench_fast_vs_reference,
     bench_tenant_scaling,
     bench_engine_overhead
 );

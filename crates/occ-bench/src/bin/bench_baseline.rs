@@ -1,0 +1,188 @@
+//! `bench_baseline` — the tracked throughput baseline.
+//!
+//! Runs a fixed policy × cache-size × workload matrix and writes
+//! `BENCH_throughput.json` at the repository root with requests/second
+//! and per-request latency percentiles (p50/p99, nanoseconds) for each
+//! cell. The file is committed alongside performance work so regressions
+//! show up in review as a diff, not as an anecdote.
+//!
+//! Matrix (fixed on purpose — comparable across commits):
+//!
+//! * policies: `lru`, `lru-reference`, `fifo`, `marking`, `greedy-dual`,
+//!   `alg-discrete` (the paper's ConvexCaching on its convex fast path);
+//! * cache sizes: `k = 1024` and `k = 4096`, universe `4k` pages;
+//! * workloads: single-user Zipf(0.9) and a 4-tenant Zipf(0.8) mix.
+//!
+//! Throughput is the best of three full-trace replays (batch
+//! [`Simulator`]); latency percentiles come from a separate
+//! [`SteppingEngine`] pass that times each request individually (the two
+//! passes are separate so percentile instrumentation cannot distort the
+//! throughput number). Total runtime is well under two minutes.
+
+use occ_baselines::{Fifo, GreedyDual, Lru, LruReference, Marking};
+use occ_core::{ConvexCaching, CostProfile, Monomial};
+use occ_sim::{ReplacementPolicy, Request, Simulator, SteppingEngine, Trace};
+use occ_workloads::{generate_multi_tenant, zipf_trace, AccessPattern, TenantSpec};
+use std::fmt::Write as _;
+use std::path::Path;
+use std::time::Instant;
+
+const TRACE_LEN: usize = 200_000;
+const CACHE_SIZES: [usize; 2] = [1024, 4096];
+const THROUGHPUT_REPS: usize = 3;
+
+struct Workload {
+    name: &'static str,
+    num_users: u32,
+    trace: Trace,
+}
+
+fn workloads(k: usize) -> Vec<Workload> {
+    let pages = 4 * k as u32;
+    let tenants: Vec<TenantSpec> = (0..4)
+        .map(|i| TenantSpec::new(k as u32, 1.0 + i as f64, AccessPattern::Zipf { s: 0.8 }))
+        .collect();
+    vec![
+        Workload {
+            name: "zipf-0.9",
+            num_users: 1,
+            trace: zipf_trace(pages, TRACE_LEN, 0.9, 11),
+        },
+        Workload {
+            name: "tenants-4x-zipf-0.8",
+            num_users: 4,
+            trace: generate_multi_tenant(&tenants, TRACE_LEN, 5),
+        },
+    ]
+}
+
+fn policy_suite(num_users: u32) -> Vec<(&'static str, Box<dyn ReplacementPolicy>)> {
+    let costs = CostProfile::uniform(num_users, Monomial::power(2.0));
+    vec![
+        ("lru", Box::new(Lru::new()) as Box<dyn ReplacementPolicy>),
+        ("lru-reference", Box::new(LruReference::new())),
+        ("fifo", Box::new(Fifo::new())),
+        ("marking", Box::new(Marking::new())),
+        ("greedy-dual", Box::new(GreedyDual::unweighted(num_users))),
+        ("alg-discrete", Box::new(ConvexCaching::new(costs))),
+    ]
+}
+
+struct Measurement {
+    requests_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    misses: u64,
+}
+
+fn measure(policy: &mut Box<dyn ReplacementPolicy>, wl: &Workload, k: usize) -> Measurement {
+    // Throughput: best of N full replays (batch engine, no per-request
+    // instrumentation).
+    let mut best = f64::INFINITY;
+    let mut misses = 0;
+    for _ in 0..THROUGHPUT_REPS {
+        policy.reset();
+        let start = Instant::now();
+        let result = Simulator::new(k).run(policy, &wl.trace);
+        let secs = start.elapsed().as_secs_f64();
+        best = best.min(secs);
+        misses = result.total_misses();
+    }
+    let requests_per_sec = wl.trace.len() as f64 / best;
+
+    // Latency percentiles: a stepping pass timing each request. Timer
+    // overhead (~tens of ns) is included in every sample equally.
+    policy.reset();
+    let requests: Vec<Request> = wl.trace.iter().map(|(_, r)| r).collect();
+    let shim = PolicyShim(policy);
+    let mut engine = SteppingEngine::new(k, wl.trace.universe().clone(), shim);
+    let mut samples: Vec<u64> = Vec::with_capacity(requests.len());
+    for &req in &requests {
+        let start = Instant::now();
+        engine.step(req);
+        samples.push(start.elapsed().as_nanos() as u64);
+    }
+    samples.sort_unstable();
+    let pct = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    Measurement {
+        requests_per_sec,
+        p50_ns: pct(0.50),
+        p99_ns: pct(0.99),
+        misses,
+    }
+}
+
+/// Adapter so the stepping engine can drive a `&mut Box<dyn Policy>`
+/// without taking ownership.
+struct PolicyShim<'a>(&'a mut Box<dyn ReplacementPolicy>);
+
+impl ReplacementPolicy for PolicyShim<'_> {
+    fn name(&self) -> String {
+        self.0.name()
+    }
+    fn on_hit(&mut self, ctx: &occ_sim::EngineCtx, page: occ_sim::PageId) {
+        self.0.on_hit(ctx, page);
+    }
+    fn on_insert(&mut self, ctx: &occ_sim::EngineCtx, page: occ_sim::PageId) {
+        self.0.on_insert(ctx, page);
+    }
+    fn choose_victim(
+        &mut self,
+        ctx: &occ_sim::EngineCtx,
+        incoming: occ_sim::PageId,
+    ) -> occ_sim::PageId {
+        self.0.choose_victim(ctx, incoming)
+    }
+    fn on_evicted(&mut self, ctx: &occ_sim::EngineCtx, page: occ_sim::PageId) {
+        self.0.on_evicted(ctx, page);
+    }
+    fn on_external_removal(&mut self, ctx: &occ_sim::EngineCtx, page: occ_sim::PageId) {
+        self.0.on_external_removal(ctx, page);
+    }
+    fn reset(&mut self) {
+        self.0.reset();
+    }
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &k in &CACHE_SIZES {
+        for wl in workloads(k) {
+            for (label, mut policy) in policy_suite(wl.num_users) {
+                let m = measure(&mut policy, &wl, k);
+                println!(
+                    "{label:>16}  k={k:<5} {:<20} {:>12.0} req/s   p50 {:>6} ns   p99 {:>7} ns   misses {}",
+                    wl.name, m.requests_per_sec, m.p50_ns, m.p99_ns, m.misses
+                );
+                let mut row = String::new();
+                write!(
+                    row,
+                    "    {{\"policy\": \"{label}\", \"workload\": \"{}\", \"k\": {k}, \
+                     \"universe_pages\": {}, \"trace_len\": {}, \
+                     \"requests_per_sec\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \
+                     \"misses\": {}}}",
+                    wl.name,
+                    4 * k,
+                    wl.trace.len(),
+                    m.requests_per_sec,
+                    m.p50_ns,
+                    m.p99_ns,
+                    m.misses
+                )
+                .unwrap();
+                rows.push(row);
+            }
+        }
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 1,\n  \"entries\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    // crates/occ-bench/../../ = repository root, regardless of cwd.
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json");
+    std::fs::write(&out, json).expect("write BENCH_throughput.json");
+    println!("\nwrote {}", out.display());
+}

@@ -59,8 +59,8 @@ fn main() {
         ]);
     }
     r.table("e8_tiebreak", &t);
-    let spread = occ_analysis::max(&costs_by_tb)
-        / costs_by_tb.iter().copied().fold(f64::INFINITY, f64::min);
+    let spread =
+        occ_analysis::max(&costs_by_tb) / costs_by_tb.iter().copied().fold(f64::INFINITY, f64::min);
     r.note(&format!(
         "cost spread across tie-breaks: {:.3}x (ties are rare off the \
          uniform-linear case, so the rule barely matters)",
@@ -106,9 +106,7 @@ fn main() {
 
     // ---- 3. accounting: fetches vs evictions-with-flush ----
     r.section("E8.3 — fetch-counted vs eviction-counted (flush) accounting");
-    let mut t = Table::new(vec![
-        "accounting", "per-user counts", "total cost",
-    ]);
+    let mut t = Table::new(vec!["accounting", "per-user counts", "total cost"]);
     use occ_sim::ReplacementPolicy;
     let mut alg = ConvexCaching::new(costs.clone());
     let plain = Simulator::new(k).run(&mut alg, &trace);

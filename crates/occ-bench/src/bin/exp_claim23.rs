@@ -8,9 +8,7 @@
 use occ_analysis::{fnum, Table};
 use occ_bench::{finish, Reporter};
 use occ_core::theory::claim23::check_inequality_6;
-use occ_core::{
-    check_claim_2_3, CostFn, Linear, Monomial, PiecewiseLinear, Polynomial,
-};
+use occ_core::{check_claim_2_3, CostFn, Linear, Monomial, PiecewiseLinear, Polynomial};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::Arc;
@@ -43,7 +41,12 @@ fn main() {
 
     r.section("E4 — Claim 2.3 over function families × 2000 random partitions");
     let mut t = Table::new(vec![
-        "f", "alpha", "trials", "min slack rhs/lhs", "violations", "ineq(6) violations",
+        "f",
+        "alpha",
+        "trials",
+        "min slack rhs/lhs",
+        "violations",
+        "ineq(6) violations",
     ]);
     for (name, f) in &functions {
         let partitions = random_partitions(&mut rng, 2000);

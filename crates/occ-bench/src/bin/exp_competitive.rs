@@ -33,7 +33,14 @@ fn main() {
     // ---------- Part A: exact OPT on small instances ----------
     r.section("E1a — Theorem 1.1 against the exact convex OPT (small instances)");
     let mut t = Table::new(vec![
-        "users", "k", "beta", "trace", "online cost", "OPT cost", "ratio", "Thm1.1 rhs",
+        "users",
+        "k",
+        "beta",
+        "trace",
+        "online cost",
+        "OPT cost",
+        "ratio",
+        "Thm1.1 rhs",
         "bound ok",
     ]);
     for &beta in &[1.0f64, 2.0, 3.0] {
@@ -112,14 +119,28 @@ fn main() {
     // ---------- Part C: multi-tenant with the offline heuristic ----------
     r.section("E1c — multi-tenant Theorem 1.1 form (offline = best heuristic)");
     let mut t = Table::new(vec![
-        "tenants", "k", "beta", "online cost", "offline cost", "Thm1.1 rhs", "bound ok",
+        "tenants",
+        "k",
+        "beta",
+        "online cost",
+        "offline cost",
+        "Thm1.1 rhs",
+        "bound ok",
     ]);
     for &beta in &[1.0f64, 2.0] {
         for &k in &[8usize, 16] {
             let trace = occ_workloads::generate_multi_tenant(
                 &[
-                    occ_workloads::TenantSpec::new(24, 2.0, occ_workloads::AccessPattern::Zipf { s: 0.9 }),
-                    occ_workloads::TenantSpec::new(24, 1.0, occ_workloads::AccessPattern::Cycle { len: 20 }),
+                    occ_workloads::TenantSpec::new(
+                        24,
+                        2.0,
+                        occ_workloads::AccessPattern::Zipf { s: 0.9 },
+                    ),
+                    occ_workloads::TenantSpec::new(
+                        24,
+                        1.0,
+                        occ_workloads::AccessPattern::Cycle { len: 20 },
+                    ),
                     occ_workloads::TenantSpec::new(16, 1.0, occ_workloads::AccessPattern::Uniform),
                 ],
                 30_000,

@@ -69,7 +69,10 @@ fn main() {
 
     r.section("E6 — Figure 4: (CP-h) is strictly tighter as h shrinks");
     let mut t = Table::new(vec![
-        "h", "binding constraints", "zero-solution feasible", "induced(k-run) feasible",
+        "h",
+        "binding constraints",
+        "zero-solution feasible",
+        "induced(k-run) feasible",
     ]);
     let u = Universe::single_user(12);
     let pages: Vec<u32> = (0..600).map(|i| (i * 7 + 3) as u32 % 12).collect();

@@ -10,8 +10,8 @@
 use occ_analysis::{fnum, Table};
 use occ_bench::{finish, Reporter};
 use occ_core::{
-    check_invariants, run_continuous, ConvexCaching, CostFn, CostProfile, DiscreteReference,
-    Linear, Marginals, Monomial, PiecewiseLinear, TieBreak, with_dummy_flush,
+    check_invariants, run_continuous, with_dummy_flush, ConvexCaching, CostFn, CostProfile,
+    DiscreteReference, Linear, Marginals, Monomial, PiecewiseLinear, TieBreak,
 };
 use occ_sim::{ReplacementPolicy, Simulator, Trace, Universe};
 use std::sync::Arc;
@@ -46,7 +46,14 @@ fn main() {
 
     r.section("E5 — implementation equivalence (fast vs Figure 3 vs Figure 2)");
     let mut t = Table::new(vec![
-        "costs", "users", "k", "T", "seed", "evictions", "fast==fig3", "fast==fig2",
+        "costs",
+        "users",
+        "k",
+        "T",
+        "seed",
+        "evictions",
+        "fast==fig3",
+        "fast==fig2",
     ]);
     let profiles: Vec<(&str, CostProfile)> = vec![
         ("uniform x^2", CostProfile::uniform(3, Monomial::power(2.0))),
@@ -63,8 +70,7 @@ fn main() {
         for &k in &[3usize, 6] {
             for seed in 1..=4u64 {
                 let universe = Universe::uniform(3, 3);
-                let trace =
-                    Trace::from_page_indices(&universe, &pseudo_pages(2_000, 9, seed));
+                let trace = Trace::from_page_indices(&universe, &pseudo_pages(2_000, 9, seed));
                 let mut fast = ConvexCaching::new(costs.clone());
                 let mut fig3 = DiscreteReference::new(costs.clone());
                 let e_fast = evictions(&mut fast, &trace, k);

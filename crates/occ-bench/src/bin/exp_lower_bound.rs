@@ -13,12 +13,7 @@ use occ_offline::batch_offline;
 use occ_sim::ReplacementPolicy;
 use occ_workloads::run_lower_bound;
 
-fn ratio_for<P: ReplacementPolicy>(
-    mut policy: P,
-    n: u32,
-    t: u64,
-    beta: f64,
-) -> (f64, f64, f64) {
+fn ratio_for<P: ReplacementPolicy>(mut policy: P, n: u32, t: u64, beta: f64) -> (f64, f64, f64) {
     let costs = CostProfile::uniform(n, Monomial::power(beta));
     let (online, trace) = run_lower_bound(&mut policy, n, t);
     let online_cost = costs.total_cost(&online.miss_vector());
@@ -33,7 +28,14 @@ fn main() {
 
     r.section("E3 — Theorem 1.4 lower-bound instance (adaptive adversary vs §4 batch offline)");
     let mut t = Table::new(vec![
-        "n", "k", "beta", "T", "policy", "online cost", "offline cost", "ratio",
+        "n",
+        "k",
+        "beta",
+        "T",
+        "policy",
+        "online cost",
+        "offline cost",
+        "ratio",
         "(n/4)^beta ref",
     ]);
     // T scales with n so each instance has many batches.
@@ -52,7 +54,10 @@ fn main() {
                     ),
                 ),
                 ("lru", ratio_for(occ_baselines::Lru::new(), n, t_len, beta)),
-                ("fifo", ratio_for(occ_baselines::Fifo::new(), n, t_len, beta)),
+                (
+                    "fifo",
+                    ratio_for(occ_baselines::Fifo::new(), n, t_len, beta),
+                ),
             ];
             for (name, (on, off, ratio)) in entries {
                 t.row(vec![
@@ -94,9 +99,7 @@ fn main() {
                 all_ok = false;
             }
             if ratio < theorem_1_4_lower(n as usize, beta) / 4.0 {
-                println!(
-                    "!! ratio {ratio} far below lower-bound reference at n={n}, beta={beta}"
-                );
+                println!("!! ratio {ratio} far below lower-bound reference at n={n}, beta={beta}");
                 all_ok = false;
             }
             prev = ratio;

@@ -26,7 +26,14 @@ fn workload() -> (Trace, CostProfile) {
     // so a good rebalancer has something real to fix. The rest are light.
     let trace = generate_multi_tenant(
         &[
-            TenantSpec::new(20, 3.0, AccessPattern::Phased { s: 1.2, phase_len: 4_000 }),
+            TenantSpec::new(
+                20,
+                3.0,
+                AccessPattern::Phased {
+                    s: 1.2,
+                    phase_len: 4_000,
+                },
+            ),
             TenantSpec::new(8, 1.0, AccessPattern::Zipf { s: 1.0 }),
             TenantSpec::new(20, 3.0, AccessPattern::Cycle { len: 16 }),
             TenantSpec::new(8, 1.0, AccessPattern::Zipf { s: 1.0 }),
@@ -144,7 +151,10 @@ fn main() {
         },
     );
     t.row(vec!["1 × 40 pages".to_string(), fnum(one_pool.miss_cost)]);
-    t.row(vec!["2 × 20 pages (static)".to_string(), fnum(two_pools.miss_cost)]);
+    t.row(vec![
+        "2 × 20 pages (static)".to_string(),
+        fnum(two_pools.miss_cost),
+    ]);
     r.table("e9_pooling_gain", &t);
     r.note(
         "statistical multiplexing: the single shared pool dominates any \

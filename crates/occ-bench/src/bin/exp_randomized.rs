@@ -15,8 +15,8 @@
 //!   randomization of this kind.
 
 use occ_analysis::{fnum, Table};
-use occ_bench::{finish, Reporter};
 use occ_baselines::{Lru, Marking, RandomizedMarking};
+use occ_bench::{finish, Reporter};
 use occ_core::{ConvexCaching, CostProfile, Monomial};
 use occ_sim::{ReplacementPolicy, Simulator};
 use occ_workloads::{cycle_trace, run_lower_bound};
@@ -33,7 +33,9 @@ fn main() {
         let costs = CostProfile::uniform(1, Monomial::power(beta));
         let det: Vec<(String, u64)> = vec![
             ("lru".into(), {
-                Simulator::new(k).run(&mut Lru::new(), &trace).total_misses()
+                Simulator::new(k)
+                    .run(&mut Lru::new(), &trace)
+                    .total_misses()
             }),
             ("marking".into(), {
                 Simulator::new(k)

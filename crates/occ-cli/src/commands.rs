@@ -47,7 +47,10 @@ fn find_scenario(name: &str) -> Result<Scenario, String> {
         .find(|s| s.name == name)
         .ok_or_else(|| {
             let names: Vec<&str> = all_scenarios().iter().map(|s| s.name).collect();
-            format!("unknown scenario '{name}' (available: {})", names.join(", "))
+            format!(
+                "unknown scenario '{name}' (available: {})",
+                names.join(", ")
+            )
         })
 }
 
@@ -145,7 +148,14 @@ pub fn run(args: &Args) -> Result<(), String> {
     let mut policy = make_policy(&policy_name, &scenario.costs, &trace)?;
     let report = evaluate_policy(&mut policy, &trace, k, &scenario.costs);
 
-    let mut t = Table::new(vec!["policy", "k", "T", "total cost", "miss rate", "per-tenant misses"]);
+    let mut t = Table::new(vec![
+        "policy",
+        "k",
+        "T",
+        "total cost",
+        "miss rate",
+        "per-tenant misses",
+    ]);
     t.row(vec![
         report.name.clone(),
         k.to_string(),
@@ -227,9 +237,36 @@ mod tests {
 
     #[test]
     fn run_compare_and_mrc_on_generated_trace() {
-        run(&args(&["run", "--scenario", "two-tier", "--len", "500", "--k", "8"])).unwrap();
-        compare(&args(&["compare", "--scenario", "two-tier", "--len", "500", "--k", "8"])).unwrap();
-        mrc(&args(&["mrc", "--scenario", "two-tier", "--len", "500", "--max-k", "8"])).unwrap();
+        run(&args(&[
+            "run",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "500",
+            "--k",
+            "8",
+        ]))
+        .unwrap();
+        compare(&args(&[
+            "compare",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "500",
+            "--k",
+            "8",
+        ]))
+        .unwrap();
+        mrc(&args(&[
+            "mrc",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "500",
+            "--max-k",
+            "8",
+        ]))
+        .unwrap();
     }
 
     #[test]
@@ -237,8 +274,17 @@ mod tests {
         let s = find_scenario("two-tier").unwrap();
         let trace = s.trace(50, 1);
         for name in [
-            "convex", "lru", "fifo", "lfu", "marking", "lru2", "random",
-            "greedy-dual", "cost-greedy", "belady", "belady-cost",
+            "convex",
+            "lru",
+            "fifo",
+            "lfu",
+            "marking",
+            "lru2",
+            "random",
+            "greedy-dual",
+            "cost-greedy",
+            "belady",
+            "belady-cost",
         ] {
             make_policy(name, &s.costs, &trace).unwrap();
         }
@@ -252,16 +298,36 @@ mod tests {
         let path = dir.join("t.occ");
         let path_s = path.to_str().unwrap();
         generate(&args(&[
-            "generate", "--scenario", "two-tier", "--len", "300", "--out", path_s,
+            "generate",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "300",
+            "--out",
+            path_s,
         ]))
         .unwrap();
         run(&args(&[
-            "run", "--scenario", "two-tier", "--trace", path_s, "--policy", "lru", "--k", "8",
+            "run",
+            "--scenario",
+            "two-tier",
+            "--trace",
+            path_s,
+            "--policy",
+            "lru",
+            "--k",
+            "8",
         ]))
         .unwrap();
         // A trace whose user count mismatches the scenario is rejected.
         let err = run(&args(&[
-            "run", "--scenario", "sqlvm-like", "--trace", path_s, "--k", "8",
+            "run",
+            "--scenario",
+            "sqlvm-like",
+            "--trace",
+            path_s,
+            "--k",
+            "8",
         ]))
         .unwrap_err();
         assert!(err.contains("users"));

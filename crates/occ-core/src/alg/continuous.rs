@@ -148,7 +148,7 @@ pub fn run_continuous(
                 page: q.0,
                 user: qu.0,
             };
-            if best.map_or(true, |b| cand.beats(&b, tiebreak, 0.0)) {
+            if best.is_none_or(|b| cand.beats(&b, tiebreak, 0.0)) {
                 best = Some(cand);
             }
         }
@@ -233,7 +233,11 @@ mod tests {
             .collect()
     }
 
-    fn discrete_evictions<P: ReplacementPolicy>(p: &mut P, trace: &Trace, k: usize) -> Vec<(Time, PageId)> {
+    fn discrete_evictions<P: ReplacementPolicy>(
+        p: &mut P,
+        trace: &Trace,
+        k: usize,
+    ) -> Vec<(Time, PageId)> {
         Simulator::new(k)
             .record_events(true)
             .run(p, trace)
@@ -247,9 +251,18 @@ mod tests {
         let u = Universe::uniform(2, 4);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(400, 8, 3));
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let cont = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let cont = run_continuous(
+            &trace,
+            3,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let mut disc = ConvexCaching::new(costs);
-        assert_eq!(cont.eviction_sequence, discrete_evictions(&mut disc, &trace, 3));
+        assert_eq!(
+            cont.eviction_sequence,
+            discrete_evictions(&mut disc, &trace, 3)
+        );
     }
 
     #[test]
@@ -262,8 +275,13 @@ mod tests {
             Arc::new(PiecewiseLinear::sla(4.0, 1.0, 8.0)) as CostFn,
         ]);
         for k in [2, 5] {
-            let cont =
-                run_continuous(&trace, k, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+            let cont = run_continuous(
+                &trace,
+                k,
+                &costs,
+                Marginals::Derivative,
+                TieBreak::OldestRequest,
+            );
             let mut disc = ConvexCaching::new(costs.clone());
             assert_eq!(
                 cont.eviction_sequence,
@@ -278,7 +296,13 @@ mod tests {
         let u = Universe::uniform(2, 3);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(200, 6, 17));
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let run = run_continuous(&trace, 2, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let run = run_continuous(
+            &trace,
+            2,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let eviction_times: std::collections::BTreeSet<u64> =
             run.eviction_sequence.iter().map(|&(t, _)| t).collect();
         for (t, &yt) in run.state.y.iter().enumerate() {
@@ -299,16 +323,18 @@ mod tests {
         let u = Universe::uniform(2, 4);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(300, 8, 23));
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let run = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let run = run_continuous(
+            &trace,
+            3,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         for (p, zs) in run.state.z.iter().enumerate() {
             for (j, &zv) in zs.iter().enumerate() {
                 assert!(zv >= 0.0);
                 if zv > 0.0 {
-                    assert!(
-                        run.state.x[p][j],
-                        "z(p{p},{}) = {zv} > 0 but x = 0",
-                        j + 1
-                    );
+                    assert!(run.state.x[p][j], "z(p{p},{}) = {zv} > 0 but x = 0", j + 1);
                 }
             }
         }
@@ -319,7 +345,13 @@ mod tests {
         let u = Universe::uniform(2, 3);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(150, 6, 31));
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let cont = run_continuous(&trace, 2, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let cont = run_continuous(
+            &trace,
+            2,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let mut disc = ConvexCaching::new(costs);
         let r = Simulator::new(2).run(&mut disc, &trace);
         assert_eq!(cont.stats.miss_vector(), r.stats.miss_vector());
@@ -332,7 +364,13 @@ mod tests {
         let u = Universe::single_user(4);
         let trace = Trace::from_page_indices(&u, &[0, 1, 2, 0, 3, 1, 0]);
         let costs = CostProfile::uniform(1, Linear::unit());
-        let run = run_continuous(&trace, 2, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let run = run_continuous(
+            &trace,
+            2,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let idx = trace.index();
         for p in 0..4u32 {
             assert_eq!(

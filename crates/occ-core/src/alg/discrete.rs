@@ -26,21 +26,43 @@
 //! minimum key (`Y ← Y + B(victim)`).
 //!
 //! Within one user the `g` term is common, so the per-user minimum is the
-//! page with the smallest `Y_p` — maintained in an ordered set per user.
-//! Each request costs `O(log k)` for the set maintenance plus an `O(n)`
-//! scan across users on evictions (`n` = number of users, typically ≪ `k`).
+//! page with the smallest `Y_p`. Each eviction then does an `O(n)` scan
+//! across users (`n` = number of users, typically ≪ `k`).
+//!
+//! # The `O(1)` convex fast path
 //!
 //! For *convex* costs the keys `g_u(m_u) + Y_p` only grow, budgets stay
 //! non-negative and `Y` is non-decreasing — the dual feasibility the
 //! analysis needs (asserted in debug builds, exposed via
-//! [`ConvexCaching::diagnostics`]). For non-convex costs (allowed per
-//! §2.5, no guarantee) the same data structure remains correct because the
-//! per-user ordered set is keyed by `Y_p` directly rather than relying on
-//! insertion order.
+//! [`ConvexCaching::diagnostics`]). Monotone `Y` has a structural
+//! consequence: the `Y_p` recorded at successive touches of one user's
+//! pages are non-decreasing in touch order, so ordering a user's cached
+//! pages by `(Y_p, seq)` is *identical* to ordering them by touch
+//! recency. The per-user minimum is simply the least-recently-touched
+//! page — maintained in an intrusive doubly-linked list
+//! ([`occ_sim::PageLists`], one shared arena for all users since each
+//! page has one owner) at `O(1)` per request with no allocation, instead
+//! of `O(log k)` in an ordered set.
+//!
+//! This holds in floating point, not just in exact arithmetic: `Y` is
+//! always set to the minimum key, every surviving key is `≥` that
+//! minimum, and both touches (`key = g + Y`, `g ≥ 0`) and marginal
+//! growth (`g` non-decreasing in `m` — convexity) move keys upward under
+//! monotone rounding. The fast path is selected at construction iff
+//! [`CostProfile::all_convex`] holds.
+//!
+//! For non-convex costs (allowed per §2.5, no guarantee) `Y` can
+//! decrease, a later touch can record a *smaller* `Y_p`, and recency
+//! order no longer agrees with key order. The policy then falls back to
+//! the original per-user `BTreeSet` keyed by `(Y_p, seq, page)`, which
+//! stays correct because it orders by `Y_p` directly rather than relying
+//! on insertion order. Equivalence of both paths against the literal
+//! Figure 3 transcription is enforced by `DiscreteReference` property
+//! tests.
 
 use crate::alg::tiebreak::{Candidate, TieBreak};
 use crate::cost::{CostProfile, Marginals};
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy, UserId};
+use occ_sim::{EngineCtx, PageId, PageLists, ReplacementPolicy, UserId};
 use std::collections::BTreeSet;
 
 /// Totally ordered `f64` key (never NaN in this module).
@@ -93,7 +115,14 @@ pub struct ConvexCaching {
     y_at: Vec<f64>,
     /// Per-page: sequence number of the page's last request.
     last_seq: Vec<u64>,
-    /// Per-user ordered set of cached pages: `(Y_p, seq, page)`.
+    /// Whether the `O(1)` convex fast path is active (decided at
+    /// construction from [`CostProfile::all_convex`]).
+    fast: bool,
+    /// Fast path: per-user intrusive recency lists over one shared arena.
+    /// Touch order equals `(Y_p, seq)` order when `Y` is monotone.
+    lists: PageLists,
+    /// Slow path (non-convex costs): per-user ordered set of cached
+    /// pages, `(Y_p, seq, page)`.
     sets: Vec<BTreeSet<(Key, u64, u32)>>,
     diag: AlgDiagnostics,
 }
@@ -103,6 +132,7 @@ impl ConvexCaching {
     /// analytic derivative marginals and LRU-like tie-breaking (the
     /// paper's defaults).
     pub fn new(costs: CostProfile) -> Self {
+        let fast = costs.all_convex();
         ConvexCaching {
             costs,
             mode: Marginals::Derivative,
@@ -113,6 +143,8 @@ impl ConvexCaching {
             m: Vec::new(),
             y_at: Vec::new(),
             last_seq: Vec::new(),
+            fast,
+            lists: PageLists::new(),
             sets: Vec::new(),
             diag: AlgDiagnostics {
                 min_budget: f64::INFINITY,
@@ -139,6 +171,12 @@ impl ConvexCaching {
         self.diag
     }
 
+    /// Whether the `O(1)` intrusive-list fast path is active (true iff
+    /// every cost function in the profile is convex).
+    pub fn uses_fast_path(&self) -> bool {
+        self.fast
+    }
+
     /// Current eviction count of a user (the algorithm's `m(u, t)`).
     pub fn eviction_count(&self, user: UserId) -> u64 {
         self.m.get(user.index()).copied().unwrap_or(0)
@@ -158,7 +196,11 @@ impl ConvexCaching {
         self.m = vec![0; users];
         self.y_at = vec![0.0; pages];
         self.last_seq = vec![0; pages];
-        self.sets = vec![BTreeSet::new(); users];
+        if self.fast {
+            self.lists.ensure(users, pages);
+        } else {
+            self.sets = vec![BTreeSet::new(); users];
+        }
         self.ready = true;
     }
 
@@ -167,22 +209,35 @@ impl ConvexCaching {
     fn touch(&mut self, ctx: &EngineCtx, page: PageId) {
         self.ensure_ready(ctx);
         let user = ctx.universe.owner(page);
-        let set = &mut self.sets[user.index()];
-        // Drop the page's previous entry if it is still in the set (hit).
-        let old = (
-            Key(self.y_at[page.index()]),
-            self.last_seq[page.index()],
-            page.0,
-        );
-        set.remove(&old);
+        if self.fast {
+            // Monotone `Y` makes touch order equal key order: moving the
+            // page to the back of its owner's recency list is the whole
+            // update. O(1), no allocation.
+            self.lists.move_to_back(user.index(), page);
+        } else {
+            let set = &mut self.sets[user.index()];
+            // Drop the page's previous entry if it is still in the set
+            // (hit).
+            let old = (
+                Key(self.y_at[page.index()]),
+                self.last_seq[page.index()],
+                page.0,
+            );
+            set.remove(&old);
+        }
         self.seq += 1;
         self.last_seq[page.index()] = self.seq;
         self.y_at[page.index()] = self.global_y;
-        set.insert((Key(self.global_y), self.seq, page.0));
+        if !self.fast {
+            self.sets[user.index()].insert((Key(self.global_y), self.seq, page.0));
+        }
     }
 
     fn renormalize(&mut self) {
         let shift = self.global_y;
+        // The fast path orders by recency, not by stored keys, so rebasing
+        // is just the subtraction from `y_at`; only the slow path must
+        // rebuild its ordered sets.
         for set in &mut self.sets {
             let rebased: BTreeSet<_> = set
                 .iter()
@@ -199,7 +254,9 @@ impl ConvexCaching {
 
     /// Current budget of a cached page (diagnostic; `O(1)`).
     pub fn budget_of(&self, user: UserId, page: PageId) -> f64 {
-        let g = self.costs.next_eviction_cost(self.mode, user, self.m[user.index()]);
+        let g = self
+            .costs
+            .next_eviction_cost(self.mode, user, self.m[user.index()]);
         g - (self.global_y - self.y_at[page.index()])
     }
 }
@@ -220,9 +277,20 @@ impl ReplacementPolicy for ConvexCaching {
     fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
         self.ensure_ready(ctx);
         let mut best: Option<Candidate> = None;
-        for (u, set) in self.sets.iter().enumerate() {
-            let Some(&(Key(y_p), seq, page)) = set.first() else {
-                continue;
+        let num_users = self.m.len();
+        for u in 0..num_users {
+            // Per-user minimum: list front on the fast path (touch order
+            // equals key order under monotone `Y`), set minimum otherwise.
+            let (y_p, seq, page) = if self.fast {
+                match self.lists.front(u) {
+                    Some(p) => (self.y_at[p.index()], self.last_seq[p.index()], p.0),
+                    None => continue,
+                }
+            } else {
+                match self.sets[u].first() {
+                    Some(&(Key(y), s, p)) => (y, s, p),
+                    None => continue,
+                }
             };
             let g = self
                 .costs
@@ -233,7 +301,7 @@ impl ReplacementPolicy for ConvexCaching {
                 page,
                 user: u as u32,
             };
-            if best.map_or(true, |b| cand.beats(&b, self.tiebreak, 0.0)) {
+            if best.is_none_or(|b| cand.beats(&b, self.tiebreak, 0.0)) {
                 best = Some(cand);
             }
         }
@@ -245,14 +313,18 @@ impl ReplacementPolicy for ConvexCaching {
         let budget = c.key - self.global_y;
         self.diag.min_budget = self.diag.min_budget.min(budget);
         debug_assert!(
-            !self.costs.all_convex() || budget >= -1e-9,
+            !self.fast || budget >= -1e-9,
             "convex costs must keep budgets non-negative, got {budget}"
         );
         self.global_y = c.key;
         self.diag.evictions += 1;
 
         let u = c.user as usize;
-        self.sets[u].remove(&(Key(self.y_at[c.page as usize]), c.seq, c.page));
+        if self.fast {
+            self.lists.remove(PageId(c.page));
+        } else {
+            self.sets[u].remove(&(Key(self.y_at[c.page as usize]), c.seq, c.page));
+        }
         self.m[u] += 1;
 
         if self.global_y.abs() > RENORMALIZE_AT {
@@ -262,15 +334,19 @@ impl ReplacementPolicy for ConvexCaching {
     }
 
     fn on_external_removal(&mut self, ctx: &EngineCtx, page: PageId) {
-        // Drop the page's entry from its owner's ordered set so it can
+        // Drop the page's entry from its owner's structure so it can
         // never be selected as a victim while uncached. The dual state
         // (Y, m) is untouched: an external removal is not an eviction.
-        let user = ctx.universe.owner(page);
-        self.sets[user.index()].remove(&(
-            Key(self.y_at[page.index()]),
-            self.last_seq[page.index()],
-            page.0,
-        ));
+        if self.fast {
+            self.lists.remove_if_linked(page);
+        } else {
+            let user = ctx.universe.owner(page);
+            self.sets[user.index()].remove(&(
+                Key(self.y_at[page.index()]),
+                self.last_seq[page.index()],
+                page.0,
+            ));
+        }
     }
 
     fn reset(&mut self) {
@@ -280,6 +356,7 @@ impl ReplacementPolicy for ConvexCaching {
         self.m.clear();
         self.y_at.clear();
         self.last_seq.clear();
+        self.lists.reset();
         self.sets.clear();
         self.diag = AlgDiagnostics {
             min_budget: f64::INFINITY,
@@ -384,14 +461,31 @@ mod tests {
 
         let mut big = ConvexCaching::new(CostProfile::uniform(1, Linear::new(1e13)));
         let rb = Simulator::new(3).record_events(true).run(&mut big, &trace);
-        assert!(big.diagnostics().renormalizations > 0, "renormalization should trigger");
+        assert!(
+            big.diagnostics().renormalizations > 0,
+            "renormalization should trigger"
+        );
 
         let mut small = ConvexCaching::new(CostProfile::uniform(1, Linear::new(1.0)));
-        let rs = Simulator::new(3).record_events(true).run(&mut small, &trace);
+        let rs = Simulator::new(3)
+            .record_events(true)
+            .run(&mut small, &trace);
         assert_eq!(
             rb.events.unwrap().eviction_sequence(),
             rs.events.unwrap().eviction_sequence()
         );
+    }
+
+    #[test]
+    fn fast_path_selection_follows_convexity() {
+        use crate::cost::ThresholdCost;
+        let convex = CostProfile::uniform(2, Monomial::power(2.0));
+        assert!(ConvexCaching::new(convex).uses_fast_path());
+        let non_convex = CostProfile::new(vec![
+            std::sync::Arc::new(Linear::unit()) as crate::cost::CostFn,
+            std::sync::Arc::new(ThresholdCost::new(1.0, 2, 5.0)) as crate::cost::CostFn,
+        ]);
+        assert!(!ConvexCaching::new(non_convex).uses_fast_path());
     }
 
     #[test]

@@ -127,7 +127,7 @@ impl ReplacementPolicy for DiscreteReference {
         }
         let mut best: Option<Candidate> = None;
         for cand in per_user.into_iter().flatten() {
-            if best.map_or(true, |b| cand.beats(&b, self.tiebreak, 0.0)) {
+            if best.is_none_or(|b| cand.beats(&b, self.tiebreak, 0.0)) {
                 best = Some(cand);
             }
         }
@@ -142,13 +142,13 @@ impl ReplacementPolicy for DiscreteReference {
             }
         }
         // The user's miss count grows: m(u, t) = m(u, t-1) + 1.
-        let g_old = self
-            .costs
-            .next_eviction_cost(self.mode, UserId(victim.user), self.m[victim_user]);
+        let g_old =
+            self.costs
+                .next_eviction_cost(self.mode, UserId(victim.user), self.m[victim_user]);
         self.m[victim_user] += 1;
-        let g_new = self
-            .costs
-            .next_eviction_cost(self.mode, UserId(victim.user), self.m[victim_user]);
+        let g_new =
+            self.costs
+                .next_eviction_cost(self.mode, UserId(victim.user), self.m[victim_user]);
         // Sweep 2: same-user pages' marginal eviction cost increased.
         for page in ctx.cache.iter() {
             if page.0 != victim.page && ctx.universe.owner(page).0 == victim.user {
@@ -175,7 +175,11 @@ mod tests {
     use occ_sim::{Simulator, Trace, Universe};
     use std::sync::Arc;
 
-    fn eviction_seq<P: ReplacementPolicy>(policy: &mut P, trace: &Trace, k: usize) -> Vec<(u64, u32)> {
+    fn eviction_seq<P: ReplacementPolicy>(
+        policy: &mut P,
+        trace: &Trace,
+        k: usize,
+    ) -> Vec<(u64, u32)> {
         let r = Simulator::new(k).record_events(true).run(policy, trace);
         r.events
             .unwrap()
@@ -246,6 +250,34 @@ mod tests {
             eviction_seq(&mut fast, &trace, 4),
             eviction_seq(&mut slow, &trace, 4)
         );
+    }
+
+    #[test]
+    fn reference_equals_slow_path_non_convex() {
+        // A non-convex threshold cost disables the intrusive-list fast
+        // path (its marginal jumps at the threshold and then drops back,
+        // so the dual offset is not monotone); the BTreeSet fallback must
+        // still match the literal Figure 3 sweeps decision-for-decision.
+        use crate::cost::ThresholdCost;
+        let u = Universe::uniform(2, 4);
+        let pages = pseudo_pages(500, 8, 13);
+        let trace = Trace::from_page_indices(&u, &pages);
+        let costs = CostProfile::new(vec![
+            Arc::new(ThresholdCost::new(1.0, 3, 10.0)) as CostFn,
+            Arc::new(Linear::new(2.0)) as CostFn,
+        ]);
+        assert!(!costs.all_convex());
+        for k in [2, 3, 5] {
+            let mut fast = ConvexCaching::new(costs.clone()).with_marginals(Marginals::Discrete);
+            assert!(!fast.uses_fast_path(), "non-convex profile must fall back");
+            let mut slow =
+                DiscreteReference::new(costs.clone()).with_marginals(Marginals::Discrete);
+            assert_eq!(
+                eviction_seq(&mut fast, &trace, k),
+                eviction_seq(&mut slow, &trace, k),
+                "divergence at k={k}"
+            );
+        }
     }
 
     #[test]

@@ -66,7 +66,9 @@ impl Candidate {
         match tb {
             TieBreak::OldestRequest => (self.seq, self.page) < (other.seq, other.page),
             TieBreak::LowestPage => self.page < other.page,
-            TieBreak::LowestUser => (self.user, self.seq, self.page) < (other.user, other.seq, other.page),
+            TieBreak::LowestUser => {
+                (self.user, self.seq, self.page) < (other.user, other.seq, other.page)
+            }
         }
     }
 }

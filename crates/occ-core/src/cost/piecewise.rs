@@ -43,7 +43,7 @@ impl PiecewiseLinear {
             "breakpoints must be strictly increasing"
         );
         assert!(
-            breaks.first().map_or(true, |&b| b > 0.0),
+            breaks.first().is_none_or(|&b| b > 0.0),
             "breakpoints must be positive"
         );
         let mut values = Vec::with_capacity(breaks.len() + 1);

@@ -115,7 +115,10 @@ mod tests {
         let alpha = f.alpha().unwrap();
         for x in [0.1, 1.0, 10.0, 100.0] {
             let ratio = x * f.deriv(x) / f.eval(x);
-            assert!(ratio <= alpha + 1e-9, "ratio {ratio} exceeds α={alpha} at x={x}");
+            assert!(
+                ratio <= alpha + 1e-9,
+                "ratio {ratio} exceeds α={alpha} at x={x}"
+            );
         }
         // …and approaches the degree for large x.
         let x = 1e6;

@@ -148,9 +148,7 @@ mod tests {
 
     #[test]
     fn from_fn_builder() {
-        let p = CostProfile::from_fn(3, |i| {
-            Arc::new(Linear::new((i + 1) as f64)) as CostFn
-        });
+        let p = CostProfile::from_fn(3, |i| Arc::new(Linear::new((i + 1) as f64)) as CostFn);
         assert_eq!(p.total_cost(&[1, 1, 1]), 6.0);
     }
 

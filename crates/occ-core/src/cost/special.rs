@@ -100,10 +100,7 @@ impl CostFunction for ThresholdCost {
     }
 
     fn describe(&self) -> String {
-        format!(
-            "{}·x + {}·1[x>{}]",
-            self.slope, self.jump, self.threshold
-        )
+        format!("{}·x + {}·1[x>{}]", self.slope, self.jump, self.threshold)
     }
 }
 

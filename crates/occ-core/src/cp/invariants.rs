@@ -156,8 +156,7 @@ pub fn check_invariants(
                 continue;
             };
             let u = universe.owner(occ_sim::PageId(p as u32));
-            let m_at = state.m_at_eviction[p][j0]
-                .expect("eviction must record the miss count");
+            let m_at = state.m_at_eviction[p][j0].expect("eviction must record the miss count");
             let residual = grad_term(u, m_at) - interval_y(p, j0) + state.z[p][j0];
             max_tightness_residual = max_tightness_residual.max(residual.abs());
             if residual.abs() > eps {
@@ -228,12 +227,7 @@ mod tests {
             .collect()
     }
 
-    fn check(
-        universe: Universe,
-        pages: &[u32],
-        costs: CostProfile,
-        k: usize,
-    ) -> InvariantReport {
+    fn check(universe: Universe, pages: &[u32], costs: CostProfile, k: usize) -> InvariantReport {
         let trace = Trace::from_page_indices(&universe, pages);
         let (ft, fc) = with_dummy_flush(&trace, &costs, k);
         let run = run_continuous(&ft, k, &fc, Marginals::Derivative, TieBreak::OldestRequest);
@@ -285,7 +279,13 @@ mod tests {
         let u = Universe::uniform(2, 4);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(100, 8, 2));
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let run = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let run = run_continuous(
+            &trace,
+            3,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let r = check_invariants(&trace, 3, &costs, Marginals::Derivative, &run, false, 1e-6);
         assert!(!r.gradient_checked);
         assert!(r.gradient_ok);
@@ -314,7 +314,13 @@ mod tests {
         let u = Universe::uniform(2, 4);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(150, 8, 4));
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
-        let run = run_continuous(&trace, 3, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let run = run_continuous(
+            &trace,
+            3,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let mut bad = run.clone();
         bad.state.y[0] = -1.0;
         let r = check_invariants(&trace, 3, &costs, Marginals::Derivative, &bad, false, 1e-6);

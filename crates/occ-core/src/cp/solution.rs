@@ -127,7 +127,8 @@ mod tests {
         assert_eq!(a.total() as u64, r.stats.total_evictions());
 
         let cp = ConvexProgram::new(&trace, k);
-        cp.check_feasible(&a, 1e-9).expect("induced solution feasible");
+        cp.check_feasible(&a, 1e-9)
+            .expect("induced solution feasible");
         let per_user = cp.fractional_misses(&a);
         for (u, &m) in per_user.iter().enumerate() {
             assert_eq!(m as u64, r.stats.eviction_vector()[u]);
@@ -142,7 +143,13 @@ mod tests {
     fn primal_extraction_matches_log_extraction() {
         let (trace, costs) = setup();
         let k = 3;
-        let run = run_continuous(&trace, k, &costs, Marginals::Derivative, TieBreak::OldestRequest);
+        let run = run_continuous(
+            &trace,
+            k,
+            &costs,
+            Marginals::Derivative,
+            TieBreak::OldestRequest,
+        );
         let from_primal = Assignment::from_primal(&run.state);
 
         let mut alg = ConvexCaching::new(costs);
@@ -164,7 +171,9 @@ mod tests {
             }
         }
         let (trace, _) = setup();
-        let r = Simulator::new(2).record_events(true).run(&mut EvictFirst, &trace);
+        let r = Simulator::new(2)
+            .record_events(true)
+            .run(&mut EvictFirst, &trace);
         let a = Assignment::from_eviction_log(&trace, r.events.as_ref().unwrap());
         let cp = ConvexProgram::new(&trace, 2);
         cp.check_feasible(&a, 1e-9).expect("feasible");

@@ -24,7 +24,7 @@ pub fn with_dummy_flush(trace: &Trace, costs: &CostProfile, k: usize) -> (Trace,
 
     // Extended universe: same owner table plus k pages for user n.
     let mut owner: Vec<UserId> = (0..p0).map(|p| universe.owner(PageId(p))).collect();
-    owner.extend(std::iter::repeat(UserId(n)).take(k));
+    owner.extend(std::iter::repeat_n(UserId(n), k));
     let extended = Universe::new(n + 1, owner);
 
     let mut builder = TraceBuilder::new(extended);

@@ -61,10 +61,7 @@ mod tests {
         for beta in [1.0, 2.0, 3.5] {
             let f = Monomial::power(beta);
             let est = alpha_numeric(&f, 1e4, 256).unwrap();
-            assert!(
-                (est - beta).abs() < 1e-6,
-                "β={beta}: numeric α = {est}"
-            );
+            assert!((est - beta).abs() < 1e-6, "β={beta}: numeric α = {est}");
         }
     }
 
@@ -84,7 +81,10 @@ mod tests {
         let f = Exponential::new(1.0, 1.0);
         let small = alpha_numeric(&f, 5.0, 256).unwrap();
         let large = alpha_numeric(&f, 50.0, 256).unwrap();
-        assert!(large > small * 2.0, "α estimate must diverge: {small} → {large}");
+        assert!(
+            large > small * 2.0,
+            "α estimate must diverge: {small} → {large}"
+        );
     }
 
     #[test]

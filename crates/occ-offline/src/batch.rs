@@ -147,7 +147,7 @@ mod tests {
         let max = *r.evictions.iter().max().unwrap();
         let total: u64 = r.evictions.iter().sum();
         // Paper's bound: max ≤ total/((n+1)/2) + 1.
-        let bound = total / ((n as u64 + 1) / 2) + 1;
+        let bound = total / (n as u64).div_ceil(2) + 1;
         assert!(max <= bound, "max {max} > bound {bound}");
     }
 

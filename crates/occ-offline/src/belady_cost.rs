@@ -63,8 +63,7 @@ impl ReplacementPolicy for CostAwareBelady {
             let better = match best {
                 None => true,
                 Some((bu, bn, bp)) => {
-                    urgency < bu
-                        || (urgency == bu && (next > bn || (next == bn && q.0 < bp)))
+                    urgency < bu || (urgency == bu && (next > bn || (next == bn && q.0 < bp)))
                 }
             };
             if better {

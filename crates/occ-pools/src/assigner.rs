@@ -274,7 +274,15 @@ mod tests {
         // Pool 0 is contended (25 req/slot vs 5) and user 0 is suffering.
         let mk = |fee| {
             let mut a = CostAwareRebalancer::default();
-            let v = view(&[0, 1], &[4, 4], &[10, 0], &[100, 20], &[20, 0], &costs, fee);
+            let v = view(
+                &[0, 1],
+                &[4, 4],
+                &[10, 0],
+                &[100, 20],
+                &[20, 0],
+                &costs,
+                fee,
+            );
             a.rebalance(&v)
         };
         // pressure = f(30) − f(20) = 900 − 400 = 500; relief 250.
@@ -297,7 +305,15 @@ mod tests {
         let costs = CostProfile::uniform(2, Monomial::power(2.0));
         let mut a = CostAwareRebalancer::default();
         let assignment = [0usize, 1];
-        let v = view(&assignment, &[4, 4], &[10, 0], &[100, 20], &[20, 0], &costs, 1.0);
+        let v = view(
+            &assignment,
+            &[4, 4],
+            &[10, 0],
+            &[100, 20],
+            &[20, 0],
+            &costs,
+            1.0,
+        );
         let first = a.rebalance(&v);
         assert_eq!(first, vec![(UserId(0), 1)]);
         // Both users now share pool 1: it is the contended pool, but the

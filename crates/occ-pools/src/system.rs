@@ -10,7 +10,7 @@
 //! between servers."*
 
 use occ_core::CostProfile;
-use occ_sim::{Request, ReplacementPolicy, StepOutcome, SteppingEngine, Universe, UserId};
+use occ_sim::{ReplacementPolicy, Request, StepOutcome, SteppingEngine, Universe, UserId};
 
 /// Static configuration of a multi-pool system.
 #[derive(Clone, Debug)]

@@ -29,7 +29,7 @@ pub struct EngineCtx<'a> {
 }
 
 /// Engine configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct SimOptions {
     /// Record a [`SimEvent`] per request (off by default: costs memory
     /// proportional to the trace).
@@ -38,15 +38,6 @@ pub struct SimOptions {
     /// evictions. This models the paper's dummy-user flush (§2.1), making
     /// per-user eviction counts equal per-user miss counts.
     pub flush_at_end: bool,
-}
-
-impl Default for SimOptions {
-    fn default() -> Self {
-        SimOptions {
-            record_events: false,
-            flush_at_end: false,
-        }
-    }
 }
 
 /// Outcome of a simulation run.
@@ -204,7 +195,8 @@ impl Simulator {
                     policy.name()
                 );
                 assert_ne!(
-                    victim, req.page,
+                    victim,
+                    req.page,
                     "policy {} tried to evict the incoming page",
                     policy.name()
                 );
@@ -298,7 +290,9 @@ mod tests {
         let trace = two_user_trace();
         let no_flush = Simulator::new(2).run(&mut EvictFirst, &trace);
         assert!(no_flush.stats.total_evictions() < no_flush.total_misses());
-        let flushed = Simulator::new(2).flush_at_end(true).run(&mut EvictFirst, &trace);
+        let flushed = Simulator::new(2)
+            .flush_at_end(true)
+            .run(&mut EvictFirst, &trace);
         assert_eq!(flushed.stats.total_evictions(), flushed.total_misses());
         // Per-user too, which is the paper's accounting identity.
         assert_eq!(flushed.stats.miss_vector(), flushed.stats.eviction_vector());
@@ -307,7 +301,9 @@ mod tests {
     #[test]
     fn event_log_matches_counters() {
         let trace = two_user_trace();
-        let r = Simulator::new(2).record_events(true).run(&mut EvictFirst, &trace);
+        let r = Simulator::new(2)
+            .record_events(true)
+            .run(&mut EvictFirst, &trace);
         let log = r.events.as_ref().expect("events were requested");
         assert_eq!(log.len() as u64, r.steps);
         let evictions = log.eviction_sequence().len() as u64;

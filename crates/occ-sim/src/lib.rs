@@ -48,6 +48,7 @@ pub mod cache;
 pub mod engine;
 pub mod event;
 pub mod ids;
+pub mod intrusive;
 pub mod nextuse;
 pub mod policy;
 pub mod source;
@@ -60,6 +61,7 @@ pub use cache::CacheSet;
 pub use engine::{EngineCtx, SimOptions, SimResult, Simulator};
 pub use event::{EventLog, SimEvent};
 pub use ids::{PageId, Time, UserId};
+pub use intrusive::{PageList, PageLists};
 pub use nextuse::NextUseIndex;
 pub use policy::ReplacementPolicy;
 pub use source::{AdaptiveSource, RequestSource, TraceSource};
@@ -74,6 +76,7 @@ pub mod prelude {
     pub use crate::engine::{EngineCtx, SimOptions, SimResult, Simulator};
     pub use crate::event::{EventLog, SimEvent};
     pub use crate::ids::{PageId, Time, UserId};
+    pub use crate::intrusive::{PageList, PageLists};
     pub use crate::nextuse::NextUseIndex;
     pub use crate::policy::ReplacementPolicy;
     pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};

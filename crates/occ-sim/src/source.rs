@@ -130,7 +130,10 @@ mod tests {
         let via_trace = Simulator::new(2).run(&mut EvictFirst, &trace);
         let mut src = TraceSource::new(&trace);
         let via_source = Simulator::new(2).run_source(&mut EvictFirst, &mut src);
-        assert_eq!(via_trace.stats.miss_vector(), via_source.stats.miss_vector());
+        assert_eq!(
+            via_trace.stats.miss_vector(),
+            via_source.stats.miss_vector()
+        );
         assert_eq!(via_source.steps, 3);
     }
 

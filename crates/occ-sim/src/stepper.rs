@@ -112,7 +112,8 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
                 self.policy.name()
             );
             assert_ne!(
-                victim, req.page,
+                victim,
+                req.page,
                 "policy {} tried to evict the incoming page",
                 self.policy.name()
             );

@@ -47,7 +47,7 @@ impl Universe {
     /// owns pages `i*pages_per_user .. (i+1)*pages_per_user`.
     pub fn uniform(num_users: u32, pages_per_user: u32) -> Self {
         let owner = (0..num_users)
-            .flat_map(|u| std::iter::repeat(UserId(u)).take(pages_per_user as usize))
+            .flat_map(|u| std::iter::repeat_n(UserId(u), pages_per_user as usize))
             .collect();
         Universe { owner, num_users }
     }
@@ -58,7 +58,7 @@ impl Universe {
         let owner = sizes
             .iter()
             .enumerate()
-            .flat_map(|(u, &s)| std::iter::repeat(UserId(u as u32)).take(s as usize))
+            .flat_map(|(u, &s)| std::iter::repeat_n(UserId(u as u32), s as usize))
             .collect();
         Universe {
             owner,
@@ -145,10 +145,7 @@ impl Trace {
     /// Build a trace from raw page indices, deriving owners from the
     /// universe.
     pub fn from_page_indices(universe: &Universe, pages: &[u32]) -> Self {
-        let requests = pages
-            .iter()
-            .map(|&p| universe.request(PageId(p)))
-            .collect();
+        let requests = pages.iter().map(|&p| universe.request(PageId(p))).collect();
         Trace::new(universe.clone(), requests)
     }
 

@@ -67,11 +67,7 @@ impl RequestSource for LowerBoundAdversary {
 /// Run `policy` against the adversary (`n` users, `t` requests, cache
 /// `n − 1`) and return the online result together with the recorded
 /// sequence.
-pub fn run_lower_bound<P: ReplacementPolicy>(
-    policy: &mut P,
-    n: u32,
-    t: u64,
-) -> (SimResult, Trace) {
+pub fn run_lower_bound<P: ReplacementPolicy>(policy: &mut P, n: u32, t: u64) -> (SimResult, Trace) {
     let mut adversary = LowerBoundAdversary::new(n, t);
     let result = Simulator::new((n - 1) as usize).run_source(policy, &mut adversary);
     let trace = adversary.recorded_trace();

@@ -79,9 +79,11 @@ impl PatternGen {
         let pages = self.pages;
         let out = match &self.pattern {
             AccessPattern::Uniform => self.rng.gen_range(0..pages),
-            AccessPattern::Zipf { .. } => {
-                self.zipf.as_ref().expect("built in new").sample(&mut self.rng) as u32
-            }
+            AccessPattern::Zipf { .. } => self
+                .zipf
+                .as_ref()
+                .expect("built in new")
+                .sample(&mut self.rng) as u32,
             AccessPattern::Cycle { len } => {
                 let len = (*len).clamp(1, pages);
                 (self.count % len as u64) as u32
@@ -99,7 +101,11 @@ impl PatternGen {
                 }
             }
             AccessPattern::Phased { phase_len, .. } => {
-                let rank = self.zipf.as_ref().expect("built in new").sample(&mut self.rng) as u64;
+                let rank = self
+                    .zipf
+                    .as_ref()
+                    .expect("built in new")
+                    .sample(&mut self.rng) as u64;
                 let phase = self.count / (*phase_len).max(1);
                 // Rotate rank→page mapping each phase.
                 ((rank + phase * 3) % pages as u64) as u32

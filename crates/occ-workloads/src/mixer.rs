@@ -51,7 +51,13 @@ pub fn generate_multi_tenant(specs: &[TenantSpec], len: usize, seed: u64) -> Tra
     let mut gens: Vec<PatternGen> = specs
         .iter()
         .enumerate()
-        .map(|(i, s)| PatternGen::new(s.pattern.clone(), s.pages, seed ^ (0x9E37 + i as u64 * 0x79B9)))
+        .map(|(i, s)| {
+            PatternGen::new(
+                s.pattern.clone(),
+                s.pages,
+                seed ^ (0x9E37 + i as u64 * 0x79B9),
+            )
+        })
         .collect();
     // Cumulative arrival weights.
     let total_w: f64 = specs.iter().map(|s| s.weight).sum();
@@ -120,11 +126,7 @@ mod tests {
 
     #[test]
     fn single_tenant_mixer_matches_pattern() {
-        let t = generate_multi_tenant(
-            &[TenantSpec::new(3, 1.0, AccessPattern::Scan)],
-            6,
-            0,
-        );
+        let t = generate_multi_tenant(&[TenantSpec::new(3, 1.0, AccessPattern::Scan)], 6, 0);
         let pages: Vec<u32> = t.requests().iter().map(|r| r.page.0).collect();
         assert_eq!(pages, vec![0, 1, 2, 0, 1, 2]);
     }

@@ -89,8 +89,8 @@ mod tests {
         for _ in 0..n {
             counts[z.sample(&mut rng)] += 1;
         }
-        for i in 0..8 {
-            let emp = counts[i] as f64 / n as f64;
+        for (i, &c) in counts.iter().enumerate() {
+            let emp = c as f64 / n as f64;
             assert!(
                 (emp - z.pmf(i)).abs() < 0.01,
                 "rank {i}: empirical {emp} vs pmf {}",

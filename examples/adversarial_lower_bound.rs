@@ -13,7 +13,10 @@ use occ_workloads::run_lower_bound;
 fn main() {
     let beta = 2.0;
     println!("cost functions f_i(x) = x^{beta}; cache k = n − 1\n");
-    println!("{:>4} {:>8} {:>14} {:>14} {:>10} {:>12}", "n", "T", "online cost", "offline cost", "ratio", "(n/4)^beta");
+    println!(
+        "{:>4} {:>8} {:>14} {:>14} {:>10} {:>12}",
+        "n", "T", "online cost", "offline cost", "ratio", "(n/4)^beta"
+    );
 
     for n in [5u32, 9, 17, 33, 65] {
         let t = (n as u64).pow(2) * 8;

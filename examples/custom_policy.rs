@@ -71,8 +71,7 @@ impl ReplacementPolicy for SlaClock {
             self.hand = (self.hand + 1) % pages.len();
             let p = pages[self.hand];
             let idx = p.index();
-            let protect =
-                u8::from(marginals[self.hand] > mean) + self.referenced[idx];
+            let protect = u8::from(marginals[self.hand] > mean) + self.referenced[idx];
             if protect == 0 {
                 return p;
             }

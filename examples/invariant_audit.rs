@@ -5,8 +5,7 @@
 //! Run with: `cargo run --release --example invariant_audit`
 
 use occ_core::{
-    check_invariants, run_continuous, with_dummy_flush, CostProfile, Marginals, Monomial,
-    TieBreak,
+    check_invariants, run_continuous, with_dummy_flush, CostProfile, Marginals, Monomial, TieBreak,
 };
 use occ_offline::exact_opt;
 use occ_sim::{Trace, Universe};

@@ -33,7 +33,12 @@ fn main() {
     reports.push(evaluate_policy(&mut ours, &trace, k, &scenario.costs));
     reports.sort_by(|a, b| a.cost.total_cmp(&b.cost));
 
-    let mut table = Table::new(vec!["policy", "total SLA cost", "miss rate", "per-tenant misses"]);
+    let mut table = Table::new(vec![
+        "policy",
+        "total SLA cost",
+        "miss rate",
+        "per-tenant misses",
+    ]);
     for r in &reports {
         table.row(vec![
             r.name.clone(),

@@ -60,8 +60,7 @@ fn lower_bound_ratio_grows_with_n() {
         let mut alg = ConvexCaching::new(costs.clone());
         let (online, trace) = run_lower_bound(&mut alg, n, t);
         let offline = batch_offline(&trace, (n - 1) as usize);
-        let ratio =
-            costs.total_cost(&online.miss_vector()) / costs.total_cost(&offline.misses);
+        let ratio = costs.total_cost(&online.miss_vector()) / costs.total_cost(&offline.misses);
         assert!(
             ratio > prev_ratio,
             "ratio must grow with n: {ratio} after {prev_ratio}"

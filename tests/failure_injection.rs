@@ -73,7 +73,9 @@ fn removals_only_increase_misses() {
     let with = run_with_removals(Lru::new(), &trace, k, 42);
     let without = {
         let mut lru = Lru::new();
-        occ_sim::Simulator::new(k).run(&mut lru, &trace).total_misses()
+        occ_sim::Simulator::new(k)
+            .run(&mut lru, &trace)
+            .total_misses()
     };
     assert!(
         with >= without,

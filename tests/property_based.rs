@@ -10,9 +10,9 @@
 //!   objective.
 
 use occ_core::{
-    check_claim_2_3, check_invariants, run_continuous, with_dummy_flush, Assignment,
-    ConvexCaching, ConvexProgram, CostFn, CostProfile, DiscreteReference, Linear, Marginals,
-    Monomial, PiecewiseLinear, TieBreak,
+    check_claim_2_3, check_invariants, run_continuous, with_dummy_flush, Assignment, ConvexCaching,
+    ConvexProgram, CostFn, CostProfile, DiscreteReference, Linear, Marginals, Monomial,
+    PiecewiseLinear, TieBreak,
 };
 use occ_offline::exact_opt;
 use occ_sim::{ReplacementPolicy, Simulator, Trace, Universe};

@@ -71,7 +71,7 @@ proptest! {
         let n = trace.universe().num_users() as usize;
         let weights: Vec<f64> = weights_raw[..n.min(3)]
             .iter()
-            .chain(std::iter::repeat(&1).take(n.saturating_sub(3)))
+            .chain(std::iter::repeat_n(&1, n.saturating_sub(3)))
             .map(|&w| w as f64)
             .collect();
         let k = k.min(trace.universe().num_pages().max(2) as usize - 1).max(1);

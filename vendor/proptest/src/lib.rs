@@ -1,0 +1,215 @@
+//! Offline stand-in for `proptest`, used because this build environment
+//! has no access to crates.io.
+//!
+//! Supports the API subset the workspace's property tests use: the
+//! [`proptest!`] macro with an optional `#![proptest_config(..)]` line,
+//! `prop_assert!`/`prop_assert_eq!`, [`prop_oneof!`], strategies built
+//! from integer/float ranges and tuples, `prop_map`/`prop_flat_map`,
+//! [`collection::vec`], and [`strategy::Just`].
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated inputs'
+//!   `Debug` form (strategies carry values, not value trees).
+//! * Case generation is seeded deterministically from the test's name, so
+//!   failures reproduce across runs.
+//! * `prop_assert*` panics instead of returning `Result` (the runner does
+//!   not distinguish rejection from failure).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::Strategy;
+pub use test_runner::ProptestConfig;
+
+/// Collection strategies.
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Anything usable as the size of a generated collection: an exact
+    /// `usize` or a range of lengths.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            let (lo, hi) = (*self.start(), *self.end());
+            assert!(lo <= hi, "empty size range");
+            lo + (rng.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+
+    /// A strategy producing `Vec`s whose elements come from `element` and
+    /// whose length comes from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property-test file needs in scope.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Assert inside a property test; panics (no rejection machinery).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Assert equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Assert inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skip when `cond` is false. Real proptest re-draws the case; this
+/// stand-in ends the test early (it has run every prior case already).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+/// Uniform choice between strategies with the same `Value` type.
+/// (Weighted arms are not supported.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::Strategy::boxed($s)),+])
+    };
+}
+
+/// Define property tests: each function runs `cases` times with fresh
+/// random inputs drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr); $( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $cfg;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..config.cases {
+                    $(let $pat = $crate::Strategy::new_value(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use std::sync::Arc;
+
+    fn arb_even() -> impl Strategy<Value = u32> {
+        (0u32..500).prop_map(|x| x * 2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, y in -5i64..=5, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn map_and_flat_map(e in arb_even(), v in (1usize..5).prop_flat_map(|n| crate::collection::vec(0u32..10, n))) {
+            prop_assert_eq!(e % 2, 0);
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+
+        #[test]
+        fn tuples_and_oneof((a, b) in (1u32..4, 10u64..20), c in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert!((1..4).contains(&a) && (10..20).contains(&b));
+            prop_assert!(c == 1 || c == 2);
+        }
+
+        #[test]
+        fn trait_objects_via_map(f in (1u32..5).prop_map(|w| Arc::new(move |x: f64| w as f64 * x) as Arc<dyn Fn(f64) -> f64>)) {
+            prop_assert!(f(2.0) >= 2.0);
+        }
+
+        #[test]
+        fn collection_vec_sizes(v in crate::collection::vec(0u32..100, 20..30), w in crate::collection::vec(Just(7u8), 3usize)) {
+            prop_assert!((20..30).contains(&v.len()));
+            prop_assert_eq!(w, vec![7u8; 3]);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::test_runner::TestRng;
+        let draw = || {
+            let mut rng = TestRng::from_name("fixed-name");
+            crate::Strategy::new_value(&crate::collection::vec(0u32..1000, 10usize), &mut rng)
+        };
+        assert_eq!(draw(), draw());
+    }
+}

@@ -1,0 +1,210 @@
+//! Value-generation strategies (no shrinking: a strategy draws a value,
+//! it does not build a value tree).
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Build a second strategy from each generated value and draw from it
+    /// (dependent generation).
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Re-draw until `pred` holds (up to a generous retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        pred: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            whence,
+            pred,
+        }
+    }
+
+    /// Type-erase the strategy (used by [`crate::prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+#[derive(Clone, Debug)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: &'static str,
+    pred: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.new_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter retry budget exhausted: {}", self.whence);
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        self.0.new_value(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies ([`crate::prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Build from at least one arm.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn new_value(&self, rng: &mut TestRng) -> V {
+        let i = (rng.next_u64() as usize) % self.arms.len();
+        self.arms[i].new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() as f32 * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`, used because this build environment has
+//! no access to crates.io.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` (there is no
+//! serde_json or other serializer in the dependency tree), so the derives
+//! can expand to nothing: the attribute positions stay valid and no code
+//! ever requires the real trait impls. If a future PR adds an actual
+//! serializer, replace this stub with the real crate (or vendor it).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
