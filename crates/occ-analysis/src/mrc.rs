@@ -89,9 +89,13 @@ pub struct MissRatioCurve {
 }
 
 impl MissRatioCurve {
-    /// Miss ratio at cache size `k`.
+    /// Miss ratio at cache size `k` (`0.0` for an empty trace).
     pub fn ratio(&self, k: usize) -> f64 {
-        self.misses[k - 1] as f64 / self.requests as f64
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.misses[k - 1] as f64 / self.requests as f64
+        }
     }
 
     /// Per-user miss vector at cache size `k` (for cost evaluation).
@@ -201,6 +205,17 @@ mod tests {
                 direct.miss_vector(),
                 "per-user mismatch at k={k}"
             );
+        }
+    }
+
+    #[test]
+    fn empty_trace_ratio_is_zero_not_nan() {
+        let t = trace(&[], 4);
+        let mrc = lru_mrc(&t, 4);
+        assert_eq!(mrc.requests, 0);
+        for k in 1..=4 {
+            assert_eq!(mrc.ratio(k), 0.0);
+            assert_eq!(mrc.miss_vector(k), vec![0]);
         }
     }
 

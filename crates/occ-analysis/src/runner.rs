@@ -202,6 +202,17 @@ mod tests {
     }
 
     #[test]
+    fn empty_run_miss_rate_is_zero_not_nan() {
+        let u = Universe::uniform(2, 3);
+        let t = Trace::from_page_indices(&u, &[]);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let report = evaluate_policy(&mut Lru::new(), &t, 3, &costs);
+        assert_eq!(report.steps, 0);
+        assert_eq!(report.miss_rate(), 0.0);
+        assert_eq!(report.cost, 0.0);
+    }
+
+    #[test]
     fn bound_check_math() {
         let costs = CostProfile::uniform(1, Monomial::power(2.0));
         // online 3 misses (cost 9), offline 1 miss (cost 1), α=2, k=2 →

@@ -2,9 +2,12 @@
 //!
 //! Runs a fixed policy × cache-size × workload matrix and writes
 //! `BENCH_throughput.json` at the repository root with requests/second
-//! and per-request latency percentiles (p50/p99, nanoseconds) for each
-//! cell. The file is committed alongside performance work so regressions
-//! show up in review as a diff, not as an anecdote.
+//! and per-request latency percentiles (p50/p90/p99/p999, nanoseconds)
+//! for each cell. The file is committed alongside performance work so
+//! regressions show up in review as a diff, not as an anecdote. When a
+//! committed baseline exists, the run also prints the throughput delta
+//! per cell and flags regressions beyond 20% — this is the guard that
+//! keeps the `NoopRecorder` path genuinely free.
 //!
 //! Matrix (fixed on purpose — comparable across commits):
 //!
@@ -14,13 +17,15 @@
 //! * workloads: single-user Zipf(0.9) and a 4-tenant Zipf(0.8) mix.
 //!
 //! Throughput is the best of three full-trace replays (batch
-//! [`Simulator`]); latency percentiles come from a separate
-//! [`SteppingEngine`] pass that times each request individually (the two
-//! passes are separate so percentile instrumentation cannot distort the
-//! throughput number). Total runtime is well under two minutes.
+//! [`Simulator`], `NoopRecorder` path); latency percentiles come from a
+//! separate [`SteppingEngine`] pass with a timed
+//! [`MetricsRecorder`] attached (the two passes are separate so
+//! percentile instrumentation cannot distort the throughput number).
+//! Total runtime is well under two minutes.
 
 use occ_baselines::{Fifo, GreedyDual, Lru, LruReference, Marking};
 use occ_core::{ConvexCaching, CostProfile, Monomial};
+use occ_probe::{Json, MetricsRecorder};
 use occ_sim::{ReplacementPolicy, Request, Simulator, SteppingEngine, Trace};
 use occ_workloads::{generate_multi_tenant, zipf_trace, AccessPattern, TenantSpec};
 use std::fmt::Write as _;
@@ -71,13 +76,15 @@ fn policy_suite(num_users: u32) -> Vec<(&'static str, Box<dyn ReplacementPolicy>
 struct Measurement {
     requests_per_sec: f64,
     p50_ns: u64,
+    p90_ns: u64,
     p99_ns: u64,
+    p999_ns: u64,
     misses: u64,
 }
 
 fn measure(policy: &mut Box<dyn ReplacementPolicy>, wl: &Workload, k: usize) -> Measurement {
-    // Throughput: best of N full replays (batch engine, no per-request
-    // instrumentation).
+    // Throughput: best of N full replays (batch engine, NoopRecorder —
+    // the uninstrumented path this file guards).
     let mut best = f64::INFINITY;
     let mut misses = 0;
     for _ in 0..THROUGHPUT_REPS {
@@ -90,26 +97,56 @@ fn measure(policy: &mut Box<dyn ReplacementPolicy>, wl: &Workload, k: usize) -> 
     }
     let requests_per_sec = wl.trace.len() as f64 / best;
 
-    // Latency percentiles: a stepping pass timing each request. Timer
-    // overhead (~tens of ns) is included in every sample equally.
+    // Latency percentiles: a stepping pass with a timed recorder, so
+    // the engine samples a clock around each request and feeds the
+    // shared log-linear histogram. Timer overhead (~tens of ns) is
+    // included in every sample equally.
     policy.reset();
     let requests: Vec<Request> = wl.trace.iter().map(|(_, r)| r).collect();
     let shim = PolicyShim(policy);
-    let mut engine = SteppingEngine::new(k, wl.trace.universe().clone(), shim);
-    let mut samples: Vec<u64> = Vec::with_capacity(requests.len());
+    let mut rec = MetricsRecorder::new();
+    let mut engine =
+        SteppingEngine::new(k, wl.trace.universe().clone(), shim).with_recorder(&mut rec);
     for &req in &requests {
-        let start = Instant::now();
         engine.step(req);
-        samples.push(start.elapsed().as_nanos() as u64);
     }
-    samples.sort_unstable();
-    let pct = |q: f64| samples[((samples.len() - 1) as f64 * q) as usize];
+    drop(engine);
+    let lat = rec.latency_ns();
     Measurement {
         requests_per_sec,
-        p50_ns: pct(0.50),
-        p99_ns: pct(0.99),
+        p50_ns: lat.p50(),
+        p90_ns: lat.p90(),
+        p99_ns: lat.p99(),
+        p999_ns: lat.p999(),
         misses,
     }
+}
+
+/// The committed baseline's throughput per (policy, workload, k) cell,
+/// if a parseable `BENCH_throughput.json` exists at `path`.
+fn load_committed(path: &Path) -> Vec<(String, String, u64, f64)> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        eprintln!("warning: committed baseline does not parse; skipping delta report");
+        return Vec::new();
+    };
+    let mut cells = Vec::new();
+    if let Some(entries) = doc.get("entries").and_then(Json::as_array) {
+        for e in entries {
+            let get_str = |k: &str| e.get(k).and_then(Json::as_str).map(str::to_string);
+            if let (Some(policy), Some(workload), Some(k), Some(rps)) = (
+                get_str("policy"),
+                get_str("workload"),
+                e.get("k").and_then(Json::as_u64),
+                e.get("requests_per_sec").and_then(Json::as_f64),
+            ) {
+                cells.push((policy, workload, k, rps));
+            }
+        }
+    }
+    cells
 }
 
 /// Adapter so the stepping engine can drive a `&mut Box<dyn Policy>`
@@ -145,13 +182,32 @@ impl ReplacementPolicy for PolicyShim<'_> {
 }
 
 fn main() {
+    // crates/occ-bench/../../ = repository root, regardless of cwd.
+    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("BENCH_throughput.json");
+    let committed = load_committed(&out);
+    let mut regressions = 0u32;
+
     let mut rows = Vec::new();
     for &k in &CACHE_SIZES {
         for wl in workloads(k) {
             for (label, mut policy) in policy_suite(wl.num_users) {
                 let m = measure(&mut policy, &wl, k);
+                let delta = committed
+                    .iter()
+                    .find(|(p, w, ck, _)| p == label && w == wl.name && *ck == k as u64)
+                    .map(|&(_, _, _, old_rps)| (m.requests_per_sec - old_rps) / old_rps * 100.0);
+                let delta_text = match delta {
+                    Some(d) if d <= -20.0 => {
+                        regressions += 1;
+                        format!("   Δ {d:+.1}%  <-- REGRESSION")
+                    }
+                    Some(d) => format!("   Δ {d:+.1}%"),
+                    None => String::new(),
+                };
                 println!(
-                    "{label:>16}  k={k:<5} {:<20} {:>12.0} req/s   p50 {:>6} ns   p99 {:>7} ns   misses {}",
+                    "{label:>16}  k={k:<5} {:<20} {:>12.0} req/s   p50 {:>6} ns   p99 {:>7} ns   misses {}{delta_text}",
                     wl.name, m.requests_per_sec, m.p50_ns, m.p99_ns, m.misses
                 );
                 let mut row = String::new();
@@ -159,14 +215,16 @@ fn main() {
                     row,
                     "    {{\"policy\": \"{label}\", \"workload\": \"{}\", \"k\": {k}, \
                      \"universe_pages\": {}, \"trace_len\": {}, \
-                     \"requests_per_sec\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \
-                     \"misses\": {}}}",
+                     \"requests_per_sec\": {:.0}, \"p50_ns\": {}, \"p90_ns\": {}, \
+                     \"p99_ns\": {}, \"p999_ns\": {}, \"misses\": {}}}",
                     wl.name,
                     4 * k,
                     wl.trace.len(),
                     m.requests_per_sec,
                     m.p50_ns,
+                    m.p90_ns,
                     m.p99_ns,
+                    m.p999_ns,
                     m.misses
                 )
                 .unwrap();
@@ -176,13 +234,14 @@ fn main() {
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 1,\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 2,\n  \"entries\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    // crates/occ-bench/../../ = repository root, regardless of cwd.
-    let out = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .join("../..")
-        .join("BENCH_throughput.json");
     std::fs::write(&out, json).expect("write BENCH_throughput.json");
     println!("\nwrote {}", out.display());
+    if regressions > 0 {
+        eprintln!(
+            "warning: {regressions} cell(s) regressed more than 20% vs the committed baseline"
+        );
+    }
 }

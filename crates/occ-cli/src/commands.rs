@@ -5,7 +5,8 @@ use occ_analysis::{compare_policies, evaluate_policy, fnum, lru_cost_curve, lru_
 use occ_baselines::{CostGreedy, Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict};
 use occ_core::{ConvexCaching, CostProfile};
 use occ_offline::{Belady, CostAwareBelady};
-use occ_sim::{read_trace, write_trace, ReplacementPolicy, Trace};
+use occ_probe::{DualTrace, Json, JsonlSink, MetricsRecorder, ObserveReport};
+use occ_sim::{read_trace, write_trace, ReplacementPolicy, SimStats, SteppingEngine, Time, Trace};
 use occ_workloads::{all_scenarios, Scenario};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -20,6 +21,13 @@ USAGE:
   occ run      --policy NAME --k K (--trace FILE --scenario NAME | --scenario NAME [--len N] [--seed S])
   occ compare  --scenario NAME --k K [--len N] [--seed S]
   occ mrc      --scenario NAME [--len N] [--seed S] [--max-k K]
+  occ observe  --scenario NAME [--policy NAME] [--k K] [--len N] [--seed S]
+               [--every N] [--out FILE] [--events FILE]
+               run with full instrumentation; emit a JSON report (counters,
+               latency histogram, and — for the convex policy — the dual
+               trajectory). --events streams one JSONL line per engine event.
+  occ report   --in FILE [--format table|json]
+               validate and render an `occ observe` report
 
 POLICIES:
   convex (the paper's algorithm), lru, fifo, lfu, marking, lru2, random,
@@ -216,6 +224,131 @@ pub fn mrc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Drive a stepping engine over a whole trace with a recorder attached,
+/// invoking `sample(t, policy, is_final)` before every step and once
+/// after the last one. Returns the final counters, steps served, and
+/// the policy's display name.
+fn observe_drive<P, R, F>(
+    k: usize,
+    trace: &Trace,
+    policy: P,
+    recorder: R,
+    mut sample: F,
+) -> (SimStats, u64, String, R)
+where
+    P: ReplacementPolicy,
+    R: occ_sim::Recorder,
+    F: FnMut(Time, &P, bool),
+{
+    let mut eng = SteppingEngine::new(k, trace.universe().clone(), policy).with_recorder(recorder);
+    for (_, r) in trace.iter() {
+        sample(eng.time(), eng.policy(), false);
+        eng.step(r);
+    }
+    sample(eng.time(), eng.policy(), true);
+    let stats = eng.stats().clone();
+    let steps = eng.time();
+    let name = eng.policy().name();
+    (stats, steps, name, eng.into_recorder())
+}
+
+/// Run one policy with metrics (and optionally a JSONL event stream and
+/// a dual-trajectory sampler) attached.
+fn observe_policy<P: ReplacementPolicy>(
+    k: usize,
+    trace: &Trace,
+    policy: P,
+    rec: &mut MetricsRecorder,
+    events_path: &str,
+    mut sample: impl FnMut(Time, &P, bool),
+) -> Result<(SimStats, u64, String), String> {
+    if events_path.is_empty() {
+        let (stats, steps, name, _) = observe_drive(k, trace, policy, &mut *rec, sample);
+        Ok((stats, steps, name))
+    } else {
+        let file = File::create(events_path).map_err(|e| format!("create {events_path}: {e}"))?;
+        let sink = JsonlSink::new(BufWriter::new(file));
+        let (stats, steps, name, (_, sink)) =
+            observe_drive(k, trace, policy, (&mut *rec, sink), &mut sample);
+        sink.finish()
+            .map_err(|e| format!("writing {events_path}: {e}"))?;
+        Ok((stats, steps, name))
+    }
+}
+
+/// `occ observe`
+pub fn observe(args: &Args) -> Result<(), String> {
+    let scenario = find_scenario(&args.str_required("scenario")?)?;
+    let trace = load_or_generate(args, &scenario)?;
+    let k: usize = args.num_or("k", scenario.suggested_k)?;
+    let policy_name = args.str_or("policy", "convex");
+    let every: u64 = args.num_or("every", 1_000u64)?;
+    let events_path = args.str_or("events", "");
+    let out_path = args.str_or("out", "");
+
+    let mut rec = MetricsRecorder::new();
+    let mut dual: Option<DualTrace> = None;
+    let (stats, steps, name) = if policy_name == "convex" {
+        let alg = ConvexCaching::new(scenario.costs.clone());
+        let mut dt = DualTrace::new(every);
+        let out = observe_policy(k, &trace, alg, &mut rec, &events_path, |t, p, fin| {
+            if fin {
+                dt.finalize(t, p);
+            } else {
+                dt.maybe_sample(t, p);
+            }
+        })?;
+        dual = Some(dt);
+        out
+    } else {
+        let policy = make_policy(&policy_name, &scenario.costs, &trace)?;
+        observe_policy(k, &trace, policy, &mut rec, &events_path, |_, _, _| {})?
+    };
+
+    let requests = stats.total_hits() + stats.total_misses();
+    let misses = stats.total_misses();
+    let report = ObserveReport {
+        policy: name,
+        capacity: k as u64,
+        requests,
+        hits: stats.total_hits(),
+        misses,
+        evictions: stats.total_evictions(),
+        miss_rate: if requests == 0 {
+            0.0
+        } else {
+            misses as f64 / requests as f64
+        },
+        total_cost: Some(scenario.costs.total_cost(&stats.eviction_vector())),
+        metrics: rec.to_json_value(),
+        dual: dual.as_ref().map(DualTrace::to_json_value),
+    };
+    debug_assert_eq!(steps, requests);
+    let text = report.to_json();
+    if out_path.is_empty() {
+        emit(&text);
+    } else {
+        std::fs::write(&out_path, text + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
+        eprintln!("wrote report to {out_path}");
+    }
+    Ok(())
+}
+
+/// `occ report`
+pub fn report(args: &Args) -> Result<(), String> {
+    let path = args.str_required("in")?;
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
+    let parsed = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    ObserveReport::validate(&parsed)?;
+    let r = ObserveReport::from_json_value(&parsed)?;
+    match args.str_or("format", "table").as_str() {
+        "table" => emit(&r.to_table()),
+        "json" => emit(&r.to_json()),
+        other => return Err(format!("unknown format '{other}' (table, json)")),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,6 +422,100 @@ mod tests {
             make_policy(name, &s.costs, &trace).unwrap();
         }
         assert!(make_policy("nope", &s.costs, &trace).is_err());
+    }
+
+    #[test]
+    fn observe_writes_valid_report_and_report_renders_it() {
+        let dir = std::env::temp_dir().join("occ-cli-observe-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let report_path = dir.join("report.json");
+        let events_path = dir.join("events.jsonl");
+        observe(&args(&[
+            "observe",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "800",
+            "--k",
+            "8",
+            "--every",
+            "200",
+            "--out",
+            report_path.to_str().unwrap(),
+            "--events",
+            events_path.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        let text = std::fs::read_to_string(&report_path).unwrap();
+        let parsed = Json::parse(&text).unwrap();
+        ObserveReport::validate(&parsed).unwrap();
+        let r = ObserveReport::from_json_value(&parsed).unwrap();
+        assert_eq!(r.requests, 800);
+        assert!(r.dual.is_some(), "convex policy must emit a dual trace");
+        // The dual trajectory's final primal cost equals the report's
+        // stats-derived total cost exactly (the acceptance criterion).
+        let samples = r
+            .dual
+            .as_ref()
+            .unwrap()
+            .get("samples")
+            .and_then(Json::as_array)
+            .unwrap();
+        let last_cost = samples
+            .last()
+            .unwrap()
+            .get("primal_cost")
+            .and_then(Json::as_f64)
+            .unwrap();
+        assert_eq!(Some(last_cost), r.total_cost);
+
+        // Every event line parses; the count matches the request count
+        // (no flush in observe runs).
+        let events = std::fs::read_to_string(&events_path).unwrap();
+        assert_eq!(events.lines().count() as u64, r.requests);
+        for line in events.lines().take(50) {
+            Json::parse(line).unwrap();
+        }
+
+        report(&args(&["report", "--in", report_path.to_str().unwrap()])).unwrap();
+        report(&args(&[
+            "report",
+            "--in",
+            report_path.to_str().unwrap(),
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        std::fs::remove_file(report_path).ok();
+        std::fs::remove_file(events_path).ok();
+    }
+
+    #[test]
+    fn observe_works_for_baseline_policies() {
+        observe(&args(&[
+            "observe",
+            "--scenario",
+            "two-tier",
+            "--policy",
+            "lru",
+            "--len",
+            "300",
+            "--k",
+            "8",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn report_rejects_garbage() {
+        let dir = std::env::temp_dir().join("occ-cli-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        std::fs::write(&path, "{\"schema\": 1}").unwrap();
+        let err = report(&args(&["report", "--in", path.to_str().unwrap()])).unwrap_err();
+        assert!(err.contains("required key"), "got: {err}");
+        std::fs::remove_file(path).ok();
     }
 
     #[test]

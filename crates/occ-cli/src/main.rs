@@ -6,6 +6,8 @@
 //! occ run      --trace trace.occ --scenario two-tier --policy convex --k 24
 //! occ compare  --scenario sqlvm-like --len 60000 --k 96
 //! occ mrc      --scenario two-tier --len 40000 --max-k 48
+//! occ observe  --scenario two-tier --policy convex --k 24 --out report.json
+//! occ report   --in report.json
 //! occ scenarios
 //! ```
 //!
@@ -32,6 +34,8 @@ fn main() {
         Some("run") => commands::run(&args),
         Some("compare") => commands::compare(&args),
         Some("mrc") => commands::mrc(&args),
+        Some("observe") => commands::observe(&args),
+        Some("report") => commands::report(&args),
         Some("scenarios") => commands::scenarios(),
         Some("help") | None => {
             println!("{}", commands::USAGE);

@@ -108,6 +108,10 @@ pub struct ConvexCaching {
     // --- state, lazily sized on first use ---
     ready: bool,
     global_y: f64,
+    /// Total offset removed by renormalizations, so
+    /// [`Self::cumulative_dual_offset`] reports the monotone dual
+    /// trajectory `Σ_t y_t` regardless of rebasing.
+    y_shifted: f64,
     seq: u64,
     /// Per-user eviction counts `m(u, t)`.
     m: Vec<u64>,
@@ -139,6 +143,7 @@ impl ConvexCaching {
             tiebreak: TieBreak::OldestRequest,
             ready: false,
             global_y: 0.0,
+            y_shifted: 0.0,
             seq: 0,
             m: Vec::new(),
             y_at: Vec::new(),
@@ -168,7 +173,40 @@ impl ConvexCaching {
 
     /// Runtime diagnostics (dual feasibility, eviction count, offset).
     pub fn diagnostics(&self) -> AlgDiagnostics {
-        self.diag
+        let mut d = self.diag;
+        d.global_y = self.cumulative_dual_offset();
+        d
+    }
+
+    /// The cumulative dual offset `Y = Σ_t y_t`: the monotone (for
+    /// convex costs) dual trajectory of Figure 3, unaffected by internal
+    /// float rebasing. This is the quantity `occ-probe`'s `DualTrace`
+    /// samples per epoch.
+    pub fn cumulative_dual_offset(&self) -> f64 {
+        self.y_shifted + self.global_y
+    }
+
+    /// Per-user eviction counts `m(·, t)` so far, indexed by user id —
+    /// empty until the first request arrives (state is lazily sized).
+    pub fn eviction_counts(&self) -> &[u64] {
+        &self.m
+    }
+
+    /// The cost profile this policy optimizes against.
+    pub fn costs(&self) -> &CostProfile {
+        &self.costs
+    }
+
+    /// The running primal objective under eviction accounting:
+    /// `Σ_i f_i(m_i)` with `m_i` the per-user eviction counts so far.
+    /// After a run with the §2.1 flush this equals the paper's total
+    /// cost `Σ_i f_i(a_i)` exactly.
+    pub fn primal_cost(&self) -> f64 {
+        self.m
+            .iter()
+            .enumerate()
+            .map(|(u, &m)| self.costs.user(UserId(u as u32)).eval(m as f64))
+            .sum()
     }
 
     /// Whether the `O(1)` intrusive-list fast path is active (true iff
@@ -248,6 +286,7 @@ impl ConvexCaching {
         for y in &mut self.y_at {
             *y -= shift;
         }
+        self.y_shifted += shift;
         self.global_y = 0.0;
         self.diag.renormalizations += 1;
     }
@@ -352,6 +391,7 @@ impl ReplacementPolicy for ConvexCaching {
     fn reset(&mut self) {
         self.ready = false;
         self.global_y = 0.0;
+        self.y_shifted = 0.0;
         self.seq = 0;
         self.m.clear();
         self.y_at.clear();

@@ -1,0 +1,44 @@
+//! Observability for the caching simulator: histograms, recorders,
+//! streaming sinks, dual-variable telemetry, and the `occ observe`
+//! report format.
+//!
+//! The [`Recorder`] contract itself lives in `occ-sim` (so the engine
+//! does not depend on this crate); everything here is a consumer of it:
+//!
+//! * [`LogHistogram`] — mergeable log-linear histogram with bounded
+//!   relative error, used for latency and value distributions;
+//! * [`MetricsRecorder`] — counters + latency histogram for a run;
+//! * [`JsonlSink`] — streams one JSON line per engine event, bounded
+//!   memory for arbitrarily long traces;
+//! * [`DualTrace`] / [`DualSample`] — the paper algorithm's dual offset
+//!   `Y`, eviction counts `m(i,t)`, and primal objective `Σ f_i(m_i)`
+//!   over time;
+//! * [`ObserveReport`] — the JSON/table report `occ observe` emits and
+//!   `occ report` renders;
+//! * [`Json`] — the minimal parser/writer backing all of the above
+//!   (the workspace's vendored `serde` is a no-op stub, so
+//!   serialization is done by hand).
+//!
+//! Overhead discipline: recorders only pay when attached. The engines
+//! default to [`NoopRecorder`], which compiles to the unrecorded code —
+//! see `occ_sim::probe` for the mechanism and `bench_baseline` for the
+//! guard.
+
+#![warn(missing_docs)]
+
+pub mod dual;
+pub mod histogram;
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod sink;
+
+pub use dual::{DualSample, DualTrace};
+pub use histogram::LogHistogram;
+pub use json::Json;
+pub use recorder::MetricsRecorder;
+pub use report::{ObserveReport, REPORT_SCHEMA, REQUIRED_KEYS};
+pub use sink::JsonlSink;
+
+// Re-export the contract so downstream users need only this crate.
+pub use occ_sim::probe::{NoopRecorder, Recorder};

@@ -1,0 +1,225 @@
+//! Ready-made [`Recorder`] implementations.
+//!
+//! [`MetricsRecorder`] is the workhorse behind `occ observe`: counters
+//! for every engine decision, per-user eviction tallies, and a
+//! [`LogHistogram`] of per-request service latency (it sets
+//! [`Recorder::TIMED`], so the engine samples a monotonic clock around
+//! each request).
+
+use crate::histogram::LogHistogram;
+use crate::json::Json;
+use occ_sim::engine::EngineCtx;
+use occ_sim::ids::{PageId, Time, UserId};
+use occ_sim::probe::Recorder;
+
+/// Counters + latency histogram for a whole run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRecorder {
+    hits: u64,
+    inserts: u64,
+    evictions: u64,
+    flush_evictions: u64,
+    evictions_by_user: Vec<u64>,
+    latency_ns: LogHistogram,
+}
+
+impl MetricsRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    fn bump_user(&mut self, user: UserId) {
+        let i = user.index();
+        if i >= self.evictions_by_user.len() {
+            self.evictions_by_user.resize(i + 1, 0);
+        }
+        self.evictions_by_user[i] += 1;
+    }
+
+    /// Requests served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Misses that filled free space (no eviction).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Misses that evicted a victim (excludes flush evictions).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Evictions charged by the end-of-run flush convention.
+    pub fn flush_evictions(&self) -> u64 {
+        self.flush_evictions
+    }
+
+    /// Total requests observed.
+    pub fn requests(&self) -> u64 {
+        self.hits + self.inserts + self.evictions
+    }
+
+    /// Eviction count per victim's owner (flush included), indexed by
+    /// user id; users beyond the highest evicted-from id are omitted.
+    pub fn evictions_by_user(&self) -> &[u64] {
+        &self.evictions_by_user
+    }
+
+    /// Per-request service latency (only populated when the engine runs
+    /// with this recorder attached, since `TIMED = true`).
+    pub fn latency_ns(&self) -> &LogHistogram {
+        &self.latency_ns
+    }
+
+    /// Fold another recorder's observations into this one.
+    pub fn merge(&mut self, other: &MetricsRecorder) {
+        self.hits += other.hits;
+        self.inserts += other.inserts;
+        self.evictions += other.evictions;
+        self.flush_evictions += other.flush_evictions;
+        if self.evictions_by_user.len() < other.evictions_by_user.len() {
+            self.evictions_by_user
+                .resize(other.evictions_by_user.len(), 0);
+        }
+        for (a, &b) in self
+            .evictions_by_user
+            .iter_mut()
+            .zip(&other.evictions_by_user)
+        {
+            *a += b;
+        }
+        self.latency_ns.merge(&other.latency_ns);
+    }
+
+    /// The recorder's counters and histogram as a JSON object.
+    pub fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), Json::from_u64(self.requests())),
+            ("hits".into(), Json::from_u64(self.hits)),
+            ("inserts".into(), Json::from_u64(self.inserts)),
+            ("evictions".into(), Json::from_u64(self.evictions)),
+            (
+                "flush_evictions".into(),
+                Json::from_u64(self.flush_evictions),
+            ),
+            (
+                "evictions_by_user".into(),
+                Json::Arr(
+                    self.evictions_by_user
+                        .iter()
+                        .map(|&n| Json::from_u64(n))
+                        .collect(),
+                ),
+            ),
+            ("latency_ns".into(), self.latency_ns.to_json_value()),
+        ])
+    }
+}
+
+impl Recorder for MetricsRecorder {
+    const TIMED: bool = true;
+
+    fn record_hit(&mut self, _ctx: &EngineCtx, _t: Time, _page: PageId, _user: UserId) {
+        self.hits += 1;
+    }
+
+    fn record_insert(&mut self, _ctx: &EngineCtx, _t: Time, _page: PageId, _user: UserId) {
+        self.inserts += 1;
+    }
+
+    fn record_eviction(
+        &mut self,
+        _ctx: &EngineCtx,
+        _t: Time,
+        _page: PageId,
+        _user: UserId,
+        _victim: PageId,
+        victim_user: UserId,
+    ) {
+        self.evictions += 1;
+        self.bump_user(victim_user);
+    }
+
+    fn record_flush_eviction(&mut self, _page: PageId, user: UserId) {
+        self.flush_evictions += 1;
+        self.bump_user(user);
+    }
+
+    fn record_latency_ns(&mut self, _t: Time, ns: u64) {
+        self.latency_ns.record(ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_baselines::Lru;
+    use occ_sim::prelude::*;
+
+    #[test]
+    fn counters_mirror_sim_stats() {
+        let u = Universe::uniform(2, 8);
+        let pages: Vec<u32> = (0..400u32).map(|i| (i * 13 + 5) % 16).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let mut rec = MetricsRecorder::new();
+        let result = Simulator::new(6).run_recorded(&mut Lru::default(), &trace, &mut rec);
+        assert_eq!(rec.hits(), result.stats.total_hits());
+        assert_eq!(rec.inserts() + rec.evictions(), result.stats.total_misses());
+        assert_eq!(rec.evictions(), result.stats.total_evictions());
+        assert_eq!(rec.requests(), result.steps);
+        assert_eq!(rec.latency_ns().count(), result.steps);
+        let by_user: Vec<u64> = rec.evictions_by_user().to_vec();
+        assert_eq!(by_user.iter().sum::<u64>(), rec.evictions());
+        assert_eq!(rec.flush_evictions(), 0);
+    }
+
+    #[test]
+    fn flush_evictions_counted_separately() {
+        let u = Universe::single_user(4);
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2]);
+        let mut rec = MetricsRecorder::new();
+        let result = Simulator::new(4).flush_at_end(true).run_recorded(
+            &mut Lru::default(),
+            &trace,
+            &mut rec,
+        );
+        assert_eq!(rec.evictions(), 0);
+        assert_eq!(rec.flush_evictions(), 3);
+        assert_eq!(result.stats.total_evictions(), 3);
+        assert_eq!(rec.evictions_by_user(), &[3]);
+    }
+
+    #[test]
+    fn merge_adds_counters() {
+        let mut a = MetricsRecorder::new();
+        let mut b = MetricsRecorder::new();
+        a.hits = 2;
+        a.bump_user(UserId(0));
+        b.hits = 3;
+        b.bump_user(UserId(2));
+        a.merge(&b);
+        assert_eq!(a.hits(), 5);
+        assert_eq!(a.evictions_by_user(), &[1, 0, 1]);
+    }
+
+    #[test]
+    fn json_has_required_keys() {
+        let rec = MetricsRecorder::new();
+        let v = rec.to_json_value();
+        for key in [
+            "requests",
+            "hits",
+            "inserts",
+            "evictions",
+            "flush_evictions",
+            "evictions_by_user",
+            "latency_ns",
+        ] {
+            assert!(v.get(key).is_some(), "missing {key}");
+        }
+    }
+}

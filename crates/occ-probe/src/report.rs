@@ -1,0 +1,253 @@
+//! The `occ observe` report: a single JSON document tying together run
+//! summary, recorder metrics, and (for the paper's algorithm) the dual
+//! trajectory.
+//!
+//! The report is the interchange format between `occ observe` (which
+//! emits it), `occ report` (which renders it as an aligned table), and
+//! the CI smoke test (which validates it). [`ObserveReport::validate`]
+//! checks the key contract so a report produced by one version is
+//! rejected loudly — not misread — by another.
+
+use crate::json::Json;
+use occ_analysis::{fnum, Table};
+
+/// Report schema version (bump when keys change shape).
+pub const REPORT_SCHEMA: u64 = 1;
+
+/// Keys every report must carry at the top level.
+pub const REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "policy",
+    "capacity",
+    "requests",
+    "hits",
+    "misses",
+    "evictions",
+    "miss_rate",
+    "metrics",
+];
+
+/// A structured `occ observe` run summary.
+#[derive(Clone, Debug)]
+pub struct ObserveReport {
+    /// Policy name as reported by the policy itself.
+    pub policy: String,
+    /// Cache capacity in pages.
+    pub capacity: u64,
+    /// Requests served.
+    pub requests: u64,
+    /// Cache hits.
+    pub hits: u64,
+    /// Cache misses (fetches).
+    pub misses: u64,
+    /// Evictions charged (including any end-of-run flush).
+    pub evictions: u64,
+    /// `misses / requests`, `0.0` for an empty run.
+    pub miss_rate: f64,
+    /// `Σ_i f_i(evictions_i)` under the run's cost profile, when one
+    /// was in play.
+    pub total_cost: Option<f64>,
+    /// [`MetricsRecorder`](crate::MetricsRecorder) counters and latency
+    /// histogram, as produced by its `to_json_value`.
+    pub metrics: Json,
+    /// [`DualTrace`](crate::DualTrace) trajectory, for the convex
+    /// policy.
+    pub dual: Option<Json>,
+}
+
+impl ObserveReport {
+    /// Serialize to the schema-stamped JSON object.
+    pub fn to_json_value(&self) -> Json {
+        let mut fields = vec![
+            ("schema".into(), Json::from_u64(REPORT_SCHEMA)),
+            ("policy".into(), Json::Str(self.policy.clone())),
+            ("capacity".into(), Json::from_u64(self.capacity)),
+            ("requests".into(), Json::from_u64(self.requests)),
+            ("hits".into(), Json::from_u64(self.hits)),
+            ("misses".into(), Json::from_u64(self.misses)),
+            ("evictions".into(), Json::from_u64(self.evictions)),
+            ("miss_rate".into(), Json::Num(self.miss_rate)),
+            ("metrics".into(), self.metrics.clone()),
+        ];
+        if let Some(c) = self.total_cost {
+            fields.push(("total_cost".into(), Json::Num(c)));
+        }
+        if let Some(d) = &self.dual {
+            fields.push(("dual".into(), d.clone()));
+        }
+        Json::Obj(fields)
+    }
+
+    /// Serialize to a JSON string.
+    pub fn to_json(&self) -> String {
+        self.to_json_value().to_json()
+    }
+
+    /// Check that `v` is a structurally valid report: all
+    /// [`REQUIRED_KEYS`] present, a matching schema stamp, and counters
+    /// that add up (`hits + misses = requests`).
+    pub fn validate(v: &Json) -> Result<(), String> {
+        for key in REQUIRED_KEYS {
+            if v.get(key).is_none() {
+                return Err(format!("report missing required key '{key}'"));
+            }
+        }
+        let schema = v
+            .get("schema")
+            .and_then(Json::as_u64)
+            .ok_or("'schema' must be an unsigned integer")?;
+        if schema != REPORT_SCHEMA {
+            return Err(format!(
+                "report schema {schema} unsupported (expected {REPORT_SCHEMA})"
+            ));
+        }
+        let num = |key: &str| {
+            v.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("'{key}' must be an unsigned integer"))
+        };
+        let (requests, hits, misses) = (num("requests")?, num("hits")?, num("misses")?);
+        if hits + misses != requests {
+            return Err(format!(
+                "counters disagree: hits {hits} + misses {misses} != requests {requests}"
+            ));
+        }
+        if v.get("metrics").and_then(|m| m.get("latency_ns")).is_none() {
+            return Err("'metrics' must contain 'latency_ns'".into());
+        }
+        Ok(())
+    }
+
+    /// Reconstruct from a parsed report (validates first).
+    pub fn from_json_value(v: &Json) -> Result<Self, String> {
+        Self::validate(v)?;
+        let num = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+        Ok(ObserveReport {
+            policy: v
+                .get("policy")
+                .and_then(Json::as_str)
+                .unwrap_or("?")
+                .to_string(),
+            capacity: num("capacity"),
+            requests: num("requests"),
+            hits: num("hits"),
+            misses: num("misses"),
+            evictions: num("evictions"),
+            miss_rate: v.get("miss_rate").and_then(Json::as_f64).unwrap_or(0.0),
+            total_cost: v.get("total_cost").and_then(Json::as_f64),
+            metrics: v.get("metrics").cloned().unwrap_or(Json::Null),
+            dual: v.get("dual").cloned(),
+        })
+    }
+
+    /// Parse and validate a report from JSON text.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        Self::from_json_value(&Json::parse(text)?)
+    }
+
+    /// Render the report as aligned text tables (the `occ report`
+    /// output).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let mut summary = Table::new(vec!["metric", "value"]);
+        summary.row(vec!["policy".to_string(), self.policy.clone()]);
+        summary.row(vec!["capacity".to_string(), self.capacity.to_string()]);
+        summary.row(vec!["requests".to_string(), self.requests.to_string()]);
+        summary.row(vec!["hits".to_string(), self.hits.to_string()]);
+        summary.row(vec!["misses".to_string(), self.misses.to_string()]);
+        summary.row(vec!["evictions".to_string(), self.evictions.to_string()]);
+        summary.row(vec!["miss_rate".to_string(), fnum(self.miss_rate)]);
+        if let Some(c) = self.total_cost {
+            summary.row(vec!["total_cost".to_string(), fnum(c)]);
+        }
+        out.push_str(&summary.to_markdown());
+
+        if let Some(lat) = self.metrics.get("latency_ns") {
+            if let Ok(h) = crate::LogHistogram::from_json_value(lat) {
+                if !h.is_empty() {
+                    let mut t = Table::new(vec!["latency_ns", "value"]);
+                    t.row(vec!["count".to_string(), h.count().to_string()]);
+                    t.row(vec!["mean".to_string(), fnum(h.mean())]);
+                    t.row(vec!["p50".to_string(), h.p50().to_string()]);
+                    t.row(vec!["p90".to_string(), h.p90().to_string()]);
+                    t.row(vec!["p99".to_string(), h.p99().to_string()]);
+                    t.row(vec!["p999".to_string(), h.p999().to_string()]);
+                    t.row(vec!["max".to_string(), h.max().to_string()]);
+                    out.push('\n');
+                    out.push_str(&t.to_markdown());
+                }
+            }
+        }
+
+        if let Some(dual) = &self.dual {
+            if let Some(samples) = dual.get("samples").and_then(Json::as_array) {
+                let mut t = Table::new(vec!["t", "dual_offset", "evictions", "primal_cost"]);
+                for s in samples {
+                    t.row(vec![
+                        s.get("t").and_then(Json::as_u64).unwrap_or(0).to_string(),
+                        fnum(s.get("dual_offset").and_then(Json::as_f64).unwrap_or(0.0)),
+                        s.get("total_evictions")
+                            .and_then(Json::as_u64)
+                            .unwrap_or(0)
+                            .to_string(),
+                        fnum(s.get("primal_cost").and_then(Json::as_f64).unwrap_or(0.0)),
+                    ]);
+                }
+                if !t.is_empty() {
+                    out.push('\n');
+                    out.push_str(&t.to_markdown());
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MetricsRecorder;
+
+    fn sample_report() -> ObserveReport {
+        ObserveReport {
+            policy: "lru".into(),
+            capacity: 64,
+            requests: 100,
+            hits: 60,
+            misses: 40,
+            evictions: 30,
+            miss_rate: 0.4,
+            total_cost: Some(900.0),
+            metrics: MetricsRecorder::new().to_json_value(),
+            dual: None,
+        }
+    }
+
+    #[test]
+    fn round_trip_and_validate() {
+        let r = sample_report();
+        let text = r.to_json();
+        let v = Json::parse(&text).unwrap();
+        ObserveReport::validate(&v).unwrap();
+        let back = ObserveReport::from_json(&text).unwrap();
+        assert_eq!(back.policy, "lru");
+        assert_eq!(back.requests, 100);
+        assert_eq!(back.total_cost, Some(900.0));
+    }
+
+    #[test]
+    fn validate_rejects_missing_keys_and_bad_sums() {
+        assert!(ObserveReport::validate(&Json::parse("{}").unwrap()).is_err());
+        let mut r = sample_report();
+        r.hits = 61; // 61 + 40 != 100
+        let v = Json::parse(&r.to_json()).unwrap();
+        assert!(ObserveReport::validate(&v).is_err());
+    }
+
+    #[test]
+    fn table_renders_summary() {
+        let text = sample_report().to_table();
+        assert!(text.contains("miss_rate"));
+        assert!(text.contains("lru"));
+    }
+}

@@ -10,9 +10,11 @@ use crate::cache::CacheSet;
 use crate::event::{EventLog, SimEvent};
 use crate::ids::{PageId, Time};
 use crate::policy::ReplacementPolicy;
+use crate::probe::{NoopRecorder, Recorder};
 use crate::source::{RequestSource, TraceSource};
 use crate::stats::SimStats;
 use crate::trace::{Trace, Universe};
+use std::time::Instant;
 
 /// Read-only view of the engine state handed to policies and sources.
 pub struct EngineCtx<'a> {
@@ -34,6 +36,12 @@ pub struct SimOptions {
     /// Record a [`SimEvent`] per request (off by default: costs memory
     /// proportional to the trace).
     pub record_events: bool,
+    /// Retention limit for the event log: `Some(n)` keeps only the `n`
+    /// newest events in a ring (see [`EventLog::bounded`]), so recording
+    /// a long trace costs `O(n)` memory instead of `O(trace)`. `None`
+    /// (the default) retains everything, which the equivalence tests
+    /// rely on. Only meaningful together with `record_events`.
+    pub event_capacity: Option<usize>,
     /// After the last request, evict every cached page and count those
     /// evictions. This models the paper's dummy-user flush (§2.1), making
     /// per-user eviction counts equal per-user miss counts.
@@ -103,6 +111,13 @@ impl Simulator {
         self
     }
 
+    /// Bound the event log to the `capacity` newest events (implies
+    /// nothing unless [`Self::record_events`] is also enabled).
+    pub fn event_capacity(mut self, capacity: usize) -> Self {
+        self.options.event_capacity = Some(capacity);
+        self
+    }
+
     /// Enable the end-of-run flush (count one eviction per page left in the
     /// cache).
     pub fn flush_at_end(mut self, on: bool) -> Self {
@@ -121,16 +136,51 @@ impl Simulator {
         self.run_source(policy, &mut source)
     }
 
+    /// Run `policy` over a fixed `trace` with a [`Recorder`] observing
+    /// every decision.
+    pub fn run_recorded<P, R>(&self, policy: &mut P, trace: &Trace, recorder: &mut R) -> SimResult
+    where
+        P: ReplacementPolicy,
+        R: Recorder,
+    {
+        let mut source = TraceSource::new(trace);
+        self.run_source_recorded(policy, &mut source, recorder)
+    }
+
     /// Run `policy` against a (possibly adaptive) request source.
     pub fn run_source<P, S>(&self, policy: &mut P, source: &mut S) -> SimResult
     where
         P: ReplacementPolicy,
         S: RequestSource,
     {
+        // NoopRecorder's hooks are dead code behind `ACTIVE = false`, so
+        // this monomorphizes to the unrecorded engine.
+        self.run_source_recorded(policy, source, &mut NoopRecorder)
+    }
+
+    /// Run `policy` against a request source with a [`Recorder`]
+    /// observing every decision (see [`crate::probe`]).
+    pub fn run_source_recorded<P, S, R>(
+        &self,
+        policy: &mut P,
+        source: &mut S,
+        recorder: &mut R,
+    ) -> SimResult
+    where
+        P: ReplacementPolicy,
+        S: RequestSource,
+        R: Recorder,
+    {
         let universe = source.universe().clone();
         let mut cache = CacheSet::new(self.capacity, universe.num_pages());
         let mut stats = SimStats::new(universe.num_users());
-        let mut events = self.options.record_events.then(EventLog::new);
+        let mut events = self
+            .options
+            .record_events
+            .then(|| match self.options.event_capacity {
+                Some(capacity) => EventLog::bounded(capacity),
+                None => EventLog::new(),
+            });
         let mut t: Time = 0;
 
         loop {
@@ -152,6 +202,7 @@ impl Simulator {
                 "request owner disagrees with the universe"
             );
 
+            let started = if R::TIMED { Some(Instant::now()) } else { None };
             if cache.contains(req.page) {
                 stats.record_hit(req.user);
                 let ctx = EngineCtx {
@@ -161,6 +212,9 @@ impl Simulator {
                     universe: &universe,
                 };
                 policy.on_hit(&ctx, req.page);
+                if R::ACTIVE {
+                    recorder.record_hit(&ctx, t, req.page, req.user);
+                }
                 if let Some(log) = events.as_mut() {
                     log.push(SimEvent::Hit { t, page: req.page });
                 }
@@ -174,6 +228,9 @@ impl Simulator {
                     universe: &universe,
                 };
                 policy.on_insert(&ctx, req.page);
+                if R::ACTIVE {
+                    recorder.record_insert(&ctx, t, req.page, req.user);
+                }
                 if let Some(log) = events.as_mut() {
                     log.push(SimEvent::Insert { t, page: req.page });
                 }
@@ -213,6 +270,9 @@ impl Simulator {
                 };
                 policy.on_evicted(&ctx, victim);
                 policy.on_insert(&ctx, req.page);
+                if R::ACTIVE {
+                    recorder.record_eviction(&ctx, t, req.page, req.user, victim, victim_user);
+                }
                 if let Some(log) = events.as_mut() {
                     log.push(SimEvent::Evict {
                         t,
@@ -222,6 +282,9 @@ impl Simulator {
                     });
                 }
             }
+            if let Some(start) = started {
+                recorder.record_latency_ns(t, start.elapsed().as_nanos() as u64);
+            }
             t += 1;
         }
 
@@ -229,6 +292,9 @@ impl Simulator {
         if self.options.flush_at_end {
             for page in cache.drain_all() {
                 stats.record_eviction(universe.owner(page));
+                if R::ACTIVE {
+                    recorder.record_flush_eviction(page, universe.owner(page));
+                }
             }
         }
 
@@ -309,11 +375,31 @@ mod tests {
         let evictions = log.eviction_sequence().len() as u64;
         assert_eq!(evictions, r.stats.total_evictions());
         let hits = log
-            .events()
             .iter()
             .filter(|e| matches!(e, SimEvent::Hit { .. }))
             .count() as u64;
         assert_eq!(hits, r.stats.total_hits());
+    }
+
+    #[test]
+    fn bounded_event_log_caps_memory_not_counters() {
+        let u = Universe::uniform(2, 2);
+        let trace = Trace::from_page_indices(&u, &[0, 2, 1, 0, 3, 2]);
+        let full = Simulator::new(2)
+            .record_events(true)
+            .run(&mut EvictFirst, &trace);
+        let capped = Simulator::new(2)
+            .record_events(true)
+            .event_capacity(2)
+            .run(&mut EvictFirst, &trace);
+        // Counters are unaffected by the retention limit.
+        assert_eq!(capped.miss_vector(), full.miss_vector());
+        let log = capped.events.as_ref().unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.total_seen(), full.steps);
+        // The retained suffix matches the tail of the full log.
+        let full_log = full.events.as_ref().unwrap().to_vec();
+        assert_eq!(log.to_vec(), full_log[full_log.len() - 2..]);
     }
 
     #[test]

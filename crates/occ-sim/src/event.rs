@@ -5,6 +5,21 @@
 //! sequence, not just counts. Event recording is off by default because a
 //! log entry per request would dominate the engine's memory traffic in
 //! throughput benchmarks.
+//!
+//! Logs come in two flavors:
+//!
+//! * **unbounded** ([`EventLog::new`]) — every event is retained; the
+//!   default, and what the equivalence tests rely on;
+//! * **bounded** ([`EventLog::bounded`]) — a fixed-capacity ring that
+//!   keeps only the newest events and counts the rest as
+//!   [`dropped`](EventLog::dropped), so recording a 10M-request trace
+//!   costs `O(capacity)` memory instead of `O(trace)`. Enabled through
+//!   [`SimOptions::event_capacity`](crate::engine::SimOptions).
+//!
+//! For long traces that need *every* event, stream them instead: the
+//! `occ-probe` crate's JSONL sink implements
+//! [`Recorder`](crate::probe::Recorder) and writes events to any
+//! `io::Write` without retaining them.
 
 use crate::ids::{PageId, Time, UserId};
 use serde::{Deserialize, Serialize};
@@ -56,44 +71,106 @@ impl SimEvent {
     }
 }
 
-/// An append-only sequence of [`SimEvent`]s.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+/// An append-only sequence of [`SimEvent`]s, optionally bounded to the
+/// newest `capacity` entries (ring buffer).
+#[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct EventLog {
+    /// Ring storage. For an unbounded log this is plain append order;
+    /// once a bounded log wraps, `head` marks the oldest retained entry.
     events: Vec<SimEvent>,
+    /// Retention limit (`usize::MAX` for unbounded logs).
+    capacity: usize,
+    /// Index of the oldest retained event once the ring has wrapped.
+    head: usize,
+    /// Events discarded because the ring was full.
+    dropped: u64,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl EventLog {
-    /// An empty log.
+    /// An empty unbounded log.
     pub fn new() -> Self {
-        Self::default()
+        EventLog {
+            events: Vec::new(),
+            capacity: usize::MAX,
+            head: 0,
+            dropped: 0,
+        }
     }
 
-    /// Append an event.
+    /// An empty bounded log retaining at most `capacity` (≥ 1) of the
+    /// newest events.
+    pub fn bounded(capacity: usize) -> Self {
+        assert!(capacity >= 1, "a bounded event log needs capacity >= 1");
+        EventLog {
+            events: Vec::new(),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Append an event, displacing the oldest retained one if the log is
+    /// bounded and full.
     #[inline]
     pub fn push(&mut self, event: SimEvent) {
-        self.events.push(event);
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.events[self.head] = event;
+            self.head += 1;
+            if self.head == self.capacity {
+                self.head = 0;
+            }
+            self.dropped += 1;
+        }
     }
 
-    /// All events in time order.
-    pub fn events(&self) -> &[SimEvent] {
-        &self.events
+    /// Retained events in time order.
+    pub fn iter(&self) -> impl Iterator<Item = &SimEvent> {
+        let (newer, older) = self.events.split_at(self.head);
+        older.iter().chain(newer.iter())
     }
 
-    /// Number of logged events.
+    /// Retained events in time order, as an owned vector.
+    pub fn to_vec(&self) -> Vec<SimEvent> {
+        self.iter().copied().collect()
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.events.len()
     }
 
-    /// Whether the log is empty.
+    /// Whether the log retains no events.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
+    }
+
+    /// Events discarded by a bounded log (0 for unbounded logs).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (retained + dropped).
+    pub fn total_seen(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// The retention limit, if this log is bounded.
+    pub fn capacity(&self) -> Option<usize> {
+        (self.capacity != usize::MAX).then_some(self.capacity)
     }
 
     /// The eviction decisions only, as `(t, victim)` pairs — the canonical
     /// fingerprint for algorithm-equivalence tests.
     pub fn eviction_sequence(&self) -> Vec<(Time, PageId)> {
-        self.events
-            .iter()
+        self.iter()
             .filter_map(|e| e.victim().map(|v| (e.time(), v)))
             .collect()
     }
@@ -121,8 +198,46 @@ mod tests {
             victim_user: UserId(0),
         });
         assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 0);
+        assert_eq!(log.capacity(), None);
         assert_eq!(log.eviction_sequence(), vec![(2, PageId(1))]);
-        assert_eq!(log.events()[2].time(), 2);
-        assert_eq!(log.events()[0].victim(), None);
+        let events = log.to_vec();
+        assert_eq!(events[2].time(), 2);
+        assert_eq!(events[0].victim(), None);
+    }
+
+    #[test]
+    fn bounded_log_keeps_newest() {
+        let mut log = EventLog::bounded(3);
+        for t in 0..10 {
+            log.push(SimEvent::Hit { t, page: PageId(0) });
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 7);
+        assert_eq!(log.total_seen(), 10);
+        assert_eq!(log.capacity(), Some(3));
+        let times: Vec<Time> = log.iter().map(|e| e.time()).collect();
+        assert_eq!(times, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn bounded_log_in_order_at_every_fill_level() {
+        // Order must be right before wrapping, exactly at capacity, and
+        // after wrapping any number of times.
+        for n in 0..12u64 {
+            let mut log = EventLog::bounded(4);
+            for t in 0..n {
+                log.push(SimEvent::Insert { t, page: PageId(0) });
+            }
+            let times: Vec<Time> = log.iter().map(|e| e.time()).collect();
+            let expect: Vec<Time> = (n.saturating_sub(4)..n).collect();
+            assert_eq!(times, expect, "n = {n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity >= 1")]
+    fn zero_capacity_rejected() {
+        EventLog::bounded(0);
     }
 }

@@ -51,6 +51,7 @@ pub mod ids;
 pub mod intrusive;
 pub mod nextuse;
 pub mod policy;
+pub mod probe;
 pub mod source;
 pub mod stats;
 pub mod stepper;
@@ -64,6 +65,7 @@ pub use ids::{PageId, Time, UserId};
 pub use intrusive::{PageList, PageLists};
 pub use nextuse::NextUseIndex;
 pub use policy::ReplacementPolicy;
+pub use probe::{NoopRecorder, Recorder};
 pub use source::{AdaptiveSource, RequestSource, TraceSource};
 pub use stats::{SimStats, UserStats};
 pub use stepper::{StepOutcome, SteppingEngine};
@@ -79,6 +81,7 @@ pub mod prelude {
     pub use crate::intrusive::{PageList, PageLists};
     pub use crate::nextuse::NextUseIndex;
     pub use crate::policy::ReplacementPolicy;
+    pub use crate::probe::{NoopRecorder, Recorder};
     pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};
     pub use crate::stats::{SimStats, UserStats};
     pub use crate::stepper::{StepOutcome, SteppingEngine};

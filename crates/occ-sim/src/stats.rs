@@ -27,7 +27,7 @@ impl UserStats {
 }
 
 /// Counters for the whole simulation, indexed by user.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SimStats {
     per_user: Vec<UserStats>,
 }

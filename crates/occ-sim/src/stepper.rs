@@ -16,8 +16,10 @@ use crate::engine::EngineCtx;
 use crate::event::{EventLog, SimEvent};
 use crate::ids::{PageId, Time, UserId};
 use crate::policy::ReplacementPolicy;
+use crate::probe::{NoopRecorder, Recorder};
 use crate::stats::SimStats;
 use crate::trace::{Request, Universe};
+use std::time::Instant;
 
 /// What happened when a request was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,17 +32,20 @@ pub enum StepOutcome {
     Evicted(PageId),
 }
 
-/// One cache + one policy, driven request by request.
-pub struct SteppingEngine<P> {
+/// One cache + one policy, driven request by request, with an optional
+/// [`Recorder`] observing every step (defaults to the free
+/// [`NoopRecorder`]).
+pub struct SteppingEngine<P, R = NoopRecorder> {
     universe: Universe,
     cache: CacheSet,
     stats: SimStats,
     policy: P,
+    recorder: R,
     time: Time,
     events: Option<EventLog>,
 }
 
-impl<P: ReplacementPolicy> SteppingEngine<P> {
+impl<P: ReplacementPolicy> SteppingEngine<P, NoopRecorder> {
     /// Create an engine with cache size `capacity`.
     pub fn new(capacity: usize, universe: Universe, policy: P) -> Self {
         let cache = CacheSet::new(capacity, universe.num_pages());
@@ -50,11 +55,28 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
             cache,
             stats,
             policy,
+            recorder: NoopRecorder,
             time: 0,
             events: None,
         }
     }
 
+    /// Attach a recorder; subsequent [`step`](SteppingEngine::step)s
+    /// dispatch its hooks (and time each request when `R::TIMED`).
+    pub fn with_recorder<R: Recorder>(self, recorder: R) -> SteppingEngine<P, R> {
+        SteppingEngine {
+            universe: self.universe,
+            cache: self.cache,
+            stats: self.stats,
+            policy: self.policy,
+            recorder,
+            time: self.time,
+            events: self.events,
+        }
+    }
+}
+
+impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
     /// Enable per-request event recording.
     pub fn with_events(mut self) -> Self {
         self.events = Some(EventLog::new());
@@ -69,6 +91,7 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
             "request owner disagrees with the universe"
         );
         let t = self.time;
+        let started = if R::TIMED { Some(Instant::now()) } else { None };
         let outcome = if self.cache.contains(req.page) {
             self.stats.record_hit(req.user);
             let ctx = EngineCtx {
@@ -78,6 +101,9 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
                 universe: &self.universe,
             };
             self.policy.on_hit(&ctx, req.page);
+            if R::ACTIVE {
+                self.recorder.record_hit(&ctx, t, req.page, req.user);
+            }
             if let Some(log) = self.events.as_mut() {
                 log.push(SimEvent::Hit { t, page: req.page });
             }
@@ -92,6 +118,9 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
                 universe: &self.universe,
             };
             self.policy.on_insert(&ctx, req.page);
+            if R::ACTIVE {
+                self.recorder.record_insert(&ctx, t, req.page, req.user);
+            }
             if let Some(log) = self.events.as_mut() {
                 log.push(SimEvent::Insert { t, page: req.page });
             }
@@ -130,6 +159,10 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
             };
             self.policy.on_evicted(&ctx, victim);
             self.policy.on_insert(&ctx, req.page);
+            if R::ACTIVE {
+                self.recorder
+                    .record_eviction(&ctx, t, req.page, req.user, victim, victim_user);
+            }
             if let Some(log) = self.events.as_mut() {
                 log.push(SimEvent::Evict {
                     t,
@@ -140,6 +173,10 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
             }
             StepOutcome::Evicted(victim)
         };
+        if let Some(start) = started {
+            self.recorder
+                .record_latency_ns(t, start.elapsed().as_nanos() as u64);
+        }
         self.time += 1;
         outcome
     }
@@ -201,6 +238,22 @@ impl<P: ReplacementPolicy> SteppingEngine<P> {
     /// Access the wrapped policy.
     pub fn policy(&self) -> &P {
         &self.policy
+    }
+
+    /// Access the attached recorder.
+    pub fn recorder(&self) -> &R {
+        &self.recorder
+    }
+
+    /// Mutable access to the attached recorder (e.g. to drain a sink
+    /// mid-run).
+    pub fn recorder_mut(&mut self) -> &mut R {
+        &mut self.recorder
+    }
+
+    /// Tear down the engine, returning the recorder.
+    pub fn into_recorder(self) -> R {
+        self.recorder
     }
 }
 

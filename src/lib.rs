@@ -4,5 +4,6 @@ pub use occ_baselines as baselines;
 pub use occ_core as core;
 pub use occ_offline as offline;
 pub use occ_pools as pools;
+pub use occ_probe as probe;
 pub use occ_sim as sim;
 pub use occ_workloads as workloads;
