@@ -6,7 +6,8 @@
 //! is the original `VecDeque` form whose queue is lazily self-cleaning;
 //! both make byte-identical eviction decisions.
 
-use occ_sim::{EngineCtx, PageId, PageList, ReplacementPolicy};
+use crate::state_util::{encode_pages, PageDecoder};
+use occ_sim::{EngineCtx, PageId, PageList, PolicyState, ReplacementPolicy, SnapshotError};
 use std::collections::VecDeque;
 
 /// First-in-first-out replacement over an intrusive insertion-order list.
@@ -43,6 +44,22 @@ impl ReplacementPolicy for Fifo {
 
     fn reset(&mut self) {
         self.queue.reset();
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64s("queue", encode_pages(self.queue.iter()));
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        let pages = PageDecoder::new(ctx).cached_pages(ctx, state.u64s("queue")?, "queue")?;
+        self.queue.reset();
+        self.queue.ensure(ctx.universe.num_pages() as usize);
+        for p in pages {
+            self.queue.push_back(p);
+        }
+        Ok(())
     }
 }
 

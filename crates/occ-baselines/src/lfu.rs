@@ -1,6 +1,7 @@
 //! LFU — evict the least-frequently-used page (ties by recency).
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use crate::state_util::corrupt;
+use occ_sim::{EngineCtx, PageId, PolicyState, ReplacementPolicy, SnapshotError};
 use std::collections::BTreeSet;
 
 /// Least-frequently-used replacement; frequency counts persist across a
@@ -70,6 +71,47 @@ impl ReplacementPolicy for Lfu {
         self.count.clear();
         self.stamp.clear();
         self.order.clear();
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64("seq", self.seq);
+        s.set_u64s("count", self.count.clone());
+        s.set_u64s("stamp", self.stamp.clone());
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        let seq = state.u64("seq")?;
+        let count = state.u64s("count")?;
+        let stamp = state.u64s_len("stamp", count.len())?;
+        if count.len() > ctx.universe.num_pages() as usize {
+            return Err(corrupt(
+                "count",
+                format!(
+                    "{} entries for {} pages",
+                    count.len(),
+                    ctx.universe.num_pages()
+                ),
+            ));
+        }
+        // The order set holds exactly the cached pages keyed by the saved
+        // counters, so it is rebuilt rather than stored.
+        if let Some(p) = ctx.cache.iter().find(|p| p.index() >= count.len()) {
+            return Err(corrupt(
+                "count",
+                format!("no entry for cached page {}", p.0),
+            ));
+        }
+        self.seq = seq;
+        self.count = count.to_vec();
+        self.stamp = stamp.to_vec();
+        self.order = ctx
+            .cache
+            .iter()
+            .map(|p| (self.count[p.index()], self.stamp[p.index()], p.0))
+            .collect();
+        Ok(())
     }
 }
 

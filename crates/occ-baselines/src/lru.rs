@@ -14,7 +14,8 @@
 //! the oracle for those tests and as the baseline of the throughput
 //! benchmarks.
 
-use occ_sim::{EngineCtx, PageId, PageList, ReplacementPolicy};
+use crate::state_util::{encode_pages, PageDecoder};
+use occ_sim::{EngineCtx, PageId, PageList, PolicyState, ReplacementPolicy, SnapshotError};
 use std::collections::BTreeSet;
 
 /// Least-recently-used replacement in `O(1)` per operation via an
@@ -61,6 +62,22 @@ impl ReplacementPolicy for Lru {
 
     fn reset(&mut self) {
         self.order.reset();
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64s("order", encode_pages(self.order.iter()));
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        let pages = PageDecoder::new(ctx).cached_pages(ctx, state.u64s("order")?, "order")?;
+        self.order.reset();
+        self.order.ensure(ctx.universe.num_pages() as usize);
+        for p in pages {
+            self.order.push_back(p);
+        }
+        Ok(())
     }
 }
 

@@ -15,7 +15,8 @@
 //! cache scan. [`LruKReference`] is the original form; both make
 //! byte-identical eviction decisions.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use crate::state_util::{corrupt, decode_u32s};
+use occ_sim::{EngineCtx, PageId, PolicyState, ReplacementPolicy, SnapshotError};
 use std::collections::{BTreeSet, VecDeque};
 
 /// LRU-K replacement. `K = 1` degenerates to LRU.
@@ -134,6 +135,63 @@ impl ReplacementPolicy for LruK {
         self.head.clear();
         self.count.clear();
         self.order.clear();
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64("k", self.k as u64);
+        s.set_u64("seq", self.seq);
+        s.set_u64s("hist", self.hist.clone());
+        s.set_u64s("head", self.head.iter().map(|&h| h as u64).collect());
+        s.set_u64s("count", self.count.iter().map(|&c| c as u64).collect());
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        let k = state.u64("k")?;
+        if k != self.k as u64 {
+            return Err(corrupt(
+                "k",
+                format!("checkpointed K={k}, policy has K={}", self.k),
+            ));
+        }
+        let seq = state.u64("seq")?;
+        let head = decode_u32s(state.u64s("head")?, "head")?;
+        let count = decode_u32s(state.u64s_len("count", head.len())?, "count")?;
+        let hist = state.u64s_len("hist", head.len() * self.k)?;
+        if head.len() > ctx.universe.num_pages() as usize {
+            return Err(corrupt(
+                "head",
+                format!(
+                    "{} entries for {} pages",
+                    head.len(),
+                    ctx.universe.num_pages()
+                ),
+            ));
+        }
+        if let Some(h) = head.iter().find(|&&h| h as usize >= self.k) {
+            return Err(corrupt(
+                "head",
+                format!("ring slot {h} out of range for K={}", self.k),
+            ));
+        }
+        if let Some(c) = count.iter().find(|&&c| c as usize > self.k) {
+            return Err(corrupt(
+                "count",
+                format!("{c} recorded references exceed K={}", self.k),
+            ));
+        }
+        if let Some(p) = ctx.cache.iter().find(|p| p.index() >= head.len()) {
+            return Err(corrupt("head", format!("no entry for cached page {}", p.0)));
+        }
+        self.seq = seq;
+        self.hist = hist.to_vec();
+        self.head = head;
+        self.count = count;
+        // The order set holds exactly the cached pages keyed by the saved
+        // histories, so it is rebuilt rather than stored.
+        self.order = ctx.cache.iter().map(|p| self.set_entry(p)).collect();
+        Ok(())
     }
 }
 

@@ -16,7 +16,8 @@
 //! [`MarkingReference`] is the original form that rescans the cache per
 //! eviction (`O(k)`); both make byte-identical eviction decisions.
 
-use occ_sim::{EngineCtx, PageId, PageLists, ReplacementPolicy};
+use crate::state_util::{encode_pages, PageDecoder};
+use occ_sim::{EngineCtx, PageId, PageLists, PolicyState, ReplacementPolicy, SnapshotError};
 
 /// Index of the unmarked list in the shared arena.
 const UNMARKED: usize = 0;
@@ -76,6 +77,29 @@ impl ReplacementPolicy for Marking {
 
     fn reset(&mut self) {
         self.lists.reset();
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64s("unmarked", encode_pages(self.lists.iter(UNMARKED)));
+        s.set_u64s("marked", encode_pages(self.lists.iter(MARKED)));
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        // One decoder across both lists: a page in both is corruption.
+        let mut dec = PageDecoder::new(ctx);
+        let unmarked = dec.cached_pages(ctx, state.u64s("unmarked")?, "unmarked")?;
+        let marked = dec.cached_pages(ctx, state.u64s("marked")?, "marked")?;
+        self.lists.reset();
+        self.lists.ensure(2, ctx.universe.num_pages() as usize);
+        for p in unmarked {
+            self.lists.push_back(UNMARKED, p);
+        }
+        for p in marked {
+            self.lists.push_back(MARKED, p);
+        }
+        Ok(())
     }
 }
 

@@ -21,7 +21,8 @@
 //! seeded reproducibility, forced-choice traces identical) rather than
 //! byte-identical.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use crate::state_util::{corrupt, decode_rng, PageDecoder};
+use occ_sim::{EngineCtx, PageId, PolicyState, ReplacementPolicy, SnapshotError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -122,6 +123,57 @@ impl ReplacementPolicy for RandomizedMarking {
         self.marked.clear();
         self.pool.clear();
         self.pos.clear();
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64("seed", self.seed);
+        s.set_u64s("rng", self.rng.state().to_vec());
+        s.set_u64s("marked", self.marked.iter().map(|&m| m as u64).collect());
+        s.set_u64s("pool", self.pool.iter().map(|&p| p as u64).collect());
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        let seed = state.u64("seed")?;
+        let rng = decode_rng(state.u64s("rng")?, "rng")?;
+        let marked_raw = state.u64s("marked")?;
+        if marked_raw.len() > ctx.universe.num_pages() as usize {
+            return Err(corrupt(
+                "marked",
+                format!(
+                    "{} entries for {} pages",
+                    marked_raw.len(),
+                    ctx.universe.num_pages()
+                ),
+            ));
+        }
+        let marked: Vec<bool> = marked_raw
+            .iter()
+            .map(|&m| match m {
+                0 => Ok(false),
+                1 => Ok(true),
+                other => Err(corrupt("marked", format!("flag {other} is not 0/1"))),
+            })
+            .collect::<Result<_, _>>()?;
+        let pool = PageDecoder::new(ctx).cached_pages(ctx, state.u64s("pool")?, "pool")?;
+        // `pos` is derived: each pool member's index, NIL elsewhere.
+        let mut pos = vec![NIL; marked.len()];
+        for (i, p) in pool.iter().enumerate() {
+            if p.index() >= marked.len() {
+                return Err(corrupt("pool", format!("page {} has no marked flag", p.0)));
+            }
+            if marked[p.index()] {
+                return Err(corrupt("pool", format!("page {} is marked", p.0)));
+            }
+            pos[p.index()] = i as u32;
+        }
+        self.seed = seed;
+        self.rng = StdRng::from_state(rng);
+        self.marked = marked;
+        self.pool = pool.iter().map(|p| p.0).collect();
+        self.pos = pos;
+        Ok(())
     }
 }
 

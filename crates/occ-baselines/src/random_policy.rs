@@ -2,7 +2,8 @@
 //!
 //! Deterministically seeded so experiment runs are reproducible.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy};
+use crate::state_util::decode_rng;
+use occ_sim::{EngineCtx, PageId, PolicyState, ReplacementPolicy, SnapshotError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,6 +36,19 @@ impl ReplacementPolicy for RandomEvict {
 
     fn reset(&mut self) {
         self.rng = StdRng::seed_from_u64(self.seed);
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        s.set_u64("seed", self.seed);
+        s.set_u64s("rng", self.rng.state().to_vec());
+        Some(s)
+    }
+
+    fn load_state(&mut self, _ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        self.seed = state.u64("seed")?;
+        self.rng = StdRng::from_state(decode_rng(state.u64s("rng")?, "rng")?);
+        Ok(())
     }
 }
 

@@ -1,0 +1,77 @@
+//! Shared helpers for the policies' checkpoint implementations
+//! ([`save_state`] / [`load_state`]): lossless encoding of page
+//! sequences and the validation every loader shares. Loaders must reject
+//! corrupt bags with typed errors instead of panicking, and the intrusive
+//! list structures panic on duplicate links, so decoding checks range,
+//! cache membership, and duplicates before any structure is touched.
+//!
+//! [`save_state`]: occ_sim::ReplacementPolicy::save_state
+//! [`load_state`]: occ_sim::ReplacementPolicy::load_state
+
+use occ_sim::{EngineCtx, PageId, SnapshotError};
+
+/// Encode a front→back page sequence as checkpoint integers.
+pub(crate) fn encode_pages(pages: impl Iterator<Item = PageId>) -> Vec<u64> {
+    pages.map(|p| p.0 as u64).collect()
+}
+
+/// Decodes page sequences while tracking duplicates *across* sequences,
+/// so multi-list policies (marking's unmarked + marked) can guarantee a
+/// page appears in at most one restored list.
+pub(crate) struct PageDecoder {
+    seen: Vec<bool>,
+}
+
+impl PageDecoder {
+    /// A decoder for the restored engine's page universe.
+    pub(crate) fn new(ctx: &EngineCtx) -> Self {
+        PageDecoder {
+            seen: vec![false; ctx.universe.num_pages() as usize],
+        }
+    }
+
+    /// Decode one page sequence, requiring every page to be in range,
+    /// currently cached, and not yet decoded by this decoder.
+    pub(crate) fn cached_pages(
+        &mut self,
+        ctx: &EngineCtx,
+        raw: &[u64],
+        key: &str,
+    ) -> Result<Vec<PageId>, SnapshotError> {
+        raw.iter()
+            .map(|&v| {
+                let page = u32::try_from(v)
+                    .map(PageId)
+                    .map_err(|_| corrupt(key, format!("page id {v} overflows u32")))?;
+                if page.0 >= ctx.universe.num_pages() {
+                    return Err(corrupt(key, format!("page {} out of range", page.0)));
+                }
+                if !ctx.cache.contains(page) {
+                    return Err(corrupt(key, format!("page {} is not cached", page.0)));
+                }
+                if std::mem::replace(&mut self.seen[page.index()], true) {
+                    return Err(corrupt(key, format!("page {} listed twice", page.0)));
+                }
+                Ok(page)
+            })
+            .collect()
+    }
+}
+
+/// Decode a `u32` vector stored as checkpoint `u64`s.
+pub(crate) fn decode_u32s(raw: &[u64], key: &str) -> Result<Vec<u32>, SnapshotError> {
+    raw.iter()
+        .map(|&v| u32::try_from(v).map_err(|_| corrupt(key, format!("{v} overflows u32"))))
+        .collect()
+}
+
+/// Decode the four xoshiro words of a checkpointed RNG.
+pub(crate) fn decode_rng(raw: &[u64], key: &str) -> Result<[u64; 4], SnapshotError> {
+    <[u64; 4]>::try_from(raw)
+        .map_err(|_| corrupt(key, format!("{} RNG words, expected 4", raw.len())))
+}
+
+/// A `policy.<key>: …` corruption error.
+pub(crate) fn corrupt(key: &str, what: String) -> SnapshotError {
+    SnapshotError::Corrupt(format!("policy.{key}: {what}"))
+}

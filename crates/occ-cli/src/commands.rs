@@ -1,13 +1,20 @@
 //! Subcommand implementations for the `occ` binary.
 
 use crate::args::Args;
+use crate::errors::CliError;
 use occ_analysis::{compare_policies, evaluate_policy, fnum, lru_cost_curve, lru_mrc, Table};
 use occ_baselines::{CostGreedy, Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict};
 use occ_core::{ConvexCaching, CostProfile};
 use occ_offline::{Belady, CostAwareBelady};
-use occ_probe::{DualTrace, Json, JsonlSink, MetricsRecorder, ObserveReport};
-use occ_sim::{read_trace, write_trace, ReplacementPolicy, SimStats, SteppingEngine, Time, Trace};
-use occ_workloads::{all_scenarios, Scenario};
+use occ_probe::{
+    snapshot_from_json, snapshot_to_json, DualTrace, Json, JsonlSink, MetricsRecorder,
+    ObserveReport,
+};
+use occ_sim::{
+    read_trace, write_trace, EngineSnapshot, FaultCounters, FaultHandler, FaultPolicy,
+    ReplacementPolicy, Request, SimStats, SteppingEngine, Time, Trace, Universe, UserId,
+};
+use occ_workloads::{all_scenarios, FaultPlan, Scenario};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
@@ -23,16 +30,35 @@ USAGE:
   occ mrc      --scenario NAME [--len N] [--seed S] [--max-k K]
   occ observe  --scenario NAME [--policy NAME] [--k K] [--len N] [--seed S]
                [--every N] [--out FILE] [--events FILE]
+               [--checkpoint FILE] [--checkpoint-every N]
+               [--chaos-page-rate P] [--chaos-owner-rate P]
+               [--chaos-truncate N] [--chaos-seed S] [--degrade POLICY]
                run with full instrumentation; emit a JSON report (counters,
-               latency histogram, and — for the convex policy — the dual
-               trajectory). --events streams one JSONL line per engine event.
+               latency histogram, fault counters, and — for the convex
+               policy — the dual trajectory). --events streams one JSONL
+               line per engine event. --checkpoint writes a resumable
+               snapshot every N requests (default 10000). The --chaos-*
+               flags inject seeded record corruption; --degrade picks the
+               reaction: fail-fast (default), skip, quarantine.
+  occ resume   --from FILE --scenario NAME [--policy NAME] [--len N] [--seed S]
+               [same --chaos-*/--degrade/--checkpoint/--out flags as observe]
+               continue a checkpointed observe run over the same trace;
+               the continuation is byte-identical to an uninterrupted run.
   occ report   --in FILE [--format table|json]
                validate and render an `occ observe` report
+
+EXIT CODES:
+  0 ok · 1 error · 2 usage · 3 i/o · 4 unparseable file · 5 simulation fault
 
 POLICIES:
   convex (the paper's algorithm), lru, fifo, lfu, marking, lru2, random,
   greedy-dual, cost-greedy, belady (offline), belady-cost (offline)
 ";
+
+/// Classify a flag-parsing error as a usage error (exit 2).
+fn uarg<T>(r: Result<T, String>) -> Result<T, CliError> {
+    r.map_err(CliError::Usage)
+}
 
 /// Print to stdout, exiting quietly if the consumer closed the pipe
 /// (e.g. `occ mrc | head`).
@@ -49,16 +75,16 @@ fn emit(text: &str) {
     }
 }
 
-fn find_scenario(name: &str) -> Result<Scenario, String> {
+fn find_scenario(name: &str) -> Result<Scenario, CliError> {
     all_scenarios()
         .into_iter()
         .find(|s| s.name == name)
         .ok_or_else(|| {
             let names: Vec<&str> = all_scenarios().iter().map(|s| s.name).collect();
-            format!(
+            CliError::Usage(format!(
                 "unknown scenario '{name}' (available: {})",
                 names.join(", ")
-            )
+            ))
         })
 }
 
@@ -66,7 +92,7 @@ fn make_policy(
     name: &str,
     costs: &CostProfile,
     trace: &Trace,
-) -> Result<Box<dyn ReplacementPolicy>, String> {
+) -> Result<Box<dyn ReplacementPolicy>, CliError> {
     let weights: Vec<f64> = (0..costs.num_users())
         .map(|u| costs.user(occ_sim::UserId(u)).eval(1.0).max(1e-9))
         .collect();
@@ -82,12 +108,12 @@ fn make_policy(
         "cost-greedy" => Box::new(CostGreedy::new(costs.clone())),
         "belady" => Box::new(Belady::new(trace)),
         "belady-cost" => Box::new(CostAwareBelady::new(trace, costs.clone())),
-        other => return Err(format!("unknown policy '{other}'")),
+        other => return Err(CliError::Usage(format!("unknown policy '{other}'"))),
     })
 }
 
 /// `occ scenarios`
-pub fn scenarios() -> Result<(), String> {
+pub fn scenarios() -> Result<(), CliError> {
     let mut t = Table::new(vec!["name", "tenants", "pages", "suggested k", "costs"]);
     for s in all_scenarios() {
         let pages: u32 = s.tenants.iter().map(|t| t.pages).sum();
@@ -107,14 +133,14 @@ pub fn scenarios() -> Result<(), String> {
 }
 
 /// `occ generate`
-pub fn generate(args: &Args) -> Result<(), String> {
-    let scenario = find_scenario(&args.str_required("scenario")?)?;
-    let len: usize = args.num_or("len", 60_000usize)?;
-    let seed: u64 = args.num_or("seed", 7u64)?;
-    let out = args.str_required("out")?;
+pub fn generate(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
+    let len: usize = uarg(args.num_or("len", 60_000usize))?;
+    let seed: u64 = uarg(args.num_or("seed", 7u64))?;
+    let out = uarg(args.str_required("out"))?;
     let trace = scenario.trace(len, seed);
-    let file = File::create(&out).map_err(|e| format!("create {out}: {e}"))?;
-    write_trace(&trace, BufWriter::new(file)).map_err(|e| e.to_string())?;
+    let file = File::create(&out).map_err(|e| CliError::Io(format!("create {out}: {e}")))?;
+    write_trace(&trace, BufWriter::new(file))?;
     println!(
         "wrote {} requests over {} pages / {} users to {out}",
         trace.len(),
@@ -124,34 +150,34 @@ pub fn generate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn load_or_generate(args: &Args, scenario: &Scenario) -> Result<Trace, String> {
+fn load_or_generate(args: &Args, scenario: &Scenario) -> Result<Trace, CliError> {
     match args.str_or("trace", "") {
         path if !path.is_empty() => {
-            let file = File::open(&path).map_err(|e| format!("open {path}: {e}"))?;
-            let trace = read_trace(BufReader::new(file)).map_err(|e| e.to_string())?;
+            let file = File::open(&path).map_err(|e| CliError::Io(format!("open {path}: {e}")))?;
+            let trace = read_trace(BufReader::new(file))?;
             if trace.universe().num_users() != scenario.costs.num_users() {
-                return Err(format!(
+                return Err(CliError::Usage(format!(
                     "trace has {} users but scenario '{}' defines costs for {}",
                     trace.universe().num_users(),
                     scenario.name,
                     scenario.costs.num_users()
-                ));
+                )));
             }
             Ok(trace)
         }
         _ => {
-            let len: usize = args.num_or("len", 60_000usize)?;
-            let seed: u64 = args.num_or("seed", 7u64)?;
+            let len: usize = uarg(args.num_or("len", 60_000usize))?;
+            let seed: u64 = uarg(args.num_or("seed", 7u64))?;
             Ok(scenario.trace(len, seed))
         }
     }
 }
 
 /// `occ run`
-pub fn run(args: &Args) -> Result<(), String> {
-    let scenario = find_scenario(&args.str_required("scenario")?)?;
+pub fn run(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
     let trace = load_or_generate(args, &scenario)?;
-    let k: usize = args.num_or("k", scenario.suggested_k)?;
+    let k: usize = uarg(args.num_or("k", scenario.suggested_k))?;
     let policy_name = args.str_or("policy", "convex");
     let mut policy = make_policy(&policy_name, &scenario.costs, &trace)?;
     let report = evaluate_policy(&mut policy, &trace, k, &scenario.costs);
@@ -177,10 +203,10 @@ pub fn run(args: &Args) -> Result<(), String> {
 }
 
 /// `occ compare`
-pub fn compare(args: &Args) -> Result<(), String> {
-    let scenario = find_scenario(&args.str_required("scenario")?)?;
+pub fn compare(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
     let trace = load_or_generate(args, &scenario)?;
-    let k: usize = args.num_or("k", scenario.suggested_k)?;
+    let k: usize = uarg(args.num_or("k", scenario.suggested_k))?;
 
     let mut suite = occ_baselines::standard_suite(&scenario.costs);
     let mut reports = compare_policies(&mut suite, &trace, k, &scenario.costs);
@@ -203,10 +229,10 @@ pub fn compare(args: &Args) -> Result<(), String> {
 }
 
 /// `occ mrc`
-pub fn mrc(args: &Args) -> Result<(), String> {
-    let scenario = find_scenario(&args.str_required("scenario")?)?;
+pub fn mrc(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
     let trace = load_or_generate(args, &scenario)?;
-    let max_k: usize = args.num_or("max-k", scenario.suggested_k * 2)?;
+    let max_k: usize = uarg(args.num_or("max-k", scenario.suggested_k * 2))?;
     let curve = lru_mrc(&trace, max_k);
     let costs = lru_cost_curve(&curve, &scenario.costs);
 
@@ -224,90 +250,213 @@ pub fn mrc(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Drive a stepping engine over a whole trace with a recorder attached,
-/// invoking `sample(t, policy, is_final)` before every step and once
-/// after the last one. Returns the final counters, steps served, and
-/// the policy's display name.
+/// Fault-tolerance and checkpointing options shared by `occ observe` and
+/// `occ resume`.
+struct DriveOpts<'a> {
+    /// `Some` switches to the checked (`step_checked`) path; `None` keeps
+    /// the monomorphized unchecked hot loop.
+    degrade: Option<FaultPolicy>,
+    /// Fault state to restore into the handler (resume only).
+    resume_faults: Option<(&'a FaultCounters, &'a [UserId])>,
+    /// Write a checkpoint every this many requests (0 = off).
+    checkpoint_every: u64,
+    /// Where checkpoints go (empty = off).
+    checkpoint_path: &'a str,
+}
+
+impl DriveOpts<'_> {
+    fn checkpoints_on(&self) -> bool {
+        self.checkpoint_every > 0 && !self.checkpoint_path.is_empty()
+    }
+}
+
+fn write_checkpoint(path: &str, snap: &EngineSnapshot) -> Result<(), CliError> {
+    std::fs::write(path, snapshot_to_json(snap) + "\n")
+        .map_err(|e| CliError::Io(format!("write checkpoint {path}: {e}")))
+}
+
+/// Drive a stepping engine over `records` (starting at the engine's
+/// current clock, which is nonzero when resuming) with a recorder
+/// attached, invoking `sample(t, policy, is_final)` before every step and
+/// once after the last one. Handles fault degradation and periodic
+/// checkpoints per `opts`. Returns the final counters, steps consumed,
+/// the policy's display name, the recorder, and the absorbed faults.
 fn observe_drive<P, R, F>(
-    k: usize,
-    trace: &Trace,
-    policy: P,
-    recorder: R,
+    mut eng: SteppingEngine<P, R>,
+    records: &[Request],
+    opts: &DriveOpts,
     mut sample: F,
-) -> (SimStats, u64, String, R)
+) -> Result<(SimStats, u64, String, R, FaultCounters), CliError>
 where
     P: ReplacementPolicy,
     R: occ_sim::Recorder,
     F: FnMut(Time, &P, bool),
 {
-    let mut eng = SteppingEngine::new(k, trace.universe().clone(), policy).with_recorder(recorder);
-    for (_, r) in trace.iter() {
+    let start = eng.time() as usize;
+    if start > records.len() {
+        return Err(CliError::Usage(format!(
+            "checkpoint is at t={start} but the stream has only {} records \
+             (did the trace or chaos flags change?)",
+            records.len()
+        )));
+    }
+    let num_users = eng.ctx().universe.num_users();
+    let mut handler = match opts.degrade {
+        None => None,
+        Some(p) => {
+            let mut h = FaultHandler::new(p, num_users);
+            if let Some((counters, quarantined)) = opts.resume_faults {
+                h.restore(counters.clone(), quarantined)?;
+                for &u in quarantined {
+                    eng.remove_user_externally(u);
+                }
+            }
+            Some(h)
+        }
+    };
+
+    for r in &records[start..] {
         sample(eng.time(), eng.policy(), false);
-        eng.step(r);
+        match &mut handler {
+            None => {
+                eng.step(*r);
+            }
+            Some(h) => {
+                eng.step_checked(*r, h)?;
+            }
+        }
+        if opts.checkpoints_on() && eng.time().is_multiple_of(opts.checkpoint_every) {
+            let snap = match &handler {
+                Some(h) => eng.snapshot_with_faults(h)?,
+                None => eng.snapshot()?,
+            };
+            write_checkpoint(opts.checkpoint_path, &snap)?;
+        }
     }
     sample(eng.time(), eng.policy(), true);
+    if opts.checkpoints_on() {
+        let snap = match &handler {
+            Some(h) => eng.snapshot_with_faults(h)?,
+            None => eng.snapshot()?,
+        };
+        write_checkpoint(opts.checkpoint_path, &snap)?;
+    }
+    let faults = handler.map(|h| h.counters().clone()).unwrap_or_default();
     let stats = eng.stats().clone();
     let steps = eng.time();
     let name = eng.policy().name();
-    (stats, steps, name, eng.into_recorder())
+    Ok((stats, steps, name, eng.into_recorder(), faults))
 }
 
 /// Run one policy with metrics (and optionally a JSONL event stream and
-/// a dual-trajectory sampler) attached.
+/// a dual-trajectory sampler) attached. `resume_from` rebuilds the
+/// engine from a checkpoint instead of starting fresh.
+#[allow(clippy::too_many_arguments)]
 fn observe_policy<P: ReplacementPolicy>(
     k: usize,
-    trace: &Trace,
+    universe: &Universe,
+    records: &[Request],
+    resume_from: Option<&EngineSnapshot>,
     policy: P,
     rec: &mut MetricsRecorder,
     events_path: &str,
+    opts: &DriveOpts,
     mut sample: impl FnMut(Time, &P, bool),
-) -> Result<(SimStats, u64, String), String> {
+) -> Result<(SimStats, u64, String, FaultCounters), CliError> {
+    let eng = match resume_from {
+        Some(snap) => SteppingEngine::from_snapshot(snap, policy)?,
+        None => SteppingEngine::new(k, universe.clone(), policy),
+    };
     if events_path.is_empty() {
-        let (stats, steps, name, _) = observe_drive(k, trace, policy, &mut *rec, sample);
-        Ok((stats, steps, name))
+        let (stats, steps, name, _, faults) =
+            observe_drive(eng.with_recorder(&mut *rec), records, opts, sample)?;
+        Ok((stats, steps, name, faults))
     } else {
-        let file = File::create(events_path).map_err(|e| format!("create {events_path}: {e}"))?;
+        let file = File::create(events_path)
+            .map_err(|e| CliError::Io(format!("create {events_path}: {e}")))?;
         let sink = JsonlSink::new(BufWriter::new(file));
-        let (stats, steps, name, (_, sink)) =
-            observe_drive(k, trace, policy, (&mut *rec, sink), &mut sample);
+        let (stats, steps, name, (_, sink), faults) = observe_drive(
+            eng.with_recorder((&mut *rec, sink)),
+            records,
+            opts,
+            &mut sample,
+        )?;
         sink.finish()
-            .map_err(|e| format!("writing {events_path}: {e}"))?;
-        Ok((stats, steps, name))
+            .map_err(|e| CliError::Io(format!("writing {events_path}: {e}")))?;
+        Ok((stats, steps, name, faults))
     }
 }
 
-/// `occ observe`
-pub fn observe(args: &Args) -> Result<(), String> {
-    let scenario = find_scenario(&args.str_required("scenario")?)?;
-    let trace = load_or_generate(args, &scenario)?;
-    let k: usize = args.num_or("k", scenario.suggested_k)?;
-    let policy_name = args.str_or("policy", "convex");
-    let every: u64 = args.num_or("every", 1_000u64)?;
-    let events_path = args.str_or("events", "");
-    let out_path = args.str_or("out", "");
+/// Parse the `--chaos-*` flags into a fault plan (`None` when no fault
+/// injection was requested) and apply it to the trace.
+fn chaos_records(args: &Args, trace: &Trace) -> Result<(Vec<Request>, bool), CliError> {
+    let page_rate: f64 = uarg(args.num_or("chaos-page-rate", 0.0f64))?;
+    let owner_rate: f64 = uarg(args.num_or("chaos-owner-rate", 0.0f64))?;
+    let truncate: u64 = uarg(args.num_or("chaos-truncate", 0u64))?;
+    let seed: u64 = uarg(args.num_or("chaos-seed", 0xC4A05u64))?;
+    for (name, rate) in [
+        ("chaos-page-rate", page_rate),
+        ("chaos-owner-rate", owner_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(CliError::Usage(format!(
+                "--{name} must be in [0, 1], got {rate}"
+            )));
+        }
+    }
+    let mut plan = FaultPlan::seeded(seed)
+        .with_page_rate(page_rate)
+        .with_owner_rate(owner_rate);
+    if truncate > 0 {
+        plan = plan.with_truncate_at(truncate as usize);
+    }
+    if plan.is_clean() {
+        return Ok((trace.requests().to_vec(), false));
+    }
+    let (records, injected) = plan.corrupt_trace(trace);
+    eprintln!(
+        "chaos: injected {} corrupt pages, {} wrong owners{} (seed {seed})",
+        injected.pages,
+        injected.owners,
+        if injected.truncated {
+            ", truncated"
+        } else {
+            ""
+        },
+    );
+    Ok((records, true))
+}
 
-    let mut rec = MetricsRecorder::new();
-    let mut dual: Option<DualTrace> = None;
-    let (stats, steps, name) = if policy_name == "convex" {
-        let alg = ConvexCaching::new(scenario.costs.clone());
-        let mut dt = DualTrace::new(every);
-        let out = observe_policy(k, &trace, alg, &mut rec, &events_path, |t, p, fin| {
-            if fin {
-                dt.finalize(t, p);
-            } else {
-                dt.maybe_sample(t, p);
-            }
-        })?;
-        dual = Some(dt);
-        out
-    } else {
-        let policy = make_policy(&policy_name, &scenario.costs, &trace)?;
-        observe_policy(k, &trace, policy, &mut rec, &events_path, |_, _, _| {})?
-    };
+/// Parse `--degrade`: explicit flag wins; chaos injection without a flag
+/// defaults to fail-fast (the library default), surfaced loudly.
+fn degrade_from_args(args: &Args, chaos_active: bool) -> Result<Option<FaultPolicy>, CliError> {
+    match args.str_or("degrade", "").as_str() {
+        "" => Ok(chaos_active.then_some(FaultPolicy::FailFast)),
+        name => FaultPolicy::parse(name).map(Some).ok_or_else(|| {
+            CliError::Usage(format!(
+                "unknown --degrade policy '{name}' (fail-fast, skip, quarantine)"
+            ))
+        }),
+    }
+}
 
-    let requests = stats.total_hits() + stats.total_misses();
+/// Assemble the observe/resume report from final engine state.
+fn build_report(
+    name: String,
+    k: usize,
+    stats: &SimStats,
+    costs: &CostProfile,
+    rec: &MetricsRecorder,
+    dual: Option<&DualTrace>,
+) -> Result<ObserveReport, CliError> {
+    let requests = stats.total_hits().saturating_add(stats.total_misses());
     let misses = stats.total_misses();
-    let report = ObserveReport {
+    // The checked evaluation turns a pathological cost function (NaN,
+    // overflow) into a typed fault instead of a silent NaN in the report.
+    let total_cost = costs
+        .total_cost_checked(&stats.eviction_vector())
+        .map_err(|e| CliError::Fault(e.to_string()))?;
+    Ok(ObserveReport {
         policy: name,
         capacity: k as u64,
         requests,
@@ -319,32 +468,220 @@ pub fn observe(args: &Args) -> Result<(), String> {
         } else {
             misses as f64 / requests as f64
         },
-        total_cost: Some(scenario.costs.total_cost(&stats.eviction_vector())),
+        total_cost: Some(total_cost),
         metrics: rec.to_json_value(),
-        dual: dual.as_ref().map(DualTrace::to_json_value),
-    };
-    debug_assert_eq!(steps, requests);
+        dual: dual.map(DualTrace::to_json_value),
+    })
+}
+
+fn emit_report(report: &ObserveReport, out_path: &str) -> Result<(), CliError> {
     let text = report.to_json();
     if out_path.is_empty() {
         emit(&text);
     } else {
-        std::fs::write(&out_path, text + "\n").map_err(|e| format!("write {out_path}: {e}"))?;
+        std::fs::write(out_path, text + "\n")
+            .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
         eprintln!("wrote report to {out_path}");
     }
     Ok(())
 }
 
+/// `occ observe`
+pub fn observe(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
+    let trace = load_or_generate(args, &scenario)?;
+    let k: usize = uarg(args.num_or("k", scenario.suggested_k))?;
+    let policy_name = args.str_or("policy", "convex");
+    let every: u64 = uarg(args.num_or("every", 1_000u64))?;
+    let events_path = args.str_or("events", "");
+    let out_path = args.str_or("out", "");
+    let checkpoint_path = args.str_or("checkpoint", "");
+    let checkpoint_every: u64 = uarg(args.num_or("checkpoint-every", 10_000u64))?;
+
+    let (records, chaos_active) = chaos_records(args, &trace)?;
+    let degrade = degrade_from_args(args, chaos_active)?;
+    let opts = DriveOpts {
+        degrade,
+        resume_faults: None,
+        checkpoint_every,
+        checkpoint_path: &checkpoint_path,
+    };
+
+    let mut rec = MetricsRecorder::new();
+    let mut dual: Option<DualTrace> = None;
+    let universe = trace.universe().clone();
+    let (stats, steps, name, faults) = if policy_name == "convex" {
+        let alg = ConvexCaching::new(scenario.costs.clone());
+        let mut dt = DualTrace::new(every);
+        let out = observe_policy(
+            k,
+            &universe,
+            &records,
+            None,
+            alg,
+            &mut rec,
+            &events_path,
+            &opts,
+            |t, p, fin| {
+                if fin {
+                    dt.finalize(t, p);
+                } else {
+                    dt.maybe_sample(t, p);
+                }
+            },
+        )?;
+        dual = Some(dt);
+        out
+    } else {
+        let policy = make_policy(&policy_name, &scenario.costs, &trace)?;
+        observe_policy(
+            k,
+            &universe,
+            &records,
+            None,
+            policy,
+            &mut rec,
+            &events_path,
+            &opts,
+            |_, _, _| {},
+        )?
+    };
+
+    if !faults.is_clean() {
+        eprintln!(
+            "degraded ({}): absorbed {} faulty records, quarantined {} users",
+            degrade.unwrap_or_default(),
+            faults.total_records(),
+            faults.quarantined_users
+        );
+    }
+    let report = build_report(name, k, &stats, &scenario.costs, &rec, dual.as_ref())?;
+    debug_assert_eq!(steps as usize, records.len());
+    emit_report(&report, &out_path)
+}
+
+/// `occ resume`
+pub fn resume(args: &Args) -> Result<(), CliError> {
+    let from = uarg(args.str_required("from"))?;
+    let text =
+        std::fs::read_to_string(&from).map_err(|e| CliError::Io(format!("read {from}: {e}")))?;
+    let snap = snapshot_from_json(&text)?;
+
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
+    let trace = load_or_generate(args, &scenario)?;
+    if trace.universe().owners() != snap.owners.as_slice() {
+        return Err(CliError::Usage(format!(
+            "snapshot universe ({} pages / {} users) does not match the trace; \
+             resume needs the same --scenario/--len/--seed (or --trace) as the original run",
+            snap.owners.len(),
+            snap.num_users
+        )));
+    }
+    // Capacity comes from the snapshot; an explicit --k must agree.
+    let k: usize = uarg(args.num_or("k", snap.capacity))?;
+    if k != snap.capacity {
+        return Err(CliError::Usage(format!(
+            "--k {k} disagrees with the snapshot's capacity {}",
+            snap.capacity
+        )));
+    }
+    let policy_name = args.str_or("policy", "convex");
+    let every: u64 = uarg(args.num_or("every", 1_000u64))?;
+    let events_path = args.str_or("events", "");
+    let out_path = args.str_or("out", "");
+    let checkpoint_path = args.str_or("checkpoint", "");
+    let checkpoint_every: u64 = uarg(args.num_or("checkpoint-every", 10_000u64))?;
+
+    let (records, chaos_active) = chaos_records(args, &trace)?;
+    let degrade = degrade_from_args(args, chaos_active)?;
+    if degrade.is_none() && !(snap.faults.is_clean() && snap.quarantined.is_empty()) {
+        return Err(CliError::Usage(
+            "snapshot comes from a degraded run; pass --degrade to continue it".into(),
+        ));
+    }
+    let opts = DriveOpts {
+        degrade,
+        resume_faults: degrade
+            .is_some()
+            .then_some((&snap.faults, snap.quarantined.as_slice())),
+        checkpoint_every,
+        checkpoint_path: &checkpoint_path,
+    };
+
+    let mut rec = MetricsRecorder::new();
+    let mut dual: Option<DualTrace> = None;
+    let universe = trace.universe().clone();
+    let (stats, _steps, name, faults) = if policy_name == "convex" {
+        let alg = ConvexCaching::new(scenario.costs.clone());
+        let mut dt = DualTrace::new(every);
+        let out = observe_policy(
+            k,
+            &universe,
+            &records,
+            Some(&snap),
+            alg,
+            &mut rec,
+            &events_path,
+            &opts,
+            |t, p, fin| {
+                if fin {
+                    dt.finalize(t, p);
+                } else {
+                    dt.maybe_sample(t, p);
+                }
+            },
+        )?;
+        dual = Some(dt);
+        out
+    } else {
+        let policy = make_policy(&policy_name, &scenario.costs, &trace)?;
+        observe_policy(
+            k,
+            &universe,
+            &records,
+            Some(&snap),
+            policy,
+            &mut rec,
+            &events_path,
+            &opts,
+            |_, _, _| {},
+        )?
+    };
+
+    eprintln!(
+        "resumed from t={} ({} of {} records remained)",
+        snap.time,
+        records.len().saturating_sub(snap.time as usize),
+        records.len()
+    );
+    if !faults.is_clean() {
+        eprintln!(
+            "degraded ({}): {} faulty records total, {} users quarantined",
+            degrade.unwrap_or_default(),
+            faults.total_records(),
+            faults.quarantined_users
+        );
+    }
+    let report = build_report(name, k, &stats, &scenario.costs, &rec, dual.as_ref())?;
+    emit_report(&report, &out_path)
+}
+
 /// `occ report`
-pub fn report(args: &Args) -> Result<(), String> {
-    let path = args.str_required("in")?;
-    let text = std::fs::read_to_string(&path).map_err(|e| format!("read {path}: {e}"))?;
-    let parsed = Json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
-    ObserveReport::validate(&parsed)?;
-    let r = ObserveReport::from_json_value(&parsed)?;
+pub fn report(args: &Args) -> Result<(), CliError> {
+    let path = uarg(args.str_required("in"))?;
+    let text =
+        std::fs::read_to_string(&path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let parsed = Json::parse(&text).map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+    ObserveReport::validate(&parsed).map_err(CliError::Parse)?;
+    let r = ObserveReport::from_json_value(&parsed).map_err(CliError::Parse)?;
     match args.str_or("format", "table").as_str() {
         "table" => emit(&r.to_table()),
         "json" => emit(&r.to_json()),
-        other => return Err(format!("unknown format '{other}' (table, json)")),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format '{other}' (table, json)"
+            )))
+        }
     }
     Ok(())
 }
@@ -365,7 +702,8 @@ mod tests {
     #[test]
     fn unknown_scenario_is_friendly() {
         let err = find_scenario("nope").map(|_| ()).unwrap_err();
-        assert!(err.contains("available"));
+        assert!(err.to_string().contains("available"));
+        assert_eq!(err.exit_code(), 2, "unknown scenario is a usage error");
     }
 
     #[test]
@@ -514,7 +852,8 @@ mod tests {
         let path = dir.join("bad.json");
         std::fs::write(&path, "{\"schema\": 1}").unwrap();
         let err = report(&args(&["report", "--in", path.to_str().unwrap()])).unwrap_err();
-        assert!(err.contains("required key"), "got: {err}");
+        assert!(err.to_string().contains("required key"), "got: {err}");
+        assert_eq!(err.exit_code(), 4, "unreadable report is a parse error");
         std::fs::remove_file(path).ok();
     }
 
@@ -557,7 +896,300 @@ mod tests {
             "8",
         ]))
         .unwrap_err();
-        assert!(err.contains("users"));
+        assert!(err.to_string().contains("users"));
         std::fs::remove_file(path).ok();
+    }
+
+    /// Parse an observe/resume report file back into a struct.
+    fn read_report(path: &std::path::Path) -> ObserveReport {
+        let text = std::fs::read_to_string(path).unwrap();
+        ObserveReport::from_json(&text).unwrap()
+    }
+
+    #[test]
+    fn resume_from_checkpoint_matches_uninterrupted_run() {
+        for policy in ["convex", "lru"] {
+            let dir = std::env::temp_dir().join(format!("occ-cli-resume-{policy}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let full = dir.join("full.json");
+            let half = dir.join("half.json");
+            let resumed = dir.join("resumed.json");
+            let ckpt = dir.join("ckpt.json");
+
+            // The uninterrupted reference run.
+            observe(&args(&[
+                "observe",
+                "--scenario",
+                "two-tier",
+                "--policy",
+                policy,
+                "--len",
+                "900",
+                "--k",
+                "8",
+                "--out",
+                full.to_str().unwrap(),
+            ]))
+            .unwrap();
+            // The "interrupted" run: truncate the stream at 400 requests
+            // and leave a checkpoint behind.
+            observe(&args(&[
+                "observe",
+                "--scenario",
+                "two-tier",
+                "--policy",
+                policy,
+                "--len",
+                "900",
+                "--k",
+                "8",
+                "--chaos-truncate",
+                "400",
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+                "--checkpoint-every",
+                "150",
+                "--out",
+                half.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert_eq!(read_report(&half).requests, 400);
+            // Continue over the full trace from the checkpoint.
+            resume(&args(&[
+                "resume",
+                "--from",
+                ckpt.to_str().unwrap(),
+                "--scenario",
+                "two-tier",
+                "--policy",
+                policy,
+                "--len",
+                "900",
+                "--out",
+                resumed.to_str().unwrap(),
+            ]))
+            .unwrap();
+
+            let (a, b) = (read_report(&full), read_report(&resumed));
+            assert_eq!(a.requests, b.requests, "{policy}");
+            assert_eq!(a.hits, b.hits, "{policy}");
+            assert_eq!(a.misses, b.misses, "{policy}");
+            assert_eq!(a.evictions, b.evictions, "{policy}");
+            assert_eq!(a.total_cost, b.total_cost, "{policy}");
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_invocations() {
+        let dir = std::env::temp_dir().join("occ-cli-resume-reject");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("ckpt.json");
+        observe(&args(&[
+            "observe",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "300",
+            "--k",
+            "8",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let c = ckpt.to_str().unwrap();
+
+        // Wrong capacity.
+        let err = resume(&args(&[
+            "resume",
+            "--from",
+            c,
+            "--scenario",
+            "two-tier",
+            "--len",
+            "300",
+            "--k",
+            "9",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        // Different trace (seed) → different universe length is fine here
+        // (same scenario), but a different scenario's universe is not.
+        let err = resume(&args(&[
+            "resume",
+            "--from",
+            c,
+            "--scenario",
+            "sqlvm-like",
+            "--len",
+            "300",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        // A policy without a matching snapshot name.
+        let err = resume(&args(&[
+            "resume",
+            "--from",
+            c,
+            "--scenario",
+            "two-tier",
+            "--len",
+            "300",
+            "--policy",
+            "lru",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        // A tampered snapshot version is a parse error.
+        let text = std::fs::read_to_string(&ckpt).unwrap();
+        assert!(text.contains("\"version\":1"), "checkpoint format changed");
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, text.replacen("\"version\":1", "\"version\":99", 1)).unwrap();
+        let err = resume(&args(&[
+            "resume",
+            "--from",
+            bad.to_str().unwrap(),
+            "--scenario",
+            "two-tier",
+            "--len",
+            "300",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "got: {err}");
+        assert!(err.to_string().contains("version 99"), "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_observe_degrades_or_fails_per_policy() {
+        let dir = std::env::temp_dir().join("occ-cli-chaos");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("report.json");
+        let chaos: &[&str] = &[
+            "--scenario",
+            "two-tier",
+            "--len",
+            "600",
+            "--k",
+            "8",
+            "--chaos-page-rate",
+            "0.05",
+            "--chaos-owner-rate",
+            "0.05",
+            "--chaos-seed",
+            "42",
+        ];
+        let with = |extra: &[&str]| {
+            let mut v = vec!["observe"];
+            v.extend_from_slice(chaos);
+            v.extend_from_slice(extra);
+            args(&v)
+        };
+
+        // Default (fail-fast) surfaces the first fault with exit code 5.
+        let err = observe(&with(&[])).unwrap_err();
+        assert_eq!(err.exit_code(), 5, "got: {err}");
+
+        // skip and quarantine absorb everything and report nonzero
+        // fault counters.
+        for degrade in ["skip", "quarantine"] {
+            observe(&with(&[
+                "--degrade",
+                degrade,
+                "--out",
+                out.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let r = read_report(&out);
+            let total = r
+                .metrics
+                .get("faults")
+                .and_then(|f| f.get("total"))
+                .and_then(Json::as_u64)
+                .unwrap();
+            assert!(total > 0, "{degrade}: expected absorbed faults");
+            report(&args(&["report", "--in", out.to_str().unwrap()])).unwrap();
+        }
+        // An unknown degradation policy is a usage error.
+        let err = observe(&with(&["--degrade", "explode"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn chaos_resume_continues_a_degraded_run() {
+        let dir = std::env::temp_dir().join("occ-cli-chaos-resume");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("ckpt.json");
+        let full = dir.join("full.json");
+        let resumed = dir.join("resumed.json");
+        let base: &[&str] = &[
+            "--scenario",
+            "two-tier",
+            "--len",
+            "700",
+            "--k",
+            "8",
+            "--chaos-page-rate",
+            "0.04",
+            "--chaos-owner-rate",
+            "0.04",
+            "--chaos-seed",
+            "7",
+            "--degrade",
+            "quarantine",
+        ];
+        let run = |cmd: &str, extra: &[&str]| {
+            let mut v = vec![cmd];
+            v.extend_from_slice(base);
+            v.extend_from_slice(extra);
+            args(&v)
+        };
+
+        // Reference: the whole corrupted stream in one go.
+        observe(&run("observe", &["--out", full.to_str().unwrap()])).unwrap();
+        // Interrupted at 300 (chaos truncation), then resumed. The plan is
+        // regenerated from the same seed, so the continuation sees the
+        // same corrupted records.
+        observe(&run(
+            "observe",
+            &[
+                "--chaos-truncate",
+                "300",
+                "--checkpoint",
+                ckpt.to_str().unwrap(),
+            ],
+        ))
+        .unwrap();
+        // A degraded snapshot without --degrade is refused.
+        let err = resume(&args(&[
+            "resume",
+            "--from",
+            ckpt.to_str().unwrap(),
+            "--scenario",
+            "two-tier",
+            "--len",
+            "700",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        resume(&run(
+            "resume",
+            &[
+                "--from",
+                ckpt.to_str().unwrap(),
+                "--out",
+                resumed.to_str().unwrap(),
+            ],
+        ))
+        .unwrap();
+
+        let (a, b) = (read_report(&full), read_report(&resumed));
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.hits, b.hits);
+        assert_eq!(a.misses, b.misses);
+        assert_eq!(a.evictions, b.evictions);
+        assert_eq!(a.total_cost, b.total_cost);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

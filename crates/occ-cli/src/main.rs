@@ -7,6 +7,8 @@
 //! occ compare  --scenario sqlvm-like --len 60000 --k 96
 //! occ mrc      --scenario two-tier --len 40000 --max-k 48
 //! occ observe  --scenario two-tier --policy convex --k 24 --out report.json
+//!              --checkpoint ckpt.json --checkpoint-every 10000
+//! occ resume   --from ckpt.json --scenario two-tier
 //! occ report   --in report.json
 //! occ scenarios
 //! ```
@@ -14,11 +16,16 @@
 //! Scenarios name both a tenant mix and a cost profile (see
 //! `occ_workloads::presets`); policies are the names used throughout the
 //! experiment tables.
+//!
+//! Failures exit with a class-specific code (see [`errors`]): 2 usage,
+//! 3 i/o, 4 unparseable file, 5 simulation fault, 1 anything else.
 
 mod args;
 mod commands;
+mod errors;
 
 use args::Args;
+use errors::CliError;
 
 fn main() {
     let args = match Args::from_env() {
@@ -35,16 +42,17 @@ fn main() {
         Some("compare") => commands::compare(&args),
         Some("mrc") => commands::mrc(&args),
         Some("observe") => commands::observe(&args),
+        Some("resume") => commands::resume(&args),
         Some("report") => commands::report(&args),
         Some("scenarios") => commands::scenarios(),
         Some("help") | None => {
             println!("{}", commands::USAGE);
             Ok(())
         }
-        Some(other) => Err(format!("unknown command '{other}'")),
+        Some(other) => Err(CliError::Usage(format!("unknown command '{other}'"))),
     };
     if let Err(e) = result {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+        eprintln!("error({}): {e}", e.class());
+        std::process::exit(e.exit_code());
     }
 }

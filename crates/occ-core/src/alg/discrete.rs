@@ -62,7 +62,10 @@
 
 use crate::alg::tiebreak::{Candidate, TieBreak};
 use crate::cost::{CostProfile, Marginals};
-use occ_sim::{EngineCtx, PageId, PageLists, ReplacementPolicy, UserId};
+use occ_sim::{
+    CostAnomaly, EngineCtx, PageId, PageLists, PolicyState, ReplacementPolicy, SnapshotError,
+    UserId,
+};
 use std::collections::BTreeSet;
 
 /// Totally ordered `f64` key (never NaN in this module).
@@ -97,6 +100,10 @@ pub struct AlgDiagnostics {
     pub global_y: f64,
     /// How many times the offset was rebased.
     pub renormalizations: u64,
+    /// NaN marginals encountered and clamped to `+∞` (a pathological
+    /// cost function; nonzero means the victim choice degraded to
+    /// "avoid that user" rather than crashing).
+    pub nan_marginals: u64,
 }
 
 /// The paper's cost-aware online replacement policy (ALG-DISCRETE).
@@ -207,6 +214,16 @@ impl ConvexCaching {
             .enumerate()
             .map(|(u, &m)| self.costs.user(UserId(u as u32)).eval(m as f64))
             .sum()
+    }
+
+    /// [`primal_cost`](Self::primal_cost) with the arithmetic checked: a
+    /// non-finite per-user cost or sum is a typed [`CostAnomaly`].
+    pub fn primal_cost_checked(&self) -> Result<f64, CostAnomaly> {
+        // `m` covers the universe's users, which may be fewer than the
+        // profile covers; the missing users have zero evictions.
+        let mut misses = self.m.clone();
+        misses.resize(self.costs.num_users() as usize, 0);
+        self.costs.total_cost_checked(&misses)
     }
 
     /// Whether the `O(1)` intrusive-list fast path is active (true iff
@@ -331,9 +348,16 @@ impl ReplacementPolicy for ConvexCaching {
                     None => continue,
                 }
             };
-            let g = self
+            let mut g = self
                 .costs
                 .next_eviction_cost(self.mode, UserId(u as u32), self.m[u]);
+            if g.is_nan() {
+                // A pathological cost function. +∞ is the graceful
+                // reading: an unknowable marginal makes the user's pages
+                // the *last* resort, and the run keeps going.
+                self.diag.nan_marginals = self.diag.nan_marginals.saturating_add(1);
+                g = f64::INFINITY;
+            }
             let cand = Candidate {
                 key: g + y_p,
                 seq,
@@ -352,11 +376,18 @@ impl ReplacementPolicy for ConvexCaching {
         let budget = c.key - self.global_y;
         self.diag.min_budget = self.diag.min_budget.min(budget);
         debug_assert!(
-            !self.fast || budget >= -1e-9,
+            !self.fast || budget >= -1e-9 || !c.key.is_finite(),
             "convex costs must keep budgets non-negative, got {budget}"
         );
-        self.global_y = c.key;
-        self.diag.evictions += 1;
+        if c.key.is_finite() {
+            self.global_y = c.key;
+        }
+        // A non-finite key means every candidate was pathological (the
+        // NaN→∞ clamp, or an overflowing marginal). The victim choice is
+        // still deterministic via the tie-break, but advancing `Y` to ∞
+        // would poison every future budget (∞ − ∞ = NaN), so the dual
+        // stays put for this eviction.
+        self.diag.evictions = self.diag.evictions.saturating_add(1);
 
         let u = c.user as usize;
         if self.fast {
@@ -364,7 +395,7 @@ impl ReplacementPolicy for ConvexCaching {
         } else {
             self.sets[u].remove(&(Key(self.y_at[c.page as usize]), c.seq, c.page));
         }
-        self.m[u] += 1;
+        self.m[u] = self.m[u].saturating_add(1);
 
         if self.global_y.abs() > RENORMALIZE_AT {
             self.renormalize();
@@ -402,6 +433,124 @@ impl ReplacementPolicy for ConvexCaching {
             min_budget: f64::INFINITY,
             ..Default::default()
         };
+    }
+
+    fn save_state(&self) -> Option<PolicyState> {
+        let mut s = PolicyState::new();
+        // Configuration tags: the cost profile itself cannot travel with
+        // a snapshot (functions aren't serializable), so the resuming
+        // policy is constructed independently and these tags let
+        // `load_state` reject a differently-configured twin.
+        s.set_text("tiebreak", self.tiebreak.label());
+        s.set_u64("fast", self.fast as u64);
+        s.set_u64("ready", self.ready as u64);
+        s.set_f64("global_y", self.global_y);
+        s.set_f64("y_shifted", self.y_shifted);
+        s.set_u64("seq", self.seq);
+        s.set_u64s("m", self.m.clone());
+        s.set_f64s("y_at", self.y_at.clone());
+        s.set_u64s("last_seq", self.last_seq.clone());
+        s.set_f64("diag_min_budget", self.diag.min_budget);
+        s.set_u64("diag_evictions", self.diag.evictions);
+        s.set_u64("diag_renormalizations", self.diag.renormalizations);
+        s.set_u64("diag_nan_marginals", self.diag.nan_marginals);
+        Some(s)
+    }
+
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        let corrupt = SnapshotError::Corrupt;
+        let tiebreak = state.text("tiebreak")?;
+        if tiebreak != self.tiebreak.label() {
+            return Err(SnapshotError::Mismatch(format!(
+                "checkpoint used tie-break '{tiebreak}', policy uses '{}'",
+                self.tiebreak.label()
+            )));
+        }
+        if state.u64("fast")? != self.fast as u64 {
+            return Err(SnapshotError::Mismatch(
+                "checkpoint and policy disagree on convexity (fast path selection); \
+                 the resuming cost profile differs from the checkpointed one"
+                    .into(),
+            ));
+        }
+        self.reset();
+        if state.u64("ready")? == 0 {
+            // Checkpointed before the first request: fresh state is it.
+            return Ok(());
+        }
+        let users = ctx.universe.num_users() as usize;
+        let pages = ctx.universe.num_pages() as usize;
+        if (self.costs.num_users() as usize) < users {
+            return Err(SnapshotError::Mismatch(format!(
+                "cost profile covers {} users but the universe has {users}",
+                self.costs.num_users()
+            )));
+        }
+        let global_y = state.f64("global_y")?;
+        let y_shifted = state.f64("y_shifted")?;
+        if !global_y.is_finite() || !y_shifted.is_finite() {
+            return Err(corrupt("policy.global_y/y_shifted must be finite".into()));
+        }
+        let min_budget = state.f64("diag_min_budget")?;
+        if min_budget.is_nan() {
+            return Err(corrupt("policy.diag_min_budget is NaN".into()));
+        }
+        let m = state.u64s_len("m", users)?.to_vec();
+        let y_at = state.f64s_len("y_at", pages)?.to_vec();
+        let last_seq = state.u64s_len("last_seq", pages)?.to_vec();
+        if let Some(y) = y_at.iter().find(|y| !y.is_finite()) {
+            return Err(corrupt(format!("policy.y_at holds non-finite value {y}")));
+        }
+        let seq = state.u64("seq")?;
+        if let Some(s) = last_seq.iter().find(|&&s| s > seq) {
+            return Err(corrupt(format!(
+                "policy.last_seq holds {s} beyond the clock {seq}"
+            )));
+        }
+
+        self.global_y = global_y;
+        self.y_shifted = y_shifted;
+        self.seq = seq;
+        self.m = m;
+        self.y_at = y_at;
+        self.last_seq = last_seq;
+        self.diag = AlgDiagnostics {
+            min_budget,
+            evictions: state.u64("diag_evictions")?,
+            global_y: 0.0,
+            renormalizations: state.u64("diag_renormalizations")?,
+            nan_marginals: state.u64("diag_nan_marginals")?,
+        };
+
+        // Rebuild the per-user page structures from the restored cache.
+        // Fast path: ascending `last_seq` *is* touch order (monotone `Y`),
+        // so sorting each user's cached pages by it reproduces the
+        // recency lists exactly. Slow path: the sets are keyed by stored
+        // `(Y_p, seq, page)` values, which round-tripped bit-exactly.
+        if self.fast {
+            let mut by_user: Vec<Vec<PageId>> = vec![Vec::new(); users];
+            for p in ctx.cache.iter() {
+                by_user[ctx.universe.owner(p).index()].push(p);
+            }
+            self.lists.ensure(users, pages);
+            for (u, mut cached) in by_user.into_iter().enumerate() {
+                cached.sort_by_key(|p| self.last_seq[p.index()]);
+                for p in cached {
+                    self.lists.push_back(u, p);
+                }
+            }
+        } else {
+            self.sets = vec![BTreeSet::new(); users];
+            for p in ctx.cache.iter() {
+                self.sets[ctx.universe.owner(p).index()].insert((
+                    Key(self.y_at[p.index()]),
+                    self.last_seq[p.index()],
+                    p.0,
+                ));
+            }
+        }
+        self.ready = true;
+        Ok(())
     }
 }
 
@@ -526,6 +675,138 @@ mod tests {
             std::sync::Arc::new(ThresholdCost::new(1.0, 2, 5.0)) as crate::cost::CostFn,
         ]);
         assert!(!ConvexCaching::new(non_convex).uses_fast_path());
+    }
+
+    #[test]
+    fn nan_marginals_degrade_to_avoiding_the_user() {
+        use crate::cost::{CostPathology, FaultyCost};
+        // u0's marginal turns NaN after 2 evictions; u1 is honest linear.
+        // The guard clamps NaN to +∞, so once poisoned, u0's pages are
+        // never evicted while u1 has cached pages — and nothing panics.
+        let u = Universe::uniform(2, 4); // u0: p0-3, u1: p4-7
+        let costs = CostProfile::new(vec![
+            std::sync::Arc::new(FaultyCost::new(Linear::unit(), CostPathology::Nan, 3.0))
+                as crate::cost::CostFn,
+            std::sync::Arc::new(Linear::unit()) as crate::cost::CostFn,
+        ]);
+        let mut pages = Vec::new();
+        for round in 0..60u32 {
+            pages.push(round % 4);
+            pages.push(4 + (round % 4));
+        }
+        let trace = Trace::from_page_indices(&u, &pages);
+        let mut alg = ConvexCaching::new(costs);
+        let r = Simulator::new(3).run(&mut alg, &trace);
+        let d = alg.diagnostics();
+        assert!(d.nan_marginals > 0, "the pathology must have fired");
+        let m0 = r.stats.user(UserId(0)).evictions;
+        let m1 = r.stats.user(UserId(1)).evictions;
+        assert!(
+            m1 > m0,
+            "the poisoned user should be avoided: u0 {m0} vs u1 {m1}"
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_is_byte_identical_on_both_paths() {
+        use crate::cost::ThresholdCost;
+        use occ_sim::{Request, SteppingEngine};
+
+        let convex = CostProfile::uniform(3, Monomial::power(2.0));
+        let non_convex = CostProfile::new(vec![
+            std::sync::Arc::new(Linear::unit()) as crate::cost::CostFn,
+            std::sync::Arc::new(ThresholdCost::new(1.0, 2, 5.0)) as crate::cost::CostFn,
+            std::sync::Arc::new(Linear::new(2.0)) as crate::cost::CostFn,
+        ]);
+
+        for costs in [convex, non_convex] {
+            let fast = ConvexCaching::new(costs.clone()).uses_fast_path();
+            let u = Universe::uniform(3, 4);
+            let mut state = 0xFEED_F00Du64;
+            let pages: Vec<u32> = (0..500)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state % 12) as u32
+                })
+                .collect();
+            let trace = Trace::from_page_indices(&u, &pages);
+            let reqs: Vec<Request> = trace.requests().to_vec();
+            let (k, cut) = (5, 231);
+
+            let mut full_alg = ConvexCaching::new(costs.clone());
+            let mut full = SteppingEngine::new(k, u.clone(), &mut full_alg).with_events();
+            for &r in &reqs {
+                full.step(r);
+            }
+            let full_events: Vec<_> = full.take_events().unwrap().iter().cloned().collect();
+            let full_stats = full.stats().clone();
+            let full_dual = full_alg.cumulative_dual_offset();
+            let full_m = full_alg.eviction_counts().to_vec();
+
+            let mut head_alg = ConvexCaching::new(costs.clone());
+            let mut head = SteppingEngine::new(k, u.clone(), &mut head_alg).with_events();
+            for &r in &reqs[..cut] {
+                head.step(r);
+            }
+            let snap = head.snapshot().unwrap();
+            let mut stitched: Vec<_> = head.take_events().unwrap().iter().cloned().collect();
+
+            let mut tail_alg = ConvexCaching::new(costs.clone());
+            let mut tail = SteppingEngine::from_snapshot(&snap, &mut tail_alg)
+                .unwrap()
+                .with_events();
+            for &r in &reqs[cut..] {
+                tail.step(r);
+            }
+            stitched.extend(tail.take_events().unwrap().iter().cloned());
+            let tail_stats = tail.stats().clone();
+
+            assert_eq!(stitched, full_events, "fast={fast}: events diverged");
+            assert_eq!(tail_stats, full_stats, "fast={fast}: stats diverged");
+            assert_eq!(
+                tail_alg.cumulative_dual_offset().to_bits(),
+                full_dual.to_bits(),
+                "fast={fast}: dual offset diverged"
+            );
+            assert_eq!(
+                tail_alg.eviction_counts(),
+                full_m.as_slice(),
+                "fast={fast}: eviction counts diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn resume_rejects_differently_configured_policy() {
+        use occ_sim::{ReplacementPolicy as _, SnapshotError, SteppingEngine};
+        let u = Universe::single_user(4);
+        let costs = CostProfile::uniform(1, Monomial::power(2.0));
+        let trace = Trace::from_page_indices(&u, &[0, 1, 2, 3, 0]);
+        let mut alg = ConvexCaching::new(costs.clone());
+        let mut eng = SteppingEngine::new(2, u, &mut alg);
+        for &r in trace.requests() {
+            eng.step(r);
+        }
+        let snap = eng.snapshot().unwrap();
+
+        // Different tie-break: typed mismatch, not divergence.
+        let mut other = ConvexCaching::new(costs.clone()).with_tiebreak(TieBreak::LowestPage);
+        let Err(err) = SteppingEngine::from_snapshot(&snap, &mut other) else {
+            panic!("mismatched tie-break must be rejected");
+        };
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err}");
+
+        // Different marginal mode changes the policy *name*, which the
+        // engine-level restore catches first.
+        let mut discrete =
+            ConvexCaching::new(costs).with_marginals(crate::cost::Marginals::Discrete);
+        assert_ne!(discrete.name(), snap.policy_name);
+        let Err(err) = SteppingEngine::from_snapshot(&snap, &mut discrete) else {
+            panic!("mismatched policy name must be rejected");
+        };
+        assert!(matches!(err, SnapshotError::Mismatch(_)), "got {err}");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! Injectable cost-function pathologies for robustness testing.
+//!
+//! [`FaultyCost`] wraps any cost function and corrupts it past a
+//! trigger point: chaos runs use it to verify that the checked
+//! evaluation paths ([`CostProfile::total_cost_checked`]) and the
+//! algorithm's NaN-marginal guard degrade gracefully instead of
+//! propagating garbage into reports.
+//!
+//! [`CostProfile::total_cost_checked`]: super::CostProfile::total_cost_checked
+
+use super::CostFunction;
+use std::sync::Arc;
+
+/// Which pathology [`FaultyCost`] injects once `x` reaches the trigger.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CostPathology {
+    /// `f(x)` becomes NaN.
+    Nan,
+    /// `f(x)` overflows to `+∞`.
+    Overflow,
+    /// `f(x)` *decreases* past the trigger (violates monotonicity, and
+    /// with it convexity — while the wrapper still parrots the inner
+    /// function's convexity claim, stressing consumers that trust it).
+    NonMonotone,
+}
+
+impl CostPathology {
+    /// Stable label for tables and CLI flags.
+    pub fn label(self) -> &'static str {
+        match self {
+            CostPathology::Nan => "nan",
+            CostPathology::Overflow => "overflow",
+            CostPathology::NonMonotone => "non-monotone",
+        }
+    }
+}
+
+/// A cost function that misbehaves for arguments `x ≥ trigger`.
+///
+/// Below the trigger it is exactly the inner function, so a chaos run
+/// behaves normally until a user accumulates enough misses — the
+/// realistic failure shape (overflow and NaN appear late, at large
+/// arguments, not at construction).
+#[derive(Clone, Debug)]
+pub struct FaultyCost {
+    inner: Arc<dyn CostFunction>,
+    pathology: CostPathology,
+    trigger: f64,
+}
+
+impl FaultyCost {
+    /// Wrap `inner`, injecting `pathology` for arguments `≥ trigger`.
+    pub fn new(inner: impl CostFunction + 'static, pathology: CostPathology, trigger: f64) -> Self {
+        FaultyCost {
+            inner: Arc::new(inner),
+            pathology,
+            trigger,
+        }
+    }
+
+    #[inline]
+    fn corrupt(&self, x: f64, honest: f64) -> f64 {
+        if x < self.trigger {
+            return honest;
+        }
+        match self.pathology {
+            CostPathology::Nan => f64::NAN,
+            CostPathology::Overflow => f64::INFINITY,
+            CostPathology::NonMonotone => self.inner.eval(self.trigger) - (x - self.trigger),
+        }
+    }
+}
+
+impl CostFunction for FaultyCost {
+    fn eval(&self, x: f64) -> f64 {
+        self.corrupt(x, self.inner.eval(x))
+    }
+
+    fn deriv(&self, x: f64) -> f64 {
+        if x < self.trigger {
+            return self.inner.deriv(x);
+        }
+        match self.pathology {
+            CostPathology::Nan => f64::NAN,
+            CostPathology::Overflow => f64::INFINITY,
+            CostPathology::NonMonotone => -1.0,
+        }
+    }
+
+    fn alpha(&self) -> Option<f64> {
+        self.inner.alpha()
+    }
+
+    // Deliberately parrots the inner function: a pathological profile
+    // that *claims* convexity exercises the fast path's guards.
+    fn is_convex(&self) -> bool {
+        self.inner.is_convex()
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "faulty({}, {} @ x≥{})",
+            self.inner.describe(),
+            self.pathology.label(),
+            self.trigger
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{CostProfile, Linear, Monomial};
+    use super::*;
+    use occ_sim::CostAnomaly;
+
+    #[test]
+    fn honest_below_trigger() {
+        let f = FaultyCost::new(Monomial::power(2.0), CostPathology::Nan, 10.0);
+        assert_eq!(f.eval(3.0), 9.0);
+        assert_eq!(f.deriv(3.0), 6.0);
+        assert!(f.is_convex());
+    }
+
+    #[test]
+    fn pathologies_fire_at_trigger() {
+        let nan = FaultyCost::new(Linear::unit(), CostPathology::Nan, 5.0);
+        assert!(nan.eval(5.0).is_nan());
+        let ovf = FaultyCost::new(Linear::unit(), CostPathology::Overflow, 5.0);
+        assert_eq!(ovf.eval(6.0), f64::INFINITY);
+        let dec = FaultyCost::new(Linear::unit(), CostPathology::NonMonotone, 5.0);
+        assert!(dec.eval(7.0) < dec.eval(5.0));
+    }
+
+    #[test]
+    fn checked_total_cost_names_the_faulty_user() {
+        let p = CostProfile::new(vec![
+            Arc::new(Linear::unit()) as Arc<dyn CostFunction>,
+            Arc::new(FaultyCost::new(Linear::unit(), CostPathology::Nan, 4.0)),
+        ]);
+        assert_eq!(p.total_cost_checked(&[10, 2]).unwrap(), 12.0);
+        let err = p.total_cost_checked(&[10, 7]).unwrap_err();
+        assert_eq!(err.user, Some(1));
+        assert!(err.value.is_nan());
+        assert_eq!(err.what, "f_i(m_i)");
+        // The unchecked form silently propagates the NaN — that contrast
+        // is the point of the checked path.
+        assert!(p.total_cost(&[10, 7]).is_nan());
+    }
+
+    #[test]
+    fn checked_total_cost_catches_overflowing_sum() {
+        let p = CostProfile::uniform(
+            2,
+            FaultyCost::new(Linear::unit(), CostPathology::Overflow, 1.0),
+        );
+        let err: CostAnomaly = p.total_cost_checked(&[5, 5]).unwrap_err();
+        assert_eq!(err.user, Some(0), "first offending user is named");
+        assert_eq!(err.value, f64::INFINITY);
+    }
+}

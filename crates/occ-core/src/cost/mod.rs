@@ -13,6 +13,7 @@
 //! numerically otherwise.
 
 mod combinators;
+mod faulty;
 mod linear;
 mod monomial;
 mod piecewise;
@@ -21,6 +22,7 @@ mod profile;
 mod special;
 
 pub use combinators::{Scaled, SumCost};
+pub use faulty::{CostPathology, FaultyCost};
 pub use linear::Linear;
 pub use monomial::Monomial;
 pub use piecewise::PiecewiseLinear;

@@ -2,7 +2,7 @@
 //! `Σ_i f_i(misses_i)` the whole paper is about.
 
 use super::{CostFn, CostFunction, Marginals};
-use occ_sim::UserId;
+use occ_sim::{CostAnomaly, UserId};
 use std::sync::Arc;
 
 /// One cost function per user, indexed by dense user id.
@@ -62,6 +62,41 @@ impl CostProfile {
             .zip(&self.fns)
             .map(|(&m, f)| f.eval(m as f64))
             .sum()
+    }
+
+    /// [`total_cost`](Self::total_cost) with the arithmetic checked:
+    /// a non-finite per-user value or a non-finite (overflowed) sum is
+    /// returned as a typed [`CostAnomaly`] naming the offending user
+    /// instead of silently propagating NaN/∞ into reports.
+    pub fn total_cost_checked(&self, misses: &[u64]) -> Result<f64, CostAnomaly> {
+        assert_eq!(
+            misses.len(),
+            self.fns.len(),
+            "miss vector length must match the number of users"
+        );
+        let mut total = 0.0_f64;
+        for (u, (&m, f)) in misses.iter().zip(&self.fns).enumerate() {
+            let x = m as f64;
+            let v = f.eval(x);
+            if !v.is_finite() {
+                return Err(CostAnomaly {
+                    user: Some(u as u32),
+                    argument: x,
+                    value: v,
+                    what: "f_i(m_i)",
+                });
+            }
+            total += v;
+        }
+        if !total.is_finite() {
+            return Err(CostAnomaly {
+                user: None,
+                argument: misses.len() as f64,
+                value: total,
+                what: "sum f_i(m_i)",
+            });
+        }
+        Ok(total)
     }
 
     /// `Σ_i f_i(factor · misses[i])` — the right-hand side of Theorem 1.1

@@ -52,8 +52,8 @@ pub mod theory;
 
 pub use alg::{run_continuous, ContinuousRun, ConvexCaching, DiscreteReference, TieBreak};
 pub use cost::{
-    CostFn, CostFunction, CostProfile, Exponential, HugeCost, Linear, Marginals, Monomial,
-    PiecewiseLinear, Polynomial, Scaled, SumCost, ThresholdCost,
+    CostFn, CostFunction, CostPathology, CostProfile, Exponential, FaultyCost, HugeCost, Linear,
+    Marginals, Monomial, PiecewiseLinear, Polynomial, Scaled, SumCost, ThresholdCost,
 };
 pub use cp::{check_invariants, Assignment, ConvexProgram, InvariantReport};
 pub use flush::with_dummy_flush;
@@ -68,8 +68,8 @@ pub mod prelude {
         run_continuous, ContinuousRun, ConvexCaching, DiscreteReference, TieBreak,
     };
     pub use crate::cost::{
-        CostFn, CostFunction, CostProfile, Exponential, HugeCost, Linear, Marginals, Monomial,
-        PiecewiseLinear, Polynomial, Scaled, SumCost, ThresholdCost,
+        CostFn, CostFunction, CostPathology, CostProfile, Exponential, FaultyCost, HugeCost,
+        Linear, Marginals, Monomial, PiecewiseLinear, Polynomial, Scaled, SumCost, ThresholdCost,
     };
     pub use crate::cp::{check_invariants, Assignment, ConvexProgram, InvariantReport};
     pub use crate::flush::with_dummy_flush;

@@ -1,0 +1,426 @@
+//! On-disk JSON encoding of [`EngineSnapshot`].
+//!
+//! The in-memory checkpoint lives in `occ-sim`; this module gives it a
+//! durable form for `occ observe --checkpoint` / `occ resume`. The
+//! encoding must be *lossless* — a resumed run is asserted byte-identical
+//! to an uninterrupted one — which rules out the naive number encoding:
+//! [`Json`] stores numbers as `f64`, so `u64` sequence counters and RNG
+//! words above 2^53 would round, and `f64` dual offsets would be at the
+//! mercy of decimal printing. Instead every `u64` is written as a decimal
+//! *string* and every `f64` as the decimal string of its IEEE-754 bit
+//! pattern, so round-tripping preserves exact bits (including NaN
+//! payloads, infinities and `-0.0`).
+//!
+//! The document leads with a `version` field, checked before anything
+//! else on read: an unknown version is rejected as
+//! [`SnapshotError::UnsupportedVersion`], never mis-parsed.
+
+use crate::json::Json;
+use occ_sim::error::{FaultCounters, SnapshotError};
+use occ_sim::ids::{PageId, UserId};
+use occ_sim::snapshot::{EngineSnapshot, PolicyState, StateValue};
+use occ_sim::stats::UserStats;
+
+/// Encode a snapshot as a compact JSON string.
+pub fn snapshot_to_json(snap: &EngineSnapshot) -> String {
+    snapshot_to_json_value(snap).to_json()
+}
+
+/// Encode a snapshot as a JSON value.
+pub fn snapshot_to_json_value(snap: &EngineSnapshot) -> Json {
+    let stats = snap
+        .stats
+        .iter()
+        .map(|s| {
+            Json::Obj(vec![
+                ("hits".into(), u64_str(s.hits)),
+                ("misses".into(), u64_str(s.misses)),
+                ("evictions".into(), u64_str(s.evictions)),
+            ])
+        })
+        .collect();
+    let policy = snap
+        .policy
+        .fields()
+        .iter()
+        .map(|(k, v)| {
+            let (tag, value) = match v {
+                StateValue::U64(x) => ("u64", u64_str(*x)),
+                StateValue::F64(x) => ("f64", f64_bits(*x)),
+                StateValue::U64s(xs) => {
+                    ("u64s", Json::Arr(xs.iter().map(|&x| u64_str(x)).collect()))
+                }
+                StateValue::F64s(xs) => {
+                    ("f64s", Json::Arr(xs.iter().map(|&x| f64_bits(x)).collect()))
+                }
+                StateValue::Text(s) => ("text", Json::Str(s.clone())),
+            };
+            Json::Obj(vec![
+                ("key".into(), Json::Str(k.clone())),
+                ("type".into(), Json::Str(tag.into())),
+                ("value".into(), value),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("version".into(), Json::from_u64(snap.version)),
+        ("time".into(), u64_str(snap.time)),
+        ("capacity".into(), Json::from_u64(snap.capacity as u64)),
+        ("num_users".into(), Json::from_u64(snap.num_users as u64)),
+        (
+            "owners".into(),
+            Json::Arr(
+                snap.owners
+                    .iter()
+                    .map(|u| Json::from_u64(u.0 as u64))
+                    .collect(),
+            ),
+        ),
+        (
+            "cache_pages".into(),
+            Json::Arr(
+                snap.cache_pages
+                    .iter()
+                    .map(|p| Json::from_u64(p.0 as u64))
+                    .collect(),
+            ),
+        ),
+        ("stats".into(), Json::Arr(stats)),
+        ("policy_name".into(), Json::Str(snap.policy_name.clone())),
+        ("policy".into(), Json::Arr(policy)),
+        (
+            "faults".into(),
+            Json::Obj(vec![
+                (
+                    "page_out_of_range".into(),
+                    u64_str(snap.faults.page_out_of_range),
+                ),
+                ("owner_mismatch".into(), u64_str(snap.faults.owner_mismatch)),
+                (
+                    "quarantined_drops".into(),
+                    u64_str(snap.faults.quarantined_drops),
+                ),
+                (
+                    "quarantined_users".into(),
+                    u64_str(snap.faults.quarantined_users),
+                ),
+            ]),
+        ),
+        (
+            "quarantined".into(),
+            Json::Arr(
+                snap.quarantined
+                    .iter()
+                    .map(|u| Json::from_u64(u.0 as u64))
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Parse and decode a snapshot from JSON text.
+pub fn snapshot_from_json(text: &str) -> Result<EngineSnapshot, SnapshotError> {
+    let v = Json::parse(text)
+        .map_err(|e| SnapshotError::Corrupt(format!("snapshot is not valid JSON: {e}")))?;
+    snapshot_from_json_value(&v)
+}
+
+/// Decode a snapshot from a JSON value. The `version` field is checked
+/// before any other field is touched.
+pub fn snapshot_from_json_value(v: &Json) -> Result<EngineSnapshot, SnapshotError> {
+    let version = v
+        .get("version")
+        .ok_or_else(|| SnapshotError::MissingField("version".into()))?
+        .as_u64()
+        .ok_or_else(|| SnapshotError::Corrupt("version is not an unsigned integer".into()))?;
+    if version != occ_sim::SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            expected: occ_sim::SNAPSHOT_VERSION,
+        });
+    }
+    let time = read_u64(v, "time")?;
+    let capacity = read_plain_u64(v, "capacity")? as usize;
+    let num_users = read_u32(v, "num_users")?;
+    let owners = read_id_array(v, "owners")?
+        .into_iter()
+        .map(UserId)
+        .collect();
+    let cache_pages = read_id_array(v, "cache_pages")?
+        .into_iter()
+        .map(PageId)
+        .collect();
+    let stats = read_array(v, "stats")?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            Ok(UserStats {
+                hits: read_u64(s, "hits").map_err(|e| nested(&format!("stats[{i}]"), e))?,
+                misses: read_u64(s, "misses").map_err(|e| nested(&format!("stats[{i}]"), e))?,
+                evictions: read_u64(s, "evictions")
+                    .map_err(|e| nested(&format!("stats[{i}]"), e))?,
+            })
+        })
+        .collect::<Result<Vec<_>, SnapshotError>>()?;
+    let policy_name = read_str(v, "policy_name")?.to_string();
+    let mut policy = PolicyState::new();
+    for (i, f) in read_array(v, "policy")?.iter().enumerate() {
+        let at = format!("policy[{i}]");
+        let key = read_str(f, "key").map_err(|e| nested(&at, e))?;
+        let tag = read_str(f, "type").map_err(|e| nested(&at, e))?;
+        let value = f
+            .get("value")
+            .ok_or_else(|| SnapshotError::MissingField(format!("{at}.value")))?;
+        let value = match tag {
+            "u64" => StateValue::U64(parse_u64(value, &at)?),
+            "f64" => StateValue::F64(parse_f64_bits(value, &at)?),
+            "u64s" => StateValue::U64s(
+                value
+                    .as_array()
+                    .ok_or_else(|| SnapshotError::Corrupt(format!("{at}.value is not an array")))?
+                    .iter()
+                    .map(|x| parse_u64(x, &at))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "f64s" => StateValue::F64s(
+                value
+                    .as_array()
+                    .ok_or_else(|| SnapshotError::Corrupt(format!("{at}.value is not an array")))?
+                    .iter()
+                    .map(|x| parse_f64_bits(x, &at))
+                    .collect::<Result<_, _>>()?,
+            ),
+            "text" => StateValue::Text(
+                value
+                    .as_str()
+                    .ok_or_else(|| SnapshotError::Corrupt(format!("{at}.value is not a string")))?
+                    .to_string(),
+            ),
+            other => {
+                return Err(SnapshotError::Corrupt(format!(
+                    "{at} has unknown type tag '{other}'"
+                )))
+            }
+        };
+        policy.set(key, value);
+    }
+    let fv = v
+        .get("faults")
+        .ok_or_else(|| SnapshotError::MissingField("faults".into()))?;
+    let faults = FaultCounters {
+        page_out_of_range: read_u64(fv, "page_out_of_range")?,
+        owner_mismatch: read_u64(fv, "owner_mismatch")?,
+        quarantined_drops: read_u64(fv, "quarantined_drops")?,
+        quarantined_users: read_u64(fv, "quarantined_users")?,
+    };
+    let quarantined = read_id_array(v, "quarantined")?
+        .into_iter()
+        .map(UserId)
+        .collect();
+    Ok(EngineSnapshot {
+        version,
+        time,
+        capacity,
+        num_users,
+        owners,
+        cache_pages,
+        stats,
+        policy_name,
+        policy,
+        faults,
+        quarantined,
+    })
+}
+
+fn u64_str(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn f64_bits(v: f64) -> Json {
+    Json::Str(v.to_bits().to_string())
+}
+
+fn nested(at: &str, e: SnapshotError) -> SnapshotError {
+    match e {
+        SnapshotError::MissingField(k) => SnapshotError::MissingField(format!("{at}.{k}")),
+        SnapshotError::Corrupt(m) => SnapshotError::Corrupt(format!("{at}: {m}")),
+        other => other,
+    }
+}
+
+fn parse_u64(v: &Json, what: &str) -> Result<u64, SnapshotError> {
+    v.as_str()
+        .and_then(|s| s.parse::<u64>().ok())
+        .ok_or_else(|| {
+            SnapshotError::Corrupt(format!("{what} is not a u64-in-a-string: {}", v.to_json()))
+        })
+}
+
+fn parse_f64_bits(v: &Json, what: &str) -> Result<f64, SnapshotError> {
+    parse_u64(v, what).map(f64::from_bits)
+}
+
+fn read_u64(v: &Json, key: &str) -> Result<u64, SnapshotError> {
+    let field = v
+        .get(key)
+        .ok_or_else(|| SnapshotError::MissingField(key.into()))?;
+    parse_u64(field, key)
+}
+
+fn read_plain_u64(v: &Json, key: &str) -> Result<u64, SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| SnapshotError::MissingField(key.into()))?
+        .as_u64()
+        .ok_or_else(|| SnapshotError::Corrupt(format!("{key} is not an unsigned integer")))
+}
+
+fn read_u32(v: &Json, key: &str) -> Result<u32, SnapshotError> {
+    let x = read_plain_u64(v, key)?;
+    u32::try_from(x).map_err(|_| SnapshotError::Corrupt(format!("{key} = {x} overflows u32")))
+}
+
+fn read_str<'a>(v: &'a Json, key: &str) -> Result<&'a str, SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| SnapshotError::MissingField(key.into()))?
+        .as_str()
+        .ok_or_else(|| SnapshotError::Corrupt(format!("{key} is not a string")))
+}
+
+fn read_array<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], SnapshotError> {
+    v.get(key)
+        .ok_or_else(|| SnapshotError::MissingField(key.into()))?
+        .as_array()
+        .ok_or_else(|| SnapshotError::Corrupt(format!("{key} is not an array")))
+}
+
+fn read_id_array(v: &Json, key: &str) -> Result<Vec<u32>, SnapshotError> {
+    read_array(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .and_then(|n| u32::try_from(n).ok())
+                .ok_or_else(|| {
+                    SnapshotError::Corrupt(format!("{key} entry is not a u32: {}", x.to_json()))
+                })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_baselines::RandomizedMarking;
+    use occ_sim::prelude::*;
+
+    fn live_snapshot() -> EngineSnapshot {
+        // A real engine mid-run, with RNG words in the policy bag — the
+        // values most likely to expose lossy encoding.
+        let u = Universe::uniform(3, 4);
+        let mut eng = SteppingEngine::new(5, u.clone(), RandomizedMarking::new(0xDEAD_BEEF));
+        for i in 0..97u32 {
+            eng.step(u.request(PageId((i * 7 + 1) % 12)));
+        }
+        eng.snapshot().unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let snap = live_snapshot();
+        let back = snapshot_from_json(&snapshot_to_json(&snap)).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn extreme_floats_and_counters_survive() {
+        let mut snap = live_snapshot();
+        snap.policy.set_f64("weird", -0.0);
+        snap.policy.set_f64("inf", f64::NEG_INFINITY);
+        snap.policy.set_f64("nan", f64::NAN);
+        snap.policy.set_u64("big", u64::MAX);
+        snap.policy
+            .set_f64s("mix", vec![f64::MIN_POSITIVE, 1e300, f64::EPSILON]);
+        let back = snapshot_from_json(&snapshot_to_json(&snap)).unwrap();
+        // PartialEq on f64 treats NaN != NaN, so compare bits explicitly.
+        assert_eq!(
+            match back.policy.get("nan").unwrap() {
+                StateValue::F64(x) => x.to_bits(),
+                _ => panic!(),
+            },
+            f64::NAN.to_bits()
+        );
+        assert_eq!(
+            back.policy.f64("weird").unwrap().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(back.policy.f64("inf").unwrap(), f64::NEG_INFINITY);
+        assert_eq!(back.policy.u64("big").unwrap(), u64::MAX);
+        assert_eq!(
+            back.policy.f64s("mix").unwrap(),
+            &[f64::MIN_POSITIVE, 1e300, f64::EPSILON]
+        );
+    }
+
+    #[test]
+    fn unknown_version_is_rejected_before_anything_else() {
+        let snap = live_snapshot();
+        // Bump the version and gut the rest: the reader must fail on the
+        // version, not on the missing/garbled remainder.
+        let text = format!(
+            r#"{{"version": {}, "time": "not even a number"}}"#,
+            SNAPSHOT_VERSION + 3
+        );
+        let err = snapshot_from_json(&text).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::UnsupportedVersion { found, expected }
+                if found == SNAPSHOT_VERSION + 3 && expected == SNAPSHOT_VERSION
+        ));
+        drop(snap);
+    }
+
+    #[test]
+    fn corruption_yields_typed_errors() {
+        let snap = live_snapshot();
+        let good = snapshot_to_json(&snap);
+        assert!(matches!(
+            snapshot_from_json("{nope").unwrap_err(),
+            SnapshotError::Corrupt(_)
+        ));
+        assert!(matches!(
+            snapshot_from_json("{}").unwrap_err(),
+            SnapshotError::MissingField(f) if f == "version"
+        ));
+        // Flip the exact-integer time string into a float.
+        let bad = good.replace(&format!("\"time\":\"{}\"", snap.time), "\"time\":\"1.5\"");
+        assert_ne!(bad, good);
+        assert!(matches!(
+            snapshot_from_json(&bad).unwrap_err(),
+            SnapshotError::Corrupt(m) if m.contains("time")
+        ));
+    }
+
+    #[test]
+    fn decoded_snapshot_restores_into_an_engine() {
+        // End-to-end: snapshot → JSON → decode → fresh engine → identical
+        // continuation.
+        let u = Universe::uniform(3, 4);
+        let mut full = SteppingEngine::new(5, u.clone(), RandomizedMarking::new(7));
+        let mut head = SteppingEngine::new(5, u.clone(), RandomizedMarking::new(7));
+        let reqs: Vec<Request> = (0..200u32)
+            .map(|i| u.request(PageId((i * 5 + 2) % 12)))
+            .collect();
+        for r in &reqs {
+            full.step(*r);
+        }
+        for r in &reqs[..80] {
+            head.step(*r);
+        }
+        let snap = snapshot_from_json(&snapshot_to_json(&head.snapshot().unwrap())).unwrap();
+        let mut tail = SteppingEngine::from_snapshot(&snap, RandomizedMarking::new(999)).unwrap();
+        for r in &reqs[80..] {
+            tail.step(*r);
+        }
+        assert_eq!(tail.stats(), full.stats());
+        assert_eq!(tail.cache().pages(), full.cache().pages());
+    }
+}

@@ -15,6 +15,9 @@
 //!   over time;
 //! * [`ObserveReport`] — the JSON/table report `occ observe` emits and
 //!   `occ report` renders;
+//! * [`checkpoint`] — the lossless on-disk JSON form of
+//!   `occ_sim::EngineSnapshot` behind `occ observe --checkpoint` and
+//!   `occ resume`;
 //! * [`Json`] — the minimal parser/writer backing all of the above
 //!   (the workspace's vendored `serde` is a no-op stub, so
 //!   serialization is done by hand).
@@ -26,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod dual;
 pub mod histogram;
 pub mod json;
@@ -33,6 +37,7 @@ pub mod recorder;
 pub mod report;
 pub mod sink;
 
+pub use checkpoint::{snapshot_from_json, snapshot_to_json};
 pub use dual::{DualSample, DualTrace};
 pub use histogram::LogHistogram;
 pub use json::Json;

@@ -9,6 +9,7 @@
 use crate::histogram::LogHistogram;
 use crate::json::Json;
 use occ_sim::engine::EngineCtx;
+use occ_sim::error::{FaultCounters, RequestFault};
 use occ_sim::ids::{PageId, Time, UserId};
 use occ_sim::probe::Recorder;
 
@@ -20,6 +21,7 @@ pub struct MetricsRecorder {
     evictions: u64,
     flush_evictions: u64,
     evictions_by_user: Vec<u64>,
+    faults: FaultCounters,
     latency_ns: LogHistogram,
 }
 
@@ -75,6 +77,15 @@ impl MetricsRecorder {
         &self.latency_ns
     }
 
+    /// Faulty/dropped records observed via [`Recorder::record_fault`]
+    /// (only populated by the checked engine paths; `quarantined_users`
+    /// is left to the engine's [`FaultHandler`], which owns membership).
+    ///
+    /// [`FaultHandler`]: occ_sim::FaultHandler
+    pub fn faults(&self) -> &FaultCounters {
+        &self.faults
+    }
+
     /// Fold another recorder's observations into this one.
     pub fn merge(&mut self, other: &MetricsRecorder) {
         self.hits += other.hits;
@@ -92,6 +103,7 @@ impl MetricsRecorder {
         {
             *a += b;
         }
+        self.faults.merge(&other.faults);
         self.latency_ns.merge(&other.latency_ns);
     }
 
@@ -114,6 +126,24 @@ impl MetricsRecorder {
                         .map(|&n| Json::from_u64(n))
                         .collect(),
                 ),
+            ),
+            (
+                "faults".into(),
+                Json::Obj(vec![
+                    (
+                        "page_out_of_range".into(),
+                        Json::from_u64(self.faults.page_out_of_range),
+                    ),
+                    (
+                        "owner_mismatch".into(),
+                        Json::from_u64(self.faults.owner_mismatch),
+                    ),
+                    (
+                        "quarantined_drops".into(),
+                        Json::from_u64(self.faults.quarantined_drops),
+                    ),
+                    ("total".into(), Json::from_u64(self.faults.total_records())),
+                ]),
             ),
             ("latency_ns".into(), self.latency_ns.to_json_value()),
         ])
@@ -151,6 +181,10 @@ impl Recorder for MetricsRecorder {
 
     fn record_latency_ns(&mut self, _t: Time, ns: u64) {
         self.latency_ns.record(ns);
+    }
+
+    fn record_fault(&mut self, fault: &RequestFault) {
+        self.faults.count(fault.kind);
     }
 }
 
@@ -217,9 +251,41 @@ mod tests {
             "evictions",
             "flush_evictions",
             "evictions_by_user",
+            "faults",
             "latency_ns",
         ] {
             assert!(v.get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn checked_runs_stream_faults_into_the_recorder() {
+        use occ_sim::error::FaultPolicy;
+
+        let u = Universe::uniform(2, 2);
+        let mut eng =
+            SteppingEngine::new(2, u.clone(), Lru::default()).with_recorder(MetricsRecorder::new());
+        let mut h = FaultHandler::new(FaultPolicy::SkipAndCount, 2);
+        eng.step_checked(u.request(PageId(0)), &mut h).unwrap();
+        let corrupt = Request {
+            page: PageId(99),
+            user: UserId(0),
+        };
+        assert_eq!(eng.step_checked(corrupt, &mut h).unwrap(), None);
+        let wrong_owner = Request {
+            page: PageId(0),
+            user: UserId(1),
+        };
+        assert_eq!(eng.step_checked(wrong_owner, &mut h).unwrap(), None);
+
+        let faults = eng.recorder().faults();
+        assert_eq!(faults.page_out_of_range, 1);
+        assert_eq!(faults.owner_mismatch, 1);
+        assert_eq!(faults, h.counters(), "recorder mirrors the handler");
+        let v = eng.recorder().to_json_value();
+        assert_eq!(
+            v.get("faults").unwrap().get("total").unwrap().as_u64(),
+            Some(2)
+        );
     }
 }

@@ -87,19 +87,25 @@ impl ObserveReport {
     /// [`REQUIRED_KEYS`] present, a matching schema stamp, and counters
     /// that add up (`hits + misses = requests`).
     pub fn validate(v: &Json) -> Result<(), String> {
+        // The schema stamp is checked before any other key: a report from
+        // a future version may legitimately lack or rename today's
+        // required keys, and the error must say "unsupported schema", not
+        // mislead with a missing-key complaint.
+        let schema = v
+            .get("schema")
+            .ok_or("report has no 'schema' stamp")?
+            .as_u64()
+            .ok_or("'schema' must be an unsigned integer")?;
+        if schema != REPORT_SCHEMA {
+            return Err(format!(
+                "report schema {schema} unsupported (this build reads schema {REPORT_SCHEMA}); \
+                 re-run `occ observe` with a matching build"
+            ));
+        }
         for key in REQUIRED_KEYS {
             if v.get(key).is_none() {
                 return Err(format!("report missing required key '{key}'"));
             }
-        }
-        let schema = v
-            .get("schema")
-            .and_then(Json::as_u64)
-            .ok_or("'schema' must be an unsigned integer")?;
-        if schema != REPORT_SCHEMA {
-            return Err(format!(
-                "report schema {schema} unsupported (expected {REPORT_SCHEMA})"
-            ));
         }
         let num = |key: &str| {
             v.get(key)
@@ -107,7 +113,7 @@ impl ObserveReport {
                 .ok_or_else(|| format!("'{key}' must be an unsigned integer"))
         };
         let (requests, hits, misses) = (num("requests")?, num("hits")?, num("misses")?);
-        if hits + misses != requests {
+        if hits.checked_add(misses) != Some(requests) {
             return Err(format!(
                 "counters disagree: hits {hits} + misses {misses} != requests {requests}"
             ));
@@ -161,6 +167,28 @@ impl ObserveReport {
             summary.row(vec!["total_cost".to_string(), fnum(c)]);
         }
         out.push_str(&summary.to_markdown());
+
+        if let Some(faults) = self.metrics.get("faults") {
+            let count = |key: &str| faults.get(key).and_then(Json::as_u64).unwrap_or(0);
+            if count("total") > 0 {
+                let mut t = Table::new(vec!["fault", "records"]);
+                t.row(vec![
+                    "page-out-of-range".to_string(),
+                    count("page_out_of_range").to_string(),
+                ]);
+                t.row(vec![
+                    "owner-mismatch".to_string(),
+                    count("owner_mismatch").to_string(),
+                ]);
+                t.row(vec![
+                    "quarantined-drops".to_string(),
+                    count("quarantined_drops").to_string(),
+                ]);
+                t.row(vec!["total".to_string(), count("total").to_string()]);
+                out.push('\n');
+                out.push_str(&t.to_markdown());
+            }
+        }
 
         if let Some(lat) = self.metrics.get("latency_ns") {
             if let Ok(h) = crate::LogHistogram::from_json_value(lat) {
@@ -242,6 +270,45 @@ mod tests {
         r.hits = 61; // 61 + 40 != 100
         let v = Json::parse(&r.to_json()).unwrap();
         assert!(ObserveReport::validate(&v).is_err());
+    }
+
+    #[test]
+    fn unknown_schema_is_rejected_before_key_checks() {
+        // A future-version report: wrong schema AND none of today's keys.
+        // The error must name the schema, not complain about keys the
+        // future format legitimately dropped.
+        let future = format!(r#"{{"schema": {}}}"#, REPORT_SCHEMA + 5);
+        let err = ObserveReport::validate(&Json::parse(&future).unwrap()).unwrap_err();
+        assert!(
+            err.contains(&format!("schema {} unsupported", REPORT_SCHEMA + 5)),
+            "got: {err}"
+        );
+        assert!(!err.contains("missing required key"), "got: {err}");
+        // A fractional or missing stamp is also a schema error.
+        let err = ObserveReport::validate(&Json::parse(r#"{"schema": 1.5}"#).unwrap()).unwrap_err();
+        assert!(err.contains("schema"), "got: {err}");
+        let err =
+            ObserveReport::validate(&Json::parse(r#"{"policy": "lru"}"#).unwrap()).unwrap_err();
+        assert!(err.contains("schema"), "got: {err}");
+    }
+
+    #[test]
+    fn table_renders_fault_section_when_nonzero() {
+        let mut r = sample_report();
+        // No faults → no section.
+        assert!(!r.to_table().contains("page-out-of-range"));
+        r.metrics = Json::Obj(vec![(
+            "faults".into(),
+            Json::Obj(vec![
+                ("page_out_of_range".into(), Json::from_u64(3)),
+                ("owner_mismatch".into(), Json::from_u64(1)),
+                ("quarantined_drops".into(), Json::from_u64(0)),
+                ("total".into(), Json::from_u64(4)),
+            ]),
+        )]);
+        let text = r.to_table();
+        assert!(text.contains("page-out-of-range"));
+        assert!(text.contains("owner-mismatch"));
     }
 
     #[test]

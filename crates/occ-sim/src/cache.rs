@@ -7,6 +7,7 @@
 //! iteration order is a deterministic function of the operation history
 //! (important for reproducible tie-breaking in policies that scan).
 
+use crate::error::SnapshotError;
 use crate::ids::PageId;
 
 /// A set of cached pages with O(1) membership, insertion and removal.
@@ -31,6 +32,39 @@ impl CacheSet {
             pages: Vec::with_capacity(capacity),
             capacity,
         }
+    }
+
+    /// Rebuild a cache from snapshotted contents, preserving the given
+    /// (operation-history) order, so policies that scan `pages()` see the
+    /// same tie-breaking order after a resume. Rejects duplicate,
+    /// out-of-range, or over-capacity contents instead of panicking.
+    pub fn try_restore(
+        capacity: usize,
+        num_pages: u32,
+        pages: &[PageId],
+    ) -> Result<Self, SnapshotError> {
+        if capacity == 0 {
+            return Err(SnapshotError::Corrupt("cache capacity is zero".into()));
+        }
+        if pages.len() > capacity {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot holds {} pages but capacity is {capacity}",
+                pages.len()
+            )));
+        }
+        let mut cache = CacheSet::new(capacity, num_pages);
+        for &p in pages {
+            if p.index() >= num_pages as usize {
+                return Err(SnapshotError::Corrupt(format!(
+                    "cached page {p} outside the universe ({num_pages} pages)"
+                )));
+            }
+            if cache.contains(p) {
+                return Err(SnapshotError::Corrupt(format!("page {p} cached twice")));
+            }
+            cache.insert(p);
+        }
+        Ok(cache)
     }
 
     /// Maximum number of pages the cache can hold (the paper's `k`).
@@ -183,6 +217,24 @@ mod tests {
         assert_eq!(drained, vec![PageId(2), PageId(4), PageId(7)]);
         assert!(c.is_empty());
         assert!(!c.contains(PageId(7)));
+    }
+
+    #[test]
+    fn try_restore_preserves_order_and_rejects_garbage() {
+        let mut c = CacheSet::new(3, 10);
+        c.insert(PageId(1));
+        c.insert(PageId(2));
+        c.insert(PageId(3));
+        c.remove(PageId(1));
+        c.insert(PageId(4)); // pages() is now [3, 2, 4] via swap-remove
+        let restored = CacheSet::try_restore(3, 10, c.pages()).unwrap();
+        assert_eq!(restored.pages(), c.pages());
+        assert!(restored.contains(PageId(4)));
+
+        assert!(CacheSet::try_restore(0, 10, &[]).is_err());
+        assert!(CacheSet::try_restore(1, 10, &[PageId(0), PageId(1)]).is_err());
+        assert!(CacheSet::try_restore(2, 10, &[PageId(10)]).is_err());
+        assert!(CacheSet::try_restore(2, 10, &[PageId(1), PageId(1)]).is_err());
     }
 
     #[test]

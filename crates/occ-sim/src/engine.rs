@@ -7,12 +7,14 @@
 //! is what makes cross-policy cost comparisons meaningful.
 
 use crate::cache::CacheSet;
+use crate::error::{FaultCounters, FaultHandler, FaultPolicy, SimError};
 use crate::event::{EventLog, SimEvent};
-use crate::ids::{PageId, Time};
+use crate::ids::{PageId, Time, UserId};
 use crate::policy::ReplacementPolicy;
 use crate::probe::{NoopRecorder, Recorder};
 use crate::source::{RequestSource, TraceSource};
 use crate::stats::SimStats;
+use crate::stepper::SteppingEngine;
 use crate::trace::{Trace, Universe};
 use std::time::Instant;
 
@@ -80,6 +82,24 @@ impl SimResult {
             self.total_misses() as f64 / self.steps as f64
         }
     }
+}
+
+/// Outcome of a checked (fault-tolerant) run: the ordinary result plus
+/// everything the degradation policy absorbed along the way.
+///
+/// Note that [`SimResult::steps`] counts *consumed records* here, not
+/// served requests: records dropped under skip-and-count or
+/// quarantine-user still advance the clock, keeping the timeline aligned
+/// with the input stream.
+#[derive(Clone, Debug)]
+pub struct CheckedRun {
+    /// The ordinary run result.
+    pub result: SimResult,
+    /// Faults absorbed by the degradation policy.
+    pub faults: FaultCounters,
+    /// Users quarantined during the run (empty unless the policy was
+    /// [`FaultPolicy::QuarantineUser`]).
+    pub quarantined: Vec<UserId>,
 }
 
 /// The simulator: a cache size plus run options.
@@ -305,6 +325,95 @@ impl Simulator {
             steps: t,
         }
     }
+
+    /// Run `policy` over a possibly-corrupt `trace` under a degradation
+    /// [`FaultPolicy`] (see [`Self::try_run_source_recorded`]).
+    pub fn try_run<P: ReplacementPolicy>(
+        &self,
+        policy: &mut P,
+        trace: &Trace,
+        fault_policy: FaultPolicy,
+    ) -> Result<CheckedRun, SimError> {
+        let mut source = TraceSource::new(trace);
+        self.try_run_source_recorded(policy, &mut source, &mut NoopRecorder, fault_policy)
+    }
+
+    /// [`Self::try_run`] with a [`Recorder`] observing every decision
+    /// (including absorbed faults, via
+    /// [`Recorder::record_fault`](crate::probe::Recorder::record_fault)).
+    pub fn try_run_recorded<P, R>(
+        &self,
+        policy: &mut P,
+        trace: &Trace,
+        recorder: &mut R,
+        fault_policy: FaultPolicy,
+    ) -> Result<CheckedRun, SimError>
+    where
+        P: ReplacementPolicy,
+        R: Recorder,
+    {
+        let mut source = TraceSource::new(trace);
+        self.try_run_source_recorded(policy, &mut source, recorder, fault_policy)
+    }
+
+    /// The fault-tolerant counterpart of [`Self::run_source_recorded`]:
+    /// validates every record before serving it and reacts to faults per
+    /// `fault_policy` instead of panicking.
+    ///
+    /// This path lives beside (not inside) the trusting hot loop: the
+    /// unchecked `run*` family stays monomorphized to the unvalidated
+    /// code, so enabling fault tolerance costs nothing when it is not
+    /// used (guarded by `bench_baseline`). On well-formed input a checked
+    /// run produces the identical [`SimResult`] to an unchecked one.
+    pub fn try_run_source_recorded<P, S, R>(
+        &self,
+        policy: &mut P,
+        source: &mut S,
+        recorder: &mut R,
+        fault_policy: FaultPolicy,
+    ) -> Result<CheckedRun, SimError>
+    where
+        P: ReplacementPolicy,
+        S: RequestSource,
+        R: Recorder,
+    {
+        let universe = source.universe().clone();
+        let num_users = universe.num_users();
+        let mut engine = SteppingEngine::new(self.capacity, universe, &mut *policy)
+            .with_recorder(&mut *recorder);
+        if self.options.record_events {
+            engine = match self.options.event_capacity {
+                Some(capacity) => engine.with_bounded_events(capacity),
+                None => engine.with_events(),
+            };
+        }
+        let mut handler = FaultHandler::new(fault_policy, num_users);
+        loop {
+            let req = {
+                let ctx = engine.ctx();
+                source.next_request(&ctx)
+            };
+            let Some(req) = req else { break };
+            engine.step_checked(req, &mut handler)?;
+        }
+        let final_cache = engine.cache().sorted_pages();
+        if self.options.flush_at_end {
+            engine.flush();
+        }
+        let steps = engine.time();
+        let stats = engine.stats().clone();
+        let events = engine.take_events();
+        Ok(CheckedRun {
+            result: SimResult {
+                stats,
+                events,
+                final_cache,
+                steps,
+            },
+            faults: handler.counters().clone(),
+            quarantined: handler.quarantined_users(),
+        })
+    }
 }
 
 #[cfg(test)]
@@ -429,6 +538,88 @@ mod tests {
         assert_eq!(r.steps, 0);
         assert_eq!(r.miss_rate(), 0.0);
         assert!(r.final_cache.is_empty());
+    }
+
+    #[test]
+    fn checked_run_matches_unchecked_on_clean_input() {
+        let trace = two_user_trace();
+        let sim = Simulator::new(2).record_events(true).flush_at_end(true);
+        let plain = sim.run(&mut EvictFirst, &trace);
+        let checked = sim
+            .try_run(&mut EvictFirst, &trace, FaultPolicy::FailFast)
+            .unwrap();
+        assert!(checked.faults.is_clean());
+        assert!(checked.quarantined.is_empty());
+        assert_eq!(checked.result.stats, plain.stats);
+        assert_eq!(checked.result.steps, plain.steps);
+        assert_eq!(checked.result.final_cache, plain.final_cache);
+        assert_eq!(
+            checked.result.events.as_ref().unwrap().to_vec(),
+            plain.events.as_ref().unwrap().to_vec()
+        );
+    }
+
+    #[test]
+    fn checked_run_skips_corrupt_source_records() {
+        use crate::source::RequestSource;
+        use crate::trace::Request;
+
+        // A source that interleaves out-of-range pages with a clean
+        // single-user stream.
+        struct Glitchy {
+            universe: Universe,
+            t: u64,
+        }
+        impl RequestSource for Glitchy {
+            fn universe(&self) -> &Universe {
+                &self.universe
+            }
+            fn next_request(&mut self, _ctx: &EngineCtx) -> Option<Request> {
+                let t = self.t;
+                self.t += 1;
+                if t >= 9 {
+                    return None;
+                }
+                if t % 3 == 2 {
+                    Some(Request {
+                        page: PageId(1000),
+                        user: UserId(0),
+                    })
+                } else {
+                    Some(self.universe.request(PageId((t % 2) as u32)))
+                }
+            }
+        }
+
+        let universe = Universe::single_user(2);
+        let mut src = Glitchy {
+            universe: universe.clone(),
+            t: 0,
+        };
+        let checked = Simulator::new(2)
+            .try_run_source_recorded(
+                &mut EvictFirst,
+                &mut src,
+                &mut NoopRecorder,
+                FaultPolicy::SkipAndCount,
+            )
+            .unwrap();
+        assert_eq!(checked.faults.page_out_of_range, 3);
+        assert_eq!(checked.result.steps, 9); // dropped records consume ticks
+        assert_eq!(checked.result.stats.total_misses(), 2);
+        assert_eq!(checked.result.stats.total_hits(), 4);
+
+        // The same stream under fail-fast dies on the first glitch.
+        let mut src = Glitchy { universe, t: 0 };
+        let err = Simulator::new(2)
+            .try_run_source_recorded(
+                &mut EvictFirst,
+                &mut src,
+                &mut NoopRecorder,
+                FaultPolicy::FailFast,
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::Request(_)));
     }
 
     #[test]

@@ -46,12 +46,14 @@
 
 pub mod cache;
 pub mod engine;
+pub mod error;
 pub mod event;
 pub mod ids;
 pub mod intrusive;
 pub mod nextuse;
 pub mod policy;
 pub mod probe;
+pub mod snapshot;
 pub mod source;
 pub mod stats;
 pub mod stepper;
@@ -59,13 +61,18 @@ pub mod textio;
 pub mod trace;
 
 pub use cache::CacheSet;
-pub use engine::{EngineCtx, SimOptions, SimResult, Simulator};
+pub use engine::{CheckedRun, EngineCtx, SimOptions, SimResult, Simulator};
+pub use error::{
+    CostAnomaly, FaultCounters, FaultHandler, FaultKind, FaultPolicy, PolicyViolation,
+    PolicyViolationKind, RequestFault, SimError, SnapshotError,
+};
 pub use event::{EventLog, SimEvent};
 pub use ids::{PageId, Time, UserId};
 pub use intrusive::{PageList, PageLists};
 pub use nextuse::NextUseIndex;
 pub use policy::ReplacementPolicy;
 pub use probe::{NoopRecorder, Recorder};
+pub use snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
 pub use source::{AdaptiveSource, RequestSource, TraceSource};
 pub use stats::{SimStats, UserStats};
 pub use stepper::{StepOutcome, SteppingEngine};
@@ -75,13 +82,17 @@ pub use trace::{Request, Trace, TraceBuilder, Universe};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::cache::CacheSet;
-    pub use crate::engine::{EngineCtx, SimOptions, SimResult, Simulator};
+    pub use crate::engine::{CheckedRun, EngineCtx, SimOptions, SimResult, Simulator};
+    pub use crate::error::{
+        FaultCounters, FaultHandler, FaultKind, FaultPolicy, RequestFault, SimError, SnapshotError,
+    };
     pub use crate::event::{EventLog, SimEvent};
     pub use crate::ids::{PageId, Time, UserId};
     pub use crate::intrusive::{PageList, PageLists};
     pub use crate::nextuse::NextUseIndex;
     pub use crate::policy::ReplacementPolicy;
     pub use crate::probe::{NoopRecorder, Recorder};
+    pub use crate::snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
     pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};
     pub use crate::stats::{SimStats, UserStats};
     pub use crate::stepper::{StepOutcome, SteppingEngine};

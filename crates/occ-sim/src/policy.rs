@@ -7,7 +7,9 @@
 //! nothing else.
 
 use crate::engine::EngineCtx;
+use crate::error::SnapshotError;
 use crate::ids::PageId;
+use crate::snapshot::PolicyState;
 
 /// An online cache replacement policy.
 ///
@@ -60,6 +62,28 @@ pub trait ReplacementPolicy {
     /// Reset internal state so the policy can be reused for another run.
     /// Policies that carry no cross-run state can keep the default no-op.
     fn reset(&mut self) {}
+
+    /// Capture this policy's internal state for a checkpoint, or `None`
+    /// if the policy does not support checkpointing (the default).
+    ///
+    /// The captured bag, together with the engine-owned state (cache
+    /// contents in operation-history order, stats, clock), must be enough
+    /// for [`load_state`](Self::load_state) to continue the run
+    /// byte-identically — including RNG words for randomized policies.
+    fn save_state(&self) -> Option<PolicyState> {
+        None
+    }
+
+    /// Restore state captured by [`save_state`](Self::save_state). `ctx`
+    /// reflects the *already restored* engine (cache contents, stats,
+    /// universe, clock), which is what list-rebuilding policies need.
+    ///
+    /// Implementations must validate the bag via the typed
+    /// [`PolicyState`] getters and return a [`SnapshotError`] rather
+    /// than panicking on corrupt input.
+    fn load_state(&mut self, _ctx: &EngineCtx, _state: &PolicyState) -> Result<(), SnapshotError> {
+        Err(SnapshotError::Unsupported(self.name()))
+    }
 }
 
 /// Impl for boxed policies so heterogeneous suites (`Vec<Box<dyn …>>`)
@@ -86,6 +110,12 @@ impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
     fn reset(&mut self) {
         (**self).reset()
     }
+    fn save_state(&self) -> Option<PolicyState> {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        (**self).load_state(ctx, state)
+    }
 }
 
 /// Blanket impl so `&mut P` can be passed where a policy is expected.
@@ -110,6 +140,12 @@ impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for &mut P {
     }
     fn reset(&mut self) {
         (**self).reset()
+    }
+    fn save_state(&self) -> Option<PolicyState> {
+        (**self).save_state()
+    }
+    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
+        (**self).load_state(ctx, state)
     }
 }
 

@@ -18,6 +18,7 @@
 //! so the engine does not depend on them.
 
 use crate::engine::EngineCtx;
+use crate::error::RequestFault;
 use crate::ids::{PageId, Time, UserId};
 
 /// Observer of engine decisions, threaded through a run as a generic
@@ -65,6 +66,12 @@ pub trait Recorder {
     /// Wall-clock nanoseconds spent serving the request at time `t`
     /// (only called when [`Self::TIMED`] is `true`).
     fn record_latency_ns(&mut self, _t: Time, _ns: u64) {}
+
+    /// A faulty request record was absorbed by a checked run (skipped or
+    /// quarantine-dropped under a degradation
+    /// [`FaultPolicy`](crate::error::FaultPolicy)). Never fired by the
+    /// unchecked hot paths.
+    fn record_fault(&mut self, _fault: &RequestFault) {}
 }
 
 /// The default recorder: records nothing, costs nothing.
@@ -108,6 +115,9 @@ impl<R: Recorder> Recorder for &mut R {
     }
     fn record_latency_ns(&mut self, t: Time, ns: u64) {
         (**self).record_latency_ns(t, ns);
+    }
+    fn record_fault(&mut self, fault: &RequestFault) {
+        (**self).record_fault(fault);
     }
 }
 
@@ -166,6 +176,14 @@ impl<A: Recorder, B: Recorder> Recorder for (A, B) {
         }
         if B::TIMED {
             self.1.record_latency_ns(t, ns);
+        }
+    }
+    fn record_fault(&mut self, fault: &RequestFault) {
+        if A::ACTIVE {
+            self.0.record_fault(fault);
+        }
+        if B::ACTIVE {
+            self.1.record_fault(fault);
         }
     }
 }

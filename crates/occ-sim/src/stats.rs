@@ -20,9 +20,11 @@ pub struct UserStats {
 }
 
 impl UserStats {
-    /// Total requests seen for this user.
+    /// Total requests seen for this user (saturating, so the identity
+    /// `requests = hits + misses` degrades gracefully at the `u64`
+    /// boundary instead of panicking in debug builds).
     pub fn requests(&self) -> u64 {
-        self.hits + self.misses
+        self.hits.saturating_add(self.misses)
     }
 }
 
@@ -38,6 +40,11 @@ impl SimStats {
         SimStats {
             per_user: vec![UserStats::default(); num_users as usize],
         }
+    }
+
+    /// Rebuild stats from a per-user counter vector (snapshot restore).
+    pub fn from_per_user(per_user: Vec<UserStats>) -> Self {
+        SimStats { per_user }
     }
 
     /// Counters for one user.
@@ -58,37 +65,50 @@ impl SimStats {
         self.per_user.len()
     }
 
-    /// Record a hit for `user`.
+    /// Record a hit for `user`. Saturating: a counter pinned at
+    /// `u64::MAX` stays there rather than wrapping (release) or panicking
+    /// (debug) — long chaos runs must never die in the accounting.
     #[inline]
     pub fn record_hit(&mut self, user: UserId) {
-        self.per_user[user.index()].hits += 1;
+        let c = &mut self.per_user[user.index()].hits;
+        *c = c.saturating_add(1);
     }
 
-    /// Record a miss (fetch) for `user`.
+    /// Record a miss (fetch) for `user` (saturating, see
+    /// [`record_hit`](Self::record_hit)).
     #[inline]
     pub fn record_miss(&mut self, user: UserId) {
-        self.per_user[user.index()].misses += 1;
+        let c = &mut self.per_user[user.index()].misses;
+        *c = c.saturating_add(1);
     }
 
-    /// Record an eviction of one of `user`'s pages.
+    /// Record an eviction of one of `user`'s pages (saturating, see
+    /// [`record_hit`](Self::record_hit)).
     #[inline]
     pub fn record_eviction(&mut self, user: UserId) {
-        self.per_user[user.index()].evictions += 1;
+        let c = &mut self.per_user[user.index()].evictions;
+        *c = c.saturating_add(1);
     }
 
-    /// Total hits across users.
+    /// Total hits across users (saturating).
     pub fn total_hits(&self) -> u64 {
-        self.per_user.iter().map(|u| u.hits).sum()
+        self.per_user
+            .iter()
+            .fold(0u64, |acc, u| acc.saturating_add(u.hits))
     }
 
-    /// Total misses (fetches) across users.
+    /// Total misses (fetches) across users (saturating).
     pub fn total_misses(&self) -> u64 {
-        self.per_user.iter().map(|u| u.misses).sum()
+        self.per_user
+            .iter()
+            .fold(0u64, |acc, u| acc.saturating_add(u.misses))
     }
 
-    /// Total evictions across users.
+    /// Total evictions across users (saturating).
     pub fn total_evictions(&self) -> u64 {
-        self.per_user.iter().map(|u| u.evictions).sum()
+        self.per_user
+            .iter()
+            .fold(0u64, |acc, u| acc.saturating_add(u.evictions))
     }
 
     /// Miss counts as a dense vector indexed by user id — the `a_i(σ)`
@@ -123,6 +143,48 @@ mod tests {
         assert_eq!(s.total_evictions(), 1);
         assert_eq!(s.miss_vector(), vec![1, 1]);
         assert_eq!(s.eviction_vector(), vec![0, 1]);
+    }
+
+    #[test]
+    fn counters_saturate_at_u64_max() {
+        let mut s = SimStats::from_per_user(vec![UserStats {
+            hits: u64::MAX,
+            misses: u64::MAX,
+            evictions: u64::MAX - 1,
+        }]);
+        s.record_hit(UserId(0));
+        s.record_miss(UserId(0));
+        s.record_eviction(UserId(0));
+        s.record_eviction(UserId(0));
+        assert_eq!(s.user(UserId(0)).hits, u64::MAX);
+        assert_eq!(s.user(UserId(0)).misses, u64::MAX);
+        assert_eq!(s.user(UserId(0)).evictions, u64::MAX);
+        // Aggregates saturate too instead of overflowing the sum.
+        let t = SimStats::from_per_user(vec![
+            UserStats {
+                hits: u64::MAX,
+                misses: u64::MAX,
+                evictions: 1,
+            },
+            UserStats {
+                hits: 2,
+                misses: 2,
+                evictions: 1,
+            },
+        ]);
+        assert_eq!(t.total_hits(), u64::MAX);
+        assert_eq!(t.total_misses(), u64::MAX);
+        assert_eq!(t.total_evictions(), 2);
+        assert_eq!(t.user(UserId(0)).requests(), u64::MAX);
+    }
+
+    #[test]
+    fn from_per_user_round_trips() {
+        let mut s = SimStats::new(2);
+        s.record_hit(UserId(0));
+        s.record_miss(UserId(1));
+        let rebuilt = SimStats::from_per_user(s.per_user().to_vec());
+        assert_eq!(rebuilt, s);
     }
 
     #[test]

@@ -13,10 +13,15 @@
 
 use crate::cache::CacheSet;
 use crate::engine::EngineCtx;
+use crate::error::{
+    FaultHandler, FaultKind, FaultPolicy, PolicyViolation, PolicyViolationKind, RequestFault,
+    SimError, SnapshotError,
+};
 use crate::event::{EventLog, SimEvent};
 use crate::ids::{PageId, Time, UserId};
 use crate::policy::ReplacementPolicy;
 use crate::probe::{NoopRecorder, Recorder};
+use crate::snapshot::{EngineSnapshot, SNAPSHOT_VERSION};
 use crate::stats::SimStats;
 use crate::trace::{Request, Universe};
 use std::time::Instant;
@@ -61,6 +66,32 @@ impl<P: ReplacementPolicy> SteppingEngine<P, NoopRecorder> {
         }
     }
 
+    /// Rebuild an engine entirely from a checkpoint: the universe comes
+    /// from the snapshot's embedded owner table, then
+    /// [`restore`](Self::restore) replays the captured state into it.
+    /// `policy` must be constructed identically to the one that was
+    /// snapshotted (same name and parameters); its internal state is
+    /// overwritten from the snapshot.
+    pub fn from_snapshot(snap: &EngineSnapshot, policy: P) -> Result<Self, SnapshotError> {
+        snap.check_version()?;
+        if snap.num_users == 0 {
+            return Err(SnapshotError::Corrupt("snapshot has zero users".into()));
+        }
+        if snap.capacity == 0 {
+            return Err(SnapshotError::Corrupt("snapshot has zero capacity".into()));
+        }
+        if let Some(&bad) = snap.owners.iter().find(|o| o.0 >= snap.num_users) {
+            return Err(SnapshotError::Corrupt(format!(
+                "owner table names {bad} but the snapshot has {} users",
+                snap.num_users
+            )));
+        }
+        let universe = Universe::new(snap.num_users, snap.owners.clone());
+        let mut engine = SteppingEngine::new(snap.capacity, universe, policy);
+        engine.restore(snap)?;
+        Ok(engine)
+    }
+
     /// Attach a recorder; subsequent [`step`](SteppingEngine::step)s
     /// dispatch its hooks (and time each request when `R::TIMED`).
     pub fn with_recorder<R: Recorder>(self, recorder: R) -> SteppingEngine<P, R> {
@@ -83,13 +114,109 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
         self
     }
 
+    /// Enable per-request event recording bounded to the `capacity`
+    /// newest events (see [`EventLog::bounded`]).
+    pub fn with_bounded_events(mut self, capacity: usize) -> Self {
+        self.events = Some(EventLog::bounded(capacity));
+        self
+    }
+
+    /// Read-only view of the engine state, as handed to policies and
+    /// request sources. Lets a [`RequestSource`](crate::source::RequestSource)
+    /// be driven against this engine externally.
+    pub fn ctx(&self) -> EngineCtx<'_> {
+        EngineCtx {
+            time: self.time,
+            cache: &self.cache,
+            stats: &self.stats,
+            universe: &self.universe,
+        }
+    }
+
     /// Serve one request; advances time by one tick.
+    ///
+    /// This is the trusting hot path: the request is assumed well-formed
+    /// and a policy contract violation panics. Use
+    /// [`step_checked`](Self::step_checked) for untrusted streams.
     pub fn step(&mut self, req: Request) -> StepOutcome {
         debug_assert_eq!(
             self.universe.owner(req.page),
             req.user,
             "request owner disagrees with the universe"
         );
+        match self.serve(req) {
+            Ok(outcome) => outcome,
+            Err(violation) => panic!("{violation}"),
+        }
+    }
+
+    /// Serve one *untrusted* request under the degradation policy carried
+    /// by `handler`.
+    ///
+    /// Well-formed requests are served exactly as [`step`](Self::step)
+    /// would. Malformed records (page out of range, owner mismatch) and
+    /// requests from quarantined users are classified per
+    /// [`FaultKind`], reported through
+    /// [`Recorder::record_fault`], and then handled per the handler's
+    /// [`FaultPolicy`]: fail-fast returns the fault as an error;
+    /// skip-and-count and quarantine-user absorb it and return
+    /// `Ok(None)`. Dropped records still advance the clock by one tick,
+    /// so the timeline stays aligned with the input stream (and with any
+    /// later resume).
+    ///
+    /// Policy contract violations are engine bugs, not input faults, and
+    /// are always returned as errors regardless of the degradation
+    /// policy.
+    pub fn step_checked(
+        &mut self,
+        req: Request,
+        handler: &mut FaultHandler,
+    ) -> Result<Option<StepOutcome>, SimError> {
+        let kind = match self.universe.try_owner(req.page) {
+            None => Some(FaultKind::PageOutOfRange),
+            Some(owner) if owner != req.user => Some(FaultKind::OwnerMismatch),
+            Some(_) if handler.is_quarantined(req.user) => Some(FaultKind::QuarantinedUser),
+            Some(_) => None,
+        };
+        let Some(kind) = kind else {
+            return self.serve(req).map(Some).map_err(SimError::from);
+        };
+        let fault = RequestFault {
+            time: self.time,
+            kind,
+            page: req.page,
+            user: req.user,
+        };
+        if R::ACTIVE {
+            self.recorder.record_fault(&fault);
+        }
+        match (handler.policy(), kind) {
+            (FaultPolicy::FailFast, FaultKind::PageOutOfRange | FaultKind::OwnerMismatch) => {
+                return Err(fault.into());
+            }
+            (FaultPolicy::QuarantineUser, FaultKind::PageOutOfRange | FaultKind::OwnerMismatch) => {
+                handler.count(kind);
+                // Quarantine the page's true owner when the page is in
+                // range (owner mismatch), else the user the record claims
+                // — if either is a real user.
+                let culprit = self.universe.try_owner(req.page).or_else(|| {
+                    (req.user.index() < self.universe.num_users() as usize).then_some(req.user)
+                });
+                if let Some(user) = culprit {
+                    if handler.quarantine(user) {
+                        self.remove_user_externally(user);
+                    }
+                }
+            }
+            _ => handler.count(kind),
+        }
+        self.time += 1;
+        Ok(None)
+    }
+
+    /// The shared hit/insert/evict state machine behind [`step`](Self::step)
+    /// and [`step_checked`](Self::step_checked).
+    fn serve(&mut self, req: Request) -> Result<StepOutcome, PolicyViolation> {
         let t = self.time;
         let started = if R::TIMED { Some(Instant::now()) } else { None };
         let outcome = if self.cache.contains(req.page) {
@@ -135,17 +262,20 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
                 };
                 self.policy.choose_victim(&ctx, req.page)
             };
-            assert!(
-                self.cache.contains(victim),
-                "policy {} chose victim {victim} which is not cached",
-                self.policy.name()
-            );
-            assert_ne!(
-                victim,
-                req.page,
-                "policy {} tried to evict the incoming page",
-                self.policy.name()
-            );
+            if !self.cache.contains(victim) {
+                return Err(PolicyViolation {
+                    time: t,
+                    policy: self.policy.name(),
+                    kind: PolicyViolationKind::VictimNotCached(victim),
+                });
+            }
+            if victim == req.page {
+                return Err(PolicyViolation {
+                    time: t,
+                    policy: self.policy.name(),
+                    kind: PolicyViolationKind::VictimIsIncoming(victim),
+                });
+            }
             let victim_user = self.universe.owner(victim);
             self.cache.remove(victim);
             self.stats.record_eviction(victim_user);
@@ -178,7 +308,26 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
                 .record_latency_ns(t, start.elapsed().as_nanos() as u64);
         }
         self.time += 1;
-        outcome
+        Ok(outcome)
+    }
+
+    /// Evict every cached page, charging the evictions and firing
+    /// [`Recorder::record_flush_eviction`] — the paper's end-of-sequence
+    /// dummy-user flush (§2.1), matching
+    /// [`SimOptions::flush_at_end`](crate::engine::SimOptions). Intended
+    /// as the final operation of a run: the policy is *not* notified, so
+    /// its per-page metadata is stale afterwards. Returns how many pages
+    /// were flushed.
+    pub fn flush(&mut self) -> usize {
+        let drained = self.cache.drain_all();
+        for &page in &drained {
+            let user = self.universe.owner(page);
+            self.stats.record_eviction(user);
+            if R::ACTIVE {
+                self.recorder.record_flush_eviction(page, user);
+            }
+        }
+        drained.len()
     }
 
     /// Remove `page` from the cache without charging an eviction (the
@@ -255,11 +404,117 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
     pub fn into_recorder(self) -> R {
         self.recorder
     }
+
+    /// Move the event log out of the engine (recording stops).
+    pub fn take_events(&mut self) -> Option<EventLog> {
+        self.events.take()
+    }
+
+    /// Capture a versioned checkpoint of the full engine + policy state.
+    ///
+    /// Fails with [`SnapshotError::Unsupported`] if the policy does not
+    /// implement [`ReplacementPolicy::save_state`]. Fault-handling state
+    /// is not known to the engine; use
+    /// [`snapshot_with_faults`](Self::snapshot_with_faults) for checked
+    /// runs. The event log and recorder are *not* part of the snapshot —
+    /// callers that need continuous telemetry across a resume must
+    /// persist their recorder separately (as `occ observe` does).
+    pub fn snapshot(&self) -> Result<EngineSnapshot, SnapshotError> {
+        let policy = self
+            .policy
+            .save_state()
+            .ok_or_else(|| SnapshotError::Unsupported(self.policy.name()))?;
+        Ok(EngineSnapshot {
+            version: SNAPSHOT_VERSION,
+            time: self.time,
+            capacity: self.cache.capacity(),
+            num_users: self.universe.num_users(),
+            owners: self.universe.owners().to_vec(),
+            cache_pages: self.cache.pages().to_vec(),
+            stats: self.stats.per_user().to_vec(),
+            policy_name: self.policy.name(),
+            policy,
+            faults: crate::error::FaultCounters::default(),
+            quarantined: Vec::new(),
+        })
+    }
+
+    /// [`snapshot`](Self::snapshot) plus the fault counters and
+    /// quarantine membership of a checked run.
+    pub fn snapshot_with_faults(
+        &self,
+        handler: &FaultHandler,
+    ) -> Result<EngineSnapshot, SnapshotError> {
+        let mut snap = self.snapshot()?;
+        snap.faults = handler.counters().clone();
+        snap.quarantined = handler.quarantined_users();
+        Ok(snap)
+    }
+
+    /// Restore this engine to a previously captured checkpoint.
+    ///
+    /// The snapshot must match the engine it is restored into: same
+    /// format version, capacity, universe, and policy name — anything
+    /// else is a [`SnapshotError::Mismatch`]. On success the clock,
+    /// cache contents (in their original operation-history order),
+    /// counters, and policy state are exactly as they were at capture
+    /// time, so continuing the run is byte-identical to never having
+    /// stopped. The event log restarts empty (it is not part of the
+    /// snapshot).
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snap.check_version()?;
+        if snap.num_users != self.universe.num_users()
+            || snap.owners.as_slice() != self.universe.owners()
+        {
+            return Err(SnapshotError::Mismatch(
+                "snapshot universe differs from the engine's".into(),
+            ));
+        }
+        if snap.capacity != self.cache.capacity() {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot capacity {} vs engine capacity {}",
+                snap.capacity,
+                self.cache.capacity()
+            )));
+        }
+        let name = self.policy.name();
+        if snap.policy_name != name {
+            return Err(SnapshotError::Mismatch(format!(
+                "snapshot was taken with policy '{}' but the engine runs '{name}'",
+                snap.policy_name
+            )));
+        }
+        if snap.stats.len() != self.universe.num_users() as usize {
+            return Err(SnapshotError::Corrupt(format!(
+                "snapshot has {} per-user stat rows for {} users",
+                snap.stats.len(),
+                self.universe.num_users()
+            )));
+        }
+        let cache =
+            CacheSet::try_restore(snap.capacity, self.universe.num_pages(), &snap.cache_pages)?;
+        self.cache = cache;
+        self.stats = SimStats::from_per_user(snap.stats.clone());
+        self.time = snap.time;
+        self.events = self.events.as_ref().map(|log| match log.capacity() {
+            Some(c) => EventLog::bounded(c),
+            None => EventLog::new(),
+        });
+        self.policy.reset();
+        let ctx = EngineCtx {
+            time: self.time,
+            cache: &self.cache,
+            stats: &self.stats,
+            universe: &self.universe,
+        };
+        self.policy.load_state(&ctx, &snap.policy)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::PolicyState;
     use crate::trace::Trace;
 
     struct EvictFirst;
@@ -269,6 +524,18 @@ mod tests {
         }
         fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
             ctx.cache.pages()[0]
+        }
+        // Stateless, so checkpointing is trivial: the engine-owned cache
+        // order is the whole state.
+        fn save_state(&self) -> Option<PolicyState> {
+            Some(PolicyState::new())
+        }
+        fn load_state(
+            &mut self,
+            _ctx: &EngineCtx,
+            _state: &PolicyState,
+        ) -> Result<(), SnapshotError> {
+            Ok(())
         }
     }
 
@@ -333,5 +600,218 @@ mod tests {
         let log = eng.events().unwrap();
         assert_eq!(log.len(), 2);
         assert_eq!(log.eviction_sequence().len(), 1);
+    }
+
+    fn corrupt_page(u: &Universe) -> Request {
+        Request {
+            page: PageId(u.num_pages() + 5),
+            user: UserId(0),
+        }
+    }
+
+    fn wrong_owner(page: u32) -> Request {
+        Request {
+            page: PageId(page),
+            user: UserId(1),
+        }
+    }
+
+    #[test]
+    fn step_checked_fail_fast_surfaces_the_fault() {
+        let u = Universe::single_user(3);
+        let mut eng = SteppingEngine::new(2, u.clone(), EvictFirst);
+        let mut h = FaultHandler::new(FaultPolicy::FailFast, u.num_users());
+        assert_eq!(
+            eng.step_checked(u.request(PageId(0)), &mut h).unwrap(),
+            Some(StepOutcome::Inserted)
+        );
+        let err = eng.step_checked(corrupt_page(&u), &mut h).unwrap_err();
+        match err {
+            SimError::Request(f) => {
+                assert_eq!(f.kind, FaultKind::PageOutOfRange);
+                assert_eq!(f.time, 1);
+            }
+            other => panic!("expected a request fault, got {other}"),
+        }
+        // Nothing was counted or served.
+        assert!(h.counters().is_clean());
+        assert_eq!(eng.time(), 1);
+    }
+
+    #[test]
+    fn step_checked_skip_counts_and_keeps_the_clock_aligned() {
+        let u = Universe::single_user(3);
+        let mut eng = SteppingEngine::new(2, u.clone(), EvictFirst);
+        let mut h = FaultHandler::new(FaultPolicy::SkipAndCount, u.num_users());
+        eng.step_checked(u.request(PageId(0)), &mut h).unwrap();
+        assert_eq!(eng.step_checked(corrupt_page(&u), &mut h).unwrap(), None);
+        assert_eq!(eng.step_checked(wrong_owner(1), &mut h).unwrap(), None);
+        eng.step_checked(u.request(PageId(1)), &mut h).unwrap();
+        assert_eq!(h.counters().page_out_of_range, 1);
+        assert_eq!(h.counters().owner_mismatch, 1);
+        // Dropped records still consumed a tick each.
+        assert_eq!(eng.time(), 4);
+        assert_eq!(eng.stats().total_misses(), 2);
+    }
+
+    #[test]
+    fn step_checked_quarantine_evicts_and_silences_the_user() {
+        let u = Universe::uniform(2, 2); // u0: p0 p1, u1: p2 p3
+        let mut eng = SteppingEngine::new(3, u.clone(), EvictFirst);
+        let mut h = FaultHandler::new(FaultPolicy::QuarantineUser, u.num_users());
+        eng.step_checked(u.request(PageId(0)), &mut h).unwrap();
+        eng.step_checked(u.request(PageId(2)), &mut h).unwrap();
+        // A record claiming u1 owns p1 quarantines p1's true owner, u0.
+        assert_eq!(eng.step_checked(wrong_owner(1), &mut h).unwrap(), None);
+        assert!(h.is_quarantined(UserId(0)));
+        assert!(!eng.cache().contains(PageId(0)), "u0's pages were removed");
+        assert!(eng.cache().contains(PageId(2)));
+        // No eviction was charged for the quarantine removal.
+        assert_eq!(eng.stats().total_evictions(), 0);
+        // u0's later (well-formed) requests are dropped and counted.
+        assert_eq!(
+            eng.step_checked(u.request(PageId(0)), &mut h).unwrap(),
+            None
+        );
+        assert_eq!(h.counters().quarantined_drops, 1);
+        assert_eq!(h.counters().quarantined_users, 1);
+        // u1 is unaffected.
+        assert_eq!(
+            eng.step_checked(u.request(PageId(2)), &mut h).unwrap(),
+            Some(StepOutcome::Hit)
+        );
+    }
+
+    #[test]
+    fn step_checked_policy_violation_is_always_an_error() {
+        struct Liar;
+        impl ReplacementPolicy for Liar {
+            fn name(&self) -> String {
+                "liar".into()
+            }
+            fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+                PageId(2) // never cached in this scenario
+            }
+        }
+        let u = Universe::single_user(3);
+        let mut eng = SteppingEngine::new(1, u.clone(), Liar);
+        let mut h = FaultHandler::new(FaultPolicy::SkipAndCount, u.num_users());
+        eng.step_checked(u.request(PageId(0)), &mut h).unwrap();
+        let err = eng.step_checked(u.request(PageId(1)), &mut h).unwrap_err();
+        assert!(matches!(err, SimError::Policy(_)), "got {err}");
+    }
+
+    #[test]
+    fn flush_matches_batch_accounting() {
+        let u = Universe::uniform(2, 2);
+        let pages = [0u32, 2, 1, 0, 3, 2];
+        let trace = Trace::from_page_indices(&u, &pages);
+        let batch = crate::Simulator::new(2)
+            .flush_at_end(true)
+            .run(&mut EvictFirst, &trace);
+        let mut eng = SteppingEngine::new(2, u.clone(), EvictFirst);
+        for (_, r) in trace.iter() {
+            eng.step(r);
+        }
+        let flushed = eng.flush();
+        assert_eq!(flushed, 2);
+        assert_eq!(eng.stats().eviction_vector(), batch.stats.eviction_vector());
+        assert!(eng.cache().is_empty());
+    }
+
+    #[test]
+    fn snapshot_restore_continues_byte_identically() {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..60u32).map(|i| (i * 5 + 2) % 6).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+
+        // Uninterrupted run.
+        let mut full = SteppingEngine::new(3, u.clone(), EvictFirst).with_events();
+        for (_, r) in trace.iter() {
+            full.step(r);
+        }
+
+        // Run to the midpoint, snapshot, restore into a fresh engine,
+        // continue.
+        let cut = 31usize;
+        let mut first = SteppingEngine::new(3, u.clone(), EvictFirst).with_events();
+        for (_, r) in trace.iter().take(cut) {
+            first.step(r);
+        }
+        let snap = first.snapshot().unwrap();
+        assert_eq!(snap.time, cut as Time);
+
+        let mut resumed = SteppingEngine::from_snapshot(&snap, EvictFirst)
+            .unwrap()
+            .with_events();
+        for (_, r) in trace.iter().skip(cut) {
+            resumed.step(r);
+        }
+        assert_eq!(resumed.stats(), full.stats());
+        assert_eq!(resumed.time(), full.time());
+        assert_eq!(resumed.cache().pages(), full.cache().pages());
+        // Prefix events + suffix events = uninterrupted events.
+        let mut stitched = first.events().unwrap().to_vec();
+        stitched.extend(resumed.events().unwrap().to_vec());
+        assert_eq!(stitched, full.events().unwrap().to_vec());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_engines() {
+        let u = Universe::uniform(2, 2);
+        let mut eng = SteppingEngine::new(2, u.clone(), EvictFirst);
+        eng.step(u.request(PageId(0)));
+        let snap = eng.snapshot().unwrap();
+
+        // Wrong capacity.
+        let mut other = SteppingEngine::new(3, u.clone(), EvictFirst);
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+
+        // Wrong universe.
+        let mut other = SteppingEngine::new(2, Universe::uniform(2, 3), EvictFirst);
+        assert!(matches!(
+            other.restore(&snap),
+            Err(SnapshotError::Mismatch(_))
+        ));
+
+        // Wrong version.
+        let mut bad = snap.clone();
+        bad.version = SNAPSHOT_VERSION + 7;
+        let mut other = SteppingEngine::new(2, u.clone(), EvictFirst);
+        assert!(matches!(
+            other.restore(&bad),
+            Err(SnapshotError::UnsupportedVersion { .. })
+        ));
+
+        // Corrupt cache contents.
+        let mut bad = snap.clone();
+        bad.cache_pages = vec![PageId(0), PageId(0)];
+        let mut other = SteppingEngine::new(2, u, EvictFirst);
+        assert!(matches!(
+            other.restore(&bad),
+            Err(SnapshotError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn snapshot_requires_policy_support() {
+        struct Opaque;
+        impl ReplacementPolicy for Opaque {
+            fn name(&self) -> String {
+                "opaque".into()
+            }
+            fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
+                ctx.cache.pages()[0]
+            }
+        }
+        let u = Universe::single_user(2);
+        let eng = SteppingEngine::new(1, u, Opaque);
+        assert!(matches!(
+            eng.snapshot(),
+            Err(SnapshotError::Unsupported(name)) if name == "opaque"
+        ));
     }
 }

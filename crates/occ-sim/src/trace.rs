@@ -94,6 +94,21 @@ impl Universe {
         self.owner[page.index()]
     }
 
+    /// Owner of a page, or `None` if the page is outside the universe —
+    /// the non-panicking form used when validating possibly-corrupt
+    /// request records.
+    #[inline]
+    pub fn try_owner(&self, page: PageId) -> Option<UserId> {
+        self.owner.get(page.index()).copied()
+    }
+
+    /// The full owner table, indexed by page id (snapshots embed it so a
+    /// resumed run can verify it is replaying against the same universe).
+    #[inline]
+    pub fn owners(&self) -> &[UserId] {
+        &self.owner
+    }
+
     /// All pages owned by `user` (ascending page id).
     pub fn pages_of(&self, user: UserId) -> Vec<PageId> {
         self.owner
@@ -362,6 +377,15 @@ mod tests {
         assert_eq!(u.owner(PageId(0)), UserId(0));
         assert_eq!(u.owner(PageId(3)), UserId(1));
         assert_eq!(u.pages_of(UserId(0)), vec![PageId(0)]);
+    }
+
+    #[test]
+    fn try_owner_is_total() {
+        let u = Universe::uniform(2, 2);
+        assert_eq!(u.try_owner(PageId(3)), Some(UserId(1)));
+        assert_eq!(u.try_owner(PageId(4)), None);
+        assert_eq!(u.owners().len(), 4);
+        assert_eq!(u.owners()[0], UserId(0));
     }
 
     #[test]

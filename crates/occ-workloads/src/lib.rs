@@ -9,15 +9,19 @@
 //!   Theorem 1.4's lower bound;
 //! * [`presets`] — ready-made SLA scenarios used by the examples and the
 //!   E7 experiment;
-//! * [`zipf`] — the hand-rolled Zipf sampler.
+//! * [`zipf`] — the hand-rolled Zipf sampler;
+//! * [`chaos`] — seeded fault injection ([`FaultPlan`], [`ChaosSource`])
+//!   for robustness testing against corrupt request streams.
 
 pub mod adversary;
+pub mod chaos;
 pub mod generators;
 pub mod mixer;
 pub mod presets;
 pub mod zipf;
 
 pub use adversary::{run_lower_bound, LowerBoundAdversary};
+pub use chaos::{ChaosSource, FaultPlan, InjectedFaults};
 pub use generators::{AccessPattern, PatternGen};
 pub use mixer::{generate_multi_tenant, TenantSpec};
 pub use presets::{all_scenarios, drifting, sqlvm_like, two_tier, Scenario};
