@@ -14,8 +14,8 @@ pub mod table;
 pub use epochs::{epoch_costs, EpochCosts};
 pub use mrc::{lru_cost_curve, lru_mrc, reuse_distances, MissRatioCurve};
 pub use runner::{
-    check_theorem_1_1, check_theorem_1_3, compare_policies, evaluate_policy, parallel_sweep,
-    BoundCheck, CostReport,
+    check_theorem_1_1, check_theorem_1_1_scaled, check_theorem_1_3, check_theorem_1_3_scaled,
+    compare_policies, evaluate_policy, parallel_sweep, BoundCheck, CostReport,
 };
 pub use stats::{geomean, max, mean, percentile, stddev};
 pub use table::{fnum, Table};

@@ -108,10 +108,25 @@ pub fn check_theorem_1_1(
     alpha: f64,
     k: usize,
 ) -> BoundCheck {
+    check_theorem_1_1_scaled(costs, online_misses, offline_misses, alpha, k, 1.0)
+}
+
+/// [`check_theorem_1_1`] with the right-hand side multiplied by
+/// `rhs_scale`. `1.0` is the theorem as stated; the conformance harness
+/// uses `rhs_scale < 1` as its deliberately-weakened fixture (the bound
+/// is tightened until a correct implementation must fail it).
+pub fn check_theorem_1_1_scaled(
+    costs: &CostProfile,
+    online_misses: &[u64],
+    offline_misses: &[u64],
+    alpha: f64,
+    k: usize,
+    rhs_scale: f64,
+) -> BoundCheck {
     make_check(
         costs.total_cost(online_misses),
         costs.total_cost(offline_misses),
-        theorem_1_1_rhs(costs, offline_misses, alpha, k),
+        rhs_scale * theorem_1_1_rhs(costs, offline_misses, alpha, k),
     )
 }
 
@@ -124,10 +139,25 @@ pub fn check_theorem_1_3(
     k: usize,
     h: usize,
 ) -> BoundCheck {
+    check_theorem_1_3_scaled(costs, online_misses, offline_misses_h, alpha, k, h, 1.0)
+}
+
+/// [`check_theorem_1_3`] with the right-hand side multiplied by
+/// `rhs_scale` (see [`check_theorem_1_1_scaled`]).
+#[allow(clippy::too_many_arguments)]
+pub fn check_theorem_1_3_scaled(
+    costs: &CostProfile,
+    online_misses: &[u64],
+    offline_misses_h: &[u64],
+    alpha: f64,
+    k: usize,
+    h: usize,
+    rhs_scale: f64,
+) -> BoundCheck {
     make_check(
         costs.total_cost(online_misses),
         costs.total_cost(offline_misses_h),
-        theorem_1_3_rhs(costs, offline_misses_h, alpha, k, h),
+        rhs_scale * theorem_1_3_rhs(costs, offline_misses_h, alpha, k, h),
     )
 }
 
@@ -225,6 +255,20 @@ mod tests {
         // Violation detected when online exceeds the rhs.
         let c2 = check_theorem_1_1(&costs, &[10], &[1], 2.0, 2);
         assert!(!c2.satisfied);
+    }
+
+    #[test]
+    fn scaled_check_tightens_the_bound() {
+        let costs = CostProfile::uniform(1, Monomial::power(2.0));
+        // Unscaled: online 9 ≤ rhs 16. Scaled by 0.5: rhs 8 < 9 → FAIL.
+        assert!(check_theorem_1_1_scaled(&costs, &[3], &[1], 2.0, 2, 1.0).satisfied);
+        let weak = check_theorem_1_1_scaled(&costs, &[3], &[1], 2.0, 2, 0.5);
+        assert!(!weak.satisfied);
+        assert_eq!(weak.rhs, 8.0);
+        // Theorem 1.3 variant scales the same way.
+        let c = check_theorem_1_3_scaled(&costs, &[3], &[2], 1.0, 4, 3, 1.0);
+        let w = check_theorem_1_3_scaled(&costs, &[3], &[2], 1.0, 4, 3, 0.1);
+        assert_eq!(w.rhs, 0.1 * c.rhs);
     }
 
     #[test]

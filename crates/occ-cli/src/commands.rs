@@ -46,9 +46,20 @@ USAGE:
                the continuation is byte-identical to an uninterrupted run.
   occ report   --in FILE [--format table|json]
                validate and render an `occ observe` report
+  occ conformance [--grid smoke|full] [--seed S] [--weaken W]
+               [--shrink on|off] [--out FILE] [--format table|json]
+               machine-check the paper's bounds (Theorems 1.1/1.3/1.4,
+               Claim 2.3) on a parallel grid of instances and render the
+               PASS/FAIL/VACUOUS verdict table. --out writes the
+               schema-stamped JSON verdicts (byte-identical for a given
+               grid, seed, and weaken factor). --weaken scales every
+               bound (values < 1 tighten them — the deliberate-failure
+               fixture); a FAIL verdict exits with code 6 after shrinking
+               a minimal counterexample.
 
 EXIT CODES:
   0 ok · 1 error · 2 usage · 3 i/o · 4 unparseable file · 5 simulation fault
+  6 conformance FAIL (a checked bound was violated)
 
 POLICIES:
   convex (the paper's algorithm), lru, fifo, lfu, marking, lru2, random,
@@ -686,6 +697,78 @@ pub fn report(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `occ conformance`
+pub fn conformance(args: &Args) -> Result<(), CliError> {
+    let grid_name = args.str_or("grid", "smoke");
+    let grid = occ_conformance::grid(&grid_name).ok_or_else(|| {
+        CliError::Usage(format!(
+            "unknown grid '{grid_name}' (available: {})",
+            occ_conformance::GRID_NAMES.join(", ")
+        ))
+    })?;
+    let seed = uarg(args.num_or("seed", 7u64))?;
+    let weaken = uarg(args.num_or("weaken", 1.0f64))?;
+    if !weaken.is_finite() || weaken <= 0.0 {
+        return Err(CliError::Usage(
+            "--weaken must be a positive finite factor".into(),
+        ));
+    }
+    let shrink = match args.str_or("shrink", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --shrink mode '{other}' (on, off)"
+            )))
+        }
+    };
+    let cfg = occ_conformance::RunConfig {
+        seed,
+        weaken,
+        shrink,
+    };
+    let outcome = occ_conformance::run_grid(&grid, &cfg);
+
+    // Timings are observability, never verdict data: they go to stderr
+    // so the JSON below stays byte-deterministic.
+    let total_ns: u64 = outcome.cell_elapsed_ns.iter().map(|(_, ns)| ns).sum();
+    if let Some((slowest, ns)) = outcome.cell_elapsed_ns.iter().max_by_key(|(_, ns)| *ns) {
+        eprintln!(
+            "{} cells in {:.1} ms (slowest {slowest}: {:.1} ms); step latency p99 {} ns",
+            grid.cells.len(),
+            total_ns as f64 / 1e6,
+            *ns as f64 / 1e6,
+            outcome.metrics.latency_ns().p99(),
+        );
+    }
+
+    let json = outcome.verdicts.to_json();
+    let out_path = args.str_or("out", "");
+    if !out_path.is_empty() {
+        std::fs::write(&out_path, format!("{json}\n"))
+            .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
+        eprintln!("verdicts written to {out_path}");
+    }
+    match args.str_or("format", "table").as_str() {
+        "table" => emit(&outcome.verdicts.to_table()),
+        "json" => emit(&json),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format '{other}' (table, json)"
+            )))
+        }
+    }
+
+    let (_, fail, _) = outcome.verdicts.counts();
+    if fail > 0 {
+        return Err(CliError::Conformance(format!(
+            "{fail} of {} cells FAILed their bound (grid {grid_name}, seed {seed}, weaken {weaken})",
+            grid.cells.len()
+        )));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -738,6 +821,64 @@ mod tests {
             "8",
         ]))
         .unwrap();
+    }
+
+    #[test]
+    fn conformance_smoke_passes_and_writes_deterministic_verdicts() {
+        let dir = std::env::temp_dir().join("occ-cli-conformance-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a_path = dir.join("verdicts-a.json");
+        let b_path = dir.join("verdicts-b.json");
+        for path in [&a_path, &b_path] {
+            conformance(&args(&[
+                "conformance",
+                "--grid",
+                "smoke",
+                "--seed",
+                "7",
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+        }
+        let a = std::fs::read(&a_path).unwrap();
+        let b = std::fs::read(&b_path).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same seed ⇒ byte-identical verdict JSON");
+        let parsed = Json::parse(std::str::from_utf8(&a).unwrap()).unwrap();
+        occ_conformance::VerdictTable::validate(&parsed).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn conformance_weakened_bounds_exit_with_code_6() {
+        let err = conformance(&args(&[
+            "conformance",
+            "--grid",
+            "smoke",
+            "--weaken",
+            "1e-6",
+            "--shrink",
+            "off",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 6);
+        assert_eq!(err.class(), "conformance");
+        assert!(err.to_string().contains("FAILed"));
+    }
+
+    #[test]
+    fn conformance_rejects_bad_flags_as_usage_errors() {
+        for bad in [
+            vec!["conformance", "--grid", "nope"],
+            vec!["conformance", "--weaken", "0"],
+            vec!["conformance", "--weaken", "-1"],
+            vec!["conformance", "--shrink", "maybe"],
+            vec!["conformance", "--format", "xml"],
+        ] {
+            let err = conformance(&args(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //! | 4    | parse  | file opened but its content is invalid (trace,     |
 //! |      |        | report, snapshot)                                  |
 //! | 5    | fault  | a simulation fault surfaced under fail-fast        |
+//! | 6    | conformance | a theorem-conformance cell FAILed (the run    |
+//! |      |        | itself succeeded; the *bounds* did not hold)       |
 //!
 //! Library errors stay typed (`TraceIoError`, `SnapshotError`,
 //! `SimError`); this module is only the mapping onto process exit codes.
@@ -30,6 +32,10 @@ pub enum CliError {
     /// A simulation fault surfaced (fail-fast degradation, cost anomaly,
     /// policy contract violation).
     Fault(String),
+    /// A conformance grid ran to completion but at least one cell's
+    /// bound was violated — distinct from every operational failure so
+    /// CI can tell "the theorem broke" from "the tool broke".
+    Conformance(String),
     /// Anything else.
     Other(String),
 }
@@ -43,6 +49,7 @@ impl CliError {
             CliError::Io(_) => 3,
             CliError::Parse(_) => 4,
             CliError::Fault(_) => 5,
+            CliError::Conformance(_) => 6,
         }
     }
 
@@ -53,6 +60,7 @@ impl CliError {
             CliError::Io(_) => "io",
             CliError::Parse(_) => "parse",
             CliError::Fault(_) => "fault",
+            CliError::Conformance(_) => "conformance",
             CliError::Other(_) => "error",
         }
     }
@@ -65,6 +73,7 @@ impl fmt::Display for CliError {
             | CliError::Io(m)
             | CliError::Parse(m)
             | CliError::Fault(m)
+            | CliError::Conformance(m)
             | CliError::Other(m) => f.write_str(m),
         }
     }
@@ -125,6 +134,7 @@ mod tests {
             (CliError::Io("x".into()), 3),
             (CliError::Parse("x".into()), 4),
             (CliError::Fault("x".into()), 5),
+            (CliError::Conformance("x".into()), 6),
         ];
         for (e, code) in cases {
             assert_eq!(e.exit_code(), code, "{}", e.class());

@@ -10,6 +10,7 @@
 //!              --checkpoint ckpt.json --checkpoint-every 10000
 //! occ resume   --from ckpt.json --scenario two-tier
 //! occ report   --in report.json
+//! occ conformance --grid smoke --out verdicts.json
 //! occ scenarios
 //! ```
 //!
@@ -18,7 +19,8 @@
 //! experiment tables.
 //!
 //! Failures exit with a class-specific code (see [`errors`]): 2 usage,
-//! 3 i/o, 4 unparseable file, 5 simulation fault, 1 anything else.
+//! 3 i/o, 4 unparseable file, 5 simulation fault, 6 conformance FAIL
+//! (a checked theorem bound was violated), 1 anything else.
 
 mod args;
 mod commands;
@@ -44,6 +46,7 @@ fn main() {
         Some("observe") => commands::observe(&args),
         Some("resume") => commands::resume(&args),
         Some("report") => commands::report(&args),
+        Some("conformance") => commands::conformance(&args),
         Some("scenarios") => commands::scenarios(),
         Some("help") | None => {
             println!("{}", commands::USAGE);

@@ -59,7 +59,7 @@ pub use cp::{check_invariants, Assignment, ConvexProgram, InvariantReport};
 pub use flush::with_dummy_flush;
 pub use theory::{
     alpha_numeric, alpha_of_profile, check_claim_2_3, corollary_1_2_factor, theorem_1_1_rhs,
-    theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower,
+    theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower, try_check_claim_2_3,
 };
 
 /// Convenient glob import.
@@ -75,6 +75,6 @@ pub mod prelude {
     pub use crate::flush::with_dummy_flush;
     pub use crate::theory::{
         alpha_numeric, alpha_of_profile, check_claim_2_3, corollary_1_2_factor, theorem_1_1_rhs,
-        theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower,
+        theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower, try_check_claim_2_3,
     };
 }

@@ -37,16 +37,28 @@ impl Claim23Outcome {
 
 /// Evaluate Claim 2.3 for `f` on the sequence `xs` (non-negative).
 /// `alpha_override` supplies `α` when `f.alpha()` is `None`.
+///
+/// Panics when `α` is unknown and no override is given; use
+/// [`try_check_claim_2_3`] for the fail-soft variant (the conformance
+/// harness marks such cells VACUOUS instead of aborting the grid).
 pub fn check_claim_2_3(
     f: &dyn CostFunction,
     xs: &[f64],
     alpha_override: Option<f64>,
 ) -> Claim23Outcome {
+    try_check_claim_2_3(f, xs, alpha_override).expect("α unknown: provide alpha_override")
+}
+
+/// [`check_claim_2_3`] returning `None` instead of panicking when `α` is
+/// unknown (no analytic value and no override) — the claim is then
+/// unevaluatable, not violated.
+pub fn try_check_claim_2_3(
+    f: &dyn CostFunction,
+    xs: &[f64],
+    alpha_override: Option<f64>,
+) -> Option<Claim23Outcome> {
     assert!(xs.iter().all(|&x| x >= 0.0), "xs must be non-negative");
-    let alpha = f
-        .alpha()
-        .or(alpha_override)
-        .expect("α unknown: provide alpha_override");
+    let alpha = f.alpha().or(alpha_override)?;
     let total: f64 = xs.iter().sum();
     let lhs = f.deriv(total) * total;
     let mut prefix = 0.0;
@@ -56,12 +68,12 @@ pub fn check_claim_2_3(
         weighted += x * f.deriv(prefix);
     }
     let rhs = alpha * weighted;
-    Claim23Outcome {
+    Some(Claim23Outcome {
         lhs,
         rhs,
         alpha,
         slack_ratio: if lhs > 0.0 { rhs / lhs } else { f64::INFINITY },
-    }
+    })
 }
 
 /// The intermediate inequality (6) in the proof of Claim 2.3:
@@ -137,6 +149,23 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_entries_rejected() {
         check_claim_2_3(&Monomial::power(2.0), &[-1.0], None);
+    }
+
+    #[test]
+    fn try_variant_declines_unknown_alpha_instead_of_panicking() {
+        use crate::cost::Exponential;
+        // Exponential advertises no analytic α; without an override the
+        // claim is unevaluatable.
+        let f = Exponential::new(1.0, 0.5);
+        assert!(try_check_claim_2_3(&f, &[1.0, 2.0], None).is_none());
+        // With an override (or an analytic α) both variants agree.
+        let forced = try_check_claim_2_3(&f, &[1.0, 2.0], Some(40.0)).unwrap();
+        assert_eq!(forced.alpha, 40.0);
+        let mono = Monomial::power(2.0);
+        let a = check_claim_2_3(&mono, &[1.0, 3.0], None);
+        let b = try_check_claim_2_3(&mono, &[1.0, 3.0], None).unwrap();
+        assert_eq!(a.lhs, b.lhs);
+        assert_eq!(a.rhs, b.rhs);
     }
 
     #[test]

@@ -9,4 +9,4 @@ pub use alpha::{alpha_numeric, alpha_of_profile};
 pub use bounds::{
     corollary_1_2_factor, theorem_1_1_rhs, theorem_1_3_factor, theorem_1_3_rhs, theorem_1_4_lower,
 };
-pub use claim23::{check_claim_2_3, Claim23Outcome};
+pub use claim23::{check_claim_2_3, try_check_claim_2_3, Claim23Outcome};

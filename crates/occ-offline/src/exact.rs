@@ -32,11 +32,35 @@ const MAX_STATES: usize = 20_000_000;
 /// cache size `k`.
 ///
 /// Panics if the instance exceeds the supported size (more than 30 pages
-/// or a state-space blowup beyond the internal state cap).
+/// or a state-space blowup beyond the internal state cap). Use
+/// [`try_exact_opt`] when an oversized instance should fall back to a
+/// heuristic instead of aborting.
 pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
+    assert!(
+        trace.universe().num_pages() <= 30,
+        "exact solver supports ≤ 30 pages"
+    );
+    try_exact_opt(trace, k, costs, MAX_STATES)
+        .unwrap_or_else(|| panic!("exact solver state space exceeded {MAX_STATES} states"))
+}
+
+/// [`exact_opt`] with an explicit state budget, returning `None` instead
+/// of panicking when the instance is too large (more than 30 pages, or
+/// the memoized search would explore more than `max_states` states).
+///
+/// The conformance harness uses this to decide per cell whether ground
+/// truth is affordable, falling back to the offline heuristics otherwise.
+pub fn try_exact_opt(
+    trace: &Trace,
+    k: usize,
+    costs: &CostProfile,
+    max_states: usize,
+) -> Option<ExactOpt> {
     let universe = trace.universe();
     let num_pages = universe.num_pages();
-    assert!(num_pages <= 30, "exact solver supports ≤ 30 pages");
+    if num_pages > 30 {
+        return None;
+    }
     assert!(k >= 1);
     let num_users = universe.num_users() as usize;
 
@@ -57,6 +81,7 @@ pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
         costs: &'a CostProfile,
         memo: HashMap<(u32, u32, Vec<u16>), f64>,
         states: usize,
+        max_states: usize,
     }
 
     fn final_cost(costs: &CostProfile, misses: &[u16]) -> f64 {
@@ -67,23 +92,24 @@ pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
             .sum()
     }
 
-    fn go(ctx: &mut Ctx, t: usize, mask: u32, misses: &mut Vec<u16>) -> f64 {
+    // `None` means the state budget ran out: the whole computation is
+    // abandoned, so the `misses` scratch vector's state no longer matters.
+    fn go(ctx: &mut Ctx, t: usize, mask: u32, misses: &mut Vec<u16>) -> Option<f64> {
         if t == ctx.reqs.len() {
-            return final_cost(ctx.costs, misses);
+            return Some(final_cost(ctx.costs, misses));
         }
         let key = (t as u32, mask, misses.clone());
         if let Some(&v) = ctx.memo.get(&key) {
-            return v;
+            return Some(v);
         }
         ctx.states += 1;
-        assert!(
-            ctx.states <= MAX_STATES,
-            "exact solver state space exceeded {MAX_STATES} states"
-        );
+        if ctx.states > ctx.max_states {
+            return None;
+        }
         let (page, user) = ctx.reqs[t];
         let bit = 1u32 << page;
         let value = if mask & bit != 0 {
-            go(ctx, t + 1, mask, misses)
+            go(ctx, t + 1, mask, misses)?
         } else {
             misses[user] += 1;
             let v = if (mask.count_ones() as usize) < ctx.k {
@@ -91,21 +117,26 @@ pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
             } else {
                 let mut best = f64::INFINITY;
                 let mut m = mask;
+                let mut found = Some(());
                 while m != 0 {
                     let victim = m & m.wrapping_neg();
                     m ^= victim;
-                    let v = go(ctx, t + 1, (mask ^ victim) | bit, misses);
-                    if v < best {
-                        best = v;
+                    match go(ctx, t + 1, (mask ^ victim) | bit, misses) {
+                        Some(v) if v < best => best = v,
+                        Some(_) => {}
+                        None => {
+                            found = None;
+                            break;
+                        }
                     }
                 }
-                best
+                found.map(|()| best)
             };
             misses[user] -= 1;
-            v
+            v?
         };
         ctx.memo.insert(key, value);
-        value
+        Some(value)
     }
 
     let mut ctx = Ctx {
@@ -114,9 +145,10 @@ pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
         costs,
         memo: HashMap::new(),
         states: 0,
+        max_states,
     };
     let mut misses = vec![0u16; num_users];
-    let cost = go(&mut ctx, 0, 0, &mut misses);
+    let cost = go(&mut ctx, 0, 0, &mut misses)?;
 
     // Reconstruct one optimal miss vector by replaying greedy choices.
     let mut mask = 0u32;
@@ -138,7 +170,7 @@ pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
         while m != 0 {
             let victim = m & m.wrapping_neg();
             m ^= victim;
-            let v = go(&mut ctx, t + 1, (mask ^ victim) | bit, &mut mvec);
+            let v = go(&mut ctx, t + 1, (mask ^ victim) | bit, &mut mvec)?;
             if v < best {
                 best = v;
                 chosen = Some(victim);
@@ -147,10 +179,10 @@ pub fn exact_opt(trace: &Trace, k: usize, costs: &CostProfile) -> ExactOpt {
         mask = (mask ^ chosen.expect("cache non-empty")) | bit;
     }
 
-    ExactOpt {
+    Some(ExactOpt {
         cost,
         misses: mvec.iter().map(|&m| m as u64).collect(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -220,6 +252,25 @@ mod tests {
         let trace = Trace::from_page_indices(&u, &[0, 2, 3, 1, 0, 2, 3, 1]);
         let opt = exact_opt(&trace, 2, &costs);
         assert!((costs.total_cost(&opt.misses) - opt.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_variant_declines_oversized_instead_of_panicking() {
+        let u = Universe::uniform(2, 2);
+        let costs = CostProfile::uniform(2, Monomial::power(2.0));
+        let pages: Vec<u32> = (0..14u32).map(|i| (i * 5 + 1) % 4).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        // A starvation budget declines; a sane budget agrees with the
+        // panicking front-end exactly.
+        assert_eq!(try_exact_opt(&trace, 2, &costs, 3), None);
+        let soft = try_exact_opt(&trace, 2, &costs, MAX_STATES).unwrap();
+        let hard = exact_opt(&trace, 2, &costs);
+        assert_eq!(soft, hard);
+        // Too many pages is also a decline, not a panic.
+        let wide = Universe::single_user(31);
+        let t31 = Trace::from_page_indices(&wide, &[0, 30, 7]);
+        let costs1 = CostProfile::uniform(1, Monomial::power(2.0));
+        assert_eq!(try_exact_opt(&t31, 2, &costs1, MAX_STATES), None);
     }
 
     #[test]

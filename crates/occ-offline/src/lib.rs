@@ -20,7 +20,7 @@ pub mod exact;
 pub use batch::{batch_offline, BatchOfflineResult};
 pub use belady::{belady_miss_vector, belady_total_misses, Belady};
 pub use belady_cost::{cost_belady_miss_vector, CostAwareBelady};
-pub use exact::{exact_opt, ExactOpt};
+pub use exact::{exact_opt, try_exact_opt, ExactOpt};
 
 use occ_core::CostProfile;
 use occ_sim::Trace;

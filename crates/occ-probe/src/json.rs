@@ -15,6 +15,28 @@ use std::fmt::Write as _;
 /// Maximum nesting depth accepted by the parser (stack-overflow guard).
 pub const MAX_DEPTH: usize = 64;
 
+/// Validate the `schema` stamp of a schema-stamped document (`what`
+/// names the document kind in error messages, e.g. "report").
+///
+/// Shared by every stamped format (observe reports, conformance verdict
+/// tables): the stamp is checked *before* any other key, so a document
+/// from a future version fails with "unsupported schema" rather than a
+/// misleading missing-key complaint about keys that version legitimately
+/// renamed or dropped.
+pub fn check_schema_stamp(v: &Json, expected: u64, what: &str) -> Result<u64, String> {
+    let schema = v
+        .get("schema")
+        .ok_or_else(|| format!("{what} has no 'schema' stamp"))?
+        .as_u64()
+        .ok_or("'schema' must be an unsigned integer")?;
+    if schema != expected {
+        return Err(format!(
+            "{what} schema {schema} unsupported (this build reads schema {expected})"
+        ));
+    }
+    Ok(schema)
+}
+
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Json {

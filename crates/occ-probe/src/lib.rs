@@ -40,7 +40,7 @@ pub mod sink;
 pub use checkpoint::{snapshot_from_json, snapshot_to_json};
 pub use dual::{DualSample, DualTrace};
 pub use histogram::LogHistogram;
-pub use json::Json;
+pub use json::{check_schema_stamp, Json};
 pub use recorder::MetricsRecorder;
 pub use report::{ObserveReport, REPORT_SCHEMA, REQUIRED_KEYS};
 pub use sink::JsonlSink;

@@ -87,21 +87,13 @@ impl ObserveReport {
     /// [`REQUIRED_KEYS`] present, a matching schema stamp, and counters
     /// that add up (`hits + misses = requests`).
     pub fn validate(v: &Json) -> Result<(), String> {
-        // The schema stamp is checked before any other key: a report from
-        // a future version may legitimately lack or rename today's
-        // required keys, and the error must say "unsupported schema", not
-        // mislead with a missing-key complaint.
-        let schema = v
-            .get("schema")
-            .ok_or("report has no 'schema' stamp")?
-            .as_u64()
-            .ok_or("'schema' must be an unsigned integer")?;
-        if schema != REPORT_SCHEMA {
-            return Err(format!(
-                "report schema {schema} unsupported (this build reads schema {REPORT_SCHEMA}); \
-                 re-run `occ observe` with a matching build"
-            ));
-        }
+        crate::json::check_schema_stamp(v, REPORT_SCHEMA, "report").map_err(|e| {
+            if e.contains("unsupported") {
+                format!("{e}; re-run `occ observe` with a matching build")
+            } else {
+                e
+            }
+        })?;
         for key in REQUIRED_KEYS {
             if v.get(key).is_none() {
                 return Err(format!("report missing required key '{key}'"));

@@ -1,0 +1,96 @@
+//! Property tests pinning the offline-oracle hierarchy on tiny
+//! instances, where the exponential `exact_opt` solver is ground truth:
+//!
+//! * for **linear** costs the objective `Σ_i w·m_i` is proportional to
+//!   the total miss count, so Belady's exchange argument applies and the
+//!   miss-minimizing Belady schedule attains the exact optimum;
+//! * for **convex** costs Belady is merely feasible: its cost can never
+//!   beat the exact optimum (this is the soundness direction the
+//!   conformance harness leans on when it uses Belady as the offline
+//!   reference for single-user cells);
+//! * the exact solver, conversely, can never miss fewer *total* pages
+//!   than Belady, which is miss-count optimal.
+//!
+//! Instances are deliberately tiny (≤ 3 users, k ≤ 4, traces ≤ 12) so the
+//! memoized search stays well inside its state budget.
+
+use occ_core::{CostProfile, Linear, Monomial, PiecewiseLinear};
+use occ_offline::{belady_miss_vector, belady_total_misses, exact_opt};
+use occ_sim::{Trace, Universe};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Universe, request list, and cache size for a tiny instance.
+fn tiny_instance() -> impl Strategy<Value = (Universe, Vec<u32>, usize)> {
+    (1u32..=3, 1u32..=2).prop_flat_map(|(users, pages_per)| {
+        let total = users * pages_per;
+        (proptest::collection::vec(0..total, 0..13), 1usize..=4)
+            .prop_map(move |(pages, k)| (Universe::uniform(users, pages_per), pages, k))
+    })
+}
+
+proptest! {
+    // exact_opt is exponential; tiny instances keep each case cheap, so a
+    // healthy case count is affordable.
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn belady_attains_the_exact_optimum_for_linear_costs(
+        (universe, pages, k) in tiny_instance(),
+        weight in 1u32..=3,
+    ) {
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let costs = CostProfile::uniform(universe.num_users(), Linear::new(weight as f64));
+        let belady_cost = costs.total_cost(&belady_miss_vector(&trace, k));
+        let opt = exact_opt(&trace, k, &costs);
+        // Equal-weight linear objective == weight × total misses, where
+        // Belady is provably optimal; both sides are small integers times
+        // `weight`, so exact equality in f64 is the right assertion.
+        prop_assert_eq!(belady_cost, opt.cost);
+    }
+
+    #[test]
+    fn belady_never_beats_the_exact_optimum_for_convex_costs(
+        (universe, pages, k) in tiny_instance(),
+        beta in 2u32..=3,
+    ) {
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let costs = CostProfile::uniform(universe.num_users(), Monomial::power(beta as f64));
+        let belady_cost = costs.total_cost(&belady_miss_vector(&trace, k));
+        let opt = exact_opt(&trace, k, &costs);
+        prop_assert!(
+            belady_cost >= opt.cost - 1e-9,
+            "Belady schedule cost {} undercuts exact optimum {}",
+            belady_cost,
+            opt.cost
+        );
+        // And the exact schedule, optimizing cost not misses, can never
+        // miss fewer total pages than the miss-count-optimal schedule.
+        let exact_total: u64 = opt.misses.iter().sum();
+        prop_assert!(exact_total >= belady_total_misses(&trace, k));
+    }
+
+    #[test]
+    fn belady_never_beats_exact_for_sla_costs(
+        (universe, pages, k) in tiny_instance(),
+        tolerance in 1u32..=4,
+        penalty in 2u32..=8,
+    ) {
+        // The paper's motivating convex shape: kinked rather than smooth,
+        // so the gap between miss-minimizing and cost-minimizing
+        // schedules is often strict.
+        let trace = Trace::from_page_indices(&universe, &pages);
+        let f = PiecewiseLinear::sla(tolerance as f64, 1.0, penalty as f64);
+        let costs = CostProfile::new(
+            (0..universe.num_users()).map(|_| Arc::new(f.clone()) as _).collect(),
+        );
+        let belady_cost = costs.total_cost(&belady_miss_vector(&trace, k));
+        let opt = exact_opt(&trace, k, &costs);
+        prop_assert!(
+            belady_cost >= opt.cost - 1e-9,
+            "Belady schedule cost {} undercuts exact optimum {}",
+            belady_cost,
+            opt.cost
+        );
+    }
+}
