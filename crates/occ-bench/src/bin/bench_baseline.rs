@@ -22,12 +22,30 @@
 //! [`MetricsRecorder`] attached (the two passes are separate so
 //! percentile instrumentation cannot distort the throughput number).
 //! Total runtime is well under two minutes.
+//!
+//! Schema 3 adds a `mode` per entry (committed entries without one are
+//! `scalar`):
+//!
+//! * `scalar` — the classic one-request-at-a-time replay above;
+//! * `batched` — [`Simulator::run_batched`] over the same trace, miss
+//!   counts asserted byte-identical to the scalar cell;
+//! * `fleet` — `shards` independent caches on worker threads fed by
+//!   streaming sources (`requests_per_sec` is the fleet aggregate; the
+//!   1-shard fleet's misses are asserted equal to the scalar cell,
+//!   since its streamed workload is byte-identical to the trace).
+//!
+//! `--smoke` runs a reduced matrix (lru/fifo × zipf-0.9 × k=4096,
+//! scalar vs batched), asserts the miss counts match, prints a
+//! `SMOKE OK` marker, and exits without touching the committed file —
+//! cheap enough for CI on shared runners, and never flaky because the
+//! only hard check is exact-count equality, not timing.
 
 use occ_baselines::{Fifo, GreedyDual, Lru, LruReference, Marking};
 use occ_core::{ConvexCaching, CostProfile, Monomial};
+use occ_fleet::{run_fleet, FleetConfig};
 use occ_probe::{Json, MetricsRecorder};
-use occ_sim::{ReplacementPolicy, Request, Simulator, SteppingEngine, Trace};
-use occ_workloads::{generate_multi_tenant, zipf_trace, AccessPattern, TenantSpec};
+use occ_sim::{ReplacementPolicy, Request, Simulator, SteppingEngine, Trace, DEFAULT_BATCH_SIZE};
+use occ_workloads::{generate_multi_tenant, zipf_trace, AccessPattern, PatternSource, TenantSpec};
 use std::fmt::Write as _;
 use std::path::Path;
 use std::time::Instant;
@@ -35,6 +53,10 @@ use std::time::Instant;
 const TRACE_LEN: usize = 200_000;
 const CACHE_SIZES: [usize; 2] = [1024, 4096];
 const THROUGHPUT_REPS: usize = 3;
+/// Policies that get a batched-replay entry next to their scalar one.
+const BATCHED_POLICIES: [&str; 2] = ["lru", "fifo"];
+/// Shard counts for the fleet entries.
+const FLEET_SHARDS: [usize; 2] = [1, 4];
 
 struct Workload {
     name: &'static str,
@@ -122,9 +144,13 @@ fn measure(policy: &mut Box<dyn ReplacementPolicy>, wl: &Workload, k: usize) -> 
     }
 }
 
-/// The committed baseline's throughput per (policy, workload, k) cell,
-/// if a parseable `BENCH_throughput.json` exists at `path`.
-fn load_committed(path: &Path) -> Vec<(String, String, u64, f64)> {
+/// One committed baseline cell: (policy, workload, k, mode, req/s).
+type CommittedCell = (String, String, u64, String, f64);
+
+/// The committed baseline's throughput per (policy, workload, k, mode)
+/// cell, if a parseable `BENCH_throughput.json` exists at `path`.
+/// Entries from schema ≤ 2 carry no `mode` and default to `scalar`.
+fn load_committed(path: &Path) -> Vec<CommittedCell> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
@@ -142,11 +168,91 @@ fn load_committed(path: &Path) -> Vec<(String, String, u64, f64)> {
                 e.get("k").and_then(Json::as_u64),
                 e.get("requests_per_sec").and_then(Json::as_f64),
             ) {
-                cells.push((policy, workload, k, rps));
+                let mode = get_str("mode").unwrap_or_else(|| "scalar".into());
+                cells.push((policy, workload, k, mode, rps));
             }
         }
     }
     cells
+}
+
+/// Delta line vs the committed baseline for one cell, counting ≤ −20%
+/// moves as regressions.
+fn delta_text(
+    committed: &[CommittedCell],
+    policy: &str,
+    workload: &str,
+    k: usize,
+    mode: &str,
+    rps: f64,
+    regressions: &mut u32,
+) -> String {
+    let old = committed
+        .iter()
+        .find(|(p, w, ck, m, _)| p == policy && w == workload && *ck == k as u64 && m == mode)
+        .map(|&(_, _, _, _, old_rps)| old_rps);
+    match old.map(|o| (rps - o) / o * 100.0) {
+        Some(d) if d <= -20.0 => {
+            *regressions += 1;
+            format!("   Δ {d:+.1}%  <-- REGRESSION")
+        }
+        Some(d) => format!("   Δ {d:+.1}%"),
+        None => String::new(),
+    }
+}
+
+/// Best-of-N batched replay of the same trace: requests/sec and misses.
+fn measure_batched(policy: &mut Box<dyn ReplacementPolicy>, wl: &Workload, k: usize) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut misses = 0;
+    for _ in 0..THROUGHPUT_REPS {
+        policy.reset();
+        let start = Instant::now();
+        let result = Simulator::new(k).run_batched(policy, &wl.trace, DEFAULT_BATCH_SIZE);
+        best = best.min(start.elapsed().as_secs_f64());
+        misses = result.total_misses();
+    }
+    (wl.trace.len() as f64 / best, misses)
+}
+
+/// One fleet run: `shards` independent LRU caches of size `k` over
+/// `4k`-page universes, each fed by a streaming alias-method Zipf(0.9)
+/// source (O(1) per draw — generation sits inside the timed loop, so
+/// the CDF sampler's binary search would dominate the measurement).
+/// Returns (aggregate req/s, total misses).
+fn measure_fleet(shards: usize, k: usize) -> (f64, u64) {
+    let pages = 4 * k as u32;
+    let mut cfg = FleetConfig::new(k);
+    cfg.record = false;
+    let sources: Vec<_> = (0..shards)
+        .map(|i| {
+            let seed = 11 ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            PatternSource::new(
+                AccessPattern::ZipfAliased { s: 0.9 },
+                pages,
+                TRACE_LEN as u64,
+                seed,
+            )
+        })
+        .collect();
+    let report = run_fleet(sources, &cfg, |_| Box::new(Lru::new()));
+    (report.aggregate_requests_per_sec(), report.total_misses())
+}
+
+/// Untimed cross-check: a 1-shard fleet fed by the CDF-sampler stream
+/// with the scalar workload's seed replays the materialized zipf-0.9
+/// trace byte-identically, so its miss count must equal the scalar LRU
+/// cell's.
+fn assert_fleet_matches_scalar(k: usize, scalar_misses: u64) {
+    let pages = 4 * k as u32;
+    let cfg = FleetConfig::new(k);
+    let source = PatternSource::new(AccessPattern::Zipf { s: 0.9 }, pages, TRACE_LEN as u64, 11);
+    let report = run_fleet(vec![source], &cfg, |_| Box::new(Lru::new()));
+    assert_eq!(
+        report.total_misses(),
+        scalar_misses,
+        "streamed fleet shard must replay the scalar zipf-0.9 workload byte-identically"
+    );
 }
 
 /// Adapter so the stepping engine can drive a `&mut Box<dyn Policy>`
@@ -181,7 +287,50 @@ impl ReplacementPolicy for PolicyShim<'_> {
     }
 }
 
+/// `--smoke`: lru/fifo on zipf-0.9 at k=4096, scalar vs batched, one
+/// rep each. Asserts exact miss equality (the non-flaky invariant) and
+/// prints whether batched kept up — CI greps for the `SMOKE OK` line.
+fn run_smoke() {
+    let k = 4096;
+    let wls = workloads(k);
+    let wl = &wls[0];
+    assert_eq!(wl.name, "zipf-0.9");
+    for label in BATCHED_POLICIES {
+        let mut policy: Box<dyn ReplacementPolicy> = match label {
+            "lru" => Box::new(Lru::new()),
+            _ => Box::new(Fifo::new()),
+        };
+        let start = Instant::now();
+        let scalar = Simulator::new(k).run(&mut policy, &wl.trace);
+        let scalar_secs = start.elapsed().as_secs_f64();
+        policy.reset();
+        let start = Instant::now();
+        let batched = Simulator::new(k).run_batched(&mut policy, &wl.trace, DEFAULT_BATCH_SIZE);
+        let batched_secs = start.elapsed().as_secs_f64();
+        assert_eq!(
+            batched.total_misses(),
+            scalar.total_misses(),
+            "{label}: batched replay diverged from scalar"
+        );
+        assert_eq!(batched.stats, scalar.stats, "{label}: stats diverged");
+        let speedup = scalar_secs / batched_secs;
+        println!(
+            "SMOKE {label}: scalar {:.1}ms, batched {:.1}ms ({speedup:.2}x), \
+             misses {} (identical)",
+            scalar_secs * 1e3,
+            batched_secs * 1e3,
+            batched.total_misses()
+        );
+    }
+    println!("SMOKE OK: batched replay byte-identical to scalar on lru and fifo");
+}
+
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        run_smoke();
+        return;
+    }
+
     // crates/occ-bench/../../ = repository root, regardless of cwd.
     let out = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("../..")
@@ -190,31 +339,32 @@ fn main() {
     let mut regressions = 0u32;
 
     let mut rows = Vec::new();
+    // Scalar misses per (policy, workload, k), for the batched/fleet
+    // equivalence asserts below.
+    let mut scalar_misses: Vec<(String, String, usize, u64)> = Vec::new();
     for &k in &CACHE_SIZES {
         for wl in workloads(k) {
             for (label, mut policy) in policy_suite(wl.num_users) {
                 let m = measure(&mut policy, &wl, k);
-                let delta = committed
-                    .iter()
-                    .find(|(p, w, ck, _)| p == label && w == wl.name && *ck == k as u64)
-                    .map(|&(_, _, _, old_rps)| (m.requests_per_sec - old_rps) / old_rps * 100.0);
-                let delta_text = match delta {
-                    Some(d) if d <= -20.0 => {
-                        regressions += 1;
-                        format!("   Δ {d:+.1}%  <-- REGRESSION")
-                    }
-                    Some(d) => format!("   Δ {d:+.1}%"),
-                    None => String::new(),
-                };
+                scalar_misses.push((label.to_string(), wl.name.to_string(), k, m.misses));
+                let delta = delta_text(
+                    &committed,
+                    label,
+                    wl.name,
+                    k,
+                    "scalar",
+                    m.requests_per_sec,
+                    &mut regressions,
+                );
                 println!(
-                    "{label:>16}  k={k:<5} {:<20} {:>12.0} req/s   p50 {:>6} ns   p99 {:>7} ns   misses {}{delta_text}",
+                    "{label:>16}  k={k:<5} {:<20} {:>12.0} req/s   p50 {:>6} ns   p99 {:>7} ns   misses {}{delta}",
                     wl.name, m.requests_per_sec, m.p50_ns, m.p99_ns, m.misses
                 );
                 let mut row = String::new();
                 write!(
                     row,
                     "    {{\"policy\": \"{label}\", \"workload\": \"{}\", \"k\": {k}, \
-                     \"universe_pages\": {}, \"trace_len\": {}, \
+                     \"universe_pages\": {}, \"trace_len\": {}, \"mode\": \"scalar\", \
                      \"requests_per_sec\": {:.0}, \"p50_ns\": {}, \"p90_ns\": {}, \
                      \"p99_ns\": {}, \"p999_ns\": {}, \"misses\": {}}}",
                     wl.name,
@@ -230,11 +380,90 @@ fn main() {
                 .unwrap();
                 rows.push(row);
             }
+
+            // Batched twins of the scalar cells above.
+            for label in BATCHED_POLICIES {
+                let mut policy: Box<dyn ReplacementPolicy> = match label {
+                    "lru" => Box::new(Lru::new()),
+                    _ => Box::new(Fifo::new()),
+                };
+                let (rps, misses) = measure_batched(&mut policy, &wl, k);
+                let &(_, _, _, scalar) = scalar_misses
+                    .iter()
+                    .find(|(p, w, ck, _)| p == label && w == wl.name && *ck == k)
+                    .expect("scalar cell measured above");
+                assert_eq!(
+                    misses, scalar,
+                    "{label}: batched misses diverged from scalar"
+                );
+                let delta = delta_text(
+                    &committed,
+                    label,
+                    wl.name,
+                    k,
+                    "batched",
+                    rps,
+                    &mut regressions,
+                );
+                println!(
+                    "{:>16}  k={k:<5} {:<20} {rps:>12.0} req/s   (batch {DEFAULT_BATCH_SIZE})                    misses {misses}{delta}",
+                    format!("{label}/batched"),
+                    wl.name
+                );
+                let mut row = String::new();
+                write!(
+                    row,
+                    "    {{\"policy\": \"{label}\", \"workload\": \"{}\", \"k\": {k}, \
+                     \"universe_pages\": {}, \"trace_len\": {}, \"mode\": \"batched\", \
+                     \"batch_size\": {DEFAULT_BATCH_SIZE}, \
+                     \"requests_per_sec\": {rps:.0}, \"misses\": {misses}}}",
+                    wl.name,
+                    4 * k,
+                    wl.trace.len(),
+                )
+                .unwrap();
+                rows.push(row);
+            }
+        }
+
+        // Fleet entries: streaming zipf-0.9 shards under LRU.
+        let &(_, _, _, scalar) = scalar_misses
+            .iter()
+            .find(|(p, w, ck, _)| p == "lru" && w == "zipf-0.9" && *ck == k)
+            .expect("scalar cell measured above");
+        assert_fleet_matches_scalar(k, scalar);
+        for &shards in &FLEET_SHARDS {
+            let (rps, misses) = measure_fleet(shards, k);
+            let delta = delta_text(
+                &committed,
+                &format!("lru/fleet-{shards}"),
+                "zipf-0.9",
+                k,
+                "fleet",
+                rps,
+                &mut regressions,
+            );
+            println!(
+                "{:>16}  k={k:<5} {:<20} {rps:>12.0} req/s   ({shards} shard(s), aggregate)       misses {misses}{delta}",
+                format!("lru/fleet-{shards}"),
+                "zipf-0.9"
+            );
+            let mut row = String::new();
+            write!(
+                row,
+                "    {{\"policy\": \"lru/fleet-{shards}\", \"workload\": \"zipf-0.9\", \"k\": {k}, \
+                 \"universe_pages\": {}, \"trace_len\": {TRACE_LEN}, \"mode\": \"fleet\", \
+                 \"shards\": {shards}, \"batch_size\": {DEFAULT_BATCH_SIZE}, \
+                 \"requests_per_sec\": {rps:.0}, \"misses\": {misses}}}",
+                4 * k,
+            )
+            .unwrap();
+            rows.push(row);
         }
     }
 
     let json = format!(
-        "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 2,\n  \"entries\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 3,\n  \"entries\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
     std::fs::write(&out, json).expect("write BENCH_throughput.json");

@@ -5,14 +5,16 @@ use crate::errors::CliError;
 use occ_analysis::{compare_policies, evaluate_policy, fnum, lru_cost_curve, lru_mrc, Table};
 use occ_baselines::{CostGreedy, Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict};
 use occ_core::{ConvexCaching, CostProfile};
+use occ_fleet::{run_fleet, FleetConfig};
 use occ_offline::{Belady, CostAwareBelady};
 use occ_probe::{
     snapshot_from_json, snapshot_to_json, DualTrace, Json, JsonlSink, MetricsRecorder,
     ObserveReport,
 };
 use occ_sim::{
-    read_trace, write_trace, EngineSnapshot, FaultCounters, FaultHandler, FaultPolicy,
-    ReplacementPolicy, Request, SimStats, SteppingEngine, Time, Trace, Universe, UserId,
+    read_trace_auto, write_trace, write_trace_binary, EngineSnapshot, FaultCounters, FaultHandler,
+    FaultPolicy, ReplacementPolicy, Request, SimStats, SteppingEngine, Time, Trace, Universe,
+    UserId,
 };
 use occ_workloads::{all_scenarios, FaultPlan, Scenario};
 use std::fs::File;
@@ -24,7 +26,11 @@ occ — online caching with convex costs
 
 USAGE:
   occ scenarios                                 list built-in scenarios
-  occ generate --scenario NAME [--len N] [--seed S] --out FILE
+  occ generate --scenario NAME [--len N] [--seed S] [--format text|binary] --out FILE
+               write a trace file; binary is the fixed-width
+               little-endian form (magic \"occbin01\", 4 bytes/request)
+               read without line parsing. Every trace-reading command
+               auto-detects the format.
   occ run      --policy NAME --k K (--trace FILE --scenario NAME | --scenario NAME [--len N] [--seed S])
   occ compare  --scenario NAME --k K [--len N] [--seed S]
   occ mrc      --scenario NAME [--len N] [--seed S] [--max-k K]
@@ -46,6 +52,15 @@ USAGE:
                the continuation is byte-identical to an uninterrupted run.
   occ report   --in FILE [--format table|json]
                validate and render an `occ observe` report
+  occ fleet    --scenario NAME [--shards F] [--len N] [--seed S]
+               [--policy NAME] [--k K] [--batch B] [--format table|json]
+               [--out FILE]
+               run F independent cache shards of the scenario in
+               parallel (one worker thread each, seeds derived per
+               shard), streaming requests in O(1) memory, and merge the
+               per-shard telemetry into one fleet report. Offline
+               policies (belady*) are rejected: the fleet never
+               materializes a trace.
   occ conformance [--grid smoke|full] [--seed S] [--weaken W]
                [--shrink on|off] [--out FILE] [--format table|json]
                machine-check the paper's bounds (Theorems 1.1/1.3/1.4,
@@ -99,15 +114,13 @@ fn find_scenario(name: &str) -> Result<Scenario, CliError> {
         })
 }
 
-fn make_policy(
-    name: &str,
-    costs: &CostProfile,
-    trace: &Trace,
-) -> Result<Box<dyn ReplacementPolicy>, CliError> {
+/// The online policies — everything a streaming run (no materialized
+/// trace) can use. `None` for offline or unknown names.
+fn make_online_policy(name: &str, costs: &CostProfile) -> Option<Box<dyn ReplacementPolicy>> {
     let weights: Vec<f64> = (0..costs.num_users())
         .map(|u| costs.user(occ_sim::UserId(u)).eval(1.0).max(1e-9))
         .collect();
-    Ok(match name {
+    Some(match name {
         "convex" => Box::new(ConvexCaching::new(costs.clone())),
         "lru" => Box::new(Lru::new()),
         "fifo" => Box::new(Fifo::new()),
@@ -117,6 +130,19 @@ fn make_policy(
         "random" => Box::new(RandomEvict::new(0xC0FFEE)),
         "greedy-dual" => Box::new(GreedyDual::new(weights)),
         "cost-greedy" => Box::new(CostGreedy::new(costs.clone())),
+        _ => return None,
+    })
+}
+
+fn make_policy(
+    name: &str,
+    costs: &CostProfile,
+    trace: &Trace,
+) -> Result<Box<dyn ReplacementPolicy>, CliError> {
+    if let Some(policy) = make_online_policy(name, costs) {
+        return Ok(policy);
+    }
+    Ok(match name {
         "belady" => Box::new(Belady::new(trace)),
         "belady-cost" => Box::new(CostAwareBelady::new(trace, costs.clone())),
         other => return Err(CliError::Usage(format!("unknown policy '{other}'"))),
@@ -149,11 +175,20 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
     let len: usize = uarg(args.num_or("len", 60_000usize))?;
     let seed: u64 = uarg(args.num_or("seed", 7u64))?;
     let out = uarg(args.str_required("out"))?;
+    let format = args.str_or("format", "text");
     let trace = scenario.trace(len, seed);
     let file = File::create(&out).map_err(|e| CliError::Io(format!("create {out}: {e}")))?;
-    write_trace(&trace, BufWriter::new(file))?;
+    match format.as_str() {
+        "text" => write_trace(&trace, BufWriter::new(file))?,
+        "binary" => write_trace_binary(&trace, BufWriter::new(file))?,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown trace format '{other}' (expected text or binary)"
+            )))
+        }
+    }
     println!(
-        "wrote {} requests over {} pages / {} users to {out}",
+        "wrote {} requests over {} pages / {} users to {out} ({format})",
         trace.len(),
         trace.universe().num_pages(),
         trace.universe().num_users()
@@ -165,7 +200,7 @@ fn load_or_generate(args: &Args, scenario: &Scenario) -> Result<Trace, CliError>
     match args.str_or("trace", "") {
         path if !path.is_empty() => {
             let file = File::open(&path).map_err(|e| CliError::Io(format!("open {path}: {e}")))?;
-            let trace = read_trace(BufReader::new(file))?;
+            let trace = read_trace_auto(BufReader::new(file))?;
             if trace.universe().num_users() != scenario.costs.num_users() {
                 return Err(CliError::Usage(format!(
                     "trace has {} users but scenario '{}' defines costs for {}",
@@ -258,6 +293,79 @@ pub fn mrc(args: &Args) -> Result<(), CliError> {
         ]);
     }
     emit(&t.to_markdown());
+    Ok(())
+}
+
+/// `occ fleet`
+pub fn fleet(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
+    let shards: usize = uarg(args.num_or("shards", 4usize))?;
+    if shards == 0 {
+        return Err(CliError::Usage("a fleet needs at least one shard".into()));
+    }
+    let len: u64 = uarg(args.num_or("len", 60_000u64))?;
+    let seed: u64 = uarg(args.num_or("seed", 7u64))?;
+    let k: usize = uarg(args.num_or("k", scenario.suggested_k))?;
+    let batch: usize = uarg(args.num_or("batch", occ_sim::DEFAULT_BATCH_SIZE))?;
+    if batch == 0 {
+        return Err(CliError::Usage("--batch must be positive".into()));
+    }
+    let policy_name = args.str_or("policy", "lru");
+    if policy_name == "belady" || policy_name == "belady-cost" {
+        return Err(CliError::Usage(format!(
+            "policy '{policy_name}' is offline; the fleet streams its workload \
+             and never materializes a trace"
+        )));
+    }
+    if make_online_policy(&policy_name, &scenario.costs).is_none() {
+        return Err(CliError::Usage(format!("unknown policy '{policy_name}'")));
+    }
+
+    let mut cfg = FleetConfig::new(k);
+    cfg.batch_size = batch;
+    // Each shard is its own server: same scenario, decorrelated seed.
+    let sources: Vec<_> = (0..shards)
+        .map(|i| scenario.stream(len, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    let costs = &scenario.costs;
+    let report = run_fleet(sources, &cfg, |_| {
+        make_online_policy(&policy_name, costs).expect("validated above")
+    });
+
+    let json = report.to_json_value();
+    if let Some(out) = Some(args.str_or("out", "")).filter(|p| !p.is_empty()) {
+        std::fs::write(&out, json.to_json() + "\n")
+            .map_err(|e| CliError::Io(format!("write {out}: {e}")))?;
+    }
+    match args.str_or("format", "table").as_str() {
+        "json" => emit(&json.to_json()),
+        "table" => {
+            let mut t = Table::new(vec!["shard", "requests", "hits", "misses", "req/s"]);
+            for s in &report.shards {
+                t.row(vec![
+                    s.shard.to_string(),
+                    s.served.to_string(),
+                    s.stats.total_hits().to_string(),
+                    s.stats.total_misses().to_string(),
+                    fnum(s.requests_per_sec()),
+                ]);
+            }
+            emit(&t.to_markdown());
+            emit(&format!(
+                "fleet: {} shards x {len} requests ({policy_name}, k={k}, batch={batch}) — \
+                 {} requests in {:.1} ms, aggregate {} req/s",
+                shards,
+                report.total_requests,
+                report.wall.as_secs_f64() * 1e3,
+                fnum(report.aggregate_requests_per_sec()),
+            ));
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format '{other}' (expected table or json)"
+            )))
+        }
+    }
     Ok(())
 }
 

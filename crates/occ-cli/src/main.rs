@@ -10,6 +10,7 @@
 //!              --checkpoint ckpt.json --checkpoint-every 10000
 //! occ resume   --from ckpt.json --scenario two-tier
 //! occ report   --in report.json
+//! occ fleet    --scenario sqlvm-like --shards 8 --len 200000 --policy lru
 //! occ conformance --grid smoke --out verdicts.json
 //! occ scenarios
 //! ```
@@ -46,6 +47,7 @@ fn main() {
         Some("observe") => commands::observe(&args),
         Some("resume") => commands::resume(&args),
         Some("report") => commands::report(&args),
+        Some("fleet") => commands::fleet(&args),
         Some("conformance") => commands::conformance(&args),
         Some("scenarios") => commands::scenarios(),
         Some("help") | None => {

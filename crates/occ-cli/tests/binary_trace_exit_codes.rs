@@ -1,0 +1,168 @@
+//! Black-box contract for the binary trace format through the real
+//! binary: `occ generate --format binary` round-trips through every
+//! trace-reading command via auto-detection, and truncated or corrupt
+//! binary files exit with the parse class (4) — not a panic, not a
+//! generic 1 — so operators can script on the distinction.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn occ(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_occ"))
+        .args(args)
+        .output()
+        .expect("run occ")
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("occ-binio-e2e");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir.join(name)
+}
+
+fn generate_binary(path: &Path) {
+    let out = occ(&[
+        "generate",
+        "--scenario",
+        "two-tier",
+        "--len",
+        "2000",
+        "--seed",
+        "5",
+        "--format",
+        "binary",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "generate failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn binary_and_text_traces_replay_identically() {
+    let bin_path = tmp("trace.bin");
+    let text_path = tmp("trace.txt");
+    generate_binary(&bin_path);
+    let out = occ(&[
+        "generate",
+        "--scenario",
+        "two-tier",
+        "--len",
+        "2000",
+        "--seed",
+        "5",
+        "--out",
+        text_path.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Binary is fixed-width: header + owner table + 4 bytes/request.
+    let bin_bytes = std::fs::metadata(&bin_path).unwrap().len();
+    assert_eq!(bin_bytes, 8 + 4 + 4 + 64 * 4 + 8 + 2000 * 4);
+
+    let run = |path: &Path| {
+        let out = occ(&[
+            "run",
+            "--scenario",
+            "two-tier",
+            "--policy",
+            "lru",
+            "--k",
+            "24",
+            "--trace",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "run failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8(out.stdout).unwrap()
+    };
+    assert_eq!(
+        run(&bin_path),
+        run(&text_path),
+        "same trace, either encoding, same report"
+    );
+}
+
+#[test]
+fn truncated_binary_trace_exits_with_parse_code() {
+    let path = tmp("trace-truncated.bin");
+    generate_binary(&path);
+    let full = std::fs::read(&path).unwrap();
+    // Cut mid-header and mid-request-stream; both are parse failures.
+    for cut in [10, full.len() - 3] {
+        let cut_path = tmp("cut.bin");
+        std::fs::write(&cut_path, &full[..cut]).unwrap();
+        let out = occ(&[
+            "run",
+            "--scenario",
+            "two-tier",
+            "--policy",
+            "lru",
+            "--k",
+            "24",
+            "--trace",
+            cut_path.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(4),
+            "truncation at {cut} must exit 4; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("truncated") || stderr.contains("unexpected EOF"),
+            "error names the truncation: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn corrupt_binary_trace_exits_with_parse_code() {
+    let path = tmp("trace-corrupt.bin");
+    generate_binary(&path);
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Blow up the first owner-table entry (offset 16: after the magic
+    // and the two u32 counts) so it falls outside the user range.
+    bytes[16] = 0xFF;
+    bytes[17] = 0xFF;
+    let bad = tmp("bad.bin");
+    std::fs::write(&bad, &bytes).unwrap();
+    let out = occ(&[
+        "run",
+        "--scenario",
+        "two-tier",
+        "--policy",
+        "lru",
+        "--k",
+        "24",
+        "--trace",
+        bad.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "corrupt header must exit 4; stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
+fn unknown_generate_format_is_a_usage_error() {
+    let out = occ(&[
+        "generate",
+        "--scenario",
+        "two-tier",
+        "--format",
+        "msgpack",
+        "--out",
+        tmp("never.bin").to_str().unwrap(),
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+}

@@ -1,0 +1,388 @@
+#![warn(missing_docs)]
+//! Sharded fleet runner: many independent cache instances in parallel.
+//!
+//! A *fleet* models the deployment the paper's SQLVM motivation implies
+//! but a single simulator cannot express: `F` servers, each running its
+//! own cache of size `k` over its own tenant mix, observed as one
+//! system. Each shard is a complete [`SteppingEngine`] replay —
+//! sharding is **not** a split of one cache's capacity; it is `F`
+//! independent caches whose telemetry is merged afterwards.
+//!
+//! The runner drives shards on scoped worker threads
+//! ([`std::thread::scope`], no detached lifetimes), feeds each one from
+//! a streaming [`RequestSource`] through the batched engine path
+//! ([`SteppingEngine::step_batch`]), and folds the per-shard
+//! [`MetricsRecorder`]s into one merged recorder with the same
+//! shard-merge machinery the observability layer already ships — so the
+//! merged report is indistinguishable from a single recorder that
+//! watched every shard.
+//!
+//! Determinism: each shard's outcome depends only on its own source and
+//! policy, never on scheduling, so per-shard stats are byte-identical
+//! to running the shards sequentially (pinned by tests). Only the
+//! wall-clock aggregate varies with parallelism.
+
+use occ_probe::MetricsRecorder;
+use occ_sim::probe::Recorder;
+use occ_sim::{ReplacementPolicy, RequestSource, SimStats, SteppingEngine, DEFAULT_BATCH_SIZE};
+use std::time::{Duration, Instant};
+
+pub use occ_probe::Json;
+
+/// Schema stamp for [`FleetReport::to_json_value`].
+pub const FLEET_SCHEMA: u64 = 1;
+
+/// How each shard of the fleet is run.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Cache capacity `k` of every shard (each shard gets its own full
+    /// `k` — see the module docs).
+    pub capacity: usize,
+    /// Requests per [`SteppingEngine::step_batch`] call.
+    pub batch_size: usize,
+    /// Apply the paper's end-of-run flush convention per shard.
+    pub flush_at_end: bool,
+    /// Attach a [`MetricsRecorder`] to every shard. Costs a monotonic
+    /// clock sample per request (the recorder is `TIMED`); turn it off
+    /// for pure-throughput runs, which then take the zero-overhead
+    /// batched path and leave [`ShardReport::recorder`] empty.
+    pub record: bool,
+}
+
+impl FleetConfig {
+    /// A recording fleet with capacity `k` and the default batch size.
+    pub fn new(capacity: usize) -> Self {
+        FleetConfig {
+            capacity,
+            batch_size: DEFAULT_BATCH_SIZE,
+            flush_at_end: false,
+            record: true,
+        }
+    }
+}
+
+/// Outcome of one shard's replay.
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Shard index (position in the source list handed to [`run_fleet`]).
+    pub shard: usize,
+    /// Per-user counters, identical to a sequential run of this shard.
+    pub stats: SimStats,
+    /// Requests served by this shard.
+    pub served: u64,
+    /// This shard's own wall-clock time.
+    pub elapsed: Duration,
+    /// The shard's recorder ([`FleetConfig::record`]); empty when
+    /// recording was off.
+    pub recorder: MetricsRecorder,
+}
+
+impl ShardReport {
+    /// This shard's throughput in requests per second.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.elapsed.is_zero() {
+            return 0.0;
+        }
+        self.served as f64 / self.elapsed.as_secs_f64()
+    }
+}
+
+/// Outcome of a whole fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-shard outcomes, in shard order.
+    pub shards: Vec<ShardReport>,
+    /// All shard recorders folded into one (empty when recording was
+    /// off), merged in shard order.
+    pub merged: MetricsRecorder,
+    /// Requests served across every shard.
+    pub total_requests: u64,
+    /// Wall-clock time for the whole fleet (parallel, so typically far
+    /// below the sum of per-shard `elapsed`).
+    pub wall: Duration,
+}
+
+impl FleetReport {
+    /// Fleet-wide throughput: total requests over fleet wall-clock.
+    /// This is the number that should scale with shard count on idle
+    /// multicore hardware.
+    pub fn aggregate_requests_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.total_requests as f64 / self.wall.as_secs_f64()
+    }
+
+    /// Misses summed over every shard's stats.
+    pub fn total_misses(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.total_misses()).sum()
+    }
+
+    /// Hits summed over every shard's stats.
+    pub fn total_hits(&self) -> u64 {
+        self.shards.iter().map(|s| s.stats.total_hits()).sum()
+    }
+
+    /// The schema-stamped JSON report behind `occ fleet --format json`.
+    pub fn to_json_value(&self) -> Json {
+        let shards = self
+            .shards
+            .iter()
+            .map(|s| {
+                Json::Obj(vec![
+                    ("shard".into(), Json::from_u64(s.shard as u64)),
+                    ("requests".into(), Json::from_u64(s.served)),
+                    ("hits".into(), Json::from_u64(s.stats.total_hits())),
+                    ("misses".into(), Json::from_u64(s.stats.total_misses())),
+                    (
+                        "evictions".into(),
+                        Json::from_u64(s.stats.total_evictions()),
+                    ),
+                    (
+                        "elapsed_ms".into(),
+                        Json::Num(s.elapsed.as_secs_f64() * 1e3),
+                    ),
+                    ("requests_per_sec".into(), Json::Num(s.requests_per_sec())),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::from_u64(FLEET_SCHEMA)),
+            ("kind".into(), Json::Str("fleet-report".into())),
+            ("shards".into(), Json::Arr(shards)),
+            ("merged".into(), self.merged.to_json_value()),
+            ("total_requests".into(), Json::from_u64(self.total_requests)),
+            ("wall_ms".into(), Json::Num(self.wall.as_secs_f64() * 1e3)),
+            (
+                "aggregate_requests_per_sec".into(),
+                Json::Num(self.aggregate_requests_per_sec()),
+            ),
+        ])
+    }
+}
+
+/// Run one engine to exhaustion of its source, batch by batch.
+fn drive<S, R>(
+    engine: &mut SteppingEngine<Box<dyn ReplacementPolicy>, R>,
+    source: &mut S,
+    cfg: &FleetConfig,
+) -> u64
+where
+    S: RequestSource,
+    R: Recorder,
+{
+    let mut buf = Vec::with_capacity(cfg.batch_size);
+    let mut served = 0u64;
+    loop {
+        buf.clear();
+        while buf.len() < cfg.batch_size {
+            let next = {
+                let ctx = engine.ctx();
+                source.next_request(&ctx)
+            };
+            match next {
+                Some(r) => buf.push(r),
+                None => break,
+            }
+        }
+        if buf.is_empty() {
+            break;
+        }
+        served += buf.len() as u64;
+        engine.step_batch(&buf);
+    }
+    if cfg.flush_at_end {
+        engine.flush();
+    }
+    served
+}
+
+fn run_shard<S: RequestSource>(
+    shard: usize,
+    mut source: S,
+    cfg: &FleetConfig,
+    policy: Box<dyn ReplacementPolicy>,
+) -> ShardReport {
+    let universe = source.universe().clone();
+    let start = Instant::now();
+    if cfg.record {
+        let mut engine = SteppingEngine::new(cfg.capacity, universe, policy)
+            .with_recorder(MetricsRecorder::new());
+        let served = drive(&mut engine, &mut source, cfg);
+        ShardReport {
+            shard,
+            stats: engine.stats().clone(),
+            served,
+            elapsed: start.elapsed(),
+            recorder: engine.recorder().clone(),
+        }
+    } else {
+        let mut engine = SteppingEngine::new(cfg.capacity, universe, policy);
+        let served = drive(&mut engine, &mut source, cfg);
+        ShardReport {
+            shard,
+            stats: engine.stats().clone(),
+            served,
+            elapsed: start.elapsed(),
+            recorder: MetricsRecorder::new(),
+        }
+    }
+}
+
+/// Run every source as an independent cache shard, one scoped worker
+/// thread each, and merge the telemetry.
+///
+/// `make_policy` is called once per shard (with the shard index) from
+/// that shard's thread, so policies never cross threads and need not be
+/// `Send`. Per-shard results are deterministic — threading affects only
+/// wall-clock fields.
+///
+/// Panics if `sources` is empty, `cfg.batch_size` is zero, or a shard
+/// thread panics (the shard's own panic is propagated).
+pub fn run_fleet<S, F>(sources: Vec<S>, cfg: &FleetConfig, make_policy: F) -> FleetReport
+where
+    S: RequestSource + Send,
+    F: Fn(usize) -> Box<dyn ReplacementPolicy> + Sync,
+{
+    assert!(!sources.is_empty(), "a fleet needs at least one shard");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    let start = Instant::now();
+    let make_policy = &make_policy;
+    let shards: Vec<ShardReport> = std::thread::scope(|scope| {
+        let handles: Vec<_> = sources
+            .into_iter()
+            .enumerate()
+            .map(|(i, source)| scope.spawn(move || run_shard(i, source, cfg, make_policy(i))))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(report) => report,
+                Err(panic) => std::panic::resume_unwind(panic),
+            })
+            .collect()
+    });
+    let wall = start.elapsed();
+    let mut merged = MetricsRecorder::new();
+    for s in &shards {
+        merged.merge(&s.recorder);
+    }
+    let total_requests = shards.iter().map(|s| s.served).sum();
+    FleetReport {
+        shards,
+        merged,
+        total_requests,
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_baselines::Lru;
+    use occ_sim::Simulator;
+    use occ_workloads::{sqlvm_like, two_tier, AccessPattern, PatternSource};
+
+    fn lru_factory(_shard: usize) -> Box<dyn ReplacementPolicy> {
+        Box::new(Lru::new())
+    }
+
+    #[test]
+    fn shard_results_match_sequential_scalar_runs() {
+        let scenario = sqlvm_like();
+        let cfg = FleetConfig::new(scenario.suggested_k);
+        let sources: Vec<_> = (0..4).map(|i| scenario.stream(3_000, 100 + i)).collect();
+        let report = run_fleet(sources, &cfg, lru_factory);
+
+        for (i, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.shard, i);
+            assert_eq!(shard.served, 3_000);
+            let trace = scenario.trace(3_000, 100 + i as u64);
+            let seq = Simulator::new(cfg.capacity).run(&mut Lru::new(), &trace);
+            assert_eq!(
+                shard.stats, seq.stats,
+                "shard {i} must match its sequential twin"
+            );
+        }
+        assert_eq!(report.total_requests, 12_000);
+    }
+
+    #[test]
+    fn merged_recorder_sums_the_shards() {
+        let scenario = two_tier();
+        let cfg = FleetConfig::new(scenario.suggested_k);
+        let sources: Vec<_> = (0..3).map(|i| scenario.stream(2_000, i)).collect();
+        let report = run_fleet(sources, &cfg, lru_factory);
+
+        let shard_requests: u64 = report.shards.iter().map(|s| s.recorder.requests()).sum();
+        assert_eq!(report.merged.requests(), shard_requests);
+        assert_eq!(report.merged.requests(), report.total_requests);
+        assert_eq!(
+            report.merged.hits() + report.merged.inserts() + report.merged.evictions(),
+            6_000
+        );
+        assert_eq!(report.total_hits() + report.total_misses(), 6_000);
+    }
+
+    #[test]
+    fn unrecorded_fleet_matches_recorded_stats() {
+        let scenario = sqlvm_like();
+        let mut cfg = FleetConfig::new(scenario.suggested_k);
+        let recorded = run_fleet(
+            (0..2).map(|i| scenario.stream(2_500, i)).collect(),
+            &cfg,
+            lru_factory,
+        );
+        cfg.record = false;
+        let bare = run_fleet(
+            (0..2).map(|i| scenario.stream(2_500, i)).collect(),
+            &cfg,
+            lru_factory,
+        );
+        for (a, b) in recorded.shards.iter().zip(&bare.shards) {
+            assert_eq!(a.stats, b.stats, "record flag must not change replay");
+        }
+        assert_eq!(bare.merged.requests(), 0, "no recorder attached");
+        assert_eq!(bare.total_misses(), recorded.total_misses());
+    }
+
+    #[test]
+    fn flush_at_end_charges_every_cached_page() {
+        let mut cfg = FleetConfig::new(8);
+        cfg.flush_at_end = true;
+        let sources = vec![PatternSource::new(AccessPattern::Scan, 8, 64, 0)];
+        let report = run_fleet(sources, &cfg, lru_factory);
+        assert_eq!(report.shards[0].recorder.flush_evictions(), 8);
+        assert_eq!(report.shards[0].stats.total_evictions(), 8);
+    }
+
+    #[test]
+    fn json_report_is_schema_stamped_and_consistent() {
+        let scenario = two_tier();
+        let cfg = FleetConfig::new(scenario.suggested_k);
+        let report = run_fleet(
+            (0..2).map(|i| scenario.stream(500, i)).collect(),
+            &cfg,
+            lru_factory,
+        );
+        let v = report.to_json_value();
+        occ_probe::check_schema_stamp(&v, FLEET_SCHEMA, "fleet report").unwrap();
+        assert_eq!(v.get("kind").unwrap().as_str(), Some("fleet-report"));
+        let shards = v.get("shards").unwrap().as_array().unwrap();
+        assert_eq!(shards.len(), 2);
+        let sum: u64 = shards
+            .iter()
+            .map(|s| s.get("requests").unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(sum, v.get("total_requests").unwrap().as_u64().unwrap());
+        let round = Json::parse(&v.to_json()).expect("report must parse back");
+        assert_eq!(round, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn empty_fleet_is_rejected() {
+        let cfg = FleetConfig::new(4);
+        run_fleet(Vec::<PatternSource>::new(), &cfg, lru_factory);
+    }
+}

@@ -1,0 +1,585 @@
+//! Compact binary trace serialization.
+//!
+//! The text format ([`crate::textio`]) is the diffable, versionable
+//! interchange form; this module is its high-volume twin for traces too
+//! large to hold as text (or in memory at all). The layout is fixed-width
+//! little-endian:
+//!
+//! ```text
+//! offset  size            field
+//! 0       8               magic  b"occbin01"
+//! 8       4               num_users   (u32, > 0)
+//! 12      4               num_pages   (u32)
+//! 16      4 * num_pages   owner table (u32 per page, < num_users)
+//! …       8               num_requests (u64)
+//! …       4 * num_requests  requested page ids (u32, < num_pages)
+//! ```
+//!
+//! Requests carry only the page id — the owner is implied by the owner
+//! table, exactly as in the text format. Readers and writers move data in
+//! bounded chunks, so a billion-request trace streams from disk without
+//! full residency: [`BinaryTraceReader`] is a
+//! [`RequestSource`](crate::source::RequestSource) whose memory footprint
+//! is the owner table plus one chunk, independent of the request count.
+
+use crate::engine::EngineCtx;
+use crate::ids::{PageId, UserId};
+use crate::source::RequestSource;
+use crate::textio::TraceIoError;
+use crate::trace::{Request, Trace, TraceBuilder, Universe};
+use std::io::{BufRead, Read, Seek, SeekFrom, Write};
+
+/// First eight bytes of every binary trace.
+pub const BINARY_TRACE_MAGIC: [u8; 8] = *b"occbin01";
+
+/// Page ids per chunk moved by the streaming reader/writer: 64 Ki ids =
+/// 256 KiB per transfer, large enough to amortize syscalls, small enough
+/// to keep residency trivially bounded.
+const CHUNK_IDS: usize = 64 * 1024;
+
+fn parse_err(msg: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse(msg.into())
+}
+
+/// Classify an I/O failure while a fixed-width field is being read:
+/// running out of bytes mid-field is a malformed (truncated) file, not an
+/// environment failure.
+fn classify(e: std::io::Error, what: &str) -> TraceIoError {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        parse_err(format!("truncated binary trace: unexpected EOF in {what}"))
+    } else {
+        TraceIoError::Io(e)
+    }
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &str) -> Result<u32, TraceIoError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf).map_err(|e| classify(e, what))?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+fn read_u64<R: Read>(r: &mut R, what: &str) -> Result<u64, TraceIoError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf).map_err(|e| classify(e, what))?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+/// Read the magic + universe header, leaving the reader positioned at the
+/// request count.
+fn read_universe<R: Read>(r: &mut R) -> Result<Universe, TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)
+        .map_err(|e| classify(e, "the magic"))?;
+    if magic != BINARY_TRACE_MAGIC {
+        return Err(parse_err(format!(
+            "bad magic {magic:?}, expected {BINARY_TRACE_MAGIC:?}"
+        )));
+    }
+    let num_users = read_u32(r, "the user count")?;
+    if num_users == 0 {
+        return Err(parse_err("a trace needs at least one user"));
+    }
+    let num_pages = read_u32(r, "the page count")? as usize;
+    // Read the owner table chunkwise: the capacity hint is capped so a
+    // corrupt header cannot demand an arbitrary allocation up front.
+    let mut owners: Vec<UserId> = Vec::with_capacity(num_pages.min(CHUNK_IDS));
+    let mut buf = vec![0u8; 4 * CHUNK_IDS];
+    let mut remaining = num_pages;
+    while remaining > 0 {
+        let take = remaining.min(CHUNK_IDS);
+        let bytes = &mut buf[..4 * take];
+        r.read_exact(bytes)
+            .map_err(|e| classify(e, "the owner table"))?;
+        for ids in bytes.chunks_exact(4) {
+            let u = u32::from_le_bytes(ids.try_into().expect("4-byte chunk"));
+            if u >= num_users {
+                return Err(parse_err(format!("owner {u} out of range")));
+            }
+            owners.push(UserId(u));
+        }
+        remaining -= take;
+    }
+    Ok(Universe::new(num_users, owners))
+}
+
+/// Write an entire in-memory `trace` in the binary format.
+pub fn write_trace_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    let universe = trace.universe();
+    w.write_all(&BINARY_TRACE_MAGIC)?;
+    w.write_all(&universe.num_users().to_le_bytes())?;
+    w.write_all(&universe.num_pages().to_le_bytes())?;
+    let mut buf = Vec::with_capacity(4 * CHUNK_IDS);
+    for chunk in universe.owners().chunks(CHUNK_IDS) {
+        buf.clear();
+        for &u in chunk {
+            buf.extend_from_slice(&u.0.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    for chunk in trace.requests().chunks(CHUNK_IDS) {
+        buf.clear();
+        for r in chunk {
+            buf.extend_from_slice(&r.page.0.to_le_bytes());
+        }
+        w.write_all(&buf)?;
+    }
+    Ok(())
+}
+
+/// Read a whole binary trace into memory. For traces that do not fit,
+/// use [`BinaryTraceReader`] and stream instead.
+pub fn read_trace_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
+    let universe = read_universe(&mut r)?;
+    let num_pages = universe.num_pages();
+    let count = read_u64(&mut r, "the request count")?;
+    let mut builder = TraceBuilder::new(universe);
+    let mut buf = vec![0u8; 4 * CHUNK_IDS];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = (remaining as usize).min(CHUNK_IDS);
+        let bytes = &mut buf[..4 * take];
+        r.read_exact(bytes)
+            .map_err(|e| classify(e, "the request stream"))?;
+        for ids in bytes.chunks_exact(4) {
+            let page = u32::from_le_bytes(ids.try_into().expect("4-byte chunk"));
+            if page >= num_pages {
+                return Err(parse_err(format!("page {page} out of range")));
+            }
+            builder.push(PageId(page));
+        }
+        remaining -= take as u64;
+    }
+    Ok(builder.build())
+}
+
+/// Read a trace in either format, sniffing the first bytes: binary if
+/// they begin with [`BINARY_TRACE_MAGIC`], text otherwise.
+pub fn read_trace_auto<R: BufRead>(mut r: R) -> Result<Trace, TraceIoError> {
+    let head = r.fill_buf()?;
+    // Compare against however much of the prefix is available — a file
+    // shorter than the magic cannot be binary.
+    let looks_binary = head.len() >= BINARY_TRACE_MAGIC.len()
+        && head[..BINARY_TRACE_MAGIC.len()] == BINARY_TRACE_MAGIC;
+    if looks_binary {
+        read_trace_binary(r)
+    } else {
+        crate::textio::read_trace(r)
+    }
+}
+
+/// Incremental binary-trace writer for streams whose length is not known
+/// up front: the request count is written as a placeholder and patched on
+/// [`finish`](Self::finish) (which is why the sink must be [`Seek`]).
+pub struct BinaryTraceWriter<W: Write + Seek> {
+    sink: W,
+    universe: Universe,
+    count_offset: u64,
+    written: u64,
+    buf: Vec<u8>,
+}
+
+impl<W: Write + Seek> BinaryTraceWriter<W> {
+    /// Write the header for `universe` and return a writer ready to
+    /// accept requests.
+    pub fn new(universe: Universe, mut sink: W) -> Result<Self, TraceIoError> {
+        sink.write_all(&BINARY_TRACE_MAGIC)?;
+        sink.write_all(&universe.num_users().to_le_bytes())?;
+        sink.write_all(&universe.num_pages().to_le_bytes())?;
+        let mut buf = Vec::with_capacity(4 * CHUNK_IDS);
+        for chunk in universe.owners().chunks(CHUNK_IDS) {
+            buf.clear();
+            for &u in chunk {
+                buf.extend_from_slice(&u.0.to_le_bytes());
+            }
+            sink.write_all(&buf)?;
+        }
+        let count_offset = sink.stream_position()?;
+        sink.write_all(&0u64.to_le_bytes())?;
+        buf.clear();
+        Ok(BinaryTraceWriter {
+            sink,
+            universe,
+            count_offset,
+            written: 0,
+            buf,
+        })
+    }
+
+    /// Append one request. Rejects pages outside the universe and owner
+    /// claims that disagree with it (the same invariant [`Trace::new`]
+    /// enforces, as a typed error instead of a panic).
+    pub fn push(&mut self, req: Request) -> Result<(), TraceIoError> {
+        match self.universe.try_owner(req.page) {
+            None => {
+                return Err(parse_err(format!(
+                    "request {}: page {} outside the universe",
+                    self.written, req.page
+                )))
+            }
+            Some(owner) if owner != req.user => {
+                return Err(parse_err(format!(
+                    "request {}: {} does not own {}",
+                    self.written, req.user, req.page
+                )))
+            }
+            Some(_) => {}
+        }
+        self.buf.extend_from_slice(&req.page.0.to_le_bytes());
+        if self.buf.len() >= 4 * CHUNK_IDS {
+            self.sink.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Flush buffered requests, patch the request count into the header,
+    /// and return the sink. Dropping the writer without calling this
+    /// leaves a file whose header promises zero requests.
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        if !self.buf.is_empty() {
+            self.sink.write_all(&self.buf)?;
+            self.buf.clear();
+        }
+        let end = self.sink.stream_position()?;
+        self.sink.seek(SeekFrom::Start(self.count_offset))?;
+        self.sink.write_all(&self.written.to_le_bytes())?;
+        self.sink.seek(SeekFrom::Start(end))?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Chunked binary-trace reader that serves as a
+/// [`RequestSource`]: requests stream from the underlying reader
+/// `CHUNK_IDS` at a time, so memory stays bounded regardless of how many
+/// requests the file holds.
+///
+/// [`RequestSource::next_request`] has no error channel, so a mid-stream
+/// failure (truncation, disk error, out-of-range page) ends the stream
+/// early and parks the error in [`error`](Self::error) — run loops should
+/// check it (or call [`finish`](Self::finish)) after the source runs dry.
+pub struct BinaryTraceReader<R: Read> {
+    reader: R,
+    universe: Universe,
+    total: u64,
+    served: u64,
+    chunk: Vec<Request>,
+    /// Next index to serve from `chunk`.
+    pos: usize,
+    error: Option<TraceIoError>,
+}
+
+impl<R: Read> BinaryTraceReader<R> {
+    /// Read the header (universe + request count) and return a source
+    /// positioned at the first request.
+    pub fn new(mut reader: R) -> Result<Self, TraceIoError> {
+        let universe = read_universe(&mut reader)?;
+        let total = read_u64(&mut reader, "the request count")?;
+        Ok(BinaryTraceReader {
+            reader,
+            universe,
+            total,
+            served: 0,
+            chunk: Vec::new(),
+            pos: 0,
+            error: None,
+        })
+    }
+
+    /// Total requests promised by the header.
+    pub fn total_requests(&self) -> u64 {
+        self.total
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    /// Tear down the source; returns the parked error if the stream
+    /// ended early, so callers can surface truncation with a `?`.
+    pub fn finish(self) -> Result<(), TraceIoError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn refill(&mut self) -> Result<bool, TraceIoError> {
+        let remaining = self.total - self.served;
+        if remaining == 0 {
+            return Ok(false);
+        }
+        let take = (remaining as usize).min(CHUNK_IDS);
+        let mut bytes = vec![0u8; 4 * take];
+        self.reader
+            .read_exact(&mut bytes)
+            .map_err(|e| classify(e, "the request stream"))?;
+        self.chunk.clear();
+        for ids in bytes.chunks_exact(4) {
+            let page = u32::from_le_bytes(ids.try_into().expect("4-byte chunk"));
+            match self.universe.try_owner(PageId(page)) {
+                Some(user) => self.chunk.push(Request {
+                    page: PageId(page),
+                    user,
+                }),
+                None => return Err(parse_err(format!("page {page} out of range"))),
+            }
+        }
+        self.pos = 0;
+        Ok(true)
+    }
+}
+
+impl<R: Read> RequestSource for BinaryTraceReader<R> {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn next_request(&mut self, _ctx: &EngineCtx) -> Option<Request> {
+        if self.error.is_some() {
+            return None;
+        }
+        if self.pos >= self.chunk.len() {
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        let req = self.chunk[self.pos];
+        self.pos += 1;
+        self.served += 1;
+        Some(req)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn sample() -> Trace {
+        let u = Universe::uniform(2, 2);
+        Trace::from_page_indices(&u, &[0, 2, 1, 3, 0])
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+        assert_eq!(back.universe(), t.universe());
+    }
+
+    #[test]
+    fn written_form_is_stable() {
+        let u = Universe::uniform(1, 2);
+        let t = Trace::from_page_indices(&u, &[1, 0]);
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let mut want = b"occbin01".to_vec();
+        want.extend_from_slice(&1u32.to_le_bytes()); // users
+        want.extend_from_slice(&2u32.to_le_bytes()); // pages
+        want.extend_from_slice(&0u32.to_le_bytes()); // owner of p0
+        want.extend_from_slice(&0u32.to_le_bytes()); // owner of p1
+        want.extend_from_slice(&2u64.to_le_bytes()); // requests
+        want.extend_from_slice(&1u32.to_le_bytes());
+        want.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn incremental_writer_matches_whole_trace_writer() {
+        let t = sample();
+        let mut whole = Vec::new();
+        write_trace_binary(&t, &mut whole).unwrap();
+
+        let mut w = BinaryTraceWriter::new(t.universe().clone(), Cursor::new(Vec::new())).unwrap();
+        for &r in t.requests() {
+            w.push(r).unwrap();
+        }
+        let streamed = w.finish().unwrap().into_inner();
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn incremental_writer_validates_requests() {
+        let u = Universe::uniform(2, 2);
+        let mut w = BinaryTraceWriter::new(u.clone(), Cursor::new(Vec::new())).unwrap();
+        let err = w
+            .push(Request {
+                page: PageId(99),
+                user: UserId(0),
+            })
+            .unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+        let err = w
+            .push(Request {
+                page: PageId(0),
+                user: UserId(1),
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("does not own"));
+    }
+
+    #[test]
+    fn streaming_reader_replays_identically() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let mut src = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(src.total_requests(), t.len() as u64);
+        let ctx_universe = src.universe().clone();
+        let cache = crate::cache::CacheSet::new(1, ctx_universe.num_pages());
+        let stats = crate::stats::SimStats::new(ctx_universe.num_users());
+        let ctx = EngineCtx {
+            time: 0,
+            cache: &cache,
+            stats: &stats,
+            universe: &ctx_universe,
+        };
+        let mut got = Vec::new();
+        while let Some(r) = src.next_request(&ctx) {
+            got.push(r);
+        }
+        assert_eq!(got.as_slice(), t.requests());
+        src.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_header_is_a_parse_error() {
+        for cut in [0usize, 4, 10, 14] {
+            let t = sample();
+            let mut buf = Vec::new();
+            write_trace_binary(&t, &mut buf).unwrap();
+            buf.truncate(cut);
+            let err = read_trace_binary(buf.as_slice()).unwrap_err();
+            assert!(matches!(err, TraceIoError::Parse(_)), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_request_stream_is_a_parse_error() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("truncated"), "{err}");
+
+        // The streaming reader parks the same error instead of panicking.
+        let mut src = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        let u = src.universe().clone();
+        let cache = crate::cache::CacheSet::new(1, u.num_pages());
+        let stats = crate::stats::SimStats::new(u.num_users());
+        let ctx = EngineCtx {
+            time: 0,
+            cache: &cache,
+            stats: &stats,
+            universe: &u,
+        };
+        while src.next_request(&ctx).is_some() {}
+        assert!(matches!(src.finish(), Err(TraceIoError::Parse(_))));
+    }
+
+    #[test]
+    fn corrupt_fields_are_parse_errors() {
+        let t = sample();
+        let mut good = Vec::new();
+        write_trace_binary(&t, &mut good).unwrap();
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            read_trace_binary(bad.as_slice()),
+            Err(TraceIoError::Parse(_))
+        ));
+
+        // Zero users.
+        let mut bad = good.clone();
+        bad[8..12].copy_from_slice(&0u32.to_le_bytes());
+        let err = read_trace_binary(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("at least one user"));
+
+        // Owner out of range.
+        let mut bad = good.clone();
+        bad[16..20].copy_from_slice(&7u32.to_le_bytes());
+        let err = read_trace_binary(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("owner 7 out of range"));
+
+        // Page out of range in the request stream.
+        let mut bad = good.clone();
+        let last = bad.len() - 4;
+        bad[last..].copy_from_slice(&9u32.to_le_bytes());
+        let err = read_trace_binary(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("page 9 out of range"));
+    }
+
+    #[test]
+    fn io_failure_mid_stream_stays_an_io_error() {
+        use std::io::{self};
+
+        struct FailAfter {
+            data: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for FailAfter {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                if self.pos < self.data.len() {
+                    let n = buf.len().min(self.data.len() - self.pos);
+                    buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                    self.pos += n;
+                    Ok(n)
+                } else {
+                    Err(io::Error::other("disk on fire"))
+                }
+            }
+        }
+
+        let t = sample();
+        let mut data = Vec::new();
+        write_trace_binary(&t, &mut data).unwrap();
+        data.truncate(data.len() - 4);
+        let err = read_trace_binary(FailAfter { data, pos: 0 }).unwrap_err();
+        assert!(matches!(err, TraceIoError::Io(_)), "got {err}");
+    }
+
+    #[test]
+    fn auto_detect_reads_both_formats() {
+        let t = sample();
+        let mut bin = Vec::new();
+        write_trace_binary(&t, &mut bin).unwrap();
+        let mut text = Vec::new();
+        crate::textio::write_trace(&t, &mut text).unwrap();
+
+        let from_bin = read_trace_auto(std::io::BufReader::new(bin.as_slice())).unwrap();
+        let from_text = read_trace_auto(std::io::BufReader::new(text.as_slice())).unwrap();
+        assert_eq!(from_bin.requests(), t.requests());
+        assert_eq!(from_text.requests(), t.requests());
+        assert_eq!(from_bin.universe(), from_text.universe());
+
+        // Neither format: falls through to the text parser's error.
+        let err = read_trace_auto(std::io::BufReader::new(&b"garbage"[..])).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let u = Universe::single_user(3);
+        let t = Trace::from_page_indices(&u, &[]);
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        assert!(back.is_empty());
+        assert_eq!(back.universe(), t.universe());
+    }
+}

@@ -15,7 +15,7 @@ use crate::probe::{NoopRecorder, Recorder};
 use crate::source::{RequestSource, TraceSource};
 use crate::stats::SimStats;
 use crate::stepper::SteppingEngine;
-use crate::trace::{Trace, Universe};
+use crate::trace::{Request, Trace, Universe};
 use std::time::Instant;
 
 /// Read-only view of the engine state handed to policies and sources.
@@ -323,6 +323,98 @@ impl Simulator {
             events,
             final_cache,
             steps: t,
+        }
+    }
+
+    /// Run `policy` over a fixed `trace` through the batched hot loop
+    /// (see [`SteppingEngine::step_batch`]): byte-identical results to
+    /// [`Self::run`], with per-request dispatch amortized over
+    /// `batch_size`-request chunks.
+    pub fn run_batched<P: ReplacementPolicy>(
+        &self,
+        policy: &mut P,
+        trace: &Trace,
+        batch_size: usize,
+    ) -> SimResult {
+        let mut engine = SteppingEngine::new(self.capacity, trace.universe().clone(), &mut *policy);
+        if self.options.record_events {
+            engine = match self.options.event_capacity {
+                Some(capacity) => engine.with_bounded_events(capacity),
+                None => engine.with_events(),
+            };
+        }
+        engine.run_batched(trace.requests(), batch_size);
+        Self::finish_batched(self.options, engine)
+    }
+
+    /// Run `policy` against a request source through the batched hot
+    /// loop, buffering at most `batch_size` requests at a time — the
+    /// streaming counterpart of [`Self::run_batched`], with memory
+    /// independent of the stream length.
+    ///
+    /// Every request in a chunk is drawn before the chunk is served, so
+    /// an *adaptive* source observes the engine state as of the previous
+    /// chunk boundary, not the previous request. Non-adaptive sources
+    /// (fixed traces, seeded generators) produce byte-identical results
+    /// to [`Self::run_source`].
+    pub fn run_source_batched<P, S>(
+        &self,
+        policy: &mut P,
+        source: &mut S,
+        batch_size: usize,
+    ) -> SimResult
+    where
+        P: ReplacementPolicy,
+        S: RequestSource,
+    {
+        assert!(batch_size > 0, "batch size must be positive");
+        let universe = source.universe().clone();
+        let mut engine = SteppingEngine::new(self.capacity, universe, &mut *policy);
+        if self.options.record_events {
+            engine = match self.options.event_capacity {
+                Some(capacity) => engine.with_bounded_events(capacity),
+                None => engine.with_events(),
+            };
+        }
+        let mut buf: Vec<Request> = Vec::with_capacity(batch_size);
+        let mut done = false;
+        while !done {
+            buf.clear();
+            while buf.len() < batch_size {
+                let req = {
+                    let ctx = engine.ctx();
+                    source.next_request(&ctx)
+                };
+                match req {
+                    Some(r) => buf.push(r),
+                    None => {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                engine.step_batch(&buf);
+            }
+        }
+        Self::finish_batched(self.options, engine)
+    }
+
+    /// Shared tail of the batched entry points: capture the final cache,
+    /// apply the optional end-of-run flush, and package the result.
+    fn finish_batched<P: ReplacementPolicy>(
+        options: SimOptions,
+        mut engine: SteppingEngine<P>,
+    ) -> SimResult {
+        let final_cache = engine.cache().sorted_pages();
+        if options.flush_at_end {
+            engine.flush();
+        }
+        SimResult {
+            steps: engine.time(),
+            stats: engine.stats().clone(),
+            events: engine.take_events(),
+            final_cache,
         }
     }
 

@@ -387,6 +387,13 @@ impl FaultHandler {
         self.quarantined.get(user.index()).copied().unwrap_or(false)
     }
 
+    /// Whether any user is quarantined at all. Batched replay uses this
+    /// to decide whether a chunk can skip the per-request quarantine
+    /// lookup entirely.
+    pub fn any_quarantined(&self) -> bool {
+        self.quarantined.iter().any(|&q| q)
+    }
+
     /// The quarantined users, ascending.
     pub fn quarantined_users(&self) -> Vec<UserId> {
         self.quarantined

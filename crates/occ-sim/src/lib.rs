@@ -44,6 +44,7 @@
 //! assert_eq!(result.stats.total_evictions(), 4);
 //! ```
 
+pub mod binio;
 pub mod cache;
 pub mod engine;
 pub mod error;
@@ -60,6 +61,10 @@ pub mod stepper;
 pub mod textio;
 pub mod trace;
 
+pub use binio::{
+    read_trace_auto, read_trace_binary, write_trace_binary, BinaryTraceReader, BinaryTraceWriter,
+    BINARY_TRACE_MAGIC,
+};
 pub use cache::CacheSet;
 pub use engine::{CheckedRun, EngineCtx, SimOptions, SimResult, Simulator};
 pub use error::{
@@ -75,7 +80,7 @@ pub use probe::{NoopRecorder, Recorder};
 pub use snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
 pub use source::{AdaptiveSource, RequestSource, TraceSource};
 pub use stats::{SimStats, UserStats};
-pub use stepper::{StepOutcome, SteppingEngine};
+pub use stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE};
 pub use textio::{read_trace, write_trace, TraceIoError};
 pub use trace::{Request, Trace, TraceBuilder, Universe};
 
@@ -95,6 +100,6 @@ pub mod prelude {
     pub use crate::snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
     pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};
     pub use crate::stats::{SimStats, UserStats};
-    pub use crate::stepper::{StepOutcome, SteppingEngine};
+    pub use crate::stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE};
     pub use crate::trace::{Request, Trace, TraceBuilder, Universe};
 }

@@ -26,6 +26,12 @@ use crate::stats::SimStats;
 use crate::trace::{Request, Universe};
 use std::time::Instant;
 
+/// Default chunk size for [`SteppingEngine::run_batched`] and friends:
+/// 4096 requests × 8 bytes keeps a whole chunk (32 KiB) resident in L1
+/// while amortizing the per-chunk bookkeeping over enough requests that
+/// it vanishes from profiles.
+pub const DEFAULT_BATCH_SIZE: usize = 4096;
+
 /// What happened when a request was served.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StepOutcome {
@@ -212,6 +218,178 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
         }
         self.time += 1;
         Ok(None)
+    }
+
+    /// Serve a chunk of trusted requests through the batched hot loop.
+    ///
+    /// Byte-identical to calling [`step`](Self::step) once per request —
+    /// the scalar path is the reference twin and the equivalence is
+    /// pinned by proptests — but when the engine is uninstrumented (no
+    /// active or timing recorder, no event log) the per-request outcome
+    /// classification, recorder dispatch, timing, and event-log checks
+    /// are hoisted out of the loop, and the cache-fullness branch is
+    /// hoisted once the cache fills. Instrumented engines fall back to
+    /// the scalar path so observers miss nothing.
+    ///
+    /// Like `step`, a policy contract violation panics; use
+    /// [`run_batched_checked`](Self::run_batched_checked) for untrusted
+    /// streams.
+    pub fn step_batch(&mut self, batch: &[Request]) {
+        if R::ACTIVE || R::TIMED || self.events.is_some() {
+            for &req in batch {
+                self.step(req);
+            }
+            return;
+        }
+        if let Err(violation) = self.serve_batch(batch) {
+            panic!("{violation}");
+        }
+    }
+
+    /// Replay a whole request slice through [`step_batch`](Self::step_batch)
+    /// in `batch_size`-request chunks (the trailing chunk may be
+    /// shorter). Panics if `batch_size` is zero.
+    pub fn run_batched(&mut self, requests: &[Request], batch_size: usize) {
+        assert!(batch_size > 0, "batch size must be positive");
+        for chunk in requests.chunks(batch_size) {
+            self.step_batch(chunk);
+        }
+    }
+
+    /// The fault-tolerant counterpart of [`run_batched`](Self::run_batched):
+    /// identical semantics to calling [`step_checked`](Self::step_checked)
+    /// once per record (same [`FaultCounters`](crate::error::FaultCounters),
+    /// same quarantine set, same engine state), but chunks that a cheap
+    /// pre-scan proves fault-free — every record well-formed, no user
+    /// quarantined — take the batched hot loop instead of the per-record
+    /// validation path.
+    pub fn run_batched_checked(
+        &mut self,
+        records: &[Request],
+        batch_size: usize,
+        handler: &mut FaultHandler,
+    ) -> Result<(), SimError> {
+        assert!(batch_size > 0, "batch size must be positive");
+        for chunk in records.chunks(batch_size) {
+            // A chunk may use the trusting loop only if no record in it
+            // would fault: pre-scan owners, and require an empty
+            // quarantine set (a quarantined user turns even well-formed
+            // records into drops). Faults can only arise inside a chunk
+            // from the records themselves, so a clean pre-scan holds for
+            // the whole chunk.
+            let clean = !R::ACTIVE
+                && !R::TIMED
+                && self.events.is_none()
+                && !handler.any_quarantined()
+                && chunk
+                    .iter()
+                    .all(|r| self.universe.try_owner(r.page) == Some(r.user));
+            if clean {
+                self.serve_batch(chunk)?;
+            } else {
+                for &req in chunk {
+                    self.step_checked(req, handler)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The uninstrumented batched twin of [`serve`](Self::serve): same
+    /// cache/stats/policy calls in the same order, with the recorder,
+    /// timing, and event-log plumbing compiled out. Split into a warmup
+    /// loop (cache still filling) and a steady-state loop with the
+    /// fullness check hoisted — serving never frees a slot, and external
+    /// removals only happen between batches, so once full the cache
+    /// stays full for the rest of the chunk.
+    fn serve_batch(&mut self, batch: &[Request]) -> Result<(), PolicyViolation> {
+        let mut i = 0;
+        while i < batch.len() && !self.cache.is_full() {
+            let req = batch[i];
+            debug_assert_eq!(
+                self.universe.owner(req.page),
+                req.user,
+                "request owner disagrees with the universe"
+            );
+            if self.cache.contains(req.page) {
+                self.stats.record_hit(req.user);
+                let ctx = EngineCtx {
+                    time: self.time,
+                    cache: &self.cache,
+                    stats: &self.stats,
+                    universe: &self.universe,
+                };
+                self.policy.on_hit(&ctx, req.page);
+            } else {
+                self.cache.insert(req.page);
+                self.stats.record_miss(req.user);
+                let ctx = EngineCtx {
+                    time: self.time,
+                    cache: &self.cache,
+                    stats: &self.stats,
+                    universe: &self.universe,
+                };
+                self.policy.on_insert(&ctx, req.page);
+            }
+            self.time += 1;
+            i += 1;
+        }
+        for &req in &batch[i..] {
+            debug_assert_eq!(
+                self.universe.owner(req.page),
+                req.user,
+                "request owner disagrees with the universe"
+            );
+            if self.cache.contains(req.page) {
+                self.stats.record_hit(req.user);
+                let ctx = EngineCtx {
+                    time: self.time,
+                    cache: &self.cache,
+                    stats: &self.stats,
+                    universe: &self.universe,
+                };
+                self.policy.on_hit(&ctx, req.page);
+            } else {
+                let victim = {
+                    let ctx = EngineCtx {
+                        time: self.time,
+                        cache: &self.cache,
+                        stats: &self.stats,
+                        universe: &self.universe,
+                    };
+                    self.policy.choose_victim(&ctx, req.page)
+                };
+                if !self.cache.contains(victim) {
+                    return Err(PolicyViolation {
+                        time: self.time,
+                        policy: self.policy.name(),
+                        kind: PolicyViolationKind::VictimNotCached(victim),
+                    });
+                }
+                if victim == req.page {
+                    return Err(PolicyViolation {
+                        time: self.time,
+                        policy: self.policy.name(),
+                        kind: PolicyViolationKind::VictimIsIncoming(victim),
+                    });
+                }
+                let victim_user = self.universe.owner(victim);
+                self.cache.remove(victim);
+                self.stats.record_eviction(victim_user);
+                self.cache.insert(req.page);
+                self.stats.record_miss(req.user);
+                let ctx = EngineCtx {
+                    time: self.time,
+                    cache: &self.cache,
+                    stats: &self.stats,
+                    universe: &self.universe,
+                };
+                self.policy.on_evicted(&ctx, victim);
+                self.policy.on_insert(&ctx, req.page);
+            }
+            self.time += 1;
+        }
+        Ok(())
     }
 
     /// The shared hit/insert/evict state machine behind [`step`](Self::step)
@@ -553,6 +731,89 @@ mod tests {
         assert_eq!(eng.stats().miss_vector(), batch.miss_vector());
         assert_eq!(eng.stats().eviction_vector(), batch.stats.eviction_vector());
         assert_eq!(eng.time(), batch.steps);
+    }
+
+    #[test]
+    fn batched_replay_matches_scalar_including_partial_tail() {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..121u32).map(|i| (i * 7 + 1) % 6).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+
+        let mut scalar = SteppingEngine::new(3, u.clone(), EvictFirst);
+        for (_, r) in trace.iter() {
+            scalar.step(r);
+        }
+        // 121 requests over batch=16 leaves a 9-request trailing chunk.
+        let mut batched = SteppingEngine::new(3, u.clone(), EvictFirst);
+        batched.run_batched(trace.requests(), 16);
+        assert_eq!(batched.stats(), scalar.stats());
+        assert_eq!(batched.time(), scalar.time());
+        assert_eq!(batched.cache().pages(), scalar.cache().pages());
+    }
+
+    #[test]
+    fn batched_replay_with_events_falls_back_to_scalar_path() {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..40u32).map(|i| (i * 5 + 2) % 6).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+
+        let mut scalar = SteppingEngine::new(3, u.clone(), EvictFirst).with_events();
+        for (_, r) in trace.iter() {
+            scalar.step(r);
+        }
+        let mut batched = SteppingEngine::new(3, u.clone(), EvictFirst).with_events();
+        batched.run_batched(trace.requests(), 7);
+        assert_eq!(
+            batched.events().unwrap().to_vec(),
+            scalar.events().unwrap().to_vec()
+        );
+        assert_eq!(batched.stats(), scalar.stats());
+    }
+
+    #[test]
+    fn batched_checked_matches_scalar_on_faulty_stream() {
+        let u = Universe::uniform(2, 2); // u0: p0 p1, u1: p2 p3
+        let mut records = Vec::new();
+        for i in 0..50u32 {
+            records.push(u.request(PageId(i % 4)));
+            if i % 7 == 3 {
+                records.push(Request {
+                    page: PageId(100 + i),
+                    user: UserId(0),
+                });
+            }
+            if i == 20 {
+                // Owner-mismatch record: quarantines p1's true owner u0.
+                records.push(Request {
+                    page: PageId(1),
+                    user: UserId(1),
+                });
+            }
+        }
+
+        for policy in [FaultPolicy::SkipAndCount, FaultPolicy::QuarantineUser] {
+            let mut scalar = SteppingEngine::new(2, u.clone(), EvictFirst);
+            let mut hs = FaultHandler::new(policy, u.num_users());
+            for &r in &records {
+                scalar.step_checked(r, &mut hs).unwrap();
+            }
+            let mut batched = SteppingEngine::new(2, u.clone(), EvictFirst);
+            let mut hb = FaultHandler::new(policy, u.num_users());
+            batched.run_batched_checked(&records, 8, &mut hb).unwrap();
+            assert_eq!(hb.counters(), hs.counters(), "{policy}");
+            assert_eq!(hb.quarantined_users(), hs.quarantined_users(), "{policy}");
+            assert_eq!(batched.stats(), scalar.stats(), "{policy}");
+            assert_eq!(batched.time(), scalar.time(), "{policy}");
+            assert_eq!(batched.cache().pages(), scalar.cache().pages(), "{policy}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_size_is_rejected() {
+        let u = Universe::single_user(2);
+        let mut eng = SteppingEngine::new(1, u.clone(), EvictFirst);
+        eng.run_batched(&[u.request(PageId(0))], 0);
     }
 
     #[test]

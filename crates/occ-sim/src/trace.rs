@@ -134,6 +134,10 @@ impl Universe {
 pub struct Trace {
     universe: Universe,
     requests: Vec<Request>,
+    /// Lazily built prefix-distinct table: `distinct_prefix[t]` =
+    /// `|B(t)|`. Invalidated (replaced with an empty cell) whenever the
+    /// request sequence changes.
+    distinct_prefix: std::sync::OnceLock<Vec<u32>>,
 }
 
 impl Trace {
@@ -154,7 +158,11 @@ impl Trace {
                 r.page
             );
         }
-        Trace { universe, requests }
+        Trace {
+            universe,
+            requests,
+            distinct_prefix: std::sync::OnceLock::new(),
+        }
     }
 
     /// Build a trace from raw page indices, deriving owners from the
@@ -203,18 +211,24 @@ impl Trace {
     }
 
     /// Number of *distinct* pages requested in `σ[0..=t]` — the paper's
-    /// `|B(t)|`. `O(T)` over the whole trace via [`TraceIndex`]; this
-    /// convenience form recomputes from scratch.
+    /// `|B(t)|`. The full prefix table is built once on first use
+    /// (`O(T)`) and memoized, so repeated calls are `O(1)` lookups;
+    /// [`extend_with`](Self::extend_with) invalidates the memo.
     pub fn distinct_pages_through(&self, t: Time) -> usize {
-        let mut seen = vec![false; self.universe.num_pages() as usize];
-        let mut count = 0;
-        for r in &self.requests[..=t as usize] {
-            if !seen[r.page.index()] {
-                seen[r.page.index()] = true;
-                count += 1;
+        let prefix = self.distinct_prefix.get_or_init(|| {
+            let mut seen = vec![false; self.universe.num_pages() as usize];
+            let mut count = 0u32;
+            let mut prefix = Vec::with_capacity(self.requests.len());
+            for r in &self.requests {
+                if !seen[r.page.index()] {
+                    seen[r.page.index()] = true;
+                    count += 1;
+                }
+                prefix.push(count);
             }
-        }
-        count
+            prefix
+        });
+        prefix[t as usize] as usize
     }
 
     /// Per-user request counts (how many times each user appears in `σ`).
@@ -238,6 +252,7 @@ impl Trace {
             "cannot concatenate traces over different universes"
         );
         self.requests.extend_from_slice(&other.requests);
+        self.distinct_prefix = std::sync::OnceLock::new();
     }
 }
 
@@ -348,6 +363,7 @@ impl TraceBuilder {
         Trace {
             universe: self.universe,
             requests: self.requests,
+            distinct_prefix: std::sync::OnceLock::new(),
         }
     }
 }
@@ -417,6 +433,38 @@ mod tests {
         assert_eq!(t.distinct_pages_through(2), 2);
         assert_eq!(t.distinct_pages_through(3), 3);
         assert_eq!(t.distinct_pages_through(5), 3);
+    }
+
+    #[test]
+    fn distinct_counts_are_stable_across_repeated_calls() {
+        let t = small();
+        // Every (t, expected) pair queried repeatedly, out of order, must
+        // keep returning the same value from the memoized prefix table.
+        let expected = [(0, 1), (2, 2), (3, 3), (5, 3), (1, 2), (4, 3)];
+        for _ in 0..3 {
+            for &(time, want) in &expected {
+                assert_eq!(t.distinct_pages_through(time), want);
+            }
+        }
+        // The memo agrees with TraceIndex, the other prefix computation.
+        let idx = t.index();
+        for time in 0..t.len() {
+            assert_eq!(
+                t.distinct_pages_through(time as Time),
+                idx.distinct[time] as usize
+            );
+        }
+    }
+
+    #[test]
+    fn extend_with_invalidates_distinct_memo() {
+        let u = Universe::uniform(1, 3);
+        let mut a = Trace::from_page_indices(&u, &[0, 0]);
+        assert_eq!(a.distinct_pages_through(1), 1); // memo built here
+        let b = Trace::from_page_indices(&u, &[1, 2]);
+        a.extend_with(&b);
+        assert_eq!(a.distinct_pages_through(1), 1);
+        assert_eq!(a.distinct_pages_through(3), 3);
     }
 
     #[test]

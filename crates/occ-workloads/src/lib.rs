@@ -9,15 +9,21 @@
 //!   Theorem 1.4's lower bound;
 //! * [`presets`] — ready-made SLA scenarios used by the examples and the
 //!   E7 experiment;
-//! * [`zipf`] — the hand-rolled Zipf sampler;
+//! * [`zipf`] — the hand-rolled Zipf samplers (CDF binary search and the
+//!   O(1) alias method);
 //! * [`chaos`] — seeded fault injection ([`FaultPlan`], [`ChaosSource`])
-//!   for robustness testing against corrupt request streams.
+//!   for robustness testing against corrupt request streams;
+//! * [`streaming`] — zero-materialization [`RequestSource`] twins of the
+//!   trace generators, for workloads too long to hold in memory.
+//!
+//! [`RequestSource`]: occ_sim::RequestSource
 
 pub mod adversary;
 pub mod chaos;
 pub mod generators;
 pub mod mixer;
 pub mod presets;
+pub mod streaming;
 pub mod zipf;
 
 pub use adversary::{run_lower_bound, LowerBoundAdversary};
@@ -25,7 +31,8 @@ pub use chaos::{ChaosSource, FaultPlan, InjectedFaults};
 pub use generators::{AccessPattern, PatternGen};
 pub use mixer::{generate_multi_tenant, TenantSpec};
 pub use presets::{all_scenarios, drifting, sqlvm_like, two_tier, Scenario};
-pub use zipf::Zipf;
+pub use streaming::{PatternSource, TenantMixSource};
+pub use zipf::{Zipf, ZipfAlias};
 
 use occ_sim::{Trace, Universe};
 

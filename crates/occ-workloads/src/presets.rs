@@ -6,6 +6,7 @@
 
 use crate::generators::AccessPattern;
 use crate::mixer::{generate_multi_tenant, TenantSpec};
+use crate::streaming::TenantMixSource;
 use occ_core::{CostFn, CostProfile, Linear, Monomial, PiecewiseLinear};
 use occ_sim::Trace;
 use std::sync::Arc;
@@ -27,6 +28,15 @@ impl Scenario {
     /// Generate the request trace for this scenario.
     pub fn trace(&self, len: usize, seed: u64) -> Trace {
         generate_multi_tenant(&self.tenants, len, seed)
+    }
+
+    /// Stream this scenario's requests without materializing a trace.
+    ///
+    /// Byte-identical to [`Scenario::trace`] with the same `(len, seed)`,
+    /// but holds O(tenants + pages) memory regardless of `len` — the
+    /// fleet runner and long-horizon benchmarks use this.
+    pub fn stream(&self, len: u64, seed: u64) -> TenantMixSource {
+        TenantMixSource::new(&self.tenants, len, seed)
     }
 }
 
@@ -154,5 +164,28 @@ mod tests {
     fn traces_are_deterministic() {
         let s = two_tier();
         assert_eq!(s.trace(300, 5).requests(), s.trace(300, 5).requests());
+    }
+
+    #[test]
+    fn stream_matches_trace_for_all_presets() {
+        use occ_sim::{CacheSet, EngineCtx, RequestSource, SimStats};
+        for s in all_scenarios() {
+            let trace = s.trace(400, 9);
+            let mut src = s.stream(400, 9);
+            let universe = src.universe().clone();
+            let cache = CacheSet::new(1, universe.num_pages());
+            let stats = SimStats::new(universe.num_users());
+            let ctx = EngineCtx {
+                time: 0,
+                cache: &cache,
+                stats: &stats,
+                universe: &universe,
+            };
+            let mut streamed = Vec::new();
+            while let Some(r) = src.next_request(&ctx) {
+                streamed.push(r);
+            }
+            assert_eq!(streamed, trace.requests(), "{}", s.name);
+        }
     }
 }
