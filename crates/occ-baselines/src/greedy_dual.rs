@@ -5,12 +5,35 @@
 //! on eviction the minimum credit `δ` is charged to every cached page and
 //! a zero-credit page is evicted. This is the `k`-competitive primal–dual
 //! algorithm for linear costs — exactly the `α = 1` special case of the
-//! paper. Accordingly, `GreedyDual` with per-user weights `w_i` must make
-//! the *same decisions* as [`occ_core::ConvexCaching`] with
+//! paper. Accordingly, [`GreedyDual`] with per-user weights `w_i` must
+//! make the *same decisions* as [`occ_core::ConvexCaching`] with
 //! `f_i(x) = w_i·x` (cross-validated in the tests below), while being an
 //! independent implementation with the textbook lazy-offset structure.
+//!
+//! # Two implementations
+//!
+//! [`GreedyDualReference`] is the textbook structure: an ordered set of
+//! `(key, stamp, page)` over all cached pages, `O(log k)` per request.
+//! [`GreedyDual`] is the production implementation on flat arrays and
+//! per-user intrusive recency lists ([`occ_sim::PageLists`]), `O(1)` per
+//! request plus an `O(n)`-users eviction scan — the same memory layout
+//! as the paper's ALG-DISCRETE fast path, with no ordered set and no
+//! per-request allocation.
+//!
+//! The flat port is **bit-identical** to the reference, by the landlord
+//! invariant: every cached key is `≥` the current offset (credit is
+//! non-negative), so the offset — always set to the minimum cached key —
+//! is non-decreasing. Within one user the weight term of
+//! `key = w_u + offset_at_touch` is constant, so key order equals
+//! touch-recency order and the per-user minimum is the recency-list
+//! front; the global victim is the minimum over `n` list fronts under
+//! the reference's exact comparator `(key via total order, stamp,
+//! page)`. Keys are computed lazily from the same two `f64` operands
+//! (`w_u + offset_at_touch`) the reference stores, so every comparison
+//! sees the same bits. A property test in
+//! `tests/policy_equivalence_property.rs` pins the equivalence.
 
-use occ_sim::{EngineCtx, PageId, ReplacementPolicy, UserId};
+use occ_sim::{prefetch_slice_element, EngineCtx, PageId, PageLists, ReplacementPolicy, UserId};
 use std::collections::BTreeSet;
 
 /// Totally ordered f64 (no NaNs in this module).
@@ -28,9 +51,134 @@ impl Ord for Key {
     }
 }
 
-/// GreedyDual/Landlord with per-user weights and a lazy global offset.
+/// GreedyDual/Landlord on flat arrays and per-user recency lists.
+///
+/// Decision-for-decision (and bit-for-bit) identical to
+/// [`GreedyDualReference`]; see the module docs for the argument.
 #[derive(Debug)]
 pub struct GreedyDual {
+    /// Per-user page weight.
+    weights: Vec<f64>,
+    /// Global charged offset `Σ δ` (non-decreasing).
+    offset: f64,
+    seq: u64,
+    /// Per-page: offset at the page's last request. The page's credit
+    /// key is reconstructed lazily as `w_owner + y_at` — the same two
+    /// operands the reference adds eagerly.
+    y_at: Vec<f64>,
+    /// Per-page: sequence number of the page's last request.
+    stamp: Vec<u64>,
+    /// Per-user intrusive recency lists over one shared arena. Under
+    /// the monotone offset, each list front is its user's minimum
+    /// `(key, stamp)`.
+    lists: PageLists,
+}
+
+impl GreedyDual {
+    /// Create with one weight per user (`weights[i]` > 0).
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(!weights.is_empty());
+        assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
+        GreedyDual {
+            weights,
+            offset: 0.0,
+            seq: 0,
+            y_at: Vec::new(),
+            stamp: Vec::new(),
+            lists: PageLists::new(),
+        }
+    }
+
+    /// Uniform weight 1 for `n` users — plain unweighted paging.
+    pub fn unweighted(n: u32) -> Self {
+        Self::new(vec![1.0; n as usize])
+    }
+
+    fn touch(&mut self, ctx: &EngineCtx, page: PageId) {
+        let pages = ctx.universe.num_pages() as usize;
+        if self.y_at.len() < pages {
+            self.y_at.resize(pages, 0.0);
+            self.stamp.resize(pages, 0);
+            self.lists.ensure(ctx.universe.num_users() as usize, pages);
+        }
+        let user: UserId = ctx.universe.owner(page);
+        self.seq += 1;
+        // credit := weight ⇒ key = weight + current offset, stored as
+        // its offset component only; recency position encodes the rest.
+        self.y_at[page.index()] = self.offset;
+        self.stamp[page.index()] = self.seq;
+        self.lists.move_to_back(user.index(), page);
+    }
+}
+
+impl ReplacementPolicy for GreedyDual {
+    fn name(&self) -> String {
+        "greedy-dual".into()
+    }
+
+    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+        self.touch(ctx, page);
+    }
+
+    fn choose_victim(&mut self, _ctx: &EngineCtx, _incoming: PageId) -> PageId {
+        // Minimum over list fronts, under the reference comparator
+        // (key by total order, stamp, page). Stamps are globally unique
+        // so the page component never actually decides; it is kept for
+        // exact structural parity with the ordered-set reference.
+        let mut best: Option<(f64, u64, u32)> = None;
+        for u in 0..self.lists.num_lists() {
+            let Some(p) = self.lists.front(u) else {
+                continue;
+            };
+            let key = self.weights[u] + self.y_at[p.index()];
+            let cand = (key, self.stamp[p.index()], p.0);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (cand.0.total_cmp(&b.0), cand.1, cand.2) < (std::cmp::Ordering::Equal, b.1, b.2)
+                }
+            };
+            if better {
+                best = Some(cand);
+            }
+        }
+        let (key, _, page) = best.expect("cache is full");
+        self.lists.remove(PageId(page));
+        // Charge δ = remaining credit of the victim to everyone (lazily).
+        self.offset = key;
+        PageId(page)
+    }
+
+    fn on_external_removal(&mut self, _ctx: &EngineCtx, page: PageId) {
+        self.lists.remove_if_linked(page);
+    }
+
+    fn prefetch_hint(&self, page: PageId) {
+        self.lists.prefetch(page);
+        prefetch_slice_element(&self.y_at, page.index());
+        prefetch_slice_element(&self.stamp, page.index());
+    }
+
+    fn reset(&mut self) {
+        self.offset = 0.0;
+        self.seq = 0;
+        self.y_at.clear();
+        self.stamp.clear();
+        self.lists.reset();
+    }
+}
+
+/// The textbook GreedyDual/Landlord structure: one ordered set of
+/// `(key, stamp, page)` over all cached pages, `O(log k)` per request.
+///
+/// Kept as the oracle for [`GreedyDual`]'s flat-array port — the two
+/// must agree eviction-for-eviction, bit-for-bit.
+#[derive(Debug)]
+pub struct GreedyDualReference {
     /// Per-user page weight.
     weights: Vec<f64>,
     /// Global charged offset `Σ δ`.
@@ -43,12 +191,12 @@ pub struct GreedyDual {
     order: BTreeSet<(Key, u64, u32)>,
 }
 
-impl GreedyDual {
+impl GreedyDualReference {
     /// Create with one weight per user (`weights[i]` > 0).
     pub fn new(weights: Vec<f64>) -> Self {
         assert!(!weights.is_empty());
         assert!(weights.iter().all(|&w| w > 0.0), "weights must be positive");
-        GreedyDual {
+        GreedyDualReference {
             weights,
             offset: 0.0,
             seq: 0,
@@ -89,9 +237,9 @@ impl GreedyDual {
     }
 }
 
-impl ReplacementPolicy for GreedyDual {
+impl ReplacementPolicy for GreedyDualReference {
     fn name(&self) -> String {
-        "greedy-dual".into()
+        "greedy-dual-reference".into()
     }
 
     fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
@@ -131,7 +279,7 @@ impl ReplacementPolicy for GreedyDual {
 mod tests {
     use super::*;
     use occ_core::{ConvexCaching, CostFn, CostProfile, Linear};
-    use occ_sim::{Simulator, Trace, Universe};
+    use occ_sim::{Simulator, Time, Trace, Universe};
     use std::sync::Arc;
 
     fn pseudo_pages(len: usize, universe_pages: u32, seed: u64) -> Vec<u32> {
@@ -146,23 +294,22 @@ mod tests {
             .collect()
     }
 
+    fn evictions<P: ReplacementPolicy>(p: &mut P, trace: &Trace, k: usize) -> Vec<(Time, PageId)> {
+        Simulator::new(k)
+            .record_events(true)
+            .run(p, trace)
+            .events
+            .unwrap()
+            .eviction_sequence()
+    }
+
     #[test]
     fn unweighted_greedy_dual_is_lru() {
         use crate::lru::Lru;
         let u = Universe::single_user(6);
         let trace = Trace::from_page_indices(&u, &pseudo_pages(300, 6, 1));
-        let a = Simulator::new(3)
-            .record_events(true)
-            .run(&mut GreedyDual::unweighted(1), &trace)
-            .events
-            .unwrap()
-            .eviction_sequence();
-        let b = Simulator::new(3)
-            .record_events(true)
-            .run(&mut Lru::new(), &trace)
-            .events
-            .unwrap()
-            .eviction_sequence();
+        let a = evictions(&mut GreedyDual::unweighted(1), &trace, 3);
+        let b = evictions(&mut Lru::new(), &trace, 3);
         assert_eq!(a, b);
     }
 
@@ -181,19 +328,24 @@ mod tests {
                 .collect(),
         );
         for k in [2, 4, 6] {
-            let a = Simulator::new(k)
-                .record_events(true)
-                .run(&mut GreedyDual::new(weights.clone()), &trace)
-                .events
-                .unwrap()
-                .eviction_sequence();
-            let b = Simulator::new(k)
-                .record_events(true)
-                .run(&mut ConvexCaching::new(costs.clone()), &trace)
-                .events
-                .unwrap()
-                .eviction_sequence();
+            let a = evictions(&mut GreedyDual::new(weights.clone()), &trace, k);
+            let b = evictions(&mut ConvexCaching::new(costs.clone()), &trace, k);
             assert_eq!(a, b, "divergence at k={k}");
+        }
+    }
+
+    #[test]
+    fn flat_impl_matches_reference_exactly() {
+        // The flat-array port must reproduce the ordered-set reference
+        // eviction-for-eviction, including irrational weights whose key
+        // sums exercise float rounding.
+        let u = Universe::uniform(4, 4);
+        let weights = vec![1.0, 3.5, 0.25, std::f64::consts::PI];
+        for (seed, k) in [(3u64, 2usize), (4, 5), (5, 9), (6, 15)] {
+            let trace = Trace::from_page_indices(&u, &pseudo_pages(2000, 16, seed));
+            let a = evictions(&mut GreedyDual::new(weights.clone()), &trace, k);
+            let b = evictions(&mut GreedyDualReference::new(weights.clone()), &trace, k);
+            assert_eq!(a, b, "divergence at seed={seed} k={k}");
         }
     }
 
@@ -213,5 +365,11 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_weight() {
         GreedyDual::new(vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn reference_rejects_zero_weight() {
+        GreedyDualReference::new(vec![0.0]);
     }
 }

@@ -13,11 +13,12 @@
 //!   no dual accounting, isolating the value of the paper's budgets.
 //!
 //! The hot-path policies ship in two forms: the default (`Lru`, `Fifo`,
-//! `Marking`, `RandomizedMarking`, `LruK`) runs on `O(1)`/`O(log k)`
-//! dense structures (intrusive recency lists, swap-remove pools, flat
-//! history rings), and a `*Reference` twin keeps the original
-//! straightforward implementation as the equivalence oracle for the
-//! property tests and the baseline for the throughput benchmarks.
+//! `Marking`, `RandomizedMarking`, `LruK`, `GreedyDual`) runs on
+//! `O(1)`/`O(log k)` dense structures (intrusive recency lists,
+//! swap-remove pools, flat history rings), and a `*Reference` twin keeps
+//! the original straightforward implementation as the equivalence oracle
+//! for the property tests and the baseline for the throughput
+//! benchmarks.
 
 pub mod cost_greedy;
 pub mod fifo;
@@ -32,7 +33,7 @@ mod state_util;
 
 pub use cost_greedy::CostGreedy;
 pub use fifo::{Fifo, FifoReference};
-pub use greedy_dual::GreedyDual;
+pub use greedy_dual::{GreedyDual, GreedyDualReference};
 pub use lfu::Lfu;
 pub use lru::{Lru, LruReference};
 pub use lruk::{LruK, LruKReference};

@@ -59,12 +59,29 @@
 //! on insertion order. Equivalence of both paths against the literal
 //! Figure 3 transcription is enforced by `DiscreteReference` property
 //! tests.
+//!
+//! # The per-user arena
+//!
+//! The eviction scan is `O(n)` over users, and the marginal
+//! `g_u(m_u) = f'_u(m_u + 1)` depends only on `(u, m_u)` — yet the naive
+//! scan re-evaluates it through an `Arc<dyn CostFunction>` for every
+//! user on every eviction, which is `n` virtual calls (plus `exp`/`ln`
+//! for monomial costs) per victim and is exactly what halves
+//! multi-tenant throughput. All per-user dual bookkeeping therefore
+//! lives in one contiguous arena (`UserLane`, one `Vec` indexed by
+//! user id): the eviction count `m_u` next to the **memoized, already
+//! NaN-clamped** marginal `g_u(m_u)`. The marginal is recomputed only
+//! when a user's `m` changes (once per eviction, for the victim's owner
+//! — and once per user at startup/restore), so the scan reads one
+//! 16-byte lane per user and does pure float compares. Decisions are
+//! bit-identical to recomputation: the marginal is a pure function of
+//! `(mode, u, m)` and the clamp commutes with memoization.
 
 use crate::alg::tiebreak::{Candidate, TieBreak};
 use crate::cost::{CostProfile, Marginals};
 use occ_sim::{
-    CostAnomaly, EngineCtx, PageId, PageLists, PolicyState, ReplacementPolicy, SnapshotError,
-    UserId,
+    prefetch_slice_element, CostAnomaly, EngineCtx, PageId, PageLists, PolicyState,
+    ReplacementPolicy, SnapshotError, UserId,
 };
 use std::collections::BTreeSet;
 
@@ -100,10 +117,24 @@ pub struct AlgDiagnostics {
     pub global_y: f64,
     /// How many times the offset was rebased.
     pub renormalizations: u64,
-    /// NaN marginals encountered and clamped to `+∞` (a pathological
-    /// cost function; nonzero means the victim choice degraded to
-    /// "avoid that user" rather than crashing).
+    /// NaN marginals encountered and clamped to `+∞` while
+    /// (re)computing a user's memoized marginal (a pathological cost
+    /// function; nonzero means the victim choice degraded to "avoid
+    /// that user" rather than crashing).
     pub nan_marginals: u64,
+}
+
+/// One lane of the contiguous per-user arena: all dual bookkeeping the
+/// eviction scan needs for one user, packed so the `O(n)` victim scan
+/// touches a single sequential allocation.
+#[derive(Clone, Copy, Debug)]
+struct UserLane {
+    /// Eviction count `m(u, t)`.
+    m: u64,
+    /// Memoized marginal `g_u(m)`, already NaN-clamped to `+∞`.
+    /// Invariant: equals `clamp(next_eviction_cost(mode, u, m))` for the
+    /// lane's current `m` — recomputed exactly when `m` changes.
+    g: f64,
 }
 
 /// The paper's cost-aware online replacement policy (ALG-DISCRETE).
@@ -120,8 +151,9 @@ pub struct ConvexCaching {
     /// trajectory `Σ_t y_t` regardless of rebasing.
     y_shifted: f64,
     seq: u64,
-    /// Per-user eviction counts `m(u, t)`.
-    m: Vec<u64>,
+    /// The per-user arena: eviction count and memoized marginal per
+    /// user, one contiguous allocation indexed by user id.
+    users: Vec<UserLane>,
     /// Per-page: global offset at the page's last request.
     y_at: Vec<f64>,
     /// Per-page: sequence number of the page's last request.
@@ -152,7 +184,7 @@ impl ConvexCaching {
             global_y: 0.0,
             y_shifted: 0.0,
             seq: 0,
-            m: Vec::new(),
+            users: Vec::new(),
             y_at: Vec::new(),
             last_seq: Vec::new(),
             fast,
@@ -195,8 +227,10 @@ impl ConvexCaching {
 
     /// Per-user eviction counts `m(·, t)` so far, indexed by user id —
     /// empty until the first request arrives (state is lazily sized).
-    pub fn eviction_counts(&self) -> &[u64] {
-        &self.m
+    /// Returned owned: the counts live interleaved with the memoized
+    /// marginals in the per-user arena, not as a standalone slice.
+    pub fn eviction_counts(&self) -> Vec<u64> {
+        self.users.iter().map(|lane| lane.m).collect()
     }
 
     /// The cost profile this policy optimizes against.
@@ -209,19 +243,19 @@ impl ConvexCaching {
     /// After a run with the §2.1 flush this equals the paper's total
     /// cost `Σ_i f_i(a_i)` exactly.
     pub fn primal_cost(&self) -> f64 {
-        self.m
+        self.users
             .iter()
             .enumerate()
-            .map(|(u, &m)| self.costs.user(UserId(u as u32)).eval(m as f64))
+            .map(|(u, lane)| self.costs.user(UserId(u as u32)).eval(lane.m as f64))
             .sum()
     }
 
     /// [`primal_cost`](Self::primal_cost) with the arithmetic checked: a
     /// non-finite per-user cost or sum is a typed [`CostAnomaly`].
     pub fn primal_cost_checked(&self) -> Result<f64, CostAnomaly> {
-        // `m` covers the universe's users, which may be fewer than the
-        // profile covers; the missing users have zero evictions.
-        let mut misses = self.m.clone();
+        // The arena covers the universe's users, which may be fewer than
+        // the profile covers; the missing users have zero evictions.
+        let mut misses = self.eviction_counts();
         misses.resize(self.costs.num_users() as usize, 0);
         self.costs.total_cost_checked(&misses)
     }
@@ -234,7 +268,25 @@ impl ConvexCaching {
 
     /// Current eviction count of a user (the algorithm's `m(u, t)`).
     pub fn eviction_count(&self, user: UserId) -> u64 {
-        self.m.get(user.index()).copied().unwrap_or(0)
+        self.users.get(user.index()).map(|lane| lane.m).unwrap_or(0)
+    }
+
+    /// Compute `g_u(m)` with the NaN→`+∞` clamp, counting clamps in the
+    /// diagnostics. Called exactly when a lane's `m` changes (and once
+    /// per user at startup), never during the eviction scan itself.
+    fn clamped_marginal(&mut self, u: usize, m: u64) -> f64 {
+        let g = self
+            .costs
+            .next_eviction_cost(self.mode, UserId(u as u32), m);
+        if g.is_nan() {
+            // A pathological cost function. +∞ is the graceful reading:
+            // an unknowable marginal makes the user's pages the *last*
+            // resort, and the run keeps going.
+            self.diag.nan_marginals = self.diag.nan_marginals.saturating_add(1);
+            f64::INFINITY
+        } else {
+            g
+        }
     }
 
     fn ensure_ready(&mut self, ctx: &EngineCtx) {
@@ -248,7 +300,12 @@ impl ConvexCaching {
             "cost profile covers {} users but the universe has {users}",
             self.costs.num_users()
         );
-        self.m = vec![0; users];
+        self.users.clear();
+        self.users.reserve_exact(users);
+        for u in 0..users {
+            let g = self.clamped_marginal(u, 0);
+            self.users.push(UserLane { m: 0, g });
+        }
         self.y_at = vec![0.0; pages];
         self.last_seq = vec![0; pages];
         if self.fast {
@@ -308,12 +365,10 @@ impl ConvexCaching {
         self.diag.renormalizations += 1;
     }
 
-    /// Current budget of a cached page (diagnostic; `O(1)`).
+    /// Current budget of a cached page (diagnostic; `O(1)` — reads the
+    /// memoized marginal, no cost-function call).
     pub fn budget_of(&self, user: UserId, page: PageId) -> f64 {
-        let g = self
-            .costs
-            .next_eviction_cost(self.mode, user, self.m[user.index()]);
-        g - (self.global_y - self.y_at[page.index()])
+        self.users[user.index()].g - (self.global_y - self.y_at[page.index()])
     }
 }
 
@@ -333,7 +388,7 @@ impl ReplacementPolicy for ConvexCaching {
     fn choose_victim(&mut self, ctx: &EngineCtx, _incoming: PageId) -> PageId {
         self.ensure_ready(ctx);
         let mut best: Option<Candidate> = None;
-        let num_users = self.m.len();
+        let num_users = self.users.len();
         for u in 0..num_users {
             // Per-user minimum: list front on the fast path (touch order
             // equals key order under monotone `Y`), set minimum otherwise.
@@ -348,16 +403,9 @@ impl ReplacementPolicy for ConvexCaching {
                     None => continue,
                 }
             };
-            let mut g = self
-                .costs
-                .next_eviction_cost(self.mode, UserId(u as u32), self.m[u]);
-            if g.is_nan() {
-                // A pathological cost function. +∞ is the graceful
-                // reading: an unknowable marginal makes the user's pages
-                // the *last* resort, and the run keeps going.
-                self.diag.nan_marginals = self.diag.nan_marginals.saturating_add(1);
-                g = f64::INFINITY;
-            }
+            // The memoized, already-clamped marginal: the scan is pure
+            // float arithmetic over the arena, no cost-function calls.
+            let g = self.users[u].g;
             let cand = Candidate {
                 key: g + y_p,
                 seq,
@@ -395,7 +443,11 @@ impl ReplacementPolicy for ConvexCaching {
         } else {
             self.sets[u].remove(&(Key(self.y_at[c.page as usize]), c.seq, c.page));
         }
-        self.m[u] = self.m[u].saturating_add(1);
+        // `m` changed for exactly one user: refresh exactly that lane's
+        // memoized marginal. Every other lane stays valid.
+        let m = self.users[u].m.saturating_add(1);
+        self.users[u].m = m;
+        self.users[u].g = self.clamped_marginal(u, m);
 
         if self.global_y.abs() > RENORMALIZE_AT {
             self.renormalize();
@@ -419,12 +471,21 @@ impl ReplacementPolicy for ConvexCaching {
         }
     }
 
+    fn prefetch_hint(&self, page: PageId) {
+        // Warm every page-indexed line `touch` will hit: the recency-list
+        // links plus the `Y_p`/`seq` stamps. Pure hint — bounds-checked
+        // no-ops before the state is lazily sized.
+        self.lists.prefetch(page);
+        prefetch_slice_element(&self.y_at, page.index());
+        prefetch_slice_element(&self.last_seq, page.index());
+    }
+
     fn reset(&mut self) {
         self.ready = false;
         self.global_y = 0.0;
         self.y_shifted = 0.0;
         self.seq = 0;
-        self.m.clear();
+        self.users.clear();
         self.y_at.clear();
         self.last_seq.clear();
         self.lists.reset();
@@ -447,7 +508,7 @@ impl ReplacementPolicy for ConvexCaching {
         s.set_f64("global_y", self.global_y);
         s.set_f64("y_shifted", self.y_shifted);
         s.set_u64("seq", self.seq);
-        s.set_u64s("m", self.m.clone());
+        s.set_u64s("m", self.eviction_counts());
         s.set_f64s("y_at", self.y_at.clone());
         s.set_u64s("last_seq", self.last_seq.clone());
         s.set_f64("diag_min_budget", self.diag.min_budget);
@@ -511,7 +572,25 @@ impl ReplacementPolicy for ConvexCaching {
         self.global_y = global_y;
         self.y_shifted = y_shifted;
         self.seq = seq;
-        self.m = m;
+        // Rebuild the arena: `m` round-trips through the snapshot, the
+        // memoized marginal is a pure function of it and is recomputed
+        // here *silently* — the full (uncheckpointed) run already counted
+        // these computes before the cut, and `diag_nan_marginals` below
+        // restores that count, so counting again would break the
+        // byte-identity of resumed runs.
+        self.users = m
+            .iter()
+            .enumerate()
+            .map(|(u, &m)| {
+                let g = self
+                    .costs
+                    .next_eviction_cost(self.mode, UserId(u as u32), m);
+                UserLane {
+                    m,
+                    g: if g.is_nan() { f64::INFINITY } else { g },
+                }
+            })
+            .collect();
         self.y_at = y_at;
         self.last_seq = last_seq;
         self.diag = AlgDiagnostics {
@@ -743,7 +822,7 @@ mod tests {
             let full_events: Vec<_> = full.take_events().unwrap().iter().cloned().collect();
             let full_stats = full.stats().clone();
             let full_dual = full_alg.cumulative_dual_offset();
-            let full_m = full_alg.eviction_counts().to_vec();
+            let full_m = full_alg.eviction_counts();
 
             let mut head_alg = ConvexCaching::new(costs.clone());
             let mut head = SteppingEngine::new(k, u.clone(), &mut head_alg).with_events();
@@ -772,7 +851,7 @@ mod tests {
             );
             assert_eq!(
                 tail_alg.eviction_counts(),
-                full_m.as_slice(),
+                full_m,
                 "fast={fast}: eviction counts diverged"
             );
         }

@@ -9,18 +9,27 @@
 //! independent caches whose telemetry is merged afterwards.
 //!
 //! The runner drives shards on scoped worker threads
-//! ([`std::thread::scope`], no detached lifetimes), feeds each one from
-//! a streaming [`RequestSource`] through the batched engine path
-//! ([`SteppingEngine::step_batch`]), and folds the per-shard
-//! [`MetricsRecorder`]s into one merged recorder with the same
-//! shard-merge machinery the observability layer already ships — so the
-//! merged report is indistinguishable from a single recorder that
-//! watched every shard.
+//! ([`std::thread::scope`], no detached lifetimes) — at most one worker
+//! per available hardware thread, each replaying its queue of shards
+//! sequentially, and no thread at all when a single worker suffices —
+//! feeds each shard from a streaming [`RequestSource`] through the
+//! batched engine path ([`SteppingEngine::step_batch`], trace-backed
+//! sources handing over whole slices via [`RequestSource::next_run`]),
+//! and folds the per-shard [`MetricsRecorder`]s into one merged
+//! recorder with the same shard-merge machinery the observability layer
+//! already ships — so the merged report is indistinguishable from a
+//! single recorder that watched every shard.
 //!
 //! Determinism: each shard's outcome depends only on its own source and
 //! policy, never on scheduling, so per-shard stats are byte-identical
 //! to running the shards sequentially (pinned by tests). Only the
 //! wall-clock aggregate varies with parallelism.
+//!
+//! Two entry points share one implementation: [`run_fleet`] takes boxed
+//! policies for heterogeneous fleets, and [`run_fleet_typed`] is the
+//! monomorphized fast path for throughput work — concrete policy type,
+//! statically dispatched callbacks, and (with recording off) no
+//! recorder merge.
 
 use occ_probe::MetricsRecorder;
 use occ_sim::probe::Recorder;
@@ -47,6 +56,12 @@ pub struct FleetConfig {
     /// for pure-throughput runs, which then take the zero-overhead
     /// batched path and leave [`ShardReport::recorder`] empty.
     pub record: bool,
+    /// Cap on worker threads; `None` means one per available hardware
+    /// thread. The runner never uses more workers than shards, and a
+    /// single worker runs every shard sequentially on the calling
+    /// thread with no spawn at all — oversubscribing cores buys nothing
+    /// but context switches, so the default matches the hardware.
+    pub max_workers: Option<usize>,
 }
 
 impl FleetConfig {
@@ -57,7 +72,21 @@ impl FleetConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             flush_at_end: false,
             record: true,
+            max_workers: None,
         }
+    }
+
+    /// Worker threads this config would use for `shards` shards: the
+    /// explicit cap if set, else the machine's available parallelism,
+    /// never more than the shard count and never zero.
+    fn workers_for(&self, shards: usize) -> usize {
+        self.max_workers
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+            .clamp(1, shards.max(1))
     }
 }
 
@@ -162,19 +191,31 @@ impl FleetReport {
 }
 
 /// Run one engine to exhaustion of its source, batch by batch.
-fn drive<S, R>(
-    engine: &mut SteppingEngine<Box<dyn ReplacementPolicy>, R>,
-    source: &mut S,
-    cfg: &FleetConfig,
-) -> u64
+///
+/// Sources that support bulk runs ([`RequestSource::next_run`] — fixed
+/// traces) feed [`SteppingEngine::step_batch`] slices of their own
+/// backing storage; everything else goes through the per-request pull
+/// loop into a reused batch buffer. The two styles can interleave
+/// freely without changing the served sequence.
+fn drive<S, P, R>(engine: &mut SteppingEngine<P, R>, source: &mut S, cfg: &FleetConfig) -> u64
 where
     S: RequestSource,
+    P: ReplacementPolicy,
     R: Recorder,
 {
-    let mut buf = Vec::with_capacity(cfg.batch_size);
+    // The batch buffer is only for the pull loop below; bulk sources
+    // (fixed traces — the throughput path) never enter it, so defer the
+    // allocation until a shard actually needs it.
+    let mut buf = Vec::new();
     let mut served = 0u64;
     loop {
+        if let Some(run) = source.next_run(cfg.batch_size).filter(|r| !r.is_empty()) {
+            served += run.len() as u64;
+            engine.step_batch(run);
+            continue;
+        }
         buf.clear();
+        buf.reserve(cfg.batch_size);
         while buf.len() < cfg.batch_size {
             let next = {
                 let ctx = engine.ctx();
@@ -197,11 +238,11 @@ where
     served
 }
 
-fn run_shard<S: RequestSource>(
+fn run_shard<S: RequestSource, P: ReplacementPolicy>(
     shard: usize,
     mut source: S,
     cfg: &FleetConfig,
-    policy: Box<dyn ReplacementPolicy>,
+    policy: P,
 ) -> ShardReport {
     let universe = source.universe().clone();
     let start = Instant::now();
@@ -229,13 +270,14 @@ fn run_shard<S: RequestSource>(
     }
 }
 
-/// Run every source as an independent cache shard, one scoped worker
-/// thread each, and merge the telemetry.
+/// Run every source as an independent cache shard across up to
+/// [`FleetConfig::max_workers`] scoped worker threads (default: the
+/// machine's available parallelism) and merge the telemetry.
 ///
 /// `make_policy` is called once per shard (with the shard index) from
-/// that shard's thread, so policies never cross threads and need not be
-/// `Send`. Per-shard results are deterministic — threading affects only
-/// wall-clock fields.
+/// the worker that replays it, so policies never cross threads and need
+/// not be `Send`. Per-shard results are deterministic — worker count
+/// and scheduling affect only wall-clock fields.
 ///
 /// Panics if `sources` is empty, `cfg.batch_size` is zero, or a shard
 /// thread panics (the shard's own panic is propagated).
@@ -244,28 +286,82 @@ where
     S: RequestSource + Send,
     F: Fn(usize) -> Box<dyn ReplacementPolicy> + Sync,
 {
+    run_fleet_typed(sources, cfg, make_policy)
+}
+
+/// [`run_fleet`] monomorphized over a concrete policy type.
+///
+/// `Box<dyn ReplacementPolicy>` implements [`ReplacementPolicy`], so
+/// [`run_fleet`] is exactly this function with `P` = the boxed trait
+/// object; heterogeneous fleets keep working through it. Handing a
+/// concrete `P` instead compiles each shard's replay loop with the
+/// policy callbacks statically dispatched and inlinable — the
+/// zero-overhead fast path for throughput measurement, where a virtual
+/// call per request is the difference between the fleet and a bare
+/// [`SteppingEngine`] loop. Combined with `cfg.record = false` (which
+/// also skips the recorder merge below) a one-shard fleet run is the
+/// same machine code as the scalar engine loop, modulo thread spawn.
+pub fn run_fleet_typed<S, P, F>(sources: Vec<S>, cfg: &FleetConfig, make_policy: F) -> FleetReport
+where
+    S: RequestSource + Send,
+    P: ReplacementPolicy,
+    F: Fn(usize) -> P + Sync,
+{
     assert!(!sources.is_empty(), "a fleet needs at least one shard");
     assert!(cfg.batch_size > 0, "batch size must be positive");
+    let workers = cfg.workers_for(sources.len());
     let start = Instant::now();
     let make_policy = &make_policy;
-    let shards: Vec<ShardReport> = std::thread::scope(|scope| {
-        let handles: Vec<_> = sources
+    let shards: Vec<ShardReport> = if workers == 1 {
+        // One worker (one shard, a one-core machine, or an explicit
+        // cap): run the shards sequentially right here — no spawn, no
+        // join, no context switches. Per-shard results are identical
+        // either way (see the module docs on determinism).
+        sources
             .into_iter()
             .enumerate()
-            .map(|(i, source)| scope.spawn(move || run_shard(i, source, cfg, make_policy(i))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| match h.join() {
-                Ok(report) => report,
-                Err(panic) => std::panic::resume_unwind(panic),
-            })
+            .map(|(i, source)| run_shard(i, source, cfg, make_policy(i)))
             .collect()
-    });
+    } else {
+        std::thread::scope(|scope| {
+            // Deal shards round-robin onto `workers` threads; each
+            // worker replays its queue sequentially. Shard order is
+            // restored afterwards so reports are position-stable.
+            let mut queues: Vec<Vec<(usize, S)>> = Vec::new();
+            queues.resize_with(workers, Vec::new);
+            for (i, source) in sources.into_iter().enumerate() {
+                queues[i % workers].push((i, source));
+            }
+            let handles: Vec<_> = queues
+                .into_iter()
+                .map(|queue| {
+                    scope.spawn(move || {
+                        queue
+                            .into_iter()
+                            .map(|(i, source)| run_shard(i, source, cfg, make_policy(i)))
+                            .collect::<Vec<ShardReport>>()
+                    })
+                })
+                .collect();
+            let mut shards: Vec<ShardReport> = handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(reports) => reports,
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect();
+            shards.sort_by_key(|s| s.shard);
+            shards
+        })
+    };
     let wall = start.elapsed();
     let mut merged = MetricsRecorder::new();
-    for s in &shards {
-        merged.merge(&s.recorder);
+    if cfg.record {
+        // With recording off every shard recorder is empty; skip the
+        // merge entirely so the unrecorded path does no folding work.
+        for s in &shards {
+            merged.merge(&s.recorder);
+        }
     }
     let total_requests = shards.iter().map(|s| s.served).sum();
     FleetReport {
@@ -344,6 +440,61 @@ mod tests {
         }
         assert_eq!(bare.merged.requests(), 0, "no recorder attached");
         assert_eq!(bare.total_misses(), recorded.total_misses());
+    }
+
+    #[test]
+    fn typed_fleet_matches_boxed_fleet() {
+        // The monomorphized entry point must be observationally identical
+        // to the boxed one — same per-shard stats, same totals — with or
+        // without recording.
+        let scenario = sqlvm_like();
+        for record in [true, false] {
+            let mut cfg = FleetConfig::new(scenario.suggested_k);
+            cfg.record = record;
+            let boxed = run_fleet(
+                (0..3).map(|i| scenario.stream(2_000, i)).collect(),
+                &cfg,
+                lru_factory,
+            );
+            let typed = run_fleet_typed(
+                (0..3).map(|i| scenario.stream(2_000, i)).collect(),
+                &cfg,
+                |_shard| Lru::new(),
+            );
+            for (a, b) in boxed.shards.iter().zip(&typed.shards) {
+                assert_eq!(a.stats, b.stats, "record={record}: shard stats diverged");
+                assert_eq!(a.served, b.served);
+            }
+            assert_eq!(boxed.total_requests, typed.total_requests);
+            assert_eq!(boxed.merged.requests(), typed.merged.requests());
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_results() {
+        // Sequential (cap 1), undersubscribed (cap 2 for 5 shards,
+        // queues of unequal length), and one-thread-per-shard (cap ≥
+        // shards) must produce identical per-shard reports.
+        let scenario = sqlvm_like();
+        let run_with = |cap: Option<usize>| {
+            let mut cfg = FleetConfig::new(scenario.suggested_k);
+            cfg.max_workers = cap;
+            run_fleet(
+                (0..5).map(|i| scenario.stream(2_000, 40 + i)).collect(),
+                &cfg,
+                lru_factory,
+            )
+        };
+        let sequential = run_with(Some(1));
+        for cap in [Some(2), Some(64), None] {
+            let capped = run_with(cap);
+            for (a, b) in sequential.shards.iter().zip(&capped.shards) {
+                assert_eq!(a.shard, b.shard, "cap {cap:?}: shard order changed");
+                assert_eq!(a.stats, b.stats, "cap {cap:?}: stats diverged");
+                assert_eq!(a.served, b.served);
+            }
+            assert_eq!(capped.merged.requests(), sequential.merged.requests());
+        }
     }
 
     #[test]

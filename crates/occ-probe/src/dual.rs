@@ -82,7 +82,7 @@ impl DualTrace {
         if self.samples.last().map(|s| s.t) != Some(t) {
             self.samples.push(Self::snapshot(t, alg));
         }
-        self.final_m = alg.eviction_counts().to_vec();
+        self.final_m = alg.eviction_counts();
     }
 
     /// The recorded trajectory, in time order.

@@ -97,6 +97,17 @@ impl CacheSet {
         self.slot[page.index()] != NONE
     }
 
+    /// Prefetch the membership-table line a future [`contains`] probe of
+    /// `page` will load. The batched replay kernel calls this for
+    /// request `i + D` while serving request `i`, hiding the dependent
+    /// load behind useful work; see [`crate::prefetch`].
+    ///
+    /// [`contains`]: Self::contains
+    #[inline(always)]
+    pub fn prefetch_probe(&self, page: PageId) {
+        crate::prefetch::prefetch_slice_element(&self.slot, page.index());
+    }
+
     /// Insert `page`. Panics if the cache is full or the page is already
     /// present — the engine guarantees neither happens.
     pub fn insert(&mut self, page: PageId) {

@@ -192,10 +192,56 @@ impl PageLists {
 
     /// Move `page` to the back of list `l` (the "touch" of an LRU list):
     /// unlink it from wherever it is, if anywhere, then append.
+    ///
+    /// When the page is already in `l` the unlink and append are fused
+    /// into one splice — no intermediate `NIL` writes to `prev`/`next`/
+    /// `list_of` that the append immediately overwrites — and a page
+    /// that is already the tail (a re-touch of the hottest page, the
+    /// common case under skewed workloads) returns without writing at
+    /// all. Observable state is identical to `remove` + `push_back`.
     #[inline]
     pub fn move_to_back(&mut self, l: usize, page: PageId) {
+        let i = page.index();
+        if self.list_of[i] == l as u32 {
+            let core = &mut self.lists[l];
+            if core.tail == page.0 {
+                return;
+            }
+            // Splice out of the middle/head of `l`: the page is not the
+            // tail, so it has a successor.
+            let (p, n) = (self.prev[i], self.next[i]);
+            if p == NIL {
+                core.head = n;
+            } else {
+                self.next[p as usize] = n;
+            }
+            self.prev[n as usize] = p;
+            // Re-link at the tail (non-NIL: the list holds this page).
+            let old_tail = core.tail;
+            self.next[old_tail as usize] = page.0;
+            self.prev[i] = old_tail;
+            self.next[i] = NIL;
+            core.tail = page.0;
+            return;
+        }
         self.remove_if_linked(page);
         self.push_back(l, page);
+    }
+
+    /// Prefetch the link-array lines a touch of `page` will dirty
+    /// (`prev`/`next`/`list_of` at the page's index). Policies forward
+    /// [`ReplacementPolicy::prefetch_hint`] here so batch drivers that
+    /// use that hook cover policy state, not just the engine's page
+    /// table.
+    ///
+    /// [`ReplacementPolicy::prefetch_hint`]:
+    ///     crate::policy::ReplacementPolicy::prefetch_hint
+    #[inline(always)]
+    pub fn prefetch(&self, page: PageId) {
+        let i = page.index();
+        crate::prefetch::prefetch_slice_element(&self.list_of, i);
+        crate::prefetch::prefetch_slice_element(&self.prev, i);
+        crate::prefetch::prefetch_slice_element(&self.next, i);
     }
 
     /// Steal every node of `from` and append the whole chain to the back
@@ -359,6 +405,13 @@ impl PageList {
     #[inline]
     pub fn move_to_back(&mut self, page: PageId) {
         self.inner.move_to_back(0, page);
+    }
+
+    /// Prefetch the link-array lines a touch of `page` will dirty (see
+    /// [`PageLists::prefetch`]).
+    #[inline(always)]
+    pub fn prefetch(&self, page: PageId) {
+        self.inner.prefetch(page);
     }
 
     /// Iterate oldest to newest.
@@ -525,6 +578,39 @@ mod tests {
         // The spliced list stays fully linked: removals still work.
         a.remove(PageId(2));
         assert_eq!(a.iter(0).map(|p| p.0).collect::<Vec<_>>(), vec![1, 3, 5, 7]);
+    }
+
+    #[test]
+    fn fused_move_to_back_covers_every_splice_case() {
+        // The fused same-list splice in `move_to_back` must be
+        // indistinguishable from remove + push_back: re-touch of the
+        // tail (early exit), head, middle, cross-list moves, and fresh
+        // links.
+        let mut a = PageLists::with_size(2, 8);
+        for p in [0, 1, 2, 3] {
+            a.push_back(0, PageId(p));
+        }
+        a.move_to_back(0, PageId(3)); // tail re-touch: no-op
+        assert_eq!(a.iter(0).map(|p| p.0).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        a.move_to_back(0, PageId(0)); // head
+        assert_eq!(a.iter(0).map(|p| p.0).collect::<Vec<_>>(), vec![1, 2, 3, 0]);
+        a.move_to_back(0, PageId(3)); // middle
+        assert_eq!(a.iter(0).map(|p| p.0).collect::<Vec<_>>(), vec![1, 2, 0, 3]);
+        assert_eq!(a.len(0), 4);
+        a.move_to_back(1, PageId(2)); // cross-list move
+        assert_eq!(a.iter(0).map(|p| p.0).collect::<Vec<_>>(), vec![1, 0, 3]);
+        assert_eq!(a.iter(1).map(|p| p.0).collect::<Vec<_>>(), vec![2]);
+        assert_eq!(a.list_of(PageId(2)), Some(1));
+        a.move_to_back(1, PageId(6)); // fresh link
+        assert_eq!(a.iter(1).map(|p| p.0).collect::<Vec<_>>(), vec![2, 6]);
+        // Single-element list: the element is both head and tail.
+        a.move_to_back(1, PageId(2));
+        assert_eq!(a.iter(1).map(|p| p.0).collect::<Vec<_>>(), vec![6, 2]);
+        // Removals still work after fused splices (links consistent).
+        a.remove(PageId(0));
+        a.remove(PageId(2));
+        assert_eq!(a.iter(0).map(|p| p.0).collect::<Vec<_>>(), vec![1, 3]);
+        assert_eq!(a.iter(1).map(|p| p.0).collect::<Vec<_>>(), vec![6]);
     }
 
     #[test]

@@ -53,6 +53,7 @@ pub mod ids;
 pub mod intrusive;
 pub mod nextuse;
 pub mod policy;
+pub mod prefetch;
 pub mod probe;
 pub mod snapshot;
 pub mod source;
@@ -76,11 +77,12 @@ pub use ids::{PageId, Time, UserId};
 pub use intrusive::{PageList, PageLists};
 pub use nextuse::NextUseIndex;
 pub use policy::ReplacementPolicy;
+pub use prefetch::{prefetch_read, prefetch_slice_element};
 pub use probe::{NoopRecorder, Recorder};
 pub use snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
 pub use source::{AdaptiveSource, RequestSource, TraceSource};
 pub use stats::{SimStats, UserStats};
-pub use stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE};
+pub use stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE, PREFETCH_DISTANCE};
 pub use textio::{read_trace, write_trace, TraceIoError};
 pub use trace::{Request, Trace, TraceBuilder, Universe};
 
@@ -100,6 +102,6 @@ pub mod prelude {
     pub use crate::snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
     pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};
     pub use crate::stats::{SimStats, UserStats};
-    pub use crate::stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE};
+    pub use crate::stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE, PREFETCH_DISTANCE};
     pub use crate::trace::{Request, Trace, TraceBuilder, Universe};
 }

@@ -20,6 +20,21 @@ pub trait RequestSource {
     /// the engine state *before* this request is served — in particular the
     /// current cache contents, which is what an adaptive adversary needs.
     fn next_request(&mut self, ctx: &EngineCtx) -> Option<Request>;
+
+    /// Bulk twin of [`next_request`](Self::next_request): hand out a
+    /// borrowed run of up to `max` upcoming requests and advance past
+    /// them, or `None` when no run is available. Replay loops (the
+    /// fleet runner's shard driver) try this first and fall back to
+    /// per-request pulls, so a fixed trace feeds
+    /// [`step_batch`](crate::SteppingEngine::step_batch) slices of its
+    /// own backing storage — no copy, no per-request engine-state
+    /// round-trip. The default returns `None`, which is the only
+    /// correct answer for adaptive sources: handing out a run commits
+    /// to requests that cannot observe the engine mid-run.
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        let _ = max;
+        None
+    }
 }
 
 /// A fixed trace replayed in order.
@@ -44,6 +59,16 @@ impl RequestSource for TraceSource<'_> {
         let r = self.trace.requests().get(self.pos).copied();
         self.pos += 1;
         r
+    }
+
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        let rest = &self.trace.requests()[self.pos.min(self.trace.len())..];
+        if rest.is_empty() {
+            return None;
+        }
+        let take = rest.len().min(max);
+        self.pos += take;
+        Some(&rest[..take])
     }
 }
 
@@ -135,6 +160,29 @@ mod tests {
             via_source.stats.miss_vector()
         );
         assert_eq!(via_source.steps, 3);
+    }
+
+    #[test]
+    fn trace_source_bulk_runs_cover_the_trace_exactly_once() {
+        let u = Universe::single_user(5);
+        let pages: Vec<u32> = (0..23).map(|i| i % 5).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let mut src = TraceSource::new(&trace);
+        let mut seen = Vec::new();
+        while let Some(run) = src.next_run(7) {
+            assert!(!run.is_empty() && run.len() <= 7);
+            seen.extend_from_slice(run);
+        }
+        assert_eq!(seen.as_slice(), trace.requests());
+        // Drained via runs ⇒ drained for per-request pulls too.
+        let eng = crate::SteppingEngine::new(2, u.clone(), EvictFirst);
+        assert_eq!(src.next_request(&eng.ctx()), None);
+        // Mixing pull styles stays in sync: one scalar pull, then a run
+        // picking up right after it.
+        let mut src = TraceSource::new(&trace);
+        let first = src.next_request(&eng.ctx()).unwrap();
+        assert_eq!(first, trace.requests()[0]);
+        assert_eq!(src.next_run(4).unwrap(), &trace.requests()[1..5]);
     }
 
     #[test]

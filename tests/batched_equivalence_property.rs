@@ -12,7 +12,8 @@
 //! request streams.
 
 use occ_baselines::{
-    Fifo, FifoReference, Lru, LruK, LruKReference, LruReference, Marking, RandomizedMarking,
+    Fifo, FifoReference, GreedyDual, Lru, LruK, LruKReference, LruReference, Marking,
+    RandomizedMarking,
 };
 use occ_core::{ConvexCaching, CostProfile, Monomial};
 use occ_sim::{
@@ -148,6 +149,117 @@ proptest! {
                 "policy {} fast path diverged", policy.name()
             );
             prop_assert_eq!(&scalar.0, &fast_scalar.0, "events must not change stats");
+        }
+    }
+}
+
+/// The four policies the throughput grid measures in batched mode —
+/// the ones whose `step_batch` boundary behaviour the bench numbers
+/// actually depend on.
+fn batched_grid_suite(num_users: u32) -> Vec<Box<dyn ReplacementPolicy>> {
+    let costs = CostProfile::uniform(num_users, Monomial::power(2.0));
+    vec![
+        Box::new(Lru::new()),
+        Box::new(Fifo::new()),
+        Box::new(ConvexCaching::new(costs)),
+        Box::new(GreedyDual::unweighted(num_users)),
+    ]
+}
+
+/// Replay through explicit `step_batch` calls of a fixed batch size —
+/// the exact call pattern the fleet runner and the bench grid use.
+fn run_step_batch(
+    policy: &mut Box<dyn ReplacementPolicy>,
+    universe: &Universe,
+    requests: &[Request],
+    k: usize,
+    batch: usize,
+) -> Outcome {
+    let mut engine = SteppingEngine::new(k, universe.clone(), &mut **policy);
+    for chunk in requests.chunks(batch) {
+        engine.step_batch(chunk);
+    }
+    finish(engine)
+}
+
+/// A random instance whose batch size is drawn from the boundary set
+/// {1, 2, 4095, 4096, 4097, trace_len}. Traces are mostly shorter than
+/// the default batch, so the large sizes exercise the
+/// trace-shorter-than-one-batch case; the deterministic test below
+/// covers traces that cross the 4096 boundary several times.
+fn arb_boundary_instance() -> impl Strategy<Value = (Universe, Vec<u32>, usize, usize)> {
+    (2u32..=3, 20u32..=60).prop_flat_map(|(users, per_user)| {
+        let total = users * per_user;
+        (
+            proptest::collection::vec(0..total, 1..800),
+            1..=(total as usize - 1),
+            0usize..6,
+        )
+            .prop_map(move |(pages, k, batch_idx)| {
+                (Universe::uniform(users, per_user), pages, k, batch_idx)
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn step_batch_boundary_sizes_are_byte_identical(
+        (universe, pages, k, batch_idx) in arb_boundary_instance()
+    ) {
+        let requests: Vec<Request> =
+            pages.iter().map(|&p| universe.request(PageId(p))).collect();
+        let batch = [1, 2, 4095, 4096, 4097, requests.len()][batch_idx];
+        for mut policy in batched_grid_suite(universe.num_users()) {
+            let scalar = run_fast(&mut policy, &universe, &requests, k, batch, false);
+            policy.reset();
+            let batched = run_step_batch(&mut policy, &universe, &requests, k, batch);
+            prop_assert_eq!(
+                &scalar, &batched,
+                "policy {} diverged at batch size {}", policy.name(), batch
+            );
+        }
+    }
+}
+
+/// Deterministic requests from a splitmix-style generator, so the long
+/// boundary test below needs no proptest shrink budget.
+fn lcg_requests(universe: &Universe, total_pages: u32, len: usize, mut s: u64) -> Vec<Request> {
+    (0..len)
+        .map(|_| {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            universe.request(PageId(((s >> 33) as u32) % total_pages))
+        })
+        .collect()
+}
+
+/// A 13k-request trace crosses the default 4096-request batch three
+/// times, and the sizes one either side of it shift every subsequent
+/// chunk boundary by one; `trace_len` runs the whole trace as a single
+/// batch, and the short trace never fills one.
+#[test]
+fn step_batch_boundary_sizes_match_scalar_on_long_traces() {
+    let (users, per_user) = (3u32, 50u32);
+    let universe = Universe::uniform(users, per_user);
+    let long = lcg_requests(&universe, users * per_user, 13_000, 0xB5);
+    let short = lcg_requests(&universe, users * per_user, 57, 0x5B);
+    for (requests, label) in [(&long, "long"), (&short, "short")] {
+        let k = 96;
+        for mut policy in batched_grid_suite(users) {
+            let scalar = run_fast(&mut policy, &universe, requests, k, 1, false);
+            for batch in [1, 2, 4095, 4096, 4097, requests.len()] {
+                policy.reset();
+                let batched = run_step_batch(&mut policy, &universe, requests, k, batch);
+                assert_eq!(
+                    scalar,
+                    batched,
+                    "policy {} diverged on the {label} trace at batch size {batch}",
+                    policy.name()
+                );
+            }
         }
     }
 }

@@ -11,8 +11,8 @@
 //! reproduce the literal Figure 3 sweeps decision-for-decision.
 
 use occ_baselines::{
-    Fifo, FifoReference, Lru, LruK, LruKReference, LruReference, Marking, MarkingReference,
-    RandomizedMarking,
+    Fifo, FifoReference, GreedyDual, GreedyDualReference, Lru, LruK, LruKReference, LruReference,
+    Marking, MarkingReference, RandomizedMarking,
 };
 use occ_core::{
     ConvexCaching, CostFn, CostProfile, DiscreteReference, Linear, Marginals, Monomial,
@@ -85,6 +85,29 @@ proptest! {
         prop_assert_eq!(
             evictions(&mut LruK::new(depth), &trace, k),
             evictions(&mut LruKReference::new(depth), &trace, k)
+        );
+    }
+
+    #[test]
+    fn greedy_dual_matches_reference(
+        (users, pages_per) in (2u32..=4, 2u32..=4),
+        raw_weights in proptest::collection::vec(0.01f64..100.0, 4),
+        page_seed in proptest::collection::vec(0u32..16, 30..300),
+        k in 2usize..=10,
+    ) {
+        // The flat-array Landlord (per-user recency lists, lazy
+        // `w_u + offset` keys) against the ordered-set reference:
+        // byte-identical eviction sequences for arbitrary positive
+        // weights, where key sums exercise float rounding.
+        let total = users * pages_per;
+        let universe = Universe::uniform(users, pages_per);
+        let pages: Vec<u32> = page_seed.iter().map(|p| p % total).collect();
+        let weights: Vec<f64> = raw_weights[..users as usize].to_vec();
+        let k = k.min(total as usize - 1);
+        let trace = Trace::from_page_indices(&universe, &pages);
+        prop_assert_eq!(
+            evictions(&mut GreedyDual::new(weights.clone()), &trace, k),
+            evictions(&mut GreedyDualReference::new(weights), &trace, k)
         );
     }
 
