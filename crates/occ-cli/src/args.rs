@@ -66,6 +66,42 @@ impl Args {
                 .map_err(|e| format!("bad value for --{name}: {e}")),
         }
     }
+
+    /// Unsigned flag with a default, accepting `k`/`M`/`B` (or `G`)
+    /// magnitude suffixes: `500k` = 500_000, `5M` = 5_000_000,
+    /// `1B` = 1_000_000_000. Soak runs are specified in these units.
+    pub fn scaled_or(&self, name: &str, default: u64) -> Result<u64, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => parse_scaled(v).map_err(|e| format!("bad value for --{name}: {e}")),
+        }
+    }
+}
+
+/// Parse `"123"`, `"500k"`, `"5M"`, `"1B"` (case-insensitive suffix,
+/// `G` accepted as a synonym for `B`) into a `u64`, rejecting overflow.
+pub fn parse_scaled(text: &str) -> Result<u64, String> {
+    let text = text.trim();
+    let (digits, mult) = match text.char_indices().last() {
+        Some((i, c)) if c.is_ascii_alphabetic() => {
+            let mult = match c.to_ascii_lowercase() {
+                'k' => 1_000u64,
+                'm' => 1_000_000,
+                'b' | 'g' => 1_000_000_000,
+                _ => return Err(format!("unknown magnitude suffix '{c}' (use k, M, or B)")),
+            };
+            (&text[..i], mult)
+        }
+        _ => (text, 1),
+    };
+    if digits.is_empty() {
+        return Err("expected digits before the suffix".into());
+    }
+    let base: u64 = digits
+        .parse()
+        .map_err(|e| format!("invalid digit string '{digits}': {e}"))?;
+    base.checked_mul(mult)
+        .ok_or_else(|| format!("'{text}' overflows a u64"))
 }
 
 #[cfg(test)]
@@ -110,5 +146,27 @@ mod tests {
     fn required_flag() {
         let a = parse(&["run"]).unwrap();
         assert!(a.str_required("trace").is_err());
+    }
+
+    #[test]
+    fn scaled_numbers() {
+        assert_eq!(parse_scaled("123").unwrap(), 123);
+        assert_eq!(parse_scaled("500k").unwrap(), 500_000);
+        assert_eq!(parse_scaled("500K").unwrap(), 500_000);
+        assert_eq!(parse_scaled("5M").unwrap(), 5_000_000);
+        assert_eq!(parse_scaled("1B").unwrap(), 1_000_000_000);
+        assert_eq!(parse_scaled("2g").unwrap(), 2_000_000_000);
+        assert_eq!(parse_scaled("0").unwrap(), 0);
+        assert!(parse_scaled("").is_err());
+        assert!(parse_scaled("k").is_err());
+        assert!(parse_scaled("5x").is_err());
+        assert!(parse_scaled("1.5M").is_err());
+        assert!(parse_scaled("99999999999999999999B").is_err());
+
+        let a = parse(&["soak", "--len", "10M"]).unwrap();
+        assert_eq!(a.scaled_or("len", 0).unwrap(), 10_000_000);
+        assert_eq!(a.scaled_or("window", 7).unwrap(), 7);
+        let bad = parse(&["soak", "--len", "ten"]).unwrap();
+        assert!(bad.scaled_or("len", 0).is_err());
     }
 }

@@ -8,17 +8,18 @@ use occ_core::{ConvexCaching, CostProfile};
 use occ_fleet::{run_fleet, FleetConfig};
 use occ_offline::{Belady, CostAwareBelady};
 use occ_probe::{
-    snapshot_from_json, snapshot_to_json, DualTrace, Json, JsonlSink, MetricsRecorder,
-    ObserveReport,
+    snapshot_from_json, snapshot_to_json, DualPoint, DualTrace, Json, JsonlSink, MetricsRecorder,
+    ObserveReport, SeriesFile, SeriesSink, WindowDelta, WindowedRecorder,
 };
 use occ_sim::{
-    read_trace_auto, write_trace, write_trace_binary, EngineSnapshot, FaultCounters, FaultHandler,
-    FaultPolicy, ReplacementPolicy, Request, SimStats, SteppingEngine, Time, Trace, Universe,
-    UserId,
+    read_trace_auto, write_trace, write_trace_binary, BinaryTraceReader, EngineSnapshot,
+    FaultCounters, FaultHandler, FaultPolicy, ReplacementPolicy, Request, RequestSource, SimStats,
+    SteppingEngine, Time, Trace, TraceIoError, Universe, UserId,
 };
-use occ_workloads::{all_scenarios, FaultPlan, Scenario};
+use occ_workloads::{all_scenarios, FaultPlan, Scenario, TenantMixSource};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::time::Instant;
 
 /// Top-level usage text.
 pub const USAGE: &str = "\
@@ -50,17 +51,39 @@ USAGE:
                [same --chaos-*/--degrade/--checkpoint/--out flags as observe]
                continue a checkpointed observe run over the same trace;
                the continuation is byte-identical to an uninterrupted run.
+  occ soak     --scenario NAME [--len N] [--seed S] [--policy NAME] [--k K]
+               [--window W] [--series FILE] [--timing on|off]
+               [--checkpoint FILE] [--checkpoint-every N] [--from FILE]
+               [--heartbeat on|off] [--trace FILE]
+               stream N requests (default 10M) in O(1) memory, closing a
+               telemetry window every W requests (default 1M) and
+               appending each closed window to the JSONL series file.
+               --len/--window/--checkpoint-every accept k/M/B suffixes
+               (500k, 5M, 1B). --trace streams a binary (occbin01) trace
+               instead of the scenario mixer; --from resumes a killed
+               soak from its checkpoint, continuing the series
+               byte-identically (checkpoints land on window boundaries;
+               pass the same --scenario and --seed — the checkpoint
+               carries engine state, not the workload stream).
+               --timing on adds wall-clock latency histograms per window
+               (not byte-reproducible). A stderr heartbeat reports req/s,
+               ETA and RSS about once a second.
   occ report   --in FILE [--format table|json]
                validate and render an `occ observe` report
+  occ report   --series FILE [--format table|json]
+               render an `occ soak` window series as an aligned table
+               with per-window Δ miss-ratio markers
   occ fleet    --scenario NAME [--shards F] [--len N] [--seed S]
-               [--policy NAME] [--k K] [--batch B] [--format table|json]
-               [--out FILE]
+               [--policy NAME] [--k K] [--batch B] [--window W]
+               [--format table|json] [--out FILE]
                run F independent cache shards of the scenario in
                parallel (one worker thread each, seeds derived per
                shard), streaming requests in O(1) memory, and merge the
-               per-shard telemetry into one fleet report. Offline
-               policies (belady*) are rejected: the fleet never
-               materializes a trace.
+               per-shard telemetry into one fleet report. --window W
+               additionally collects tumbling-window series per shard
+               and merges them in shard order. Offline policies
+               (belady*) are rejected: the fleet never materializes a
+               trace.
   occ conformance [--grid smoke|full] [--seed S] [--weaken W]
                [--shrink on|off] [--out FILE] [--format table|json]
                machine-check the paper's bounds (Theorems 1.1/1.3/1.4,
@@ -321,8 +344,13 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         return Err(CliError::Usage(format!("unknown policy '{policy_name}'")));
     }
 
+    let window = uarg(args.scaled_or("window", 0))?;
+
     let mut cfg = FleetConfig::new(k);
     cfg.batch_size = batch;
+    if window > 0 {
+        cfg.window = Some(window);
+    }
     // Each shard is its own server: same scenario, decorrelated seed.
     let sources: Vec<_> = (0..shards)
         .map(|i| scenario.stream(len, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
@@ -359,6 +387,15 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
                 report.wall.as_secs_f64() * 1e3,
                 fnum(report.aggregate_requests_per_sec()),
             ));
+            if let Some(series) = &report.merged_series {
+                let total = series.total();
+                emit(&format!(
+                    "windows: {} of width {} merged across shards · overall miss ratio {:.3}",
+                    series.windows.len(),
+                    series.width,
+                    total.miss_ratio()
+                ));
+            }
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -785,8 +822,605 @@ pub fn resume(args: &Args) -> Result<(), CliError> {
     emit_report(&report, &out_path)
 }
 
+/// Streaming request feed for `occ soak`: a synthetic scenario mix or a
+/// binary (`occbin01`) trace file. Both hold O(1) memory regardless of
+/// run length — soak never materializes a trace.
+enum SoakSource {
+    Mix(TenantMixSource),
+    Bin(Box<BinaryTraceReader<BufReader<File>>>),
+}
+
+impl RequestSource for SoakSource {
+    fn universe(&self) -> &Universe {
+        match self {
+            SoakSource::Mix(m) => m.universe(),
+            SoakSource::Bin(r) => r.universe(),
+        }
+    }
+
+    fn next_request(&mut self, ctx: &occ_sim::EngineCtx) -> Option<Request> {
+        match self {
+            SoakSource::Mix(m) => m.next_request(ctx),
+            SoakSource::Bin(r) => r.next_request(ctx),
+        }
+    }
+}
+
+/// Everything `run_soak` needs beyond the engine inputs.
+struct SoakOpts<'a> {
+    /// Tumbling-window width in requests.
+    window: u64,
+    /// JSONL series destination (empty = no series file).
+    series_path: &'a str,
+    /// Header metadata for the series file.
+    meta: &'a [(&'a str, Json)],
+    /// Checkpoint cadence in requests, already rounded to a window
+    /// multiple (0 = off).
+    checkpoint_every: u64,
+    /// Checkpoint destination (empty = off).
+    checkpoint_path: &'a str,
+    /// Print progress to stderr roughly once a second.
+    heartbeat: bool,
+    /// Total requests the run aims for (resume included), for ETA.
+    target: u64,
+}
+
+impl SoakOpts<'_> {
+    fn checkpoints_on(&self) -> bool {
+        self.checkpoint_every > 0 && !self.checkpoint_path.is_empty()
+    }
+}
+
+/// Outcome of a soak drive, for the final summary tables.
+struct SoakSummary {
+    stats: SimStats,
+    /// Counters restored from the checkpoint (all zero on a fresh run);
+    /// the window totals cover only `stats - base`.
+    base: SimStats,
+    served: u64,
+    policy: String,
+    windows: u64,
+    series_lines: u64,
+    elapsed: std::time::Duration,
+    end_t: Time,
+}
+
+/// Resident set size from `/proc/self/statm`, if the platform has it.
+fn rss_bytes() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4096)
+}
+
+/// Check that the window-delta totals match the engine's own counters
+/// exactly — the windows tile the run, so any drift is a bug.
+fn check_window_totals(
+    total: &WindowDelta,
+    stats: &SimStats,
+    base: &SimStats,
+) -> Result<(), String> {
+    let d_hits = stats.total_hits() - base.total_hits();
+    let d_misses = stats.total_misses() - base.total_misses();
+    let d_evictions = stats.total_evictions() - base.total_evictions();
+    if total.hits != d_hits || total.misses() != d_misses || total.evictions != d_evictions {
+        return Err(format!(
+            "window sums (hits {}, misses {}, evictions {}) != engine totals \
+             (hits {d_hits}, misses {d_misses}, evictions {d_evictions})",
+            total.hits,
+            total.misses(),
+            total.evictions
+        ));
+    }
+    let at = |v: &[u64], u: usize| v.get(u).copied().unwrap_or(0);
+    for (u, us) in stats.per_user().iter().enumerate() {
+        let b = base.per_user().get(u).copied().unwrap_or_default();
+        if at(&total.hits_by_user, u) != us.hits - b.hits
+            || at(&total.misses_by_user, u) != us.misses - b.misses
+            || at(&total.evictions_by_user, u) != us.evictions - b.evictions
+        {
+            return Err(format!("per-tenant window sums diverged for tenant {u}"));
+        }
+    }
+    Ok(())
+}
+
+/// Drive a soak run: step the source to exhaustion, close a window every
+/// `opts.window` requests (sampling the dual state via `probe` at each
+/// boundary), stream closed windows to the series sink, checkpoint at
+/// aligned multiples, and verify at the end that the window deltas sum
+/// exactly to the engine's own totals.
+fn run_soak<P, const TIMED: bool>(
+    k: usize,
+    snap: Option<&EngineSnapshot>,
+    policy: P,
+    source: &mut SoakSource,
+    opts: &SoakOpts,
+    probe: &mut dyn FnMut(&P) -> Option<DualPoint>,
+) -> Result<SoakSummary, CliError>
+where
+    P: ReplacementPolicy,
+{
+    let eng = match snap {
+        Some(s) => SteppingEngine::from_snapshot(s, policy)?,
+        None => SteppingEngine::new(k, source.universe().clone(), policy),
+    };
+    let start_t = eng.time();
+    let mut eng = eng.with_recorder(
+        WindowedRecorder::<TIMED>::starting_at(opts.window, start_t).with_ring_capacity(64),
+    );
+    let base = eng.stats().clone();
+
+    // Fast-forward the source to the checkpoint's position so the
+    // resumed stream continues exactly where the interrupted one left
+    // off. The synthetic mixer skips without building requests; the
+    // trace reader has to decode (and discard) the prefix.
+    match source {
+        SoakSource::Mix(m) => m.skip(start_t),
+        SoakSource::Bin(_) => {
+            for i in 0..start_t {
+                let next = {
+                    let ctx = eng.ctx();
+                    source.next_request(&ctx)
+                };
+                if next.is_none() {
+                    return Err(CliError::Usage(format!(
+                        "checkpoint is at t={start_t} but the trace ended after {i} requests \
+                         (is this the right trace?)"
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut sink = if opts.series_path.is_empty() {
+        None
+    } else {
+        let file = File::create(opts.series_path)
+            .map_err(|e| CliError::Io(format!("create {}: {e}", opts.series_path)))?;
+        let mut s = SeriesSink::new(BufWriter::new(file));
+        s.write_header(opts.window, opts.meta);
+        Some(s)
+    };
+
+    let started = Instant::now();
+    let mut last_beat = started;
+    let mut total = WindowDelta::default();
+    let mut windows = 0u64;
+    let mut served = 0u64;
+    loop {
+        let next = {
+            let ctx = eng.ctx();
+            source.next_request(&ctx)
+        };
+        let Some(r) = next else { break };
+        eng.step(r);
+        served += 1;
+        let t = eng.time();
+        if !t.is_multiple_of(opts.window) {
+            continue;
+        }
+        // Window boundary: attach the dual point to the window that is
+        // about to close, roll, and drain it to the sink.
+        if let Some(point) = probe(eng.policy()) {
+            eng.recorder_mut().note_dual(point);
+        }
+        eng.recorder_mut().roll_to(t);
+        for w in eng.recorder_mut().drain_new() {
+            total.merge_from(&w);
+            windows += 1;
+            if let Some(s) = &mut sink {
+                s.write_window(&w);
+            }
+        }
+        if opts.checkpoints_on() && t.is_multiple_of(opts.checkpoint_every) {
+            write_checkpoint(opts.checkpoint_path, &eng.snapshot()?)?;
+        }
+        if opts.heartbeat {
+            let now = Instant::now();
+            if now.duration_since(last_beat).as_secs_f64() >= 1.0 {
+                last_beat = now;
+                let rate = served as f64 / started.elapsed().as_secs_f64();
+                let eta = if opts.target > t && rate > 0.0 {
+                    format!("{:.0}s", (opts.target - t) as f64 / rate)
+                } else {
+                    "-".into()
+                };
+                let rss = rss_bytes()
+                    .map(|b| format!("{} MB", b / (1 << 20)))
+                    .unwrap_or_else(|| "?".into());
+                eprintln!(
+                    "soak: {t}/{} requests · {} req/s · ETA {eta} · RSS {rss}",
+                    opts.target,
+                    fnum(rate)
+                );
+            }
+        }
+    }
+    let end_t = eng.time();
+    if !end_t.is_multiple_of(opts.window) {
+        if let Some(point) = probe(eng.policy()) {
+            eng.recorder_mut().note_dual(point);
+        }
+    }
+    eng.recorder_mut().finalize(end_t);
+    for w in eng.recorder_mut().drain_new() {
+        total.merge_from(&w);
+        windows += 1;
+        if let Some(s) = &mut sink {
+            s.write_window(&w);
+        }
+    }
+    if opts.checkpoints_on() {
+        write_checkpoint(opts.checkpoint_path, &eng.snapshot()?)?;
+    }
+
+    // A trace that failed mid-stream parked its error and ended the
+    // stream early; surface it instead of reporting a short run.
+    if let SoakSource::Bin(r) = source {
+        if let Some(e) = r.error() {
+            return Err(match e {
+                TraceIoError::Io(io) => CliError::Io(format!("reading trace: {io}")),
+                TraceIoError::Parse(m) => CliError::Parse(format!("trace parse error: {m}")),
+            });
+        }
+    }
+    // Sticky sink errors surface here (exit 3) rather than silently
+    // dropping the tail of the series.
+    let series_lines = match sink {
+        None => 0,
+        Some(s) => {
+            let lines = s.lines();
+            s.finish()
+                .map_err(|e| CliError::Io(format!("writing {}: {e}", opts.series_path)))?;
+            lines
+        }
+    };
+
+    let stats = eng.stats().clone();
+    check_window_totals(&total, &stats, &base).map_err(CliError::Other)?;
+    Ok(SoakSummary {
+        stats,
+        base,
+        served,
+        policy: eng.policy().name(),
+        windows,
+        series_lines,
+        elapsed: started.elapsed(),
+        end_t,
+    })
+}
+
+/// `occ soak`
+pub fn soak(args: &Args) -> Result<(), CliError> {
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
+    let len = uarg(args.scaled_or("len", 10_000_000))?;
+    let seed: u64 = uarg(args.num_or("seed", 7u64))?;
+    let window = uarg(args.scaled_or("window", 1_000_000))?;
+    if window == 0 {
+        return Err(CliError::Usage("--window must be positive".into()));
+    }
+    let policy_name = args.str_or("policy", "convex");
+    if policy_name == "belady" || policy_name == "belady-cost" {
+        return Err(CliError::Usage(format!(
+            "policy '{policy_name}' is offline; soak streams its workload \
+             and never materializes a trace"
+        )));
+    }
+    if make_online_policy(&policy_name, &scenario.costs).is_none() {
+        return Err(CliError::Usage(format!("unknown policy '{policy_name}'")));
+    }
+    let series_path = args.str_or("series", "");
+    let timed = match args.str_or("timing", "off").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --timing mode '{other}' (on, off; timed windows carry wall-clock \
+                 latency histograms and are not byte-reproducible)"
+            )))
+        }
+    };
+    let heartbeat = match args.str_or("heartbeat", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --heartbeat mode '{other}' (on, off)"
+            )))
+        }
+    };
+    let checkpoint_path = args.str_or("checkpoint", "");
+    let mut checkpoint_every = uarg(args.scaled_or("checkpoint-every", 0))?;
+    if !checkpoint_path.is_empty() && checkpoint_every == 0 {
+        checkpoint_every = window;
+    }
+    if checkpoint_every > 0 {
+        // Checkpoints land on window boundaries so a resumed series
+        // continues byte-identically (no partial-window state to lose).
+        let rounded = checkpoint_every.div_ceil(window) * window;
+        if rounded != checkpoint_every {
+            eprintln!(
+                "soak: rounding --checkpoint-every {checkpoint_every} up to {rounded} \
+                 (a multiple of --window {window})"
+            );
+        }
+        checkpoint_every = rounded;
+    }
+
+    // Source: the scenario's streaming mixer, or a binary trace.
+    let trace_path = args.str_or("trace", "");
+    let mut source = if trace_path.is_empty() {
+        SoakSource::Mix(scenario.stream(len, seed))
+    } else {
+        let file =
+            File::open(&trace_path).map_err(|e| CliError::Io(format!("open {trace_path}: {e}")))?;
+        let reader = BinaryTraceReader::new(BufReader::new(file)).map_err(|e| {
+            CliError::Parse(format!(
+                "{trace_path}: {e} (soak streams binary traces only; \
+                 write one with `occ generate --format binary`)"
+            ))
+        })?;
+        if reader.universe().num_users() != scenario.costs.num_users() {
+            return Err(CliError::Usage(format!(
+                "trace has {} users but scenario '{}' defines costs for {}",
+                reader.universe().num_users(),
+                scenario.name,
+                scenario.costs.num_users()
+            )));
+        }
+        SoakSource::Bin(Box::new(reader))
+    };
+    let target = match &source {
+        SoakSource::Mix(_) => len,
+        SoakSource::Bin(r) => r.total_requests(),
+    };
+
+    // Resume from a checkpoint written by an earlier soak.
+    let from = args.str_or("from", "");
+    let snap = if from.is_empty() {
+        None
+    } else {
+        let text = std::fs::read_to_string(&from)
+            .map_err(|e| CliError::Io(format!("read {from}: {e}")))?;
+        Some(snapshot_from_json(&text)?)
+    };
+    let k = match &snap {
+        Some(s) => {
+            if source.universe().owners() != s.owners.as_slice() {
+                return Err(CliError::Usage(format!(
+                    "snapshot universe ({} pages / {} users) does not match the stream; \
+                     resume needs the same --scenario/--len/--seed (or --trace)",
+                    s.owners.len(),
+                    s.num_users
+                )));
+            }
+            if !s.time.is_multiple_of(window) {
+                return Err(CliError::Usage(format!(
+                    "checkpoint is at t={} which is mid-window for --window {window}; \
+                     resume with the original window width",
+                    s.time
+                )));
+            }
+            if !(s.faults.is_clean() && s.quarantined.is_empty()) {
+                return Err(CliError::Usage(
+                    "snapshot comes from a degraded run; soak has no fault handling — \
+                     continue it with `occ resume --degrade ...`"
+                        .into(),
+                ));
+            }
+            let k: usize = uarg(args.num_or("k", s.capacity))?;
+            if k != s.capacity {
+                return Err(CliError::Usage(format!(
+                    "--k {k} disagrees with the snapshot's capacity {}",
+                    s.capacity
+                )));
+            }
+            k
+        }
+        None => uarg(args.num_or("k", scenario.suggested_k))?,
+    };
+    let start_t = snap.as_ref().map(|s| s.time).unwrap_or(0);
+
+    let meta = [
+        ("scenario", Json::Str(scenario.name.to_string())),
+        ("policy", Json::Str(policy_name.clone())),
+        ("k", Json::from_u64(k as u64)),
+        ("seed", Json::from_u64(seed)),
+        ("len", Json::from_u64(target)),
+        ("start", Json::from_u64(start_t)),
+    ];
+    let opts = SoakOpts {
+        window,
+        series_path: &series_path,
+        meta: &meta,
+        checkpoint_every,
+        checkpoint_path: &checkpoint_path,
+        heartbeat,
+        target,
+    };
+
+    let summary = if policy_name == "convex" {
+        let alg = ConvexCaching::new(scenario.costs.clone());
+        let mut probe = |p: &ConvexCaching| {
+            Some(DualPoint {
+                dual_offset: p.cumulative_dual_offset(),
+                total_evictions: p.eviction_counts().iter().sum(),
+                primal_cost: p.primal_cost(),
+            })
+        };
+        if timed {
+            run_soak::<_, true>(k, snap.as_ref(), alg, &mut source, &opts, &mut probe)?
+        } else {
+            run_soak::<_, false>(k, snap.as_ref(), alg, &mut source, &opts, &mut probe)?
+        }
+    } else {
+        let policy = make_online_policy(&policy_name, &scenario.costs).expect("validated above");
+        // The probe argument type must match run_soak's `P` exactly, and
+        // here `P` really is the boxed trait object.
+        #[allow(clippy::borrowed_box)]
+        let mut probe = |_: &Box<dyn ReplacementPolicy>| None;
+        if timed {
+            run_soak::<_, true>(k, snap.as_ref(), policy, &mut source, &opts, &mut probe)?
+        } else {
+            run_soak::<_, false>(k, snap.as_ref(), policy, &mut source, &opts, &mut probe)?
+        }
+    };
+
+    if start_t > 0 {
+        eprintln!(
+            "soak: resumed from t={start_t}, served {} more requests",
+            summary.served
+        );
+    }
+    let requests = summary.stats.total_hits() + summary.stats.total_misses();
+    let mut t = Table::new(vec!["metric", "value"]);
+    t.row(vec!["policy".into(), summary.policy.clone()]);
+    t.row(vec!["k".into(), k.to_string()]);
+    t.row(vec!["requests".into(), requests.to_string()]);
+    t.row(vec!["window".into(), window.to_string()]);
+    t.row(vec!["windows".into(), summary.windows.to_string()]);
+    t.row(vec!["hits".into(), summary.stats.total_hits().to_string()]);
+    t.row(vec![
+        "misses".into(),
+        summary.stats.total_misses().to_string(),
+    ]);
+    t.row(vec![
+        "miss_rate".into(),
+        format!(
+            "{:.4}",
+            if requests == 0 {
+                0.0
+            } else {
+                summary.stats.total_misses() as f64 / requests as f64
+            }
+        ),
+    ]);
+    t.row(vec![
+        "evictions".into(),
+        summary.stats.total_evictions().to_string(),
+    ]);
+    t.row(vec![
+        "req/s".into(),
+        fnum(summary.served as f64 / summary.elapsed.as_secs_f64().max(1e-9)),
+    ]);
+    if !series_path.is_empty() {
+        t.row(vec![
+            "series".into(),
+            format!("{series_path} ({} lines)", summary.series_lines),
+        ]);
+    }
+    emit(&t.to_markdown());
+
+    let mut per = Table::new(vec!["tenant", "hits", "misses", "miss%", "evictions"]);
+    for (u, us) in summary.stats.per_user().iter().enumerate() {
+        let reqs = us.hits + us.misses;
+        per.row(vec![
+            u.to_string(),
+            us.hits.to_string(),
+            us.misses.to_string(),
+            format!(
+                "{:.3}",
+                if reqs == 0 {
+                    0.0
+                } else {
+                    us.misses as f64 / reqs as f64
+                }
+            ),
+            us.evictions.to_string(),
+        ]);
+    }
+    emit(&per.to_markdown());
+    eprintln!(
+        "soak: window sums verified against engine totals ({} windows, t={}..{})",
+        summary.windows,
+        summary.base.total_hits() + summary.base.total_misses(),
+        summary.end_t
+    );
+    Ok(())
+}
+
+/// Render a JSONL window series as an aligned table with per-window Δ
+/// markers (`occ report --series`).
+fn report_series(path: &str, format: &str) -> Result<(), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let file = SeriesFile::parse(&text).map_err(CliError::Parse)?;
+    match format {
+        "json" => emit(&file.series().to_json_value().to_json()),
+        "table" => {
+            let any_latency = file.windows.iter().any(|w| w.latency_ns.is_some());
+            let any_dual = file.windows.iter().any(|w| w.dual.is_some());
+            let mut head = vec![
+                "window", "span", "requests", "miss%", "Δ", "evict", "faults",
+            ];
+            if any_latency {
+                head.push("p99(ns)");
+            }
+            if any_dual {
+                head.push("dual Y");
+            }
+            let mut t = Table::new(head);
+            let mut prev: Option<f64> = None;
+            for w in &file.windows {
+                let mr = w.miss_ratio();
+                let delta = match prev {
+                    None => "·".to_string(),
+                    Some(p) if (mr - p).abs() < 5e-4 => "·".to_string(),
+                    Some(p) => format!("{:+.3}", mr - p),
+                };
+                prev = Some(mr);
+                let mut row = vec![
+                    w.index.to_string(),
+                    format!("{}..{}", w.start, w.end),
+                    w.requests().to_string(),
+                    format!("{:.3}", mr),
+                    delta,
+                    (w.evictions + w.flush_evictions).to_string(),
+                    w.faults.total_records().to_string(),
+                ];
+                if any_latency {
+                    row.push(
+                        w.latency_ns
+                            .as_ref()
+                            .map(|h| h.p99().to_string())
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                }
+                if any_dual {
+                    row.push(
+                        w.dual
+                            .as_ref()
+                            .map(|d| fnum(d.dual_offset))
+                            .unwrap_or_else(|| "-".into()),
+                    );
+                }
+                t.row(row);
+            }
+            emit(&t.to_markdown());
+            let total = file.series().total();
+            emit(&format!(
+                "series: {} windows of {} requests · {} requests total · overall miss ratio {:.3}",
+                file.windows.len(),
+                file.width,
+                total.requests(),
+                total.miss_ratio()
+            ));
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format '{other}' (table, json)"
+            )))
+        }
+    }
+    Ok(())
+}
+
 /// `occ report`
 pub fn report(args: &Args) -> Result<(), CliError> {
+    let series_path = args.str_or("series", "");
+    if !series_path.is_empty() {
+        return report_series(&series_path, &args.str_or("format", "table"));
+    }
     let path = uarg(args.str_required("in"))?;
     let text =
         std::fs::read_to_string(&path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
@@ -1099,7 +1733,11 @@ mod tests {
         let dir = std::env::temp_dir().join("occ-cli-report-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("bad.json");
-        std::fs::write(&path, "{\"schema\": 1}").unwrap();
+        std::fs::write(
+            &path,
+            format!("{{\"schema\": {}}}", occ_probe::REPORT_SCHEMA),
+        )
+        .unwrap();
         let err = report(&args(&["report", "--in", path.to_str().unwrap()])).unwrap_err();
         assert!(err.to_string().contains("required key"), "got: {err}");
         assert_eq!(err.exit_code(), 4, "unreadable report is a parse error");

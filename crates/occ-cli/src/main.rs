@@ -9,7 +9,9 @@
 //! occ observe  --scenario two-tier --policy convex --k 24 --out report.json
 //!              --checkpoint ckpt.json --checkpoint-every 10000
 //! occ resume   --from ckpt.json --scenario two-tier
+//! occ soak     --scenario sqlvm-like --len 100M --window 1M --series s.jsonl
 //! occ report   --in report.json
+//! occ report   --series s.jsonl
 //! occ fleet    --scenario sqlvm-like --shards 8 --len 200000 --policy lru
 //! occ conformance --grid smoke --out verdicts.json
 //! occ scenarios
@@ -46,6 +48,7 @@ fn main() {
         Some("mrc") => commands::mrc(&args),
         Some("observe") => commands::observe(&args),
         Some("resume") => commands::resume(&args),
+        Some("soak") => commands::soak(&args),
         Some("report") => commands::report(&args),
         Some("fleet") => commands::fleet(&args),
         Some("conformance") => commands::conformance(&args),

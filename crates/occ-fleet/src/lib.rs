@@ -31,7 +31,7 @@
 //! statically dispatched callbacks, and (with recording off) no
 //! recorder merge.
 
-use occ_probe::MetricsRecorder;
+use occ_probe::{MetricsRecorder, WindowSeries, WindowedRecorder};
 use occ_sim::probe::Recorder;
 use occ_sim::{ReplacementPolicy, RequestSource, SimStats, SteppingEngine, DEFAULT_BATCH_SIZE};
 use std::time::{Duration, Instant};
@@ -62,6 +62,11 @@ pub struct FleetConfig {
     /// thread with no spawn at all — oversubscribing cores buys nothing
     /// but context switches, so the default matches the hardware.
     pub max_workers: Option<usize>,
+    /// Attach a tumbling-window [`WindowedRecorder`] of this width to
+    /// every shard (requires [`FleetConfig::record`]), populating
+    /// [`ShardReport::series`] and [`FleetReport::merged_series`]. The
+    /// shard windows are untimed, so the series is deterministic.
+    pub window: Option<u64>,
 }
 
 impl FleetConfig {
@@ -73,6 +78,7 @@ impl FleetConfig {
             flush_at_end: false,
             record: true,
             max_workers: None,
+            window: None,
         }
     }
 
@@ -104,6 +110,9 @@ pub struct ShardReport {
     /// The shard's recorder ([`FleetConfig::record`]); empty when
     /// recording was off.
     pub recorder: MetricsRecorder,
+    /// This shard's tumbling-window series ([`FleetConfig::window`]);
+    /// `None` when windowing was off.
+    pub series: Option<WindowSeries>,
 }
 
 impl ShardReport {
@@ -124,6 +133,10 @@ pub struct FleetReport {
     /// All shard recorders folded into one (empty when recording was
     /// off), merged in shard order.
     pub merged: MetricsRecorder,
+    /// All shard window series merged in shard order
+    /// ([`FleetConfig::window`]): window `i` of the merge is the sum of
+    /// every shard's window `i`. `None` when windowing was off.
+    pub merged_series: Option<WindowSeries>,
     /// Requests served across every shard.
     pub total_requests: u64,
     /// Wall-clock time for the whole fleet (parallel, so typically far
@@ -175,7 +188,7 @@ impl FleetReport {
                 ])
             })
             .collect();
-        Json::Obj(vec![
+        let mut fields = vec![
             ("schema".into(), Json::from_u64(FLEET_SCHEMA)),
             ("kind".into(), Json::Str("fleet-report".into())),
             ("shards".into(), Json::Arr(shards)),
@@ -186,7 +199,11 @@ impl FleetReport {
                 "aggregate_requests_per_sec".into(),
                 Json::Num(self.aggregate_requests_per_sec()),
             ),
-        ])
+        ];
+        if let Some(series) = &self.merged_series {
+            fields.push(("series".into(), series.to_json_value()));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -246,26 +263,55 @@ fn run_shard<S: RequestSource, P: ReplacementPolicy>(
 ) -> ShardReport {
     let universe = source.universe().clone();
     let start = Instant::now();
-    if cfg.record {
-        let mut engine = SteppingEngine::new(cfg.capacity, universe, policy)
-            .with_recorder(MetricsRecorder::new());
-        let served = drive(&mut engine, &mut source, cfg);
-        ShardReport {
-            shard,
-            stats: engine.stats().clone(),
-            served,
-            elapsed: start.elapsed(),
-            recorder: engine.recorder().clone(),
+    match (cfg.record, cfg.window) {
+        (true, Some(width)) => {
+            // Pair recorder: exact whole-run counters plus untimed
+            // tumbling windows. Latency goes to the `MetricsRecorder`
+            // half only, so the window series stays deterministic. The
+            // ring bound is lifted because the report needs every
+            // window — callers size `width` to keep `len / width` sane.
+            let windows = WindowedRecorder::<false>::new(width).with_ring_capacity(usize::MAX);
+            let mut engine = SteppingEngine::new(cfg.capacity, universe, policy)
+                .with_recorder((MetricsRecorder::new(), windows));
+            let served = drive(&mut engine, &mut source, cfg);
+            let stats = engine.stats().clone();
+            let elapsed = start.elapsed();
+            let end = engine.time();
+            let (recorder, mut windows) = engine.into_recorder();
+            windows.finalize(end);
+            ShardReport {
+                shard,
+                stats,
+                served,
+                elapsed,
+                recorder,
+                series: Some(windows.into_series()),
+            }
         }
-    } else {
-        let mut engine = SteppingEngine::new(cfg.capacity, universe, policy);
-        let served = drive(&mut engine, &mut source, cfg);
-        ShardReport {
-            shard,
-            stats: engine.stats().clone(),
-            served,
-            elapsed: start.elapsed(),
-            recorder: MetricsRecorder::new(),
+        (true, None) => {
+            let mut engine = SteppingEngine::new(cfg.capacity, universe, policy)
+                .with_recorder(MetricsRecorder::new());
+            let served = drive(&mut engine, &mut source, cfg);
+            ShardReport {
+                shard,
+                stats: engine.stats().clone(),
+                served,
+                elapsed: start.elapsed(),
+                recorder: engine.recorder().clone(),
+                series: None,
+            }
+        }
+        (false, _) => {
+            let mut engine = SteppingEngine::new(cfg.capacity, universe, policy);
+            let served = drive(&mut engine, &mut source, cfg);
+            ShardReport {
+                shard,
+                stats: engine.stats().clone(),
+                served,
+                elapsed: start.elapsed(),
+                recorder: MetricsRecorder::new(),
+                series: None,
+            }
         }
     }
 }
@@ -363,10 +409,24 @@ where
             merged.merge(&s.recorder);
         }
     }
+    let merged_series = cfg.window.filter(|_| cfg.record).map(|width| {
+        let mut folded = WindowSeries {
+            width,
+            dropped: 0,
+            windows: Vec::new(),
+        };
+        for s in &shards {
+            if let Some(series) = &s.series {
+                folded.merge(series);
+            }
+        }
+        folded
+    });
     let total_requests = shards.iter().map(|s| s.served).sum();
     FleetReport {
         shards,
         merged,
+        merged_series,
         total_requests,
         wall,
     }
@@ -495,6 +555,55 @@ mod tests {
             }
             assert_eq!(capped.merged.requests(), sequential.merged.requests());
         }
+    }
+
+    #[test]
+    fn windowed_fleet_merges_shard_series_and_sums_to_totals() {
+        let scenario = sqlvm_like();
+        let mut cfg = FleetConfig::new(scenario.suggested_k);
+        cfg.window = Some(500);
+        let report = run_fleet(
+            (0..3).map(|i| scenario.stream(2_000, 60 + i)).collect(),
+            &cfg,
+            lru_factory,
+        );
+
+        let merged = report.merged_series.as_ref().expect("windowing was on");
+        assert_eq!(merged.width, 500);
+        assert_eq!(merged.windows.len(), 4, "2000 requests / 500 per window");
+        for (i, shard) in report.shards.iter().enumerate() {
+            let series = shard.series.as_ref().expect("per-shard series");
+            assert_eq!(series.windows.len(), 4);
+            let total = series.total();
+            assert_eq!(total.hits, shard.stats.total_hits(), "shard {i}");
+            assert_eq!(total.misses(), shard.stats.total_misses(), "shard {i}");
+        }
+        // Window i of the merge is the sum of every shard's window i.
+        for (i, w) in merged.windows.iter().enumerate() {
+            let hits: u64 = report
+                .shards
+                .iter()
+                .map(|s| s.series.as_ref().unwrap().windows[i].hits)
+                .sum();
+            assert_eq!(w.hits, hits, "window {i}");
+        }
+        // And the merged series sums to the merged recorder's totals.
+        let total = merged.total();
+        assert_eq!(total.requests(), report.merged.requests());
+        assert_eq!(total.hits, report.merged.hits());
+
+        // The JSON report gains a `series` key only when windowing is on.
+        let v = report.to_json_value();
+        let series = v.get("series").expect("series in JSON");
+        assert_eq!(series.get("width").and_then(Json::as_u64), Some(500));
+        cfg.window = None;
+        let plain = run_fleet(
+            (0..2).map(|i| scenario.stream(500, i)).collect(),
+            &cfg,
+            lru_factory,
+        );
+        assert!(plain.merged_series.is_none());
+        assert!(plain.to_json_value().get("series").is_none());
     }
 
     #[test]

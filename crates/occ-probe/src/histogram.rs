@@ -202,12 +202,15 @@ impl LogHistogram {
         // `min`/`max`/`sum` range over the full u64/u128 domain, beyond
         // f64's exact-integer range, so they are encoded as decimal
         // strings; `count` and bucket counts are sample counts, which
-        // stay comfortably below 2^53.
+        // stay comfortably below 2^53. `mean` is derived (sum / count)
+        // and emitted so windows are plottable without quantile
+        // reconstruction; the read side ignores it.
         Json::Obj(vec![
             ("count".into(), Json::from_u64(self.count)),
             ("sum".into(), Json::Str(self.sum.to_string())),
             ("min".into(), Json::Str(self.min().to_string())),
             ("max".into(), Json::Str(self.max.to_string())),
+            ("mean".into(), Json::Num(self.mean())),
             ("buckets".into(), Json::Arr(buckets)),
         ])
     }
@@ -353,6 +356,15 @@ mod tests {
         let text = h.to_json();
         let back = LogHistogram::from_json(&text).unwrap();
         assert_eq!(back, h);
+        // The four plottable summary fields ride along in the JSON.
+        let v = Json::parse(&text).unwrap();
+        assert_eq!(v.get("count").and_then(Json::as_u64), Some(h.count()));
+        assert_eq!(v.get("min").and_then(Json::as_str), Some("0"));
+        assert_eq!(
+            v.get("max").and_then(Json::as_str),
+            Some(h.max().to_string().as_str())
+        );
+        assert_eq!(v.get("mean").and_then(Json::as_f64), Some(h.mean()));
         // Empty histogram round-trips too.
         let empty = LogHistogram::new();
         assert_eq!(LogHistogram::from_json(&empty.to_json()).unwrap(), empty);

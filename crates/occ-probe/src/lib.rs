@@ -13,6 +13,8 @@
 //! * [`DualTrace`] / [`DualSample`] — the paper algorithm's dual offset
 //!   `Y`, eviction counts `m(i,t)`, and primal objective `Σ f_i(m_i)`
 //!   over time;
+//! * [`timeseries`] — tumbling-window deltas ([`WindowedRecorder`],
+//!   [`SeriesSink`]) behind `occ soak`'s streaming JSONL series;
 //! * [`ObserveReport`] — the JSON/table report `occ observe` emits and
 //!   `occ report` renders;
 //! * [`checkpoint`] — the lossless on-disk JSON form of
@@ -36,6 +38,7 @@ pub mod json;
 pub mod recorder;
 pub mod report;
 pub mod sink;
+pub mod timeseries;
 
 pub use checkpoint::{snapshot_from_json, snapshot_to_json};
 pub use dual::{DualSample, DualTrace};
@@ -44,6 +47,9 @@ pub use json::{check_schema_stamp, Json};
 pub use recorder::MetricsRecorder;
 pub use report::{ObserveReport, REPORT_SCHEMA, REQUIRED_KEYS};
 pub use sink::JsonlSink;
+pub use timeseries::{
+    DualPoint, SeriesFile, SeriesSink, WindowDelta, WindowSeries, WindowedRecorder, SERIES_SCHEMA,
+};
 
 // Re-export the contract so downstream users need only this crate.
 pub use occ_sim::probe::{NoopRecorder, Recorder};

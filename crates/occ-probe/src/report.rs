@@ -12,7 +12,11 @@ use crate::json::Json;
 use occ_analysis::{fnum, Table};
 
 /// Report schema version (bump when keys change shape).
-pub const REPORT_SCHEMA: u64 = 1;
+///
+/// 2: embedded `latency_ns` histograms gained a derived `mean` field
+/// (alongside `count`/`min`/`max`) so series windows are plottable
+/// without quantile reconstruction.
+pub const REPORT_SCHEMA: u64 = 2;
 
 /// Keys every report must carry at the top level.
 pub const REQUIRED_KEYS: &[&str] = &[

@@ -53,6 +53,17 @@ impl PatternSource {
         self.universe.num_pages() as usize * std::mem::size_of::<occ_sim::UserId>()
             + self.gen.state_bytes()
     }
+
+    /// Draw and discard the next `n` requests, advancing the RNG state
+    /// exactly as `n` calls to `next_request` would. `occ soak` uses
+    /// this to fast-forward a source to a checkpoint's position so the
+    /// resumed stream continues byte-identically.
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n.min(self.remaining) {
+            self.remaining -= 1;
+            self.gen.next_page();
+        }
+    }
 }
 
 impl RequestSource for PatternSource {
@@ -140,6 +151,28 @@ impl TenantMixSource {
             + self.cum.len() * 8
             + self.gens.iter().map(|g| g.state_bytes()).sum::<usize>()
     }
+
+    /// Draw and discard the next `n` requests, advancing the mixer RNG
+    /// and the chosen tenants' generators exactly as `n` calls to
+    /// `next_request` would. `occ soak` uses this to fast-forward a
+    /// source to a checkpoint's position so the resumed stream
+    /// continues byte-identically.
+    pub fn skip(&mut self, n: u64) {
+        for _ in 0..n.min(self.remaining) {
+            self.remaining -= 1;
+            self.draw();
+        }
+    }
+
+    /// One mixed draw: pick a tenant by arrival weight, then its next
+    /// page. Shared by `next_request` and `skip` so the two advance the
+    /// RNG state identically.
+    fn draw(&mut self) -> PageId {
+        let u: f64 = self.rng.gen();
+        let tenant = self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1);
+        let local = self.gens[tenant].next_page();
+        PageId(self.offsets[tenant] + local)
+    }
 }
 
 impl RequestSource for TenantMixSource {
@@ -152,10 +185,8 @@ impl RequestSource for TenantMixSource {
             return None;
         }
         self.remaining -= 1;
-        let u: f64 = self.rng.gen();
-        let tenant = self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1);
-        let local = self.gens[tenant].next_page();
-        Some(self.universe.request(PageId(self.offsets[tenant] + local)))
+        let page = self.draw();
+        Some(self.universe.request(page))
     }
 }
 
@@ -219,6 +250,32 @@ mod tests {
         let short = PatternSource::new(AccessPattern::ZipfAliased { s: 1.0 }, 128, 10, 1);
         let long = PatternSource::new(AccessPattern::ZipfAliased { s: 1.0 }, 128, u64::MAX, 1);
         assert_eq!(short.state_bytes(), long.state_bytes());
+    }
+
+    #[test]
+    fn skip_matches_draw_and_discard() {
+        let specs = vec![
+            TenantSpec::new(16, 2.0, AccessPattern::Zipf { s: 1.0 }),
+            TenantSpec::new(8, 1.0, AccessPattern::Uniform),
+        ];
+        let mut whole = TenantMixSource::new(&specs, 1000, 42);
+        let full = drain(&mut whole);
+
+        let mut skipped = TenantMixSource::new(&specs, 1000, 42);
+        skipped.skip(400);
+        assert_eq!(skipped.remaining(), 600);
+        assert_eq!(drain(&mut skipped), full[400..]);
+
+        // Skipping past the end just runs the source dry.
+        let mut over = TenantMixSource::new(&specs, 100, 42);
+        over.skip(1_000_000);
+        assert_eq!(over.remaining(), 0);
+
+        let mut p_whole = PatternSource::new(AccessPattern::Zipf { s: 0.9 }, 32, 500, 7);
+        let p_full = drain(&mut p_whole);
+        let mut p_skip = PatternSource::new(AccessPattern::Zipf { s: 0.9 }, 32, 500, 7);
+        p_skip.skip(123);
+        assert_eq!(drain(&mut p_skip), p_full[123..]);
     }
 
     #[test]
