@@ -193,7 +193,17 @@ fn load_committed(path: &Path) -> Vec<CommittedCell> {
     let Ok(text) = std::fs::read_to_string(path) else {
         return Vec::new();
     };
-    let Ok(doc) = Json::parse(&text) else {
+    // Newer baselines are sealed with a `#crc32:` trailer; older
+    // trailer-less ones are still accepted, but a checksum mismatch
+    // means a torn write and the file cannot be trusted.
+    let body = match occ_probe::verify_trailer(&text) {
+        Ok((body, _had_trailer)) => body,
+        Err(e) => {
+            eprintln!("warning: committed baseline corrupt ({e}); skipping delta report");
+            return Vec::new();
+        }
+    };
+    let Ok(doc) = Json::parse(body) else {
         eprintln!("warning: committed baseline does not parse; skipping delta report");
         return Vec::new();
     };
@@ -751,7 +761,7 @@ fn main() {
         "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 3,\n  \"entries\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );
-    std::fs::write(&out, json).expect("write BENCH_throughput.json");
+    occ_probe::write_atomic_with_trailer(&out, &json).expect("write BENCH_throughput.json");
     println!("\nwrote {}", out.display());
     if regressions > 0 {
         eprintln!(

@@ -97,6 +97,11 @@ pub fn parse_scaled(text: &str) -> Result<u64, String> {
     if digits.is_empty() {
         return Err("expected digits before the suffix".into());
     }
+    // `u64::from_str` tolerates a leading `+`; sizes are bare digits
+    // only, so `+5M`, `-5`, and embedded whitespace all fail here.
+    if !digits.bytes().all(|b| b.is_ascii_digit()) {
+        return Err(format!("invalid digit string '{digits}' (digits only)"));
+    }
     let base: u64 = digits
         .parse()
         .map_err(|e| format!("invalid digit string '{digits}': {e}"))?;
@@ -162,6 +167,27 @@ mod tests {
         assert!(parse_scaled("5x").is_err());
         assert!(parse_scaled("1.5M").is_err());
         assert!(parse_scaled("99999999999999999999B").is_err());
+    }
+
+    #[test]
+    fn scaled_boundaries_and_garbage() {
+        // Exact u64::MAX is representable; one past it is not.
+        assert_eq!(parse_scaled("18446744073709551615").unwrap(), u64::MAX);
+        assert!(parse_scaled("18446744073709551616").is_err());
+        // Largest value whose k-scaling still fits, and the first that
+        // does not — `checked_mul` must catch the latter, not wrap.
+        assert_eq!(
+            parse_scaled("18446744073709551k").unwrap(),
+            18_446_744_073_709_551_000
+        );
+        assert!(parse_scaled("18446744073709552k").is_err());
+        // 20e9 * 1e9 overflows: the motivating `--len 20000000000B` case.
+        assert!(parse_scaled("20000000000B").is_err());
+        // Signs, inner whitespace, and hex are not sizes.
+        assert!(parse_scaled("+5M").is_err());
+        assert!(parse_scaled("-5").is_err());
+        assert!(parse_scaled("5 M").is_err());
+        assert!(parse_scaled("0x10").is_err());
 
         let a = parse(&["soak", "--len", "10M"]).unwrap();
         assert_eq!(a.scaled_or("len", 0).unwrap(), 10_000_000);

@@ -1,15 +1,19 @@
 //! Subcommand implementations for the `occ` binary.
 
-use crate::args::Args;
+use crate::args::{parse_scaled, Args};
 use crate::errors::CliError;
 use occ_analysis::{compare_policies, evaluate_policy, fnum, lru_cost_curve, lru_mrc, Table};
 use occ_baselines::{CostGreedy, Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict};
 use occ_core::{ConvexCaching, CostProfile};
-use occ_fleet::{run_fleet, FleetConfig};
+use occ_fleet::{
+    run_fleet, run_supervised_fleet, BackoffPolicy, DirPersist, FleetConfig, NoPersist, ShardKill,
+    ShardPersist, StoreFault, SupervisorConfig,
+};
 use occ_offline::{Belady, CostAwareBelady};
 use occ_probe::{
-    snapshot_from_json, snapshot_to_json, DualPoint, DualTrace, Json, JsonlSink, MetricsRecorder,
-    ObserveReport, SeriesFile, SeriesSink, WindowDelta, WindowedRecorder,
+    require_trailer, snapshot_from_json, snapshot_to_json, write_atomic, write_atomic_with_trailer,
+    CrcWriter, DualPoint, DualTrace, Json, JsonlSink, MetricsRecorder, ObserveReport, SeriesFile,
+    SeriesSink, WindowDelta, WindowedRecorder,
 };
 use occ_sim::{
     read_trace_auto, write_trace, write_trace_binary, BinaryTraceReader, EngineSnapshot,
@@ -19,6 +23,7 @@ use occ_sim::{
 use occ_workloads::{all_scenarios, FaultPlan, Scenario, TenantMixSource};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::path::Path;
 use std::time::Instant;
 
 /// Top-level usage text.
@@ -67,7 +72,10 @@ USAGE:
                carries engine state, not the workload stream).
                --timing on adds wall-clock latency histograms per window
                (not byte-reproducible). A stderr heartbeat reports req/s,
-               ETA and RSS about once a second.
+               ETA and RSS about once a second. Checkpoints and finished
+               series files are written atomically and sealed with a
+               #crc32 trailer; a killed run leaves the series at FILE.tmp
+               and resuming from a corrupt checkpoint exits 4.
   occ report   --in FILE [--format table|json]
                validate and render an `occ observe` report
   occ report   --series FILE [--format table|json]
@@ -76,6 +84,9 @@ USAGE:
   occ fleet    --scenario NAME [--shards F] [--len N] [--seed S]
                [--policy NAME] [--k K] [--batch B] [--window W]
                [--format table|json] [--out FILE]
+               [--supervise on|off|auto] [--max-restarts N] [--backoff-ms MS]
+               [--checkpoint-dir DIR] [--from-dir DIR] [--series-out FILE]
+               [--chaos-shard-kill S@T,..] [--chaos-store-fail S@N,..]
                run F independent cache shards of the scenario in
                parallel (one worker thread each, seeds derived per
                shard), streaming requests in O(1) memory, and merge the
@@ -84,6 +95,22 @@ USAGE:
                and merges them in shard order. Offline policies
                (belady*) are rejected: the fleet never materializes a
                trace.
+               Supervision (implied by any of the flags below; requires
+               --window, ignores --batch): shards run under panic
+               isolation, checkpoint on window boundaries, and are
+               restarted from their last checkpoint with seeded
+               exponential backoff (--backoff-ms 0 = no sleeping); a
+               shard that fails more than --max-restarts times is
+               quarantined and the run exits 7 with a degraded report.
+               --checkpoint-dir persists per-shard checkpoints + series
+               (shard-NNNN.ckpt.json / .series.jsonl); --from-dir
+               resumes a killed fleet from such a directory (corrupt
+               checkpoints exit 4). --series-out writes the merged
+               window series (atomic rename + CRC trailer) — recovered
+               runs produce it byte-identical to uninterrupted ones.
+               --chaos-shard-kill panics shard S at request T;
+               --chaos-store-fail fails shard S's Nth checkpoint save
+               (both seeded, deterministic, counts accept k/M/B).
   occ conformance [--grid smoke|full] [--seed S] [--weaken W]
                [--shrink on|off] [--out FILE] [--format table|json]
                machine-check the paper's bounds (Theorems 1.1/1.3/1.4,
@@ -98,6 +125,7 @@ USAGE:
 EXIT CODES:
   0 ok · 1 error · 2 usage · 3 i/o · 4 unparseable file · 5 simulation fault
   6 conformance FAIL (a checked bound was violated)
+  7 degraded (a supervised fleet quarantined a shard; report still written)
 
 POLICIES:
   convex (the paper's algorithm), lru, fifo, lfu, marking, lru2, random,
@@ -200,16 +228,21 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
     let out = uarg(args.str_required("out"))?;
     let format = args.str_or("format", "text");
     let trace = scenario.trace(len, seed);
-    let file = File::create(&out).map_err(|e| CliError::Io(format!("create {out}: {e}")))?;
+    // Render in memory, then land on disk atomically: a crash or full
+    // disk mid-generate leaves the old trace (or nothing), never a
+    // half-written one. Binary traces additionally carry the occbin01
+    // checksum footer the writer appends.
+    let mut buf = Vec::new();
     match format.as_str() {
-        "text" => write_trace(&trace, BufWriter::new(file))?,
-        "binary" => write_trace_binary(&trace, BufWriter::new(file))?,
+        "text" => write_trace(&trace, &mut buf)?,
+        "binary" => write_trace_binary(&trace, &mut buf)?,
         other => {
             return Err(CliError::Usage(format!(
                 "unknown trace format '{other}' (expected text or binary)"
             )))
         }
     }
+    write_atomic(Path::new(&out), &buf).map_err(|e| CliError::Io(format!("write {out}: {e}")))?;
     println!(
         "wrote {} requests over {} pages / {} users to {out} ({format})",
         trace.len(),
@@ -326,7 +359,7 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
     if shards == 0 {
         return Err(CliError::Usage("a fleet needs at least one shard".into()));
     }
-    let len: u64 = uarg(args.num_or("len", 60_000u64))?;
+    let len: u64 = uarg(args.scaled_or("len", 60_000))?;
     let seed: u64 = uarg(args.num_or("seed", 7u64))?;
     let k: usize = uarg(args.num_or("k", scenario.suggested_k))?;
     let batch: usize = uarg(args.num_or("batch", occ_sim::DEFAULT_BATCH_SIZE))?;
@@ -346,37 +379,215 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
 
     let window = uarg(args.scaled_or("window", 0))?;
 
-    let mut cfg = FleetConfig::new(k);
-    cfg.batch_size = batch;
-    if window > 0 {
-        cfg.window = Some(window);
+    // Supervision flags. Any of them implies the supervised engine
+    // (per-shard panic isolation + checkpoint/restart); `--supervise on`
+    // forces it for a plain run too, e.g. to get the supervisor section
+    // in the report.
+    let kills: Vec<ShardKill> = parse_chaos_plan(
+        &args.str_or("chaos-shard-kill", ""),
+        shards,
+        "chaos-shard-kill",
+    )?
+    .into_iter()
+    .map(|(shard, at)| ShardKill { shard, at })
+    .collect();
+    let store_faults: Vec<StoreFault> = parse_chaos_plan(
+        &args.str_or("chaos-store-fail", ""),
+        shards,
+        "chaos-store-fail",
+    )?
+    .into_iter()
+    .map(|(shard, nth)| StoreFault { shard, nth })
+    .collect();
+    if let Some(f) = store_faults.iter().find(|f| f.nth == 0) {
+        return Err(CliError::Usage(format!(
+            "--chaos-store-fail counts checkpoint saves from 1; '{}@0' never fires",
+            f.shard
+        )));
     }
-    // Each shard is its own server: same scenario, decorrelated seed.
-    let sources: Vec<_> = (0..shards)
-        .map(|i| scenario.stream(len, seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
-        .collect();
+    let max_restarts: u32 = uarg(args.num_or("max-restarts", 3u32))?;
+    let backoff_ms: u64 = uarg(args.num_or("backoff-ms", 0u64))?;
+    let ckpt_dir = args.str_or("checkpoint-dir", "");
+    let from_dir = args.str_or("from-dir", "");
+    let series_out = args.str_or("series-out", "");
+    let wants_supervision = !kills.is_empty()
+        || !store_faults.is_empty()
+        || !ckpt_dir.is_empty()
+        || !from_dir.is_empty()
+        || !series_out.is_empty();
+    let supervised = match args.str_or("supervise", "auto").as_str() {
+        "on" => true,
+        "off" if wants_supervision => {
+            return Err(CliError::Usage(
+                "--supervise off conflicts with the chaos/checkpoint/series flags, \
+                 which all need the supervisor"
+                    .into(),
+            ))
+        }
+        "off" => false,
+        "auto" => wants_supervision,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --supervise mode '{other}' (on, off, auto)"
+            )))
+        }
+    };
+    if supervised && window == 0 {
+        return Err(CliError::Usage(
+            "supervised fleet runs checkpoint on window boundaries; pass --window W".into(),
+        ));
+    }
+
     let costs = &scenario.costs;
-    let report = run_fleet(sources, &cfg, |_| {
-        make_online_policy(&policy_name, costs).expect("validated above")
-    });
+    let shard_seed = |i: usize| seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let report = if supervised {
+        let mut scfg = SupervisorConfig::new(k, window);
+        scfg.max_restarts = max_restarts;
+        scfg.backoff = if backoff_ms == 0 {
+            BackoffPolicy::none()
+        } else {
+            BackoffPolicy::exponential(backoff_ms, seed)
+        };
+        scfg.kills = kills;
+        scfg.store_faults = store_faults;
+
+        // Per-shard resume snapshots from an earlier (killed) run's
+        // checkpoint directory. A missing file means that shard never
+        // reached its first checkpoint: it starts fresh. A corrupt one
+        // is exit 4, before any thread spawns.
+        let mut resume_index = vec![0u64; shards];
+        if !from_dir.is_empty() {
+            let probe = scenario.stream(len, seed);
+            let mut resume = Vec::with_capacity(shards);
+            for (i, slot) in resume_index.iter_mut().enumerate() {
+                let path = DirPersist::ckpt_path(Path::new(&from_dir), i);
+                if !path.exists() {
+                    resume.push(None);
+                    continue;
+                }
+                let snap = read_checkpoint(&path)?;
+                if probe.universe().owners() != snap.owners.as_slice() {
+                    return Err(CliError::Usage(format!(
+                        "shard {i} checkpoint universe does not match scenario '{}'; \
+                         resume with the original --scenario/--len/--seed",
+                        scenario.name
+                    )));
+                }
+                if snap.capacity != k {
+                    return Err(CliError::Usage(format!(
+                        "--k {k} disagrees with shard {i}'s checkpoint capacity {}",
+                        snap.capacity
+                    )));
+                }
+                if !snap.time.is_multiple_of(window) {
+                    return Err(CliError::Usage(format!(
+                        "shard {i} checkpoint is at t={} which is mid-window for \
+                         --window {window}; resume with the original window width",
+                        snap.time
+                    )));
+                }
+                *slot = snap.time / window;
+                resume.push(Some(snap));
+            }
+            scfg.resume = resume;
+        }
+
+        let meta = [
+            ("scenario", Json::Str(scenario.name.to_string())),
+            ("policy", Json::Str(policy_name.clone())),
+            ("k", Json::from_u64(k as u64)),
+            ("seed", Json::from_u64(seed)),
+            ("len", Json::from_u64(len)),
+        ];
+        // Open every shard's persist files up front so filesystem
+        // problems are classified errors here, not worker panics.
+        let mut persists: Vec<Option<Box<dyn ShardPersist>>> = Vec::with_capacity(shards);
+        for (i, &idx) in resume_index.iter().enumerate() {
+            persists.push(Some(if ckpt_dir.is_empty() {
+                Box::new(NoPersist)
+            } else {
+                Box::new(
+                    DirPersist::open(Path::new(&ckpt_dir), i, window, idx, &meta).map_err(|e| {
+                        CliError::Io(format!("open checkpoint dir {ckpt_dir} for shard {i}: {e}"))
+                    })?,
+                )
+            }));
+        }
+        let persists = std::sync::Mutex::new(persists);
+        let report = run_supervised_fleet(
+            shards,
+            &scfg,
+            |i| scenario.stream(len, shard_seed(i)),
+            |_| make_online_policy(&policy_name, costs).expect("validated above"),
+            |i| {
+                persists.lock().expect("persist handoff")[i]
+                    .take()
+                    .expect("one persist per shard")
+            },
+        );
+
+        if !series_out.is_empty() {
+            let series = report
+                .merged_series
+                .as_ref()
+                .expect("supervised runs always carry a window series");
+            let mut buf = Vec::new();
+            {
+                let mut s = SeriesSink::new(&mut buf);
+                s.write_header(window, &meta);
+                for w in &series.windows {
+                    s.write_window(w);
+                }
+                s.finish()
+                    .map_err(|e| CliError::Io(format!("render series: {e}")))?;
+            }
+            let text = String::from_utf8(buf).expect("JSONL is UTF-8");
+            write_atomic_with_trailer(Path::new(&series_out), &text)
+                .map_err(|e| CliError::Io(format!("write {series_out}: {e}")))?;
+        }
+        report
+    } else {
+        let mut cfg = FleetConfig::new(k);
+        cfg.batch_size = batch;
+        if window > 0 {
+            cfg.window = Some(window);
+        }
+        // Each shard is its own server: same scenario, decorrelated seed.
+        let sources: Vec<_> = (0..shards)
+            .map(|i| scenario.stream(len, shard_seed(i)))
+            .collect();
+        run_fleet(sources, &cfg, |_| {
+            make_online_policy(&policy_name, costs).expect("validated above")
+        })
+    };
 
     let json = report.to_json_value();
     if let Some(out) = Some(args.str_or("out", "")).filter(|p| !p.is_empty()) {
-        std::fs::write(&out, json.to_json() + "\n")
+        write_atomic(Path::new(&out), (json.to_json() + "\n").as_bytes())
             .map_err(|e| CliError::Io(format!("write {out}: {e}")))?;
     }
     match args.str_or("format", "table").as_str() {
         "json" => emit(&json.to_json()),
         "table" => {
-            let mut t = Table::new(vec!["shard", "requests", "hits", "misses", "req/s"]);
+            let mut head = vec!["shard", "requests", "hits", "misses", "req/s"];
+            if report.supervisor.is_some() {
+                head.extend(["state", "restarts"]);
+            }
+            let mut t = Table::new(head);
             for s in &report.shards {
-                t.row(vec![
+                let mut row = vec![
                     s.shard.to_string(),
                     s.served.to_string(),
                     s.stats.total_hits().to_string(),
                     s.stats.total_misses().to_string(),
                     fnum(s.requests_per_sec()),
-                ]);
+                ];
+                if let Some(sup) = &report.supervisor {
+                    let st = &sup.shards[s.shard];
+                    row.push(st.state.as_str().to_string());
+                    row.push(st.restarts.to_string());
+                }
+                t.row(row);
             }
             emit(&t.to_markdown());
             emit(&format!(
@@ -396,6 +607,13 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
                     total.miss_ratio()
                 ));
             }
+            if let Some(sup) = &report.supervisor {
+                emit(&format!(
+                    "supervisor: {} restarts absorbed, {} of {shards} shards quarantined",
+                    sup.total_restarts(),
+                    sup.quarantined().len()
+                ));
+            }
         }
         other => {
             return Err(CliError::Usage(format!(
@@ -403,7 +621,42 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
             )))
         }
     }
+    if let Some(sup) = &report.supervisor {
+        if sup.is_degraded() {
+            // The report (and any --out/--series-out files) has already
+            // been emitted: the run is usable but incomplete.
+            return Err(CliError::Degraded(format!(
+                "{} of {shards} shards quarantined after exhausting --max-restarts \
+                 {max_restarts}; see the report's degraded section",
+                sup.quarantined().len()
+            )));
+        }
+    }
     Ok(())
+}
+
+/// Parse a seeded chaos plan like `"1@250k,2@1M"` into `(shard, n)`
+/// pairs, validating the shard indices against the fleet size.
+fn parse_chaos_plan(text: &str, shards: usize, flag: &str) -> Result<Vec<(usize, u64)>, CliError> {
+    let mut out = Vec::new();
+    for item in text.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let (shard, n) = item.split_once('@').ok_or_else(|| {
+            CliError::Usage(format!("bad --{flag} entry '{item}' (want SHARD@N)"))
+        })?;
+        let shard: usize = shard
+            .trim()
+            .parse()
+            .map_err(|e| CliError::Usage(format!("bad shard in --{flag} entry '{item}': {e}")))?;
+        if shard >= shards {
+            return Err(CliError::Usage(format!(
+                "--{flag} targets shard {shard} but the fleet has {shards} shard(s)"
+            )));
+        }
+        let n = parse_scaled(n.trim())
+            .map_err(|e| CliError::Usage(format!("bad count in --{flag} entry '{item}': {e}")))?;
+        out.push((shard, n));
+    }
+    Ok(out)
 }
 
 /// Fault-tolerance and checkpointing options shared by `occ observe` and
@@ -427,8 +680,20 @@ impl DriveOpts<'_> {
 }
 
 fn write_checkpoint(path: &str, snap: &EngineSnapshot) -> Result<(), CliError> {
-    std::fs::write(path, snapshot_to_json(snap) + "\n")
+    write_atomic_with_trailer(Path::new(path), &(snapshot_to_json(snap) + "\n"))
         .map_err(|e| CliError::Io(format!("write checkpoint {path}: {e}")))
+}
+
+/// Read a checkpoint back, insisting on an intact CRC trailer: a torn,
+/// truncated, or bit-flipped snapshot is a parse error (exit 4), never
+/// a silent partial resume.
+fn read_checkpoint(path: &Path) -> Result<EngineSnapshot, CliError> {
+    let shown = path.display();
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {shown}: {e}")))?;
+    let body =
+        require_trailer(&text).map_err(|e| CliError::Parse(format!("checkpoint {shown}: {e}")))?;
+    Ok(snapshot_from_json(body)?)
 }
 
 /// Drive a stepping engine over `records` (starting at the engine's
@@ -719,9 +984,7 @@ pub fn observe(args: &Args) -> Result<(), CliError> {
 /// `occ resume`
 pub fn resume(args: &Args) -> Result<(), CliError> {
     let from = uarg(args.str_required("from"))?;
-    let text =
-        std::fs::read_to_string(&from).map_err(|e| CliError::Io(format!("read {from}: {e}")))?;
-    let snap = snapshot_from_json(&text)?;
+    let snap = read_checkpoint(Path::new(&from))?;
 
     let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
     let trace = load_or_generate(args, &scenario)?;
@@ -885,8 +1148,24 @@ struct SoakSummary {
     end_t: Time,
 }
 
-/// Resident set size from `/proc/self/statm`, if the platform has it.
+/// Pull the resident-set size (in kB) out of a `/proc/self/status`
+/// dump. Every step is fallible — the line can be absent (restricted
+/// /proc, non-Linux emulation layers) or malformed — and each failure
+/// is a `None`, never a panic in the heartbeat path.
+fn parse_vmrss_kb(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+    line.split_whitespace().nth(1)?.parse().ok()
+}
+
+/// Resident set size, if the platform exposes it: `/proc/self/status`
+/// (`VmRSS:`), falling back to `/proc/self/statm` when the status field
+/// is missing.
 fn rss_bytes() -> Option<u64> {
+    if let Ok(text) = std::fs::read_to_string("/proc/self/status") {
+        if let Some(kb) = parse_vmrss_kb(&text) {
+            return Some(kb * 1024);
+        }
+    }
     let text = std::fs::read_to_string("/proc/self/statm").ok()?;
     let pages: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
     Some(pages * 4096)
@@ -972,12 +1251,29 @@ where
         }
     }
 
+    // The series streams to `<path>.tmp` through a CRC accumulator and
+    // only moves to its final name — trailer appended, fsynced, renamed
+    // — after a successful finish. A killed soak leaves the temp file
+    // behind; readers never see a torn or trailer-less final series.
+    // Targets that are not regular files (a device like /dev/full, a
+    // fifo feeding a live consumer) cannot be atomically replaced —
+    // renaming over them would swap the node out — so those are written
+    // in place and write errors still surface with the i/o class.
+    let series_direct = !opts.series_path.is_empty()
+        && std::fs::metadata(opts.series_path)
+            .map(|m| !m.is_file())
+            .unwrap_or(false);
+    let series_tmp = if series_direct {
+        Path::new(opts.series_path).to_path_buf()
+    } else {
+        occ_probe::atomicio::tmp_path(Path::new(opts.series_path))
+    };
     let mut sink = if opts.series_path.is_empty() {
         None
     } else {
-        let file = File::create(opts.series_path)
-            .map_err(|e| CliError::Io(format!("create {}: {e}", opts.series_path)))?;
-        let mut s = SeriesSink::new(BufWriter::new(file));
+        let file = File::create(&series_tmp)
+            .map_err(|e| CliError::Io(format!("create {}: {e}", series_tmp.display())))?;
+        let mut s = SeriesSink::new(CrcWriter::new(BufWriter::new(file)));
         s.write_header(opts.window, opts.meta);
         Some(s)
     };
@@ -1027,7 +1323,7 @@ where
                 };
                 let rss = rss_bytes()
                     .map(|b| format!("{} MB", b / (1 << 20)))
-                    .unwrap_or_else(|| "?".into());
+                    .unwrap_or_else(|| "n/a".into());
                 eprintln!(
                     "soak: {t}/{} requests · {} req/s · ETA {eta} · RSS {rss}",
                     opts.target,
@@ -1069,9 +1365,33 @@ where
     let series_lines = match sink {
         None => 0,
         Some(s) => {
+            let ioerr =
+                |e: std::io::Error| CliError::Io(format!("writing {}: {e}", opts.series_path));
             let lines = s.lines();
-            s.finish()
+            let mut w = s.finish().map_err(ioerr)?;
+            let crc = w.crc();
+            {
+                use std::io::Write as _;
+                // The trailer bypasses the CRC accumulator: it carries
+                // the checksum of everything before it.
+                w.inner_mut()
+                    .write_all(occ_probe::atomicio::trailer_line(crc).as_bytes())
+                    .and_then(|()| w.flush())
+                    .map_err(ioerr)?;
+            }
+            let (buf, _) = w.into_parts();
+            let file = buf
+                .into_inner()
                 .map_err(|e| CliError::Io(format!("writing {}: {e}", opts.series_path)))?;
+            if series_direct {
+                // In-place target: nothing to rename, and fsync is not
+                // meaningful on devices/fifos.
+                drop(file);
+            } else {
+                file.sync_all().map_err(ioerr)?;
+                drop(file);
+                std::fs::rename(&series_tmp, opts.series_path).map_err(ioerr)?;
+            }
             lines
         }
     };
@@ -1180,9 +1500,7 @@ pub fn soak(args: &Args) -> Result<(), CliError> {
     let snap = if from.is_empty() {
         None
     } else {
-        let text = std::fs::read_to_string(&from)
-            .map_err(|e| CliError::Io(format!("read {from}: {e}")))?;
-        Some(snapshot_from_json(&text)?)
+        Some(read_checkpoint(Path::new(&from))?)
     };
     let k = match &snap {
         Some(s) => {
@@ -1927,11 +2245,18 @@ mod tests {
         ]))
         .unwrap_err();
         assert_eq!(err.exit_code(), 2, "got: {err}");
-        // A tampered snapshot version is a parse error.
+        // A tampered snapshot version is a parse error. Re-seal the
+        // tampered body with a fresh trailer so the version check — not
+        // the checksum — is what fires.
         let text = std::fs::read_to_string(&ckpt).unwrap();
-        assert!(text.contains("\"version\":1"), "checkpoint format changed");
+        let body = occ_probe::require_trailer(&text).unwrap();
+        assert!(body.contains("\"version\":1"), "checkpoint format changed");
         let bad = dir.join("bad.json");
-        std::fs::write(&bad, text.replacen("\"version\":1", "\"version\":99", 1)).unwrap();
+        std::fs::write(
+            &bad,
+            occ_probe::with_trailer(&body.replacen("\"version\":1", "\"version\":99", 1)),
+        )
+        .unwrap();
         let err = resume(&args(&[
             "resume",
             "--from",
@@ -1945,6 +2270,334 @@ mod tests {
         assert_eq!(err.exit_code(), 4, "got: {err}");
         assert!(err.to_string().contains("version 99"), "got: {err}");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_truncated_checkpoints_are_rejected_with_exit_4() {
+        let dir = std::env::temp_dir().join("occ-cli-ckpt-crc");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = dir.join("ckpt.json");
+        observe(&args(&[
+            "observe",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "300",
+            "--k",
+            "8",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&ckpt).unwrap();
+        // The written checkpoint verifies and leaves no temp file.
+        occ_probe::require_trailer(&text).unwrap();
+        assert!(!occ_probe::atomicio::tmp_path(&ckpt).exists());
+
+        let resume_from = |path: &std::path::Path| {
+            resume(&args(&[
+                "resume",
+                "--from",
+                path.to_str().unwrap(),
+                "--scenario",
+                "two-tier",
+                "--len",
+                "300",
+            ]))
+            .unwrap_err()
+        };
+        // A single flipped byte in the body fails the checksum.
+        let mut flipped = text.clone().into_bytes();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x01;
+        let bad = dir.join("flipped.json");
+        std::fs::write(&bad, &flipped).unwrap();
+        let err = resume_from(&bad);
+        assert_eq!(err.exit_code(), 4, "got: {err}");
+        assert!(
+            err.to_string().contains("checksum mismatch")
+                || err.to_string().contains("malformed checksum trailer"),
+            "got: {err}"
+        );
+        // Truncation (losing the trailer) is rejected too — a partial
+        // resume must never look like success.
+        let cut = dir.join("truncated.json");
+        std::fs::write(&cut, &text.as_bytes()[..text.len() / 2]).unwrap();
+        let err = resume_from(&cut);
+        assert_eq!(err.exit_code(), 4, "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn vmrss_parsing_tolerates_missing_fields() {
+        assert_eq!(
+            parse_vmrss_kb("Name:\tocc\nVmRSS:\t  12345 kB\nVmSwap:\t0 kB\n"),
+            Some(12345)
+        );
+        // No VmRSS line at all (the panic the heartbeat used to risk).
+        assert_eq!(parse_vmrss_kb("Name:\tocc\nState:\tR (running)\n"), None);
+        assert_eq!(parse_vmrss_kb(""), None);
+        // Malformed value or a line with no field after the key.
+        assert_eq!(parse_vmrss_kb("VmRSS:\tlots kB\n"), None);
+        assert_eq!(parse_vmrss_kb("VmRSS:\n"), None);
+    }
+
+    #[test]
+    fn generated_traces_land_atomically_in_both_formats() {
+        let dir = std::env::temp_dir().join("occ-cli-generate-atomic");
+        std::fs::create_dir_all(&dir).unwrap();
+        for format in ["text", "binary"] {
+            let path = dir.join(format!("t-{format}.occ"));
+            generate(&args(&[
+                "generate",
+                "--scenario",
+                "two-tier",
+                "--len",
+                "200",
+                "--format",
+                format,
+                "--out",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            assert!(
+                !occ_probe::atomicio::tmp_path(&path).exists(),
+                "{format}: temp file must not linger"
+            );
+            let trace = read_trace_auto(BufReader::new(File::open(&path).unwrap())).unwrap();
+            assert_eq!(trace.len(), 200, "{format}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn soak_series_is_sealed_with_a_trailer_and_no_temp_file() {
+        let dir = std::env::temp_dir().join("occ-cli-soak-trailer");
+        std::fs::create_dir_all(&dir).unwrap();
+        let series = dir.join("s.jsonl");
+        soak(&args(&[
+            "soak",
+            "--scenario",
+            "two-tier",
+            "--len",
+            "4000",
+            "--window",
+            "1000",
+            "--k",
+            "8",
+            "--policy",
+            "lru",
+            "--heartbeat",
+            "off",
+            "--series",
+            series.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&series).unwrap();
+        occ_probe::require_trailer(&text).unwrap();
+        assert!(!occ_probe::atomicio::tmp_path(&series).exists());
+        // The trailer-aware parser reads it back: header + 4 windows.
+        let file = SeriesFile::parse(&text).unwrap();
+        assert_eq!(file.windows.len(), 4);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Shared harness for the supervised-fleet CLI tests: run `occ
+    /// fleet` with the given extra flags, writing the report to
+    /// `<dir>/<name>.json`, and return it parsed on success. Failures
+    /// (including degraded exits, which still write the report) come
+    /// back as the error; callers re-read the file if they need it.
+    fn fleet_json(dir: &std::path::Path, name: &str, extra: &[&str]) -> Result<Json, CliError> {
+        let out = dir.join(format!("{name}.json"));
+        let mut v = vec![
+            "fleet",
+            "--scenario",
+            "two-tier",
+            "--shards",
+            "3",
+            "--len",
+            "6000",
+            "--seed",
+            "5",
+            "--policy",
+            "lru",
+            "--window",
+            "1000",
+            "--format",
+            "json",
+            "--out",
+        ];
+        let out_s = out.to_str().unwrap().to_string();
+        v.push(&out_s);
+        v.extend_from_slice(extra);
+        fleet(&args(&v))?;
+        Ok(Json::parse(&std::fs::read_to_string(&out).unwrap()).unwrap())
+    }
+
+    #[test]
+    fn supervised_fleet_with_chaos_matches_the_clean_run_byte_for_byte() {
+        let dir = std::env::temp_dir().join("occ-cli-fleet-chaos");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean_series = dir.join("clean.jsonl");
+        let chaos_series = dir.join("chaos.jsonl");
+        let ckpts = dir.join("ckpts");
+
+        let clean = fleet_json(
+            &dir,
+            "clean",
+            &[
+                "--supervise",
+                "on",
+                "--series-out",
+                clean_series.to_str().unwrap(),
+            ],
+        )
+        .unwrap();
+        let chaos = fleet_json(
+            &dir,
+            "chaos",
+            &[
+                "--series-out",
+                chaos_series.to_str().unwrap(),
+                "--checkpoint-dir",
+                ckpts.to_str().unwrap(),
+                "--chaos-shard-kill",
+                "0@1,1@3000,2@6000",
+                "--chaos-store-fail",
+                "1@1",
+                "--max-restarts",
+                "5",
+            ],
+        )
+        .unwrap();
+
+        // Same merged series bytes, trailer included.
+        let a = std::fs::read(&clean_series).unwrap();
+        let b = std::fs::read(&chaos_series).unwrap();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "recovered series diverged from the clean one");
+
+        // Both reports carry a supervisor section; neither is degraded;
+        // the chaos run absorbed every scheduled failure.
+        for (name, r) in [("clean", &clean), ("chaos", &chaos)] {
+            assert!(r.get("supervisor").is_some(), "{name}");
+            assert!(r.get("degraded").is_none(), "{name}");
+        }
+        let restarts = chaos
+            .get("supervisor")
+            .and_then(|s| s.get("total_restarts"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(restarts >= 4, "3 kills + 1 store fault, got {restarts}");
+
+        // Per-shard deterministic fields agree between the runs
+        // (elapsed_ms / requests_per_sec are wall-clock and excluded).
+        let shards_of = |r: &Json| r.get("shards").and_then(Json::as_array).unwrap().to_vec();
+        for (a, b) in shards_of(&clean).iter().zip(&shards_of(&chaos)) {
+            for key in [
+                "shard",
+                "requests",
+                "hits",
+                "misses",
+                "evictions",
+                "misses_by_user",
+            ] {
+                assert_eq!(
+                    a.get(key).unwrap().to_json(),
+                    b.get(key).unwrap().to_json(),
+                    "field {key}"
+                );
+            }
+        }
+
+        // The per-shard checkpoints are sealed and resumable: a fleet
+        // resumed from the final checkpoints serves nothing more and
+        // stays clean.
+        fleet_json(&dir, "resumed", &["--from-dir", ckpts.to_str().unwrap()]).unwrap();
+
+        // Corrupting one checkpoint byte makes --from-dir exit 4.
+        let ckpt0 = occ_fleet::DirPersist::ckpt_path(&ckpts, 0);
+        let mut bytes = std::fs::read(&ckpt0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&ckpt0, &bytes).unwrap();
+        let err = fleet_json(&dir, "corrupt", &["--from-dir", ckpts.to_str().unwrap()])
+            .map(|_| ())
+            .unwrap_err();
+        assert_eq!(err.exit_code(), 4, "got: {err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn exhausted_fleet_restarts_exit_degraded_with_the_report_written() {
+        let dir = std::env::temp_dir().join("occ-cli-fleet-degraded");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let err = fleet_json(
+            &dir,
+            "degraded",
+            &["--chaos-shard-kill", "1@100,1@200", "--max-restarts", "1"],
+        )
+        .map(|_| ())
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 7, "got: {err}");
+        assert_eq!(err.class(), "degraded");
+        // The report was written before the exit code surfaced, with
+        // the degraded section naming the quarantined shard.
+        let text = std::fs::read_to_string(dir.join("degraded.json")).unwrap();
+        let r = Json::parse(&text).unwrap();
+        let q = r
+            .get("degraded")
+            .and_then(|d| d.get("quarantined"))
+            .and_then(Json::as_array)
+            .unwrap();
+        assert_eq!(q.len(), 1);
+        assert_eq!(q[0].get("shard").and_then(Json::as_u64), Some(1));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fleet_supervision_flags_are_validated() {
+        let base = |extra: &[&str]| {
+            let mut v = vec![
+                "fleet",
+                "--scenario",
+                "two-tier",
+                "--shards",
+                "2",
+                "--len",
+                "100",
+            ];
+            v.extend_from_slice(extra);
+            args(&v)
+        };
+        // Supervision without a window cannot checkpoint.
+        let err = fleet(&base(&["--supervise", "on"])).unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        // --supervise off fights the chaos flags.
+        let err = fleet(&base(&[
+            "--supervise",
+            "off",
+            "--chaos-shard-kill",
+            "0@1",
+            "--window",
+            "50",
+        ]))
+        .unwrap_err();
+        assert_eq!(err.exit_code(), 2, "got: {err}");
+        // Malformed and out-of-range plans.
+        for bad in [
+            ["--chaos-shard-kill", "0"],
+            ["--chaos-shard-kill", "0@x"],
+            ["--chaos-shard-kill", "7@1"],
+            ["--chaos-store-fail", "0@0"],
+        ] {
+            let mut v = vec!["--window", "50"];
+            v.extend_from_slice(&bad);
+            let err = fleet(&base(&v)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -13,6 +13,9 @@
 //! | 5    | fault  | a simulation fault surfaced under fail-fast        |
 //! | 6    | conformance | a theorem-conformance cell FAILed (the run    |
 //! |      |        | itself succeeded; the *bounds* did not hold)       |
+//! | 7    | degraded | a supervised fleet run finished, but at least    |
+//! |      |        | one shard exhausted its restart budget and was     |
+//! |      |        | quarantined — the report is complete but partial   |
 //!
 //! Library errors stay typed (`TraceIoError`, `SnapshotError`,
 //! `SimError`); this module is only the mapping onto process exit codes.
@@ -36,6 +39,12 @@ pub enum CliError {
     /// bound was violated — distinct from every operational failure so
     /// CI can tell "the theorem broke" from "the tool broke".
     Conformance(String),
+    /// A supervised fleet run completed but quarantined at least one
+    /// shard: the report was emitted and is self-consistent, yet it is
+    /// missing the quarantined shards' tails. Distinct from every hard
+    /// failure so orchestration can keep the partial results while
+    /// still flagging the run.
+    Degraded(String),
     /// Anything else.
     Other(String),
 }
@@ -50,6 +59,7 @@ impl CliError {
             CliError::Parse(_) => 4,
             CliError::Fault(_) => 5,
             CliError::Conformance(_) => 6,
+            CliError::Degraded(_) => 7,
         }
     }
 
@@ -61,6 +71,7 @@ impl CliError {
             CliError::Parse(_) => "parse",
             CliError::Fault(_) => "fault",
             CliError::Conformance(_) => "conformance",
+            CliError::Degraded(_) => "degraded",
             CliError::Other(_) => "error",
         }
     }
@@ -74,6 +85,7 @@ impl fmt::Display for CliError {
             | CliError::Parse(m)
             | CliError::Fault(m)
             | CliError::Conformance(m)
+            | CliError::Degraded(m)
             | CliError::Other(m) => f.write_str(m),
         }
     }
@@ -135,6 +147,7 @@ mod tests {
             (CliError::Parse("x".into()), 4),
             (CliError::Fault("x".into()), 5),
             (CliError::Conformance("x".into()), 6),
+            (CliError::Degraded("x".into()), 7),
         ];
         for (e, code) in cases {
             assert_eq!(e.exit_code(), code, "{}", e.class());

@@ -23,7 +23,9 @@
 //!
 //! Failures exit with a class-specific code (see [`errors`]): 2 usage,
 //! 3 i/o, 4 unparseable file, 5 simulation fault, 6 conformance FAIL
-//! (a checked theorem bound was violated), 1 anything else.
+//! (a checked theorem bound was violated), 7 degraded (a supervised
+//! fleet quarantined a shard but still wrote its report), 1 anything
+//! else.
 
 mod args;
 mod commands;

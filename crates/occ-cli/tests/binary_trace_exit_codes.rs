@@ -59,9 +59,10 @@ fn binary_and_text_traces_replay_identically() {
     ]);
     assert!(out.status.success());
 
-    // Binary is fixed-width: header + owner table + 4 bytes/request.
+    // Binary is fixed-width: header + owner table + 4 bytes/request,
+    // plus the trailing checksum footer (8-byte magic + CRC-32).
     let bin_bytes = std::fs::metadata(&bin_path).unwrap().len();
-    assert_eq!(bin_bytes, 8 + 4 + 4 + 64 * 4 + 8 + 2000 * 4);
+    assert_eq!(bin_bytes, 8 + 4 + 4 + 64 * 4 + 8 + 2000 * 4 + 8 + 4);
 
     let run = |path: &Path| {
         let out = occ(&[

@@ -51,9 +51,15 @@ fn soak(len: &str, series: &Path, extra: &[&str]) -> String {
 }
 
 /// The window lines (everything after the header) of a series file.
+/// Finished files end with a `#crc32:` trailer; that seal is not part
+/// of the window payload, so comment lines are dropped here.
 fn window_lines(path: &Path) -> Vec<String> {
     let text = std::fs::read_to_string(path).expect("read series");
-    text.lines().skip(1).map(str::to_string).collect()
+    text.lines()
+        .skip(1)
+        .filter(|l| !l.starts_with('#'))
+        .map(str::to_string)
+        .collect()
 }
 
 #[test]
@@ -68,8 +74,13 @@ fn soak_emits_schema_stamped_windows_that_tile_the_run() {
     assert!(header.contains("\"schema\":1"), "stamped: {header}");
     assert!(header.contains("\"kind\":\"occ-series\""));
     assert!(header.contains("\"window\":5000"));
-    // 23k requests / 5k per window = 4 full windows + 1 partial.
-    let windows: Vec<&str> = lines.collect();
+    // 23k requests / 5k per window = 4 full windows + 1 partial, then
+    // the checksum trailer sealing the finished file.
+    assert!(
+        text.lines().last().unwrap().starts_with("#crc32:"),
+        "finished series ends with a crc trailer"
+    );
+    let windows: Vec<&str> = lines.filter(|l| !l.starts_with('#')).collect();
     assert_eq!(windows.len(), 5, "⌈23000/5000⌉ windows");
     assert!(windows.iter().all(|l| l.contains("\"kind\":\"window\"")));
     assert!(windows[4].contains("\"start\":20000"));

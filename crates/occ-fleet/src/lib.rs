@@ -31,15 +31,25 @@
 //! statically dispatched callbacks, and (with recording off) no
 //! recorder merge.
 
+pub mod supervisor;
+
 use occ_probe::{MetricsRecorder, WindowSeries, WindowedRecorder};
 use occ_sim::probe::Recorder;
 use occ_sim::{ReplacementPolicy, RequestSource, SimStats, SteppingEngine, DEFAULT_BATCH_SIZE};
 use std::time::{Duration, Instant};
 
 pub use occ_probe::Json;
+pub use supervisor::{
+    run_supervised_fleet, BackoffPolicy, DirPersist, FaultyPersist, NoPersist, ShardKill,
+    ShardPersist, ShardState, ShardStatus, StoreFault, SupervisorConfig, SupervisorReport,
+};
 
 /// Schema stamp for [`FleetReport::to_json_value`].
-pub const FLEET_SCHEMA: u64 = 1;
+///
+/// v2: per-shard `misses_by_user`, and supervised runs add a
+/// `supervisor` section (plus a `degraded` section when a shard was
+/// quarantined).
+pub const FLEET_SCHEMA: u64 = 2;
 
 /// How each shard of the fleet is run.
 #[derive(Clone, Copy, Debug)]
@@ -142,6 +152,10 @@ pub struct FleetReport {
     /// Wall-clock time for the whole fleet (parallel, so typically far
     /// below the sum of per-shard `elapsed`).
     pub wall: Duration,
+    /// Supervision outcome — `Some` only for
+    /// [`run_supervised_fleet`] runs; the plain runners never fail
+    /// partially (a shard panic aborts them), so they carry `None`.
+    pub supervisor: Option<SupervisorReport>,
 }
 
 impl FleetReport {
@@ -181,6 +195,16 @@ impl FleetReport {
                         Json::from_u64(s.stats.total_evictions()),
                     ),
                     (
+                        "misses_by_user".into(),
+                        Json::Arr(
+                            s.stats
+                                .miss_vector()
+                                .into_iter()
+                                .map(Json::from_u64)
+                                .collect(),
+                        ),
+                    ),
+                    (
                         "elapsed_ms".into(),
                         Json::Num(s.elapsed.as_secs_f64() * 1e3),
                     ),
@@ -202,6 +226,35 @@ impl FleetReport {
         ];
         if let Some(series) = &self.merged_series {
             fields.push(("series".into(), series.to_json_value()));
+        }
+        if let Some(sup) = &self.supervisor {
+            fields.push(("supervisor".into(), sup.to_json_value()));
+            if sup.is_degraded() {
+                // The degraded section exists only when data is
+                // actually missing (a shard quarantined); a recovered
+                // run is byte-identical to a clean one and reports
+                // nothing here.
+                let shards = sup
+                    .shards
+                    .iter()
+                    .filter(|s| s.state == supervisor::ShardState::Quarantined)
+                    .map(|s| {
+                        Json::Obj(vec![
+                            ("shard".into(), Json::from_u64(s.shard as u64)),
+                            ("restarts".into(), Json::from_u64(s.restarts as u64)),
+                            (
+                                "error".into(),
+                                Json::Str(s.error.clone().unwrap_or_default()),
+                            ),
+                            ("windows_lost".into(), Json::from_u64(s.windows_lost)),
+                        ])
+                    })
+                    .collect();
+                fields.push((
+                    "degraded".into(),
+                    Json::Obj(vec![("quarantined".into(), Json::Arr(shards))]),
+                ));
+            }
         }
         Json::Obj(fields)
     }
@@ -429,6 +482,7 @@ where
         merged_series,
         total_requests,
         wall,
+        supervisor: None,
     }
 }
 

@@ -17,6 +17,8 @@
 //!   [`SeriesSink`]) behind `occ soak`'s streaming JSONL series;
 //! * [`ObserveReport`] — the JSON/table report `occ observe` emits and
 //!   `occ report` renders;
+//! * [`atomicio`] — torn-write-safe persistence: atomic-rename writes
+//!   and CRC-32 trailers on checkpoints, series files, and reports;
 //! * [`checkpoint`] — the lossless on-disk JSON form of
 //!   `occ_sim::EngineSnapshot` behind `occ observe --checkpoint` and
 //!   `occ resume`;
@@ -31,6 +33,7 @@
 
 #![warn(missing_docs)]
 
+pub mod atomicio;
 pub mod checkpoint;
 pub mod dual;
 pub mod histogram;
@@ -40,6 +43,10 @@ pub mod report;
 pub mod sink;
 pub mod timeseries;
 
+pub use atomicio::{
+    crc32, require_trailer, verify_trailer, with_trailer, write_atomic, write_atomic_with_trailer,
+    CrcWriter, CRC_TRAILER_PREFIX,
+};
 pub use checkpoint::{snapshot_from_json, snapshot_to_json};
 pub use dual::{DualSample, DualTrace};
 pub use histogram::LogHistogram;

@@ -619,8 +619,13 @@ impl SeriesFile {
     /// Parse a series written by [`SeriesSink`]. The first line must be
     /// the schema-stamped header; the stamp is checked before anything
     /// else, so files from a future version fail with a clear
-    /// "unsupported schema" error.
+    /// "unsupported schema" error. A `#crc32:` trailer (appended by
+    /// finished soak/fleet runs) is verified and stripped when present;
+    /// trailer-less files — including mid-run state files from a killed
+    /// process — stay accepted.
     pub fn parse(text: &str) -> Result<SeriesFile, String> {
+        let (text, _had_trailer) =
+            crate::atomicio::verify_trailer(text).map_err(|e| format!("series file: {e}"))?;
         let mut lines = text.lines().filter(|l| !l.trim().is_empty());
         let head = lines.next().ok_or("series file is empty")?;
         let header = Json::parse(head).map_err(|e| format!("series header: {e}"))?;

@@ -13,6 +13,8 @@
 //! 16      4 * num_pages   owner table (u32 per page, < num_users)
 //! …       8               num_requests (u64)
 //! …       4 * num_requests  requested page ids (u32, < num_pages)
+//! …       8               footer magic b"occsum01"   (optional)
+//! …       4               crc32 of the request-id bytes (u32)
 //! ```
 //!
 //! Requests carry only the page id — the owner is implied by the owner
@@ -21,16 +23,28 @@
 //! full residency: [`BinaryTraceReader`] is a
 //! [`RequestSource`](crate::source::RequestSource) whose memory footprint
 //! is the owner table plus one chunk, independent of the request count.
+//!
+//! The footer is a torn-write guard: both writers append it, and both
+//! readers verify it when present (a payload whose CRC-32 disagrees with
+//! the footer is a parse error, exit 4 at the CLI). Traces written before
+//! the footer existed have nothing after the last request and stay
+//! accepted. The checksum covers the request-id bytes only — the header's
+//! request count is patched after the payload by the incremental writer,
+//! so including it would force a second pass over the file.
 
+use crate::checksum::Crc32;
 use crate::engine::EngineCtx;
 use crate::ids::{PageId, UserId};
-use crate::source::RequestSource;
+use crate::source::{RequestSource, SeekableSource};
 use crate::textio::TraceIoError;
 use crate::trace::{Request, Trace, TraceBuilder, Universe};
 use std::io::{BufRead, Read, Seek, SeekFrom, Write};
 
 /// First eight bytes of every binary trace.
 pub const BINARY_TRACE_MAGIC: [u8; 8] = *b"occbin01";
+
+/// Magic introducing the optional checksum footer after the last request.
+pub const BINARY_TRACE_FOOTER_MAGIC: [u8; 8] = *b"occsum01";
 
 /// Page ids per chunk moved by the streaming reader/writer: 64 Ki ids =
 /// 256 KiB per transfer, large enough to amortize syscalls, small enough
@@ -102,6 +116,40 @@ fn read_universe<R: Read>(r: &mut R) -> Result<Universe, TraceIoError> {
     Ok(Universe::new(num_users, owners))
 }
 
+/// After the last request, look for the optional checksum footer and
+/// verify it against the CRC-32 of the request-id bytes just consumed.
+/// Zero bytes after the payload is a legacy (pre-footer) trace and is
+/// accepted; a footer magic followed by too few bytes is truncation; a
+/// checksum disagreement is corruption. Trailing bytes that are not the
+/// footer magic are ignored, as they were before the footer existed.
+fn check_footer<R: Read>(r: &mut R, payload_crc: u32) -> Result<(), TraceIoError> {
+    let mut foot = [0u8; 12];
+    let mut got = 0usize;
+    while got < foot.len() {
+        match r.read(&mut foot[got..]) {
+            Ok(0) => break,
+            Ok(n) => got += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(TraceIoError::Io(e)),
+        }
+    }
+    if got >= 8 && foot[..8] == BINARY_TRACE_FOOTER_MAGIC {
+        if got < 12 {
+            return Err(parse_err(
+                "truncated binary trace: unexpected EOF in the footer checksum",
+            ));
+        }
+        let want = u32::from_le_bytes(foot[8..12].try_into().expect("4-byte slice"));
+        if want != payload_crc {
+            return Err(parse_err(format!(
+                "footer checksum mismatch: footer says crc32 {want:08x}, request stream hashes \
+                 to {payload_crc:08x} (corrupt or torn trace)"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Write an entire in-memory `trace` in the binary format.
 pub fn write_trace_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
     let universe = trace.universe();
@@ -117,13 +165,17 @@ pub fn write_trace_binary<W: Write>(trace: &Trace, mut w: W) -> Result<(), Trace
         w.write_all(&buf)?;
     }
     w.write_all(&(trace.len() as u64).to_le_bytes())?;
+    let mut crc = Crc32::new();
     for chunk in trace.requests().chunks(CHUNK_IDS) {
         buf.clear();
         for r in chunk {
             buf.extend_from_slice(&r.page.0.to_le_bytes());
         }
+        crc.update(&buf);
         w.write_all(&buf)?;
     }
+    w.write_all(&BINARY_TRACE_FOOTER_MAGIC)?;
+    w.write_all(&crc.value().to_le_bytes())?;
     Ok(())
 }
 
@@ -136,11 +188,13 @@ pub fn read_trace_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     let mut builder = TraceBuilder::new(universe);
     let mut buf = vec![0u8; 4 * CHUNK_IDS];
     let mut remaining = count;
+    let mut crc = Crc32::new();
     while remaining > 0 {
         let take = (remaining as usize).min(CHUNK_IDS);
         let bytes = &mut buf[..4 * take];
         r.read_exact(bytes)
             .map_err(|e| classify(e, "the request stream"))?;
+        crc.update(bytes);
         for ids in bytes.chunks_exact(4) {
             let page = u32::from_le_bytes(ids.try_into().expect("4-byte chunk"));
             if page >= num_pages {
@@ -150,6 +204,7 @@ pub fn read_trace_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
         }
         remaining -= take as u64;
     }
+    check_footer(&mut r, crc.value())?;
     Ok(builder.build())
 }
 
@@ -177,6 +232,7 @@ pub struct BinaryTraceWriter<W: Write + Seek> {
     count_offset: u64,
     written: u64,
     buf: Vec<u8>,
+    crc: Crc32,
 }
 
 impl<W: Write + Seek> BinaryTraceWriter<W> {
@@ -203,6 +259,7 @@ impl<W: Write + Seek> BinaryTraceWriter<W> {
             count_offset,
             written: 0,
             buf,
+            crc: Crc32::new(),
         })
     }
 
@@ -225,7 +282,9 @@ impl<W: Write + Seek> BinaryTraceWriter<W> {
             }
             Some(_) => {}
         }
-        self.buf.extend_from_slice(&req.page.0.to_le_bytes());
+        let id = req.page.0.to_le_bytes();
+        self.crc.update(&id);
+        self.buf.extend_from_slice(&id);
         if self.buf.len() >= 4 * CHUNK_IDS {
             self.sink.write_all(&self.buf)?;
             self.buf.clear();
@@ -234,14 +293,17 @@ impl<W: Write + Seek> BinaryTraceWriter<W> {
         Ok(())
     }
 
-    /// Flush buffered requests, patch the request count into the header,
-    /// and return the sink. Dropping the writer without calling this
-    /// leaves a file whose header promises zero requests.
+    /// Flush buffered requests, append the checksum footer, patch the
+    /// request count into the header, and return the sink. Dropping the
+    /// writer without calling this leaves a file whose header promises
+    /// zero requests.
     pub fn finish(mut self) -> Result<W, TraceIoError> {
         if !self.buf.is_empty() {
             self.sink.write_all(&self.buf)?;
             self.buf.clear();
         }
+        self.sink.write_all(&BINARY_TRACE_FOOTER_MAGIC)?;
+        self.sink.write_all(&self.crc.value().to_le_bytes())?;
         let end = self.sink.stream_position()?;
         self.sink.seek(SeekFrom::Start(self.count_offset))?;
         self.sink.write_all(&self.written.to_le_bytes())?;
@@ -269,6 +331,8 @@ pub struct BinaryTraceReader<R: Read> {
     /// Next index to serve from `chunk`.
     pos: usize,
     error: Option<TraceIoError>,
+    crc: Crc32,
+    footer_checked: bool,
 }
 
 impl<R: Read> BinaryTraceReader<R> {
@@ -285,6 +349,8 @@ impl<R: Read> BinaryTraceReader<R> {
             chunk: Vec::new(),
             pos: 0,
             error: None,
+            crc: Crc32::new(),
+            footer_checked: false,
         })
     }
 
@@ -308,8 +374,15 @@ impl<R: Read> BinaryTraceReader<R> {
     }
 
     fn refill(&mut self) -> Result<bool, TraceIoError> {
-        let remaining = self.total - self.served;
+        // `served` counts requests handed out; buffered-but-unserved
+        // requests must be included when computing what is left on disk.
+        let buffered = (self.chunk.len() - self.pos) as u64;
+        let remaining = self.total - self.served - buffered;
         if remaining == 0 {
+            if !self.footer_checked {
+                self.footer_checked = true;
+                check_footer(&mut self.reader, self.crc.value())?;
+            }
             return Ok(false);
         }
         let take = (remaining as usize).min(CHUNK_IDS);
@@ -317,6 +390,7 @@ impl<R: Read> BinaryTraceReader<R> {
         self.reader
             .read_exact(&mut bytes)
             .map_err(|e| classify(e, "the request stream"))?;
+        self.crc.update(&bytes);
         self.chunk.clear();
         for ids in bytes.chunks_exact(4) {
             let page = u32::from_le_bytes(ids.try_into().expect("4-byte chunk"));
@@ -359,6 +433,36 @@ impl<R: Read> RequestSource for BinaryTraceReader<R> {
     }
 }
 
+impl<R: Read> SeekableSource for BinaryTraceReader<R> {
+    /// Decode-and-discard fast-forward through the same chunked refill
+    /// path as serving, so validation (page range, truncation, footer
+    /// checksum) and the running CRC see exactly the bytes a full
+    /// replay would. Errors park in [`error`](Self::error) as usual.
+    fn seek_forward(&mut self, n: u64) {
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.error.is_some() {
+                return;
+            }
+            let avail = (self.chunk.len() - self.pos) as u64;
+            if avail == 0 {
+                match self.refill() {
+                    Ok(true) => continue,
+                    Ok(false) => return,
+                    Err(e) => {
+                        self.error = Some(e);
+                        return;
+                    }
+                }
+            }
+            let take = avail.min(remaining);
+            self.pos += take as usize;
+            self.served += take;
+            remaining -= take;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -393,6 +497,12 @@ mod tests {
         want.extend_from_slice(&2u64.to_le_bytes()); // requests
         want.extend_from_slice(&1u32.to_le_bytes());
         want.extend_from_slice(&0u32.to_le_bytes());
+        // Checksum footer over the request-id bytes only.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        want.extend_from_slice(&BINARY_TRACE_FOOTER_MAGIC);
+        want.extend_from_slice(&crate::checksum::crc32(&payload).to_le_bytes());
         assert_eq!(buf, want);
     }
 
@@ -471,7 +581,8 @@ mod tests {
         let t = sample();
         let mut buf = Vec::new();
         write_trace_binary(&t, &mut buf).unwrap();
-        buf.truncate(buf.len() - 3);
+        // Cut into the last request, past the 12-byte footer.
+        buf.truncate(buf.len() - 12 - 3);
         let err = read_trace_binary(buf.as_slice()).unwrap_err();
         assert!(err.to_string().contains("truncated"), "{err}");
 
@@ -516,12 +627,123 @@ mod tests {
         let err = read_trace_binary(bad.as_slice()).unwrap_err();
         assert!(err.to_string().contains("owner 7 out of range"));
 
-        // Page out of range in the request stream.
+        // Page out of range in the request stream (the last request sits
+        // just before the 12-byte footer).
         let mut bad = good.clone();
-        let last = bad.len() - 4;
-        bad[last..].copy_from_slice(&9u32.to_le_bytes());
+        let last = bad.len() - 12 - 4;
+        bad[last..last + 4].copy_from_slice(&9u32.to_le_bytes());
         let err = read_trace_binary(bad.as_slice()).unwrap_err();
         assert!(err.to_string().contains("page 9 out of range"));
+    }
+
+    fn ctx_for<'a>(
+        u: &'a Universe,
+        cache: &'a crate::cache::CacheSet,
+        stats: &'a crate::stats::SimStats,
+    ) -> EngineCtx<'a> {
+        EngineCtx {
+            time: 0,
+            cache,
+            stats,
+            universe: u,
+        }
+    }
+
+    #[test]
+    fn legacy_trace_without_footer_stays_accepted() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 12); // exactly what an old writer produced
+        let back = read_trace_binary(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+
+        let mut src = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        let u = src.universe().clone();
+        let cache = crate::cache::CacheSet::new(1, u.num_pages());
+        let stats = crate::stats::SimStats::new(u.num_users());
+        let ctx = ctx_for(&u, &cache, &stats);
+        let mut served = 0;
+        while src.next_request(&ctx).is_some() {
+            served += 1;
+        }
+        assert_eq!(served, t.len());
+        src.finish().unwrap();
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_footer_checksum() {
+        let t = sample();
+        let mut bad = Vec::new();
+        write_trace_binary(&t, &mut bad).unwrap();
+        // Swap the first requested page (0) for another in-range page:
+        // every structural validation still passes, only the CRC can
+        // tell the trace was corrupted.
+        let first_req = bad.len() - 12 - 4 * t.len();
+        bad[first_req..first_req + 4].copy_from_slice(&1u32.to_le_bytes());
+
+        let err = read_trace_binary(bad.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("footer checksum mismatch"),
+            "{err}"
+        );
+
+        // The streaming reader parks the same error at end of stream.
+        let mut src = BinaryTraceReader::new(bad.as_slice()).unwrap();
+        let u = src.universe().clone();
+        let cache = crate::cache::CacheSet::new(1, u.num_pages());
+        let stats = crate::stats::SimStats::new(u.num_users());
+        let ctx = ctx_for(&u, &cache, &stats);
+        while src.next_request(&ctx).is_some() {}
+        let err = src.finish().unwrap_err();
+        assert!(
+            err.to_string().contains("footer checksum mismatch"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncated_footer_is_a_parse_error() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3); // payload intact, footer cut short
+        let err = read_trace_binary(buf.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("EOF in the footer checksum"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn seek_forward_matches_pull_and_discard() {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..50).map(|i| (i * 7) % 6).collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let cache = crate::cache::CacheSet::new(1, u.num_pages());
+        let stats = crate::stats::SimStats::new(u.num_users());
+        let ctx = ctx_for(&u, &cache, &stats);
+        for skip in [0u64, 1, 7, 49, 50, 80] {
+            let mut pulled = BinaryTraceReader::new(buf.as_slice()).unwrap();
+            for _ in 0..skip.min(50) {
+                pulled.next_request(&ctx);
+            }
+            let mut sought = BinaryTraceReader::new(buf.as_slice()).unwrap();
+            sought.seek_forward(skip);
+            loop {
+                let a = pulled.next_request(&ctx);
+                let b = sought.next_request(&ctx);
+                assert_eq!(a, b, "skip={skip}");
+                if a.is_none() {
+                    break;
+                }
+            }
+            // Both paths consumed the payload; the footer must verify.
+            pulled.finish().unwrap();
+            sought.finish().unwrap();
+        }
     }
 
     #[test]

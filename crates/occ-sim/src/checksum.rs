@@ -1,0 +1,117 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the
+//! checksum behind every torn-write guard in the workspace: the
+//! occbin01 footer ([`crate::binio`]), the `#crc32:` text trailer on
+//! checkpoints and series files (`occ-probe::atomicio`), and the
+//! atomically renamed report artifacts.
+//!
+//! Hand-rolled because the container is sealed (no crates.io); the
+//! table is built in a `const fn` so there is no runtime init and no
+//! locking. The streaming [`Crc32`] state lets writers hash payload
+//! bytes as they are produced and readers hash as they consume, so
+//! neither side ever needs the whole artifact in memory.
+
+/// 256-entry lookup table for the reflected IEEE polynomial.
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = build_table();
+
+/// Streaming CRC-32 state. Feed bytes with [`update`](Self::update),
+/// read the digest with [`value`](Self::value); the digest of the
+/// empty input is 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Crc32 {
+    /// Fresh state (digest of nothing so far).
+    pub const fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the running checksum.
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut crc = self.state;
+        for &b in bytes {
+            crc = (crc >> 8) ^ CRC_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+        }
+        self.state = crc;
+    }
+
+    /// The CRC-32 of everything fed so far. Non-destructive; more
+    /// bytes may still be folded in afterwards.
+    pub fn value(&self) -> u32 {
+        self.state ^ 0xFFFF_FFFF
+    }
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One-shot CRC-32 of a byte slice.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = Crc32::new();
+    c.update(bytes);
+    c.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_the_ieee_check_vector() {
+        // The canonical CRC-32/ISO-HDLC check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input_is_zero() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(Crc32::new().value(), 0);
+    }
+
+    #[test]
+    fn streaming_equals_one_shot_over_any_split() {
+        let data: Vec<u8> = (0u32..1000).map(|i| (i * 7 + 3) as u8).collect();
+        let whole = crc32(&data);
+        for split in [0, 1, 2, 63, 64, 65, 999, 1000] {
+            let mut c = Crc32::new();
+            c.update(&data[..split]);
+            c.update(&data[split..]);
+            assert_eq!(c.value(), whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_digest() {
+        let mut data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let clean = crc32(&data);
+        for byte in 0..data.len() {
+            data[byte] ^= 0x01;
+            assert_ne!(crc32(&data), clean, "flip in byte {byte} undetected");
+            data[byte] ^= 0x01;
+        }
+    }
+}

@@ -46,6 +46,7 @@
 
 pub mod binio;
 pub mod cache;
+pub mod checksum;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -64,9 +65,10 @@ pub mod trace;
 
 pub use binio::{
     read_trace_auto, read_trace_binary, write_trace_binary, BinaryTraceReader, BinaryTraceWriter,
-    BINARY_TRACE_MAGIC,
+    BINARY_TRACE_FOOTER_MAGIC, BINARY_TRACE_MAGIC,
 };
 pub use cache::CacheSet;
+pub use checksum::{crc32, Crc32};
 pub use engine::{CheckedRun, EngineCtx, SimOptions, SimResult, Simulator};
 pub use error::{
     CostAnomaly, FaultCounters, FaultHandler, FaultKind, FaultPolicy, PolicyViolation,
@@ -80,7 +82,7 @@ pub use policy::ReplacementPolicy;
 pub use prefetch::{prefetch_read, prefetch_slice_element};
 pub use probe::{NoopRecorder, Recorder};
 pub use snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
-pub use source::{AdaptiveSource, RequestSource, TraceSource};
+pub use source::{AdaptiveSource, RequestSource, SeekableSource, TraceSource};
 pub use stats::{SimStats, UserStats};
 pub use stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE, PREFETCH_DISTANCE};
 pub use textio::{read_trace, write_trace, TraceIoError};
@@ -100,7 +102,7 @@ pub mod prelude {
     pub use crate::policy::ReplacementPolicy;
     pub use crate::probe::{NoopRecorder, Recorder};
     pub use crate::snapshot::{EngineSnapshot, PolicyState, StateValue, SNAPSHOT_VERSION};
-    pub use crate::source::{AdaptiveSource, RequestSource, TraceSource};
+    pub use crate::source::{AdaptiveSource, RequestSource, SeekableSource, TraceSource};
     pub use crate::stats::{SimStats, UserStats};
     pub use crate::stepper::{StepOutcome, SteppingEngine, DEFAULT_BATCH_SIZE, PREFETCH_DISTANCE};
     pub use crate::trace::{Request, Trace, TraceBuilder, Universe};

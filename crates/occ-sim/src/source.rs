@@ -37,6 +37,21 @@ pub trait RequestSource {
     }
 }
 
+/// A [`RequestSource`] that can deterministically fast-forward.
+///
+/// `seek_forward(n)` must leave the source in *exactly* the state it
+/// would have after `n` calls to [`next_request`](RequestSource::next_request)
+/// — same RNG state, same position, same subsequent requests. This is
+/// what lets a crashed shard restart from a window-boundary checkpoint
+/// and replay the identical remainder of its stream: the fleet
+/// supervisor rebuilds a fresh source and seeks it to the checkpoint
+/// time. Only non-adaptive sources can implement this (an adaptive
+/// adversary's requests depend on engine state that no longer exists).
+pub trait SeekableSource: RequestSource {
+    /// Skip the next `n` requests without serving them.
+    fn seek_forward(&mut self, n: u64);
+}
+
 /// A fixed trace replayed in order.
 pub struct TraceSource<'a> {
     trace: &'a Trace,
@@ -69,6 +84,13 @@ impl RequestSource for TraceSource<'_> {
         let take = rest.len().min(max);
         self.pos += take;
         Some(&rest[..take])
+    }
+}
+
+impl SeekableSource for TraceSource<'_> {
+    fn seek_forward(&mut self, n: u64) {
+        let n = usize::try_from(n).unwrap_or(usize::MAX);
+        self.pos = self.pos.saturating_add(n).min(self.trace.len());
     }
 }
 
@@ -183,6 +205,30 @@ mod tests {
         let first = src.next_request(&eng.ctx()).unwrap();
         assert_eq!(first, trace.requests()[0]);
         assert_eq!(src.next_run(4).unwrap(), &trace.requests()[1..5]);
+    }
+
+    #[test]
+    fn seek_forward_matches_pull_and_discard() {
+        let u = Universe::single_user(5);
+        let pages: Vec<u32> = (0..17).map(|i| (i * 3) % 5).collect();
+        let trace = Trace::from_page_indices(&u, &pages);
+        let eng = crate::SteppingEngine::new(2, u.clone(), EvictFirst);
+        for skip in [0u64, 1, 5, 16, 17, 40] {
+            let mut pulled = TraceSource::new(&trace);
+            for _ in 0..skip.min(17) {
+                pulled.next_request(&eng.ctx());
+            }
+            let mut sought = TraceSource::new(&trace);
+            sought.seek_forward(skip);
+            loop {
+                let a = pulled.next_request(&eng.ctx());
+                let b = sought.next_request(&eng.ctx());
+                assert_eq!(a, b, "skip={skip}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
     }
 
     #[test]

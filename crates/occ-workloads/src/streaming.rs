@@ -19,7 +19,7 @@
 
 use crate::generators::{AccessPattern, PatternGen};
 use crate::mixer::TenantSpec;
-use occ_sim::{EngineCtx, PageId, Request, RequestSource, Universe};
+use occ_sim::{EngineCtx, PageId, Request, RequestSource, SeekableSource, Universe};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -77,6 +77,12 @@ impl RequestSource for PatternSource {
         }
         self.remaining -= 1;
         Some(self.universe.request(PageId(self.gen.next_page())))
+    }
+}
+
+impl SeekableSource for PatternSource {
+    fn seek_forward(&mut self, n: u64) {
+        self.skip(n);
     }
 }
 
@@ -187,6 +193,12 @@ impl RequestSource for TenantMixSource {
         self.remaining -= 1;
         let page = self.draw();
         Some(self.universe.request(page))
+    }
+}
+
+impl SeekableSource for TenantMixSource {
+    fn seek_forward(&mut self, n: u64) {
+        self.skip(n);
     }
 }
 
