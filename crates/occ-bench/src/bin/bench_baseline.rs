@@ -44,7 +44,12 @@
 //!   statistic for every shard count, so 1-shard and 4-shard cells
 //!   compare fairly). Shard 0 replays the *same* trace as the scalar
 //!   zipf-0.9 cell, and every shard is asserted byte-identical to its
-//!   own sequential replay.
+//!   own sequential replay;
+//! * `concurrent` — M worker threads contending for ONE shared k-sized
+//!   cache (the `occ concurrent` engine). Before any timed rep, one
+//!   recorded run's commit schedule is replayed single-threaded and
+//!   asserted identical (per-user vectors, fault counters, quarantine
+//!   set); the timed reps then run unrecorded and unverified.
 //!
 //! `--smoke` runs a reduced matrix (lru/fifo/greedy-dual/alg-discrete ×
 //! zipf-0.9 × both cache sizes, scalar vs batched, plus a 1-shard
@@ -57,7 +62,7 @@
 
 use occ_baselines::{Fifo, GreedyDual, Lru, LruReference, Marking};
 use occ_core::{ConvexCaching, CostProfile, Monomial};
-use occ_fleet::{run_fleet_typed, FleetConfig};
+use occ_fleet::{run_fleet_typed, run_shared_fleet, FleetConfig, SharedConfig};
 use occ_probe::{Json, MetricsRecorder};
 use occ_sim::{
     ReplacementPolicy, Request, SimStats, Simulator, SteppingEngine, Trace, TraceSource,
@@ -75,6 +80,10 @@ const THROUGHPUT_REPS: usize = 5;
 const BATCHED_POLICIES: [&str; 4] = ["lru", "fifo", "greedy-dual", "alg-discrete"];
 /// Shard counts for the fleet entries.
 const FLEET_SHARDS: [usize; 2] = [1, 4];
+/// Shared-cache concurrent cell geometry: M worker threads contending
+/// for ONE k-sized cache striped over S page-table segments.
+const CONCURRENT_THREADS: usize = 4;
+const CONCURRENT_TABLE_SHARDS: usize = 8;
 /// `--smoke` fails the run when a cell's *drift-normalized* throughput
 /// lands this far below the committed baseline. Batched cells gate on
 /// their batched/scalar ratio vs the committed ratio (both sides of the
@@ -467,6 +476,54 @@ fn assert_fleet_matches_scalar(traces: &[Trace], k: usize, scalar_misses: u64) -
     report.total_misses()
 }
 
+/// Per-thread multi-tenant traces for the shared-cache concurrent cell
+/// — same 4-tenant Zipf(0.8) geometry as the grid's multi-tenant
+/// workload, decorrelated per-thread seeds, one shared universe.
+/// Materialized before any clock starts.
+fn concurrent_traces(k: usize) -> Vec<Trace> {
+    let tenants: Vec<TenantSpec> = (0..4)
+        .map(|i| TenantSpec::new(k as u32, 1.0 + i as f64, AccessPattern::Zipf { s: 0.8 }))
+        .collect();
+    (0..CONCURRENT_THREADS)
+        .map(|t| generate_multi_tenant(&tenants, TRACE_LEN, 5 + t as u64))
+        .collect()
+}
+
+/// One concurrent shared-cache cell: M worker threads replay their
+/// pre-materialized traces against a single k-sized LRU cache. The
+/// miss-identity gate runs FIRST and untimed — one recorded run whose
+/// commit schedule is replayed single-threaded and asserted identical
+/// (per-user vectors, fault counters, quarantine set) — so no
+/// throughput number can exist for a run the replay would reject. The
+/// timed reps then use the uninstrumented path (recording and
+/// verification off; the schedule is still recorded, its length is the
+/// commit count). Returns (best-of-N req/s, commits per rep).
+fn measure_concurrent(traces: &[Trace], k: usize, reps: usize) -> (f64, u64) {
+    let universe = traces[0].universe().clone();
+    let mut cfg = SharedConfig::new(k);
+    cfg.table_shards = CONCURRENT_TABLE_SHARDS;
+    let mut sources: Vec<TraceSource> = traces.iter().map(TraceSource::new).collect();
+    let verified = run_shared_fleet(universe.clone(), &cfg, &mut sources, |_| Lru::new())
+        .expect("concurrent run diverged from its single-thread replay");
+    let commits = verified.outcome.schedule.len() as u64;
+
+    cfg.record = false;
+    cfg.verify = false;
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut sources: Vec<TraceSource> = traces.iter().map(TraceSource::new).collect();
+        let report = run_shared_fleet(universe.clone(), &cfg, &mut sources, |_| Lru::new())
+            .expect("unverified concurrent runs cannot fail");
+        assert_eq!(
+            report.outcome.schedule.len() as u64,
+            commits,
+            "concurrent rep consumed a different number of records"
+        );
+        best = best.min(report.wall.as_secs_f64());
+    }
+    (commits as f64 / best, commits)
+}
+
 /// `--smoke`: lru/fifo/greedy-dual/alg-discrete on zipf-0.9 at both
 /// cache sizes, scalar vs monomorphized batched (paired best of
 /// three), plus a 1-shard trace-fed fleet. Asserts exact miss/stat
@@ -558,6 +615,28 @@ fn run_smoke(committed: &[CommittedCell]) {
             None => String::new(),
         };
         println!("SMOKE lru/fleet-1 k={k}: {rps:.0} req/s, misses {misses} (identical){delta}");
+
+        // Shared-cache concurrent cell: replay identity is asserted
+        // inside `measure_concurrent` before its first timed rep; the
+        // throughput gate reuses the fleet cell's drift correction.
+        let label = format!("lru/concurrent-{CONCURRENT_THREADS}x{CONCURRENT_TABLE_SHARDS}");
+        let traces = concurrent_traces(k);
+        let (rps, commits) = measure_concurrent(&traces, k, SMOKE_REPS);
+        let delta = match committed_rps(committed, &label, "tenants-4x-zipf-0.8", k, "concurrent") {
+            Some(rf) => {
+                let d = (rps / factor / rf - 1.0) * 100.0;
+                if d <= SMOKE_DELTA_GATE {
+                    gate_failures += 1;
+                    format!(", drift-corrected Δ {d:+.1}% <-- below gate")
+                } else {
+                    format!(", drift-corrected Δ {d:+.1}%")
+                }
+            }
+            None => String::new(),
+        };
+        println!(
+            "SMOKE {label} k={k}: {rps:.0} req/s, {commits} commits (replay-identical){delta}"
+        );
     }
 
     if gate_failures > 0 {
@@ -755,6 +834,38 @@ fn main() {
             .unwrap();
             rows.push(row);
         }
+
+        // Concurrent shared-cache entry: M threads, one cache. The
+        // replay-identity gate inside `measure_concurrent` runs before
+        // the first timed rep, so this row can only exist for runs the
+        // single-thread replay certified.
+        let label = format!("lru/concurrent-{CONCURRENT_THREADS}x{CONCURRENT_TABLE_SHARDS}");
+        let traces = concurrent_traces(k);
+        let (rps, commits) = measure_concurrent(&traces, k, THROUGHPUT_REPS);
+        let delta = delta_text(
+            &committed,
+            &label,
+            "tenants-4x-zipf-0.8",
+            k,
+            "concurrent",
+            rps,
+            &mut regressions,
+        );
+        println!(
+            "{label:>16}  k={k:<5} {:<20} {rps:>12.0} req/s   ({CONCURRENT_THREADS} threads, 1 shared cache)   commits {commits}{delta}",
+            "tenants-4x-zipf-0.8"
+        );
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"policy\": \"{label}\", \"workload\": \"tenants-4x-zipf-0.8\", \"k\": {k}, \
+             \"universe_pages\": {}, \"trace_len\": {TRACE_LEN}, \"mode\": \"concurrent\", \
+             \"threads\": {CONCURRENT_THREADS}, \"table_shards\": {CONCURRENT_TABLE_SHARDS}, \
+             \"requests_per_sec\": {rps:.0}, \"commits\": {commits}}}",
+            4 * k,
+        )
+        .unwrap();
+        rows.push(row);
     }
 
     let json = format!(

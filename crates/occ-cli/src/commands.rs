@@ -6,8 +6,8 @@ use occ_analysis::{compare_policies, evaluate_policy, fnum, lru_cost_curve, lru_
 use occ_baselines::{CostGreedy, Fifo, GreedyDual, Lfu, Lru, LruK, Marking, RandomEvict};
 use occ_core::{ConvexCaching, CostProfile};
 use occ_fleet::{
-    run_fleet, run_supervised_fleet, BackoffPolicy, DirPersist, FleetConfig, NoPersist, ShardKill,
-    ShardPersist, StoreFault, SupervisorConfig,
+    run_fleet, run_shared_fleet, run_supervised_fleet, BackoffPolicy, DirPersist, FleetConfig,
+    NoPersist, ShardKill, ShardPersist, SharedConfig, SharedError, StoreFault, SupervisorConfig,
 };
 use occ_offline::{Belady, CostAwareBelady};
 use occ_probe::{
@@ -15,12 +15,13 @@ use occ_probe::{
     CrcWriter, DualPoint, DualTrace, Json, JsonlSink, MetricsRecorder, ObserveReport, SeriesFile,
     SeriesSink, WindowDelta, WindowedRecorder,
 };
+use occ_sim::concurrent::{replay_schedule, CommitSchedule, ReplayError, ReplayOutcome};
 use occ_sim::{
     read_trace_auto, write_trace, write_trace_binary, BinaryTraceReader, EngineSnapshot,
     FaultCounters, FaultHandler, FaultPolicy, ReplacementPolicy, Request, RequestSource, SimStats,
     SteppingEngine, Time, Trace, TraceIoError, Universe, UserId,
 };
-use occ_workloads::{all_scenarios, FaultPlan, Scenario, TenantMixSource};
+use occ_workloads::{all_scenarios, ChaosSource, FaultPlan, Scenario, TenantMixSource};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
@@ -111,6 +112,31 @@ USAGE:
                --chaos-shard-kill panics shard S at request T;
                --chaos-store-fail fails shard S's Nth checkpoint save
                (both seeded, deterministic, counts accept k/M/B).
+  occ concurrent --scenario NAME [--threads M] [--table-shards S] [--len N]
+               [--seed S] [--k K] [--policy lru|fifo|greedy-dual]
+               [--verify on|off] [--format table|json] [--out FILE]
+               [--schedule-out FILE]
+               [--chaos-page-rate P] [--chaos-owner-rate P]
+               [--chaos-truncate N] [--chaos-seed S] [--degrade POLICY]
+               run M worker threads against ONE shared k-sized cache
+               (lock-striped over S page-table segments), each thread
+               streaming N scenario requests with a per-thread seed.
+               Every commit is recorded as (seq, thread, shard, page,
+               user, outcome); --verify on (the default) replays the
+               schedule single-threaded through the stock engine and
+               fails (exit 5) unless per-user hit/miss/eviction vectors,
+               fault counters and the quarantine set are identical.
+               Only policies with pure callbacks may share the cache
+               (lru, fifo, greedy-dual). --schedule-out writes the
+               commit schedule (CRC-sealed, self-describing header) for
+               offline replay. The --chaos-*/--degrade flags match
+               observe; chaos without --degrade fails fast.
+  occ concurrent --replay FILE [--format table|json] [--out FILE]
+               re-execute a --schedule-out file single-threaded and emit
+               a report whose users/faults/quarantined sections are
+               directly comparable to the recording run's (the CI
+               concurrency smoke byte-diffs them). Corrupt or
+               non-contiguous schedules exit 4; divergence exits 5.
   occ conformance [--grid smoke|full] [--seed S] [--weaken W]
                [--shrink on|off] [--out FILE] [--format table|json]
                machine-check the paper's bounds (Theorems 1.1/1.3/1.4,
@@ -630,6 +656,394 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
                  {max_restarts}; see the report's degraded section",
                 sup.quarantined().len()
             )));
+        }
+    }
+    Ok(())
+}
+
+/// The policies whose callbacks are *pure* in the shared-cache sense:
+/// they read only `ctx.universe` (never `ctx.cache`, `ctx.stats`, or the
+/// clock), so S per-shard instances behave identically to the replay's
+/// sharded mirror. Everything else is rejected for `occ concurrent`.
+fn make_shared_policy(
+    name: &str,
+    costs: &CostProfile,
+) -> Option<Box<dyn ReplacementPolicy + Send>> {
+    let weights: Vec<f64> = (0..costs.num_users())
+        .map(|u| costs.user(UserId(u)).eval(1.0).max(1e-9))
+        .collect();
+    Some(match name {
+        "lru" => Box::new(Lru::new()),
+        "fifo" => Box::new(Fifo::new()),
+        "greedy-dual" => Box::new(GreedyDual::new(weights)),
+        _ => return None,
+    })
+}
+
+/// First line of a `--schedule-out` file. The header carries everything
+/// `--replay` needs to rebuild the engine, so a schedule file is
+/// self-describing.
+const SCHEDULE_MAGIC: &str = "# occ-concurrent-schedule v1";
+
+/// Run parameters recovered from a schedule file header.
+struct ScheduleMeta {
+    scenario: String,
+    k: usize,
+    table_shards: usize,
+    policy: String,
+    degrade: FaultPolicy,
+}
+
+fn schedule_header(
+    scenario: &str,
+    k: usize,
+    table_shards: usize,
+    threads: usize,
+    policy: &str,
+    degrade: FaultPolicy,
+) -> String {
+    format!(
+        "{SCHEDULE_MAGIC} scenario={scenario} k={k} table-shards={table_shards} \
+         threads={threads} policy={policy} degrade={}",
+        degrade.name()
+    )
+}
+
+fn parse_schedule_header(line: &str) -> Result<ScheduleMeta, String> {
+    let rest = line
+        .strip_prefix(SCHEDULE_MAGIC)
+        .ok_or_else(|| format!("schedule header must start with '{SCHEDULE_MAGIC}'"))?;
+    let mut scenario = None;
+    let mut k = None;
+    let mut table_shards = None;
+    let mut policy = None;
+    let mut degrade = None;
+    for token in rest.split_ascii_whitespace() {
+        let (key, value) = token
+            .split_once('=')
+            .ok_or_else(|| format!("bad header token '{token}' (want key=value)"))?;
+        match key {
+            "scenario" => scenario = Some(value.to_string()),
+            "k" => k = value.parse::<usize>().ok(),
+            "table-shards" => table_shards = value.parse::<usize>().ok(),
+            "threads" => {} // provenance only; the replay is single-threaded
+            "policy" => policy = Some(value.to_string()),
+            "degrade" => {
+                degrade = Some(FaultPolicy::parse(value).ok_or_else(|| {
+                    format!("unknown degrade policy '{value}' in schedule header")
+                })?)
+            }
+            other => return Err(format!("unknown header key '{other}'")),
+        }
+    }
+    Ok(ScheduleMeta {
+        scenario: scenario.ok_or("header is missing scenario=")?,
+        k: k.ok_or("header is missing or has a bad k=")?,
+        table_shards: table_shards.ok_or("header is missing or has a bad table-shards=")?,
+        policy: policy.ok_or("header is missing policy=")?,
+        degrade: degrade.ok_or("header is missing degrade=")?,
+    })
+}
+
+/// Per-user hit/miss/eviction vectors in the exact shape
+/// `SharedReport::to_json_value` uses, so run and replay reports can be
+/// diffed section-for-section.
+fn users_json(stats: &SimStats) -> Json {
+    Json::Arr(
+        stats
+            .per_user()
+            .iter()
+            .map(|u| {
+                Json::Obj(vec![
+                    ("hits".into(), Json::from_u64(u.hits)),
+                    ("misses".into(), Json::from_u64(u.misses)),
+                    ("evictions".into(), Json::from_u64(u.evictions)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn faults_json(c: &FaultCounters) -> Json {
+    Json::Obj(vec![
+        (
+            "page_out_of_range".into(),
+            Json::from_u64(c.page_out_of_range),
+        ),
+        ("owner_mismatch".into(), Json::from_u64(c.owner_mismatch)),
+        (
+            "quarantined_drops".into(),
+            Json::from_u64(c.quarantined_drops),
+        ),
+        (
+            "quarantined_users".into(),
+            Json::from_u64(c.quarantined_users),
+        ),
+    ])
+}
+
+/// `occ concurrent`
+pub fn concurrent(args: &Args) -> Result<(), CliError> {
+    let replay_path = args.str_or("replay", "");
+    if !replay_path.is_empty() {
+        return concurrent_replay(args, &replay_path);
+    }
+
+    let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
+    let threads: usize = uarg(args.num_or("threads", 4usize))?;
+    if threads == 0 {
+        return Err(CliError::Usage(
+            "a concurrent run needs at least one worker thread".into(),
+        ));
+    }
+    let table_shards: usize = uarg(args.num_or("table-shards", 8usize))?;
+    if table_shards == 0 {
+        return Err(CliError::Usage(
+            "--table-shards must be positive (S=1 degenerates to one big lock, \
+             which is allowed)"
+                .into(),
+        ));
+    }
+    let len: u64 = uarg(args.scaled_or("len", 20_000))?;
+    let seed: u64 = uarg(args.num_or("seed", 7u64))?;
+    let k: usize = uarg(args.num_or("k", scenario.suggested_k))?;
+    if k == 0 {
+        return Err(CliError::Usage("--k must be positive".into()));
+    }
+    let policy_name = args.str_or("policy", "lru");
+    if make_shared_policy(&policy_name, &scenario.costs).is_none() {
+        return Err(CliError::Usage(format!(
+            "policy '{policy_name}' cannot share a cache across threads: shard \
+             instances must have pure callbacks (available: lru, fifo, greedy-dual)"
+        )));
+    }
+    let verify = match args.str_or("verify", "on").as_str() {
+        "on" => true,
+        "off" => false,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --verify mode '{other}' (on, off)"
+            )))
+        }
+    };
+
+    let page_rate: f64 = uarg(args.num_or("chaos-page-rate", 0.0f64))?;
+    let owner_rate: f64 = uarg(args.num_or("chaos-owner-rate", 0.0f64))?;
+    let truncate: u64 = uarg(args.scaled_or("chaos-truncate", 0))?;
+    let chaos_seed: u64 = uarg(args.num_or("chaos-seed", 0xC4A05u64))?;
+    for (name, rate) in [
+        ("chaos-page-rate", page_rate),
+        ("chaos-owner-rate", owner_rate),
+    ] {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(CliError::Usage(format!(
+                "--{name} must be in [0, 1], got {rate}"
+            )));
+        }
+    }
+    let chaos_active = page_rate > 0.0 || owner_rate > 0.0 || truncate > 0;
+    let degrade = degrade_from_args(args, chaos_active)?.unwrap_or(FaultPolicy::SkipAndCount);
+
+    let mut cfg = SharedConfig::new(k);
+    cfg.table_shards = table_shards;
+    cfg.degrade = degrade;
+    cfg.verify = verify;
+
+    let costs = &scenario.costs;
+    // Same derivation as the plain fleet: decorrelated, reproducible.
+    let thread_seed = |t: usize| seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let universe = scenario.stream(1, 0).universe().clone();
+    let result = if chaos_active {
+        let mut sources: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut plan = FaultPlan::seeded(chaos_seed ^ thread_seed(t))
+                    .with_page_rate(page_rate)
+                    .with_owner_rate(owner_rate);
+                if truncate > 0 {
+                    plan = plan.with_truncate_at(truncate as usize);
+                }
+                ChaosSource::new(scenario.stream(len, thread_seed(t)), plan)
+            })
+            .collect();
+        run_shared_fleet(universe, &cfg, &mut sources, |_| {
+            make_shared_policy(&policy_name, costs).expect("validated above")
+        })
+    } else {
+        let mut sources: Vec<_> = (0..threads)
+            .map(|t| scenario.stream(len, thread_seed(t)))
+            .collect();
+        run_shared_fleet(universe, &cfg, &mut sources, |_| {
+            make_shared_policy(&policy_name, costs).expect("validated above")
+        })
+    };
+    let report = result.map_err(|e| match e {
+        SharedError::Sim(e) => CliError::from(e),
+        SharedError::Replay(e) => CliError::Fault(format!("deterministic replay gate: {e}")),
+    })?;
+
+    let sched_out = args.str_or("schedule-out", "");
+    if !sched_out.is_empty() {
+        let mut body = schedule_header(
+            scenario.name,
+            k,
+            table_shards,
+            threads,
+            &policy_name,
+            degrade,
+        );
+        body.push('\n');
+        for e in report.outcome.schedule.entries() {
+            body.push_str(&e.to_line());
+            body.push('\n');
+        }
+        write_atomic_with_trailer(Path::new(&sched_out), &body)
+            .map_err(|e| CliError::Io(format!("write {sched_out}: {e}")))?;
+        eprintln!(
+            "wrote commit schedule ({} entries) to {sched_out}",
+            report.outcome.schedule.len()
+        );
+    }
+
+    let json = report.to_json_value();
+    let out_path = args.str_or("out", "");
+    if !out_path.is_empty() {
+        write_atomic(Path::new(&out_path), (json.to_json() + "\n").as_bytes())
+            .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
+    }
+    match args.str_or("format", "table").as_str() {
+        "json" => emit(&json.to_json()),
+        "table" => {
+            let mut t = Table::new(vec!["thread", "hits", "misses", "evictions", "dropped"]);
+            for (i, (stats, counters)) in report.outcome.per_thread.iter().enumerate() {
+                t.row(vec![
+                    i.to_string(),
+                    stats.total_hits().to_string(),
+                    stats.total_misses().to_string(),
+                    stats.total_evictions().to_string(),
+                    counters.total_records().to_string(),
+                ]);
+            }
+            emit(&t.to_markdown());
+            emit(&format!(
+                "concurrent: {threads} threads x {len} requests on one k={k} cache \
+                 ({} segments, {policy_name}, degrade={}) — {} commits in {:.1} ms, {} req/s",
+                table_shards,
+                degrade.name(),
+                report.outcome.schedule.len(),
+                report.wall.as_secs_f64() * 1e3,
+                fnum(report.requests_per_sec()),
+            ));
+            let c = &report.outcome.counters;
+            if !c.is_clean() {
+                emit(&format!(
+                    "faults: {} bad pages, {} wrong owners, {} quarantine drops; \
+                     {} users quarantined",
+                    c.page_out_of_range, c.owner_mismatch, c.quarantined_drops, c.quarantined_users,
+                ));
+            }
+            emit(match &report.replay {
+                Some(_) => {
+                    "replay: verified identical (single-thread replay of the \
+                            commit schedule reproduced every per-user vector)"
+                }
+                None => "replay: skipped (--verify off); the schedule was still recorded",
+            });
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format '{other}' (expected table or json)"
+            )))
+        }
+    }
+    Ok(())
+}
+
+/// `occ concurrent --replay FILE`
+fn concurrent_replay(args: &Args, path: &str) -> Result<(), CliError> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("read {path}: {e}")))?;
+    let body = require_trailer(&text).map_err(|m| CliError::Parse(format!("{path}: {m}")))?;
+    let mut lines = body.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| CliError::Parse(format!("{path}: empty schedule file")))?;
+    let meta =
+        parse_schedule_header(header).map_err(|m| CliError::Parse(format!("{path}: {m}")))?;
+    let scenario = find_scenario(&meta.scenario)?;
+    if make_shared_policy(&meta.policy, &scenario.costs).is_none() {
+        return Err(CliError::Parse(format!(
+            "{path}: schedule header names non-shareable policy '{}'",
+            meta.policy
+        )));
+    }
+    let schedule =
+        CommitSchedule::from_lines(lines.filter(|l| !l.trim().is_empty() && !l.starts_with('#')))
+            .map_err(|e| CliError::Parse(format!("{path}: {e}")))?;
+
+    let universe = scenario.stream(1, 0).universe().clone();
+    let policies: Vec<Box<dyn ReplacementPolicy + Send>> = (0..meta.table_shards)
+        .map(|_| make_shared_policy(&meta.policy, &scenario.costs).expect("validated above"))
+        .collect();
+    let started = Instant::now();
+    let outcome: ReplayOutcome =
+        replay_schedule(meta.k, universe, policies, meta.degrade, &schedule).map_err(
+            |e| match e {
+                ReplayError::Schedule(m) => {
+                    CliError::Parse(format!("{path}: bad commit schedule: {m}"))
+                }
+                other => CliError::Fault(other.to_string()),
+            },
+        )?;
+    let wall = started.elapsed();
+
+    let quarantined = outcome
+        .quarantined
+        .iter()
+        .map(|u| Json::from_u64(u.0 as u64))
+        .collect();
+    let json = Json::Obj(vec![
+        ("schema".into(), Json::from_u64(1)),
+        ("kind".into(), Json::Str("concurrent-replay".into())),
+        ("scenario".into(), Json::Str(meta.scenario.clone())),
+        ("policy".into(), Json::Str(meta.policy.clone())),
+        ("capacity".into(), Json::from_u64(meta.k as u64)),
+        (
+            "table_shards".into(),
+            Json::from_u64(meta.table_shards as u64),
+        ),
+        ("degrade".into(), Json::Str(meta.degrade.name().into())),
+        ("commits".into(), Json::from_u64(schedule.len() as u64)),
+        ("users".into(), users_json(&outcome.stats)),
+        ("faults".into(), faults_json(&outcome.counters)),
+        ("quarantined".into(), Json::Arr(quarantined)),
+        ("wall_ms".into(), Json::Num(wall.as_secs_f64() * 1e3)),
+    ]);
+    let out_path = args.str_or("out", "");
+    if !out_path.is_empty() {
+        write_atomic(Path::new(&out_path), (json.to_json() + "\n").as_bytes())
+            .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
+    }
+    match args.str_or("format", "table").as_str() {
+        "json" => emit(&json.to_json()),
+        "table" => {
+            emit(&format!(
+                "replayed {} commits of '{}' ({}, k={}, {} segments): \
+                 {} hits, {} misses, {} evictions, {} dropped",
+                schedule.len(),
+                meta.scenario,
+                meta.policy,
+                meta.k,
+                meta.table_shards,
+                outcome.stats.total_hits(),
+                outcome.stats.total_misses(),
+                outcome.stats.total_evictions(),
+                outcome.counters.total_records(),
+            ));
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown format '{other}' (expected table or json)"
+            )))
         }
     }
     Ok(())
@@ -1939,6 +2353,128 @@ mod tests {
             let err = conformance(&args(&bad)).unwrap_err();
             assert_eq!(err.exit_code(), 2, "{bad:?}");
         }
+    }
+
+    #[test]
+    fn concurrent_run_schedule_roundtrip_and_replay() {
+        let dir = std::env::temp_dir().join("occ-cli-concurrent-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let sched = dir.join("schedule.txt");
+        let run_json = dir.join("run.json");
+        let replay_json = dir.join("replay.json");
+        concurrent(&args(&[
+            "concurrent",
+            "--scenario",
+            "two-tier",
+            "--threads",
+            "4",
+            "--table-shards",
+            "4",
+            "--len",
+            "800",
+            "--k",
+            "8",
+            "--format",
+            "json",
+            "--schedule-out",
+            sched.to_str().unwrap(),
+            "--out",
+            run_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        concurrent(&args(&[
+            "concurrent",
+            "--replay",
+            sched.to_str().unwrap(),
+            "--out",
+            replay_json.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let run = Json::parse(&std::fs::read_to_string(&run_json).unwrap()).unwrap();
+        let rep = Json::parse(&std::fs::read_to_string(&replay_json).unwrap()).unwrap();
+        for section in ["users", "faults", "quarantined"] {
+            let a = run.get(section).unwrap().to_json();
+            let b = rep.get(section).unwrap().to_json();
+            assert_eq!(a, b, "run and replay disagree on '{section}'");
+        }
+        assert_eq!(
+            run.get("commits").unwrap().to_json(),
+            rep.get("commits").unwrap().to_json()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_chaos_quarantine_smoke() {
+        concurrent(&args(&[
+            "concurrent",
+            "--scenario",
+            "two-tier",
+            "--threads",
+            "3",
+            "--len",
+            "500",
+            "--chaos-owner-rate",
+            "0.02",
+            "--degrade",
+            "quarantine",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn concurrent_rejects_bad_flags_as_usage_errors() {
+        for bad in [
+            vec!["concurrent", "--scenario", "two-tier", "--threads", "0"],
+            vec![
+                "concurrent",
+                "--scenario",
+                "two-tier",
+                "--table-shards",
+                "0",
+            ],
+            vec!["concurrent", "--scenario", "two-tier", "--k", "0"],
+            vec!["concurrent", "--scenario", "two-tier", "--policy", "convex"],
+            vec!["concurrent", "--scenario", "two-tier", "--policy", "lfu"],
+            vec!["concurrent", "--scenario", "two-tier", "--verify", "maybe"],
+            vec!["concurrent", "--scenario", "two-tier", "--format", "xml"],
+            vec![
+                "concurrent",
+                "--scenario",
+                "two-tier",
+                "--chaos-page-rate",
+                "1.5",
+            ],
+        ] {
+            let err = concurrent(&args(&bad)).unwrap_err();
+            assert_eq!(err.exit_code(), 2, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn concurrent_replay_rejects_corrupt_schedules() {
+        let dir = std::env::temp_dir().join("occ-cli-concurrent-corrupt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        // No CRC trailer at all.
+        let bare = dir.join("bare.txt");
+        std::fs::write(&bare, "# occ-concurrent-schedule v1 scenario=two-tier\n").unwrap();
+        let err =
+            concurrent(&args(&["concurrent", "--replay", bare.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "missing trailer is a parse error");
+        // Sealed but non-contiguous schedule body.
+        let gap = dir.join("gap.txt");
+        let body = format!(
+            "{}\n5 0 0 0 0 ins\n",
+            schedule_header("two-tier", 8, 2, 1, "lru", FaultPolicy::SkipAndCount)
+        );
+        write_atomic_with_trailer(&gap, &body).unwrap();
+        let err =
+            concurrent(&args(&["concurrent", "--replay", gap.to_str().unwrap()])).unwrap_err();
+        assert_eq!(err.exit_code(), 4, "seq gap is a parse error");
+        assert!(err.to_string().contains("contiguous"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

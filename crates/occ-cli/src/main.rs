@@ -13,6 +13,8 @@
 //! occ report   --in report.json
 //! occ report   --series s.jsonl
 //! occ fleet    --scenario sqlvm-like --shards 8 --len 200000 --policy lru
+//! occ concurrent --scenario sqlvm-like --threads 4 --table-shards 8 --len 50000
+//! occ concurrent --replay schedule.txt --format json
 //! occ conformance --grid smoke --out verdicts.json
 //! occ scenarios
 //! ```
@@ -53,6 +55,7 @@ fn main() {
         Some("soak") => commands::soak(&args),
         Some("report") => commands::report(&args),
         Some("fleet") => commands::fleet(&args),
+        Some("concurrent") => commands::concurrent(&args),
         Some("conformance") => commands::conformance(&args),
         Some("scenarios") => commands::scenarios(),
         Some("help") | None => {

@@ -31,6 +31,7 @@
 //! statically dispatched callbacks, and (with recording off) no
 //! recorder merge.
 
+pub mod shared;
 pub mod supervisor;
 
 use occ_probe::{MetricsRecorder, WindowSeries, WindowedRecorder};
@@ -39,6 +40,7 @@ use occ_sim::{ReplacementPolicy, RequestSource, SimStats, SteppingEngine, DEFAUL
 use std::time::{Duration, Instant};
 
 pub use occ_probe::Json;
+pub use shared::{run_shared_fleet, SharedConfig, SharedError, SharedReport, SHARED_SCHEMA};
 pub use supervisor::{
     run_supervised_fleet, BackoffPolicy, DirPersist, FaultyPersist, NoPersist, ShardKill,
     ShardPersist, ShardState, ShardStatus, StoreFault, SupervisorConfig, SupervisorReport,

@@ -1,0 +1,331 @@
+//! Shared-cache fleet mode: M worker threads, **one** k-sized cache.
+//!
+//! The plain fleet ([`run_fleet`](crate::run_fleet)) scales by cloning
+//! independent caches; this module drives the page-sharded
+//! [`ConcurrentEngine`] instead — every worker contends for the same
+//! capacity, which is the deployment the paper's shared-cache model
+//! actually describes. It layers on top of `occ_sim::concurrent`:
+//! per-thread [`MetricsRecorder`]s merged in thread order, the
+//! deterministic replay gate run in-process (on by default), and a
+//! schema-stamped JSON report for `occ concurrent`.
+
+use crate::Json;
+use occ_probe::MetricsRecorder;
+use occ_sim::concurrent::{
+    replay_schedule, run_shared, verify_replay, ConcurrentEngine, ReplayError, ReplayOutcome,
+    SharedOutcome,
+};
+use occ_sim::probe::NoopRecorder;
+use occ_sim::{FaultPolicy, ReplacementPolicy, RequestSource, SimError, Universe};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Schema stamp for [`SharedReport::to_json_value`].
+pub const SHARED_SCHEMA: u64 = 1;
+
+/// Configuration of a shared-cache run.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedConfig {
+    /// Capacity `k` of the single shared cache.
+    pub capacity: usize,
+    /// Number of lock-striped page-table segments S.
+    pub table_shards: usize,
+    /// Degradation policy applied to malformed records.
+    pub degrade: FaultPolicy,
+    /// Attach a [`MetricsRecorder`] per worker (merged in thread
+    /// order). Off = zero-overhead [`NoopRecorder`] workers.
+    pub record: bool,
+    /// Run the deterministic replay gate after the concurrent run and
+    /// fail on any divergence. On by default; turning it off only
+    /// skips the in-process check — the schedule is always recorded.
+    pub verify: bool,
+}
+
+impl SharedConfig {
+    /// A recording, replay-verified config with `table_shards` = 8.
+    pub fn new(capacity: usize) -> Self {
+        SharedConfig {
+            capacity,
+            table_shards: 8,
+            degrade: FaultPolicy::SkipAndCount,
+            record: true,
+            verify: true,
+        }
+    }
+}
+
+/// Why a shared-cache run failed.
+#[derive(Debug)]
+pub enum SharedError {
+    /// The engine faulted (only fail-fast runs do).
+    Sim(SimError),
+    /// The replay gate rejected the run.
+    Replay(ReplayError),
+}
+
+impl fmt::Display for SharedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SharedError::Sim(e) => write!(f, "{e}"),
+            SharedError::Replay(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for SharedError {}
+
+impl From<SimError> for SharedError {
+    fn from(e: SimError) -> Self {
+        SharedError::Sim(e)
+    }
+}
+
+impl From<ReplayError> for SharedError {
+    fn from(e: ReplayError) -> Self {
+        SharedError::Replay(e)
+    }
+}
+
+/// Outcome of a shared-cache run (plus the replay gate's verdict).
+#[derive(Debug)]
+pub struct SharedReport {
+    /// Worker thread count M.
+    pub threads: usize,
+    /// Page-table segment count S.
+    pub table_shards: usize,
+    /// Shared cache capacity `k`.
+    pub capacity: usize,
+    /// Degradation policy that was in force.
+    pub degrade: FaultPolicy,
+    /// Merged stats / counters / quarantine set / commit schedule.
+    pub outcome: SharedOutcome,
+    /// All worker recorders folded into one (empty when recording off).
+    pub merged: MetricsRecorder,
+    /// The replay gate's aggregate state; `None` when verification was
+    /// disabled. When `Some`, the replay matched (mismatch is an error).
+    pub replay: Option<ReplayOutcome>,
+    /// Wall-clock time of the concurrent phase (excludes the replay).
+    pub wall: Duration,
+}
+
+impl SharedReport {
+    /// Committed records per second of concurrent wall-clock.
+    pub fn requests_per_sec(&self) -> f64 {
+        if self.wall.is_zero() {
+            return 0.0;
+        }
+        self.outcome.schedule.len() as f64 / self.wall.as_secs_f64()
+    }
+
+    /// The schema-stamped JSON report behind `occ concurrent --format json`.
+    pub fn to_json_value(&self) -> Json {
+        let users = self
+            .outcome
+            .stats
+            .per_user()
+            .iter()
+            .map(|u| {
+                Json::Obj(vec![
+                    ("hits".into(), Json::from_u64(u.hits)),
+                    ("misses".into(), Json::from_u64(u.misses)),
+                    ("evictions".into(), Json::from_u64(u.evictions)),
+                ])
+            })
+            .collect();
+        let c = &self.outcome.counters;
+        let faults = Json::Obj(vec![
+            (
+                "page_out_of_range".into(),
+                Json::from_u64(c.page_out_of_range),
+            ),
+            ("owner_mismatch".into(), Json::from_u64(c.owner_mismatch)),
+            (
+                "quarantined_drops".into(),
+                Json::from_u64(c.quarantined_drops),
+            ),
+            (
+                "quarantined_users".into(),
+                Json::from_u64(c.quarantined_users),
+            ),
+        ]);
+        let quarantined = self
+            .outcome
+            .quarantined
+            .iter()
+            .map(|u| Json::from_u64(u.0 as u64))
+            .collect();
+        let mut fields = vec![
+            ("schema".into(), Json::from_u64(SHARED_SCHEMA)),
+            ("kind".into(), Json::Str("shared-report".into())),
+            ("threads".into(), Json::from_u64(self.threads as u64)),
+            (
+                "table_shards".into(),
+                Json::from_u64(self.table_shards as u64),
+            ),
+            ("capacity".into(), Json::from_u64(self.capacity as u64)),
+            ("degrade".into(), Json::Str(self.degrade.name().into())),
+            (
+                "commits".into(),
+                Json::from_u64(self.outcome.schedule.len() as u64),
+            ),
+            ("users".into(), Json::Arr(users)),
+            ("faults".into(), faults),
+            ("quarantined".into(), Json::Arr(quarantined)),
+            ("merged".into(), self.merged.to_json_value()),
+            ("wall_ms".into(), Json::Num(self.wall.as_secs_f64() * 1e3)),
+            (
+                "requests_per_sec".into(),
+                Json::Num(self.requests_per_sec()),
+            ),
+        ];
+        fields.push((
+            "replay".into(),
+            match &self.replay {
+                Some(r) => Json::Obj(vec![
+                    ("verified".into(), Json::Bool(true)),
+                    ("identical".into(), Json::Bool(true)),
+                    (
+                        "commits".into(),
+                        Json::from_u64(self.outcome.schedule.len() as u64),
+                    ),
+                    (
+                        "replay_misses".into(),
+                        Json::from_u64(r.stats.total_misses()),
+                    ),
+                ]),
+                None => Json::Obj(vec![("verified".into(), Json::Bool(false))]),
+            },
+        ));
+        Json::Obj(fields)
+    }
+}
+
+/// Drive `sources[t]` on worker thread `t` against one shared cache,
+/// merge recorders in thread order, and (unless disabled) gate the run
+/// on its own deterministic replay. `make_policy(s)` builds the policy
+/// instance for shard segment `s`; the replay gate calls it again for
+/// its mirror instances, so it must be deterministic.
+pub fn run_shared_fleet<P, S, F>(
+    universe: Universe,
+    cfg: &SharedConfig,
+    sources: &mut [S],
+    make_policy: F,
+) -> Result<SharedReport, SharedError>
+where
+    P: ReplacementPolicy + Send,
+    S: RequestSource + Send,
+    F: Fn(usize) -> P,
+{
+    let threads = sources.len();
+    let engine = ConcurrentEngine::new(
+        cfg.capacity,
+        universe.clone(),
+        cfg.degrade,
+        (0..cfg.table_shards).map(&make_policy).collect(),
+    );
+    let started = Instant::now();
+    let (outcome, merged) = if cfg.record {
+        let mut recorders: Vec<MetricsRecorder> =
+            (0..threads).map(|_| MetricsRecorder::new()).collect();
+        let outcome = run_shared(&engine, sources, &mut recorders)?;
+        let mut merged = MetricsRecorder::new();
+        for r in &recorders {
+            merged.merge(r);
+        }
+        (outcome, merged)
+    } else {
+        let mut recorders = vec![NoopRecorder; threads];
+        let outcome = run_shared(&engine, sources, &mut recorders)?;
+        (outcome, MetricsRecorder::new())
+    };
+    let wall = started.elapsed();
+    let replay = if cfg.verify {
+        let replayed = replay_schedule(
+            cfg.capacity,
+            universe,
+            (0..cfg.table_shards).map(&make_policy).collect(),
+            cfg.degrade,
+            &outcome.schedule,
+        )?;
+        verify_replay(&outcome, &replayed)?;
+        Some(replayed)
+    } else {
+        None
+    };
+    Ok(SharedReport {
+        threads,
+        table_shards: cfg.table_shards,
+        capacity: cfg.capacity,
+        degrade: cfg.degrade,
+        outcome,
+        merged,
+        replay,
+        wall,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use occ_baselines::Lru;
+    use occ_probe::check_schema_stamp;
+    use occ_workloads::presets::all_scenarios;
+
+    #[test]
+    fn shared_run_verifies_and_reports() {
+        let scenarios = all_scenarios();
+        let scenario = &scenarios[0];
+        let mut sources: Vec<_> = (0..4)
+            .map(|t| scenario.stream(2_000, 7 + t as u64))
+            .collect();
+        let universe = sources[0].universe().clone();
+        let cfg = SharedConfig {
+            capacity: scenario.suggested_k,
+            table_shards: 4,
+            degrade: FaultPolicy::SkipAndCount,
+            record: true,
+            verify: true,
+        };
+        let report =
+            run_shared_fleet(universe, &cfg, &mut sources, |_| Lru::new()).expect("run + replay");
+        assert_eq!(report.outcome.schedule.len(), 8_000);
+        assert!(report.replay.is_some());
+        assert_eq!(report.merged.requests(), 8_000);
+        assert_eq!(
+            report.merged.hits() + report.merged.inserts() + report.merged.evictions(),
+            8_000
+        );
+        let v = report.to_json_value();
+        check_schema_stamp(&v, SHARED_SCHEMA, "shared report").unwrap();
+        let text = v.to_json();
+        assert!(text.contains("\"identical\": true") || text.contains("\"identical\":true"));
+    }
+
+    #[test]
+    fn unrecorded_run_matches_recorded_counters() {
+        let scenarios = all_scenarios();
+        let scenario = &scenarios[1];
+        let universe = scenario.stream(1, 1).universe().clone();
+        let run = |record: bool| {
+            let mut sources: Vec<_> = (0..3).map(|t| scenario.stream(1_500, t as u64)).collect();
+            let cfg = SharedConfig {
+                capacity: scenario.suggested_k,
+                table_shards: 3,
+                degrade: FaultPolicy::SkipAndCount,
+                record,
+                verify: true,
+            };
+            run_shared_fleet(universe.clone(), &cfg, &mut sources, |_| Lru::new()).unwrap()
+        };
+        let recorded = run(true);
+        let bare = run(false);
+        // Scheduling differs between the two runs, but totals are
+        // schedule-independent for a shared LRU over the same streams?
+        // No — interleaving changes outcomes. What must hold: each run
+        // equals its own replay (checked inside), and the unrecorded
+        // run's merged recorder is empty.
+        assert_eq!(bare.merged.requests(), 0);
+        assert_eq!(recorded.merged.requests(), 4_500);
+        assert_eq!(bare.outcome.schedule.len(), 4_500);
+    }
+}

@@ -47,6 +47,7 @@
 pub mod binio;
 pub mod cache;
 pub mod checksum;
+pub mod concurrent;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -69,6 +70,11 @@ pub use binio::{
 };
 pub use cache::CacheSet;
 pub use checksum::{crc32, Crc32};
+pub use concurrent::{
+    merge_stats, replay_schedule, run_shared, shard_of, verify_replay, CommitOutcome, CommitRecord,
+    CommitSchedule, ConcurrentEngine, ReplayError, ReplayOutcome, ShardedPolicy, SharedOutcome,
+    ThreadLane,
+};
 pub use engine::{CheckedRun, EngineCtx, SimOptions, SimResult, Simulator};
 pub use error::{
     CostAnomaly, FaultCounters, FaultHandler, FaultKind, FaultPolicy, PolicyViolation,
@@ -91,6 +97,10 @@ pub use trace::{Request, Trace, TraceBuilder, Universe};
 /// Convenient glob import for downstream crates and examples.
 pub mod prelude {
     pub use crate::cache::CacheSet;
+    pub use crate::concurrent::{
+        replay_schedule, run_shared, verify_replay, CommitOutcome, CommitRecord, CommitSchedule,
+        ConcurrentEngine, ReplayError, ReplayOutcome, ShardedPolicy, SharedOutcome,
+    };
     pub use crate::engine::{CheckedRun, EngineCtx, SimOptions, SimResult, Simulator};
     pub use crate::error::{
         FaultCounters, FaultHandler, FaultKind, FaultPolicy, RequestFault, SimError, SnapshotError,

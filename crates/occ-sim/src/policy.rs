@@ -104,40 +104,53 @@ pub trait ReplacementPolicy {
     }
 }
 
-/// Impl for boxed policies so heterogeneous suites (`Vec<Box<dyn …>>`)
-/// can be run directly.
-impl ReplacementPolicy for Box<dyn ReplacementPolicy> {
-    fn name(&self) -> String {
-        (**self).name()
-    }
-    fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
-        (**self).on_hit(ctx, page)
-    }
-    fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
-        (**self).on_insert(ctx, page)
-    }
-    fn choose_victim(&mut self, ctx: &EngineCtx, incoming: PageId) -> PageId {
-        (**self).choose_victim(ctx, incoming)
-    }
-    fn on_evicted(&mut self, ctx: &EngineCtx, victim: PageId) {
-        (**self).on_evicted(ctx, victim)
-    }
-    fn on_external_removal(&mut self, ctx: &EngineCtx, page: PageId) {
-        (**self).on_external_removal(ctx, page)
-    }
-    fn prefetch_hint(&self, page: PageId) {
-        (**self).prefetch_hint(page)
-    }
-    fn reset(&mut self) {
-        (**self).reset()
-    }
-    fn save_state(&self) -> Option<PolicyState> {
-        (**self).save_state()
-    }
-    fn load_state(&mut self, ctx: &EngineCtx, state: &PolicyState) -> Result<(), SnapshotError> {
-        (**self).load_state(ctx, state)
-    }
+/// Forwarding impls for boxed policies so heterogeneous suites
+/// (`Vec<Box<dyn …>>`) can be run directly. Generated for both the plain
+/// trait object and its `+ Send` form (the concurrent shared-cache
+/// engine moves per-shard policy instances across worker threads).
+macro_rules! forward_boxed_policy {
+    ($ty:ty) => {
+        impl ReplacementPolicy for $ty {
+            fn name(&self) -> String {
+                (**self).name()
+            }
+            fn on_hit(&mut self, ctx: &EngineCtx, page: PageId) {
+                (**self).on_hit(ctx, page)
+            }
+            fn on_insert(&mut self, ctx: &EngineCtx, page: PageId) {
+                (**self).on_insert(ctx, page)
+            }
+            fn choose_victim(&mut self, ctx: &EngineCtx, incoming: PageId) -> PageId {
+                (**self).choose_victim(ctx, incoming)
+            }
+            fn on_evicted(&mut self, ctx: &EngineCtx, victim: PageId) {
+                (**self).on_evicted(ctx, victim)
+            }
+            fn on_external_removal(&mut self, ctx: &EngineCtx, page: PageId) {
+                (**self).on_external_removal(ctx, page)
+            }
+            fn prefetch_hint(&self, page: PageId) {
+                (**self).prefetch_hint(page)
+            }
+            fn reset(&mut self) {
+                (**self).reset()
+            }
+            fn save_state(&self) -> Option<PolicyState> {
+                (**self).save_state()
+            }
+            fn load_state(
+                &mut self,
+                ctx: &EngineCtx,
+                state: &PolicyState,
+            ) -> Result<(), SnapshotError> {
+                (**self).load_state(ctx, state)
+            }
+        }
+    };
 }
+
+forward_boxed_policy!(Box<dyn ReplacementPolicy>);
+forward_boxed_policy!(Box<dyn ReplacementPolicy + Send>);
 
 /// Blanket impl so `&mut P` can be passed where a policy is expected.
 impl<P: ReplacementPolicy + ?Sized> ReplacementPolicy for &mut P {

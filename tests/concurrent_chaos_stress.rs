@@ -1,0 +1,133 @@
+//! Stress/soak test: 4 worker threads with seeded `ChaosSource` fault
+//! injection against one shared cache.
+//!
+//! Three contracts:
+//! * the run's merged fault counters equal the exact sum of the
+//!   per-thread counters (no fault lost or double-counted across the
+//!   lock-striped engine's thread lanes);
+//! * under the quarantine-user policy, the single-threaded replay of
+//!   the commit schedule quarantines **the same users** and reproduces
+//!   every per-user vector;
+//! * the same holds at soak length under skip-and-count.
+
+use occ_baselines::Lru;
+use occ_sim::concurrent::{replay_schedule, run_shared, verify_replay, ConcurrentEngine};
+use occ_sim::probe::NoopRecorder;
+use occ_sim::{FaultCounters, FaultPolicy, ReplacementPolicy, RequestSource};
+use occ_workloads::{all_scenarios, ChaosSource, FaultPlan};
+
+type SharedPolicy = Box<dyn ReplacementPolicy + Send>;
+
+const THREADS: usize = 4;
+const TABLE_SHARDS: usize = 8;
+
+fn lru_policies() -> Vec<SharedPolicy> {
+    (0..TABLE_SHARDS)
+        .map(|_| -> SharedPolicy { Box::new(Lru::new()) })
+        .collect()
+}
+
+/// Run THREADS chaos-wrapped scenario streams of `len` requests each
+/// under `degrade`, then replay and cross-check everything.
+fn chaos_run(len: u64, degrade: FaultPolicy, page_rate: f64, owner_rate: f64) {
+    let scenarios = all_scenarios();
+    let scenario = &scenarios[0];
+    let mut sources: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let plan = FaultPlan::seeded(0xC4A05 ^ (t as u64) << 17)
+                .with_page_rate(page_rate)
+                .with_owner_rate(owner_rate);
+            ChaosSource::new(scenario.stream(len, 7 + t as u64), plan)
+        })
+        .collect();
+    let universe = sources[0].universe().clone();
+    let k = scenario.suggested_k;
+    let engine = ConcurrentEngine::new(k, universe.clone(), degrade, lru_policies());
+    let mut recorders = vec![NoopRecorder; THREADS];
+    let outcome = run_shared(&engine, &mut sources, &mut recorders)
+        .expect("skip/quarantine degradation never faults the run");
+
+    // Chaos actually fired — otherwise this test exercises nothing.
+    let injected: u64 = sources.iter().map(|s| s.injected().total()).sum();
+    assert!(injected > 0, "the seeded plans must inject faults");
+
+    // Merged counters are the exact sum of the per-thread lanes.
+    assert_eq!(outcome.per_thread.len(), THREADS);
+    let mut summed = FaultCounters::default();
+    for (_, c) in &outcome.per_thread {
+        summed.merge(c);
+    }
+    assert_eq!(
+        summed, outcome.counters,
+        "merged fault counters must equal the per-thread sum exactly"
+    );
+    // Same for the per-user stats vectors.
+    let mut misses = vec![0u64; universe.num_users() as usize];
+    for (stats, _) in &outcome.per_thread {
+        for (u, s) in stats.per_user().iter().enumerate() {
+            misses[u] += s.misses;
+        }
+    }
+    assert_eq!(misses, outcome.stats.miss_vector());
+
+    // Replay: identical vectors, identical counters, identical
+    // quarantine set (order included — both are ascending by user id).
+    let replayed = replay_schedule(k, universe, lru_policies(), degrade, &outcome.schedule)
+        .expect("recorded schedule must replay");
+    verify_replay(&outcome, &replayed).expect("replay must be identical");
+    assert_eq!(
+        outcome.quarantined, replayed.quarantined,
+        "replay must quarantine exactly the users the concurrent run did"
+    );
+    if degrade == FaultPolicy::QuarantineUser && outcome.counters.owner_mismatch > 0 {
+        assert!(
+            !outcome.quarantined.is_empty(),
+            "owner mismatches under quarantine-user must quarantine someone"
+        );
+    }
+}
+
+#[test]
+fn quarantine_chaos_stress_matches_replay() {
+    chaos_run(5_000, FaultPolicy::QuarantineUser, 0.002, 0.003);
+}
+
+#[test]
+fn skip_and_count_chaos_soak_matches_replay() {
+    chaos_run(25_000, FaultPolicy::SkipAndCount, 0.001, 0.001);
+}
+
+#[test]
+fn truncated_streams_still_balance() {
+    let scenarios = all_scenarios();
+    let scenario = &scenarios[1];
+    let mut sources: Vec<_> = (0..THREADS)
+        .map(|t| {
+            // Thread t's stream is cut off after 100*t records — thread 0
+            // is cut to nothing, so 100*(1+2+3) commits survive — uneven worker exits must not unbalance
+            // the commit schedule.
+            let plan = FaultPlan::seeded(11 + t as u64).with_truncate_at(100 * t);
+            ChaosSource::new(scenario.stream(2_000, 3 + t as u64), plan)
+        })
+        .collect();
+    let universe = sources[0].universe().clone();
+    let k = scenario.suggested_k;
+    let engine = ConcurrentEngine::new(
+        k,
+        universe.clone(),
+        FaultPolicy::SkipAndCount,
+        lru_policies(),
+    );
+    let mut recorders = vec![NoopRecorder; THREADS];
+    let outcome = run_shared(&engine, &mut sources, &mut recorders).expect("clean run");
+    assert_eq!(outcome.schedule.len(), 100 * (1 + 2 + 3));
+    let replayed = replay_schedule(
+        k,
+        universe,
+        lru_policies(),
+        FaultPolicy::SkipAndCount,
+        &outcome.schedule,
+    )
+    .expect("schedule must replay");
+    verify_replay(&outcome, &replayed).expect("replay must be identical");
+}

@@ -1,0 +1,179 @@
+//! Property tests for the concurrent shared-cache engine's determinism
+//! contract: for ANY thread count, shard count, shareable policy, and
+//! seeded per-thread request schedule, the single-threaded replay of the
+//! recorded commit schedule must reproduce the concurrent run exactly —
+//! per-user hit/miss/eviction vectors, fault counters, and the
+//! quarantine set. Plus the deterministic edge-case sweep: k=1, S=1,
+//! more threads than shards, one user owning every page, and empty
+//! request streams.
+
+use occ_baselines::{Fifo, GreedyDual, Lru};
+use occ_sim::concurrent::{replay_schedule, run_shared, verify_replay, ConcurrentEngine};
+use occ_sim::probe::NoopRecorder;
+use occ_sim::{FaultPolicy, ReplacementPolicy, SharedOutcome, Trace, TraceSource, Universe};
+use proptest::prelude::*;
+
+type SharedPolicy = Box<dyn ReplacementPolicy + Send>;
+
+/// The shard-safe policy suite (callback-pure: reads only
+/// `ctx.universe`). Index-addressed so proptest can pick one.
+fn shared_policies(idx: usize, table_shards: usize, num_users: u32) -> Vec<SharedPolicy> {
+    (0..table_shards)
+        .map(|_| -> SharedPolicy {
+            match idx {
+                0 => Box::new(Lru::new()),
+                1 => Box::new(Fifo::new()),
+                _ => Box::new(GreedyDual::unweighted(num_users)),
+            }
+        })
+        .collect()
+}
+
+/// Run `traces` concurrently (one worker per trace) against one shared
+/// cache, then replay the recorded schedule and demand exact equality.
+fn run_and_replay(
+    traces: &[Trace],
+    k: usize,
+    table_shards: usize,
+    policy_idx: usize,
+    degrade: FaultPolicy,
+) -> (SharedOutcome, occ_sim::concurrent::ReplayOutcome) {
+    let universe = traces[0].universe().clone();
+    let num_users = universe.num_users();
+    let engine = ConcurrentEngine::new(
+        k,
+        universe.clone(),
+        degrade,
+        shared_policies(policy_idx, table_shards, num_users),
+    );
+    let mut sources: Vec<TraceSource> = traces.iter().map(TraceSource::new).collect();
+    let mut recorders = vec![NoopRecorder; sources.len()];
+    let outcome = run_shared(&engine, &mut sources, &mut recorders).expect("run cannot fault");
+    let replayed = replay_schedule(
+        k,
+        universe,
+        shared_policies(policy_idx, table_shards, num_users),
+        degrade,
+        &outcome.schedule,
+    )
+    .expect("schedule must replay");
+    verify_replay(&outcome, &replayed).expect("replay must be identical");
+    (outcome, replayed)
+}
+
+/// (threads, table_shards, policy, k, users, pages-per-user) plus one
+/// request-index vector per thread over the shared universe.
+#[allow(clippy::type_complexity)]
+fn arb_shape() -> impl Strategy<Value = ((usize, usize, usize), usize, u32, u32, Vec<Vec<u32>>)> {
+    (1usize..=4, 1usize..=8, 0usize..3, 1u32..=3, 1u32..=4).prop_flat_map(
+        |(threads, shards, policy, users, pages_per)| {
+            let total = users * pages_per;
+            (
+                Just((threads, shards, policy)),
+                1usize..=6,
+                Just(users),
+                Just(pages_per),
+                proptest::collection::vec(proptest::collection::vec(0..total, 0..120), threads),
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn concurrent_equals_replay_for_any_shape(
+        ((threads, table_shards, policy_idx), k, users, pages_per, schedules) in arb_shape(),
+    ) {
+        prop_assert_eq!(schedules.len(), threads);
+        let universe = Universe::uniform(users, pages_per);
+        let traces: Vec<Trace> = schedules
+            .iter()
+            .map(|idxs| Trace::from_page_indices(&universe, idxs))
+            .collect();
+        let (outcome, replayed) =
+            run_and_replay(&traces, k, table_shards, policy_idx, FaultPolicy::SkipAndCount);
+
+        // The explicit satellite contract, beyond verify_replay's own
+        // check: per-user miss vectors and fault counters byte-equal.
+        prop_assert_eq!(outcome.stats.miss_vector(), replayed.stats.miss_vector());
+        prop_assert_eq!(outcome.stats.per_user(), replayed.stats.per_user());
+        prop_assert_eq!(&outcome.counters, &replayed.counters);
+        prop_assert_eq!(&outcome.quarantined, &replayed.quarantined);
+
+        // Every consumed record drew exactly one commit slot.
+        let consumed: usize = traces.iter().map(Trace::len).sum();
+        prop_assert_eq!(outcome.schedule.len(), consumed);
+    }
+}
+
+/// A trace of `n` round-robin pages over `universe`.
+fn cyclic_trace(universe: &Universe, n: usize) -> Trace {
+    let total = universe.num_pages();
+    let idxs: Vec<u32> = (0..n as u32).map(|i| (i * 7 + 1) % total).collect();
+    Trace::from_page_indices(universe, &idxs)
+}
+
+#[test]
+fn edge_case_k1_thrashes_identically() {
+    let universe = Universe::uniform(2, 4);
+    let traces: Vec<Trace> = (0..4).map(|_| cyclic_trace(&universe, 200)).collect();
+    let (outcome, _) = run_and_replay(&traces, 1, 4, 0, FaultPolicy::SkipAndCount);
+    assert_eq!(outcome.schedule.len(), 800);
+    // k=1: after the first insert every miss is an eviction.
+    assert_eq!(
+        outcome.stats.total_evictions(),
+        outcome.stats.total_misses() - 1
+    );
+}
+
+#[test]
+fn edge_case_single_segment_is_one_big_lock() {
+    let universe = Universe::uniform(3, 3);
+    let traces: Vec<Trace> = (0..4).map(|_| cyclic_trace(&universe, 150)).collect();
+    let (outcome, _) = run_and_replay(&traces, 4, 1, 1, FaultPolicy::SkipAndCount);
+    assert_eq!(outcome.schedule.len(), 600);
+    for e in outcome.schedule.entries() {
+        assert_eq!(e.shard, 0, "S=1 maps every page to segment 0");
+    }
+}
+
+#[test]
+fn edge_case_more_threads_than_segments() {
+    let universe = Universe::uniform(2, 5);
+    let traces: Vec<Trace> = (0..6).map(|_| cyclic_trace(&universe, 100)).collect();
+    let (outcome, _) = run_and_replay(&traces, 3, 2, 2, FaultPolicy::SkipAndCount);
+    assert_eq!(outcome.schedule.len(), 600);
+    let threads: std::collections::BTreeSet<u32> = outcome
+        .schedule
+        .entries()
+        .iter()
+        .map(|e| e.thread)
+        .collect();
+    assert_eq!(threads.len(), 6, "every worker committed something");
+}
+
+#[test]
+fn edge_case_one_user_owns_every_page() {
+    let universe = Universe::single_user(8);
+    let traces: Vec<Trace> = (0..4).map(|_| cyclic_trace(&universe, 120)).collect();
+    let (outcome, replayed) = run_and_replay(&traces, 3, 4, 0, FaultPolicy::SkipAndCount);
+    assert_eq!(outcome.stats.per_user().len(), 1);
+    assert_eq!(
+        outcome.stats.per_user()[0].evictions,
+        replayed.stats.per_user()[0].evictions
+    );
+}
+
+#[test]
+fn edge_case_empty_streams_commit_nothing() {
+    let universe = Universe::uniform(2, 3);
+    let traces: Vec<Trace> = (0..4)
+        .map(|_| Trace::from_page_indices(&universe, &[]))
+        .collect();
+    let (outcome, replayed) = run_and_replay(&traces, 2, 4, 0, FaultPolicy::SkipAndCount);
+    assert!(outcome.schedule.is_empty());
+    assert_eq!(outcome.stats.total_misses(), 0);
+    assert_eq!(replayed.stats.total_misses(), 0);
+}
