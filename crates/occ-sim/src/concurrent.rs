@@ -146,17 +146,21 @@ impl CommitRecord {
     pub fn from_line(line: &str) -> Result<CommitRecord, ReplayError> {
         let bad = |what: &str| ReplayError::Schedule(format!("{what} in schedule line '{line}'"));
         let mut it = line.split_ascii_whitespace();
-        let mut num = |what: &str| -> Result<u64, ReplayError> {
+        let seq = it
+            .next()
+            .ok_or_else(|| bad("missing/bad seq"))?
+            .parse::<u64>()
+            .map_err(|_| bad("missing/bad seq"))?;
+        let mut num32 = |what: &str| -> Result<u32, ReplayError> {
             it.next()
                 .ok_or_else(|| bad(what))?
-                .parse::<u64>()
+                .parse::<u32>()
                 .map_err(|_| bad(what))
         };
-        let seq = num("missing/bad seq")?;
-        let thread = num("missing/bad thread")? as u32;
-        let shard = num("missing/bad shard")? as u32;
-        let page = PageId(num("missing/bad page")? as u32);
-        let user = UserId(num("missing/bad user")? as u32);
+        let thread = num32("missing/bad thread")?;
+        let shard = num32("missing/bad shard")?;
+        let page = PageId(num32("missing/bad page")?);
+        let user = UserId(num32("missing/bad user")?);
         let tag = it.next().ok_or_else(|| bad("missing outcome tag"))?;
         let outcome = match tag {
             "hit" => CommitOutcome::Hit,
@@ -604,14 +608,23 @@ impl<P: ReplacementPolicy> ConcurrentEngine<P> {
             .map(|i| (s + i) % n)
             .find(|&i| cap.used[i] > 0)
             .expect("cache is full but no shard holds a page");
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let victim = if v == s {
-            Self::evict_and_insert(&mut sh, None, req.page, seq, &self.universe)
+        // seq must be drawn only once every covering lock is held; for a
+        // cross-shard eviction that includes the victim shard's lock, or a
+        // concurrent hit there could commit with a later seq yet mutate the
+        // shard's policy state first, making the schedule non-serializable
+        // in seq order.
+        let (seq, victim) = if v == s {
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let victim = Self::evict_and_insert(&mut sh, None, req.page, seq, &self.universe);
+            (seq, victim)
         } else {
             // Only the capacity-mutex holder ever takes a second shard
             // lock, so this nested acquisition cannot deadlock.
             let mut shv = self.shards[v].lock().unwrap();
-            Self::evict_and_insert(&mut shv, Some(&mut sh), req.page, seq, &self.universe)
+            let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+            let victim =
+                Self::evict_and_insert(&mut shv, Some(&mut sh), req.page, seq, &self.universe);
+            (seq, victim)
         };
         cap.used[v] -= 1;
         cap.used[s] += 1;
@@ -1288,6 +1301,12 @@ mod tests {
         assert!(CommitRecord::from_line("1 2 3").is_err());
         assert!(CommitRecord::from_line("0 0 0 1 1 zap").is_err());
         assert!(CommitRecord::from_line("0 0 0 1 1 hit extra").is_err());
+        // Ids wider than u32 must be rejected, not silently truncated.
+        assert!(CommitRecord::from_line("0 4294967296 0 1 1 hit").is_err());
+        assert!(CommitRecord::from_line("0 0 4294967296 1 1 hit").is_err());
+        assert!(CommitRecord::from_line("0 0 0 4294967296 1 hit").is_err());
+        assert!(CommitRecord::from_line("0 0 0 1 4294967296 hit").is_err());
+        assert!(CommitRecord::from_line("0 0 0 1 1 evt 4294967296").is_err());
     }
 
     #[test]
