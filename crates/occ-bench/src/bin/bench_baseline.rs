@@ -50,6 +50,17 @@
 //!   recorded run's commit schedule is replayed single-threaded and
 //!   asserted identical (per-user vectors, fault counters, quarantine
 //!   set); the timed reps then run unrecorded and unverified.
+//! * `ingest` — pure trace-ingestion throughput (decode + validation +
+//!   running CRC, no cache attached) over the three binary access
+//!   strategies: zero-copy `mmap` of occbin01, `buffered` chunked reads
+//!   of the same file, and `packed` streaming delta/varint decode of
+//!   its occbin02 twin. Before any timed rep, the same fixture is
+//!   replayed *through the engine* via all three strategies and the
+//!   stats asserted byte-identical to an in-memory replay of the
+//!   generating trace; the timed reps then run interleaved (one rep of
+//!   every strategy per round) so the mmap/buffered ratio is immune to
+//!   host-speed drift. `--ingest` runs just this block on the
+//!   full-sized (10M-request) fixture.
 //!
 //! `--smoke` runs a reduced matrix (lru/fifo/greedy-dual/alg-discrete ×
 //! zipf-0.9 × both cache sizes, scalar vs batched, plus a 1-shard
@@ -65,12 +76,15 @@ use occ_core::{ConvexCaching, CostProfile, Monomial};
 use occ_fleet::{run_fleet_typed, run_shared_fleet, FleetConfig, SharedConfig};
 use occ_probe::{Json, MetricsRecorder};
 use occ_sim::{
-    ReplacementPolicy, Request, SimStats, Simulator, SteppingEngine, Trace, TraceSource,
-    DEFAULT_BATCH_SIZE,
+    write_trace_binary, write_trace_binary_v2, Binary2TraceReader, BinarySource, BinaryTraceReader,
+    MmapTraceSource, ReplacementPolicy, Request, RequestSource, SimStats, Simulator,
+    SteppingEngine, Trace, TraceSource, DEFAULT_BATCH_SIZE,
 };
 use occ_workloads::{generate_multi_tenant, zipf_trace, AccessPattern, TenantSpec};
 use std::fmt::Write as _;
-use std::path::Path;
+use std::fs::File;
+use std::io::{BufReader, Write as _};
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 const TRACE_LEN: usize = 200_000;
@@ -84,6 +98,14 @@ const FLEET_SHARDS: [usize; 2] = [1, 4];
 /// for ONE k-sized cache striped over S page-table segments.
 const CONCURRENT_THREADS: usize = 4;
 const CONCURRENT_TABLE_SHARDS: usize = 8;
+/// Ingest cells: Zipf(0.9) fixture sizes for the full grid / `--ingest`
+/// run and for `--smoke`, the universe they range over (same geometry
+/// as the k=4096 scalar cells), and the three access strategies under
+/// comparison.
+const INGEST_TRACE_LEN: usize = 10_000_000;
+const SMOKE_INGEST_TRACE_LEN: usize = 1_000_000;
+const INGEST_K: usize = 4096;
+const INGEST_PATHS: [&str; 3] = ["mmap", "buffered", "packed"];
 /// `--smoke` fails the run when a cell's *drift-normalized* throughput
 /// lands this far below the committed baseline. Batched cells gate on
 /// their batched/scalar ratio vs the committed ratio (both sides of the
@@ -524,6 +546,236 @@ fn measure_concurrent(traces: &[Trace], k: usize, reps: usize) -> (f64, u64) {
     (commits as f64 / best, commits)
 }
 
+/// Temp-file fixture for the ingest cells: one Zipf(0.9) trace
+/// materialized as a fixed-width occbin01 file and its packed occbin02
+/// twin, deleted on drop. Generation and encoding happen before any
+/// clock starts.
+struct IngestFixture {
+    trace: Trace,
+    v1: PathBuf,
+    v2: PathBuf,
+    v1_bytes: u64,
+    v2_bytes: u64,
+}
+
+impl IngestFixture {
+    fn materialize(len: usize) -> IngestFixture {
+        let pages = 4 * INGEST_K as u32;
+        let trace = zipf_trace(pages, len, 0.9, 11);
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let v1 = dir.join(format!("occ-bench-ingest-{pid}-{len}.occbin01"));
+        let v2 = dir.join(format!("occ-bench-ingest-{pid}-{len}.occbin02"));
+        let mut w = std::io::BufWriter::new(File::create(&v1).expect("create occbin01 fixture"));
+        write_trace_binary(&trace, &mut w).expect("encode occbin01 fixture");
+        w.flush().expect("flush occbin01 fixture");
+        let mut w = std::io::BufWriter::new(File::create(&v2).expect("create occbin02 fixture"));
+        write_trace_binary_v2(&trace, &mut w).expect("encode occbin02 fixture");
+        w.flush().expect("flush occbin02 fixture");
+        let size = |p: &Path| std::fs::metadata(p).expect("stat fixture").len();
+        let (v1_bytes, v2_bytes) = (size(&v1), size(&v2));
+        IngestFixture {
+            trace,
+            v1,
+            v2,
+            v1_bytes,
+            v2_bytes,
+        }
+    }
+}
+
+impl Drop for IngestFixture {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.v1);
+        let _ = std::fs::remove_file(&self.v2);
+    }
+}
+
+/// Open the fixture under one specific access strategy. `BinarySource::
+/// open` would pick mmap on its own whenever it can; the bench needs
+/// the buffered path *forced* so the two can be compared on the same
+/// file.
+fn open_ingest_source(fx: &IngestFixture, strategy: &str) -> BinarySource {
+    let src = match strategy {
+        "mmap" => BinarySource::Mmap(MmapTraceSource::open(&fx.v1).expect("map occbin01 fixture")),
+        "buffered" => {
+            let r = BufReader::new(File::open(&fx.v1).expect("open occbin01 fixture"));
+            BinarySource::Buffered(BinaryTraceReader::new(r).expect("parse occbin01 header"))
+        }
+        _ => {
+            let r = BufReader::new(File::open(&fx.v2).expect("open occbin02 fixture"));
+            BinarySource::Packed(Binary2TraceReader::new(r).expect("parse occbin02 header"))
+        }
+    };
+    assert_eq!(
+        src.strategy(),
+        strategy,
+        "fixture opened under the wrong strategy"
+    );
+    src
+}
+
+/// Miss-identity gate for the ingest cells: replay the fixture through
+/// the engine via every access strategy and assert the stats
+/// byte-identical to an in-memory replay of the generating trace.
+/// Untimed, and runs before any throughput number can exist.
+fn assert_ingest_identity(fx: &IngestFixture, k: usize) {
+    let reference = Simulator::new(k).run(&mut Lru::new(), &fx.trace);
+    for strategy in INGEST_PATHS {
+        let mut src = open_ingest_source(fx, strategy);
+        let mut engine = SteppingEngine::new(k, src.universe().clone(), Lru::new());
+        loop {
+            if let Some(run) = src.next_page_run(DEFAULT_BATCH_SIZE) {
+                engine.step_page_batch(run);
+                continue;
+            }
+            if let Some(run) = src.next_run(DEFAULT_BATCH_SIZE) {
+                engine.step_batch(run);
+                continue;
+            }
+            break;
+        }
+        src.finish().expect("ingest identity replay ended early");
+        assert_eq!(
+            engine.stats(),
+            &reference.stats,
+            "{strategy} replay diverged from the in-memory trace"
+        );
+    }
+}
+
+/// Drain a source to exhaustion without a cache attached — decode,
+/// validation and the running CRC are the work being timed. Returns the
+/// number of requests served.
+fn drain_ingest(src: &mut BinarySource) -> u64 {
+    let mut served = 0u64;
+    loop {
+        if let Some(run) = src.next_page_run(DEFAULT_BATCH_SIZE) {
+            served += run.len() as u64;
+            std::hint::black_box(run.last().copied());
+            continue;
+        }
+        if let Some(run) = src.next_run(DEFAULT_BATCH_SIZE) {
+            served += run.len() as u64;
+            std::hint::black_box(run.last().copied());
+            continue;
+        }
+        return served;
+    }
+}
+
+/// Timed ingest reps, interleaved — one rep of every strategy per round,
+/// so host-speed drift hits all three equally and the ratios stay
+/// meaningful. Each rep re-opens its source (header parse included in
+/// the timing: it is part of ingestion, and identical per strategy) and
+/// must drain the full stream and pass the footer check before its time
+/// counts. Returns `(strategy, req/s)` per strategy.
+fn measure_ingest(fx: &IngestFixture, reps: usize) -> Vec<(&'static str, f64)> {
+    let len = fx.trace.len() as u64;
+    let mut best = [f64::INFINITY; 3];
+    for _ in 0..reps {
+        for (slot, strategy) in INGEST_PATHS.iter().enumerate() {
+            let start = Instant::now();
+            let mut src = open_ingest_source(fx, strategy);
+            let served = drain_ingest(&mut src);
+            let secs = start.elapsed().as_secs_f64();
+            assert_eq!(served, len, "{strategy} drain served a short stream");
+            src.finish()
+                .expect("drained fixture must pass its footer check");
+            best[slot] = best[slot].min(secs);
+        }
+    }
+    INGEST_PATHS
+        .iter()
+        .zip(best)
+        .map(|(&s, b)| (s, len as f64 / b))
+        .collect()
+}
+
+/// Run the full ingest block: gate, timed cells, the mmap/buffered and
+/// occbin02/occbin01 headline ratios. Prints one line per cell (with
+/// `prefix` in front, so `--smoke` emits greppable `SMOKE ingest/...`
+/// rows) and returns JSON rows for the baseline file.
+fn ingest_block(
+    len: usize,
+    reps: usize,
+    prefix: &str,
+    committed: &[CommittedCell],
+    regressions: &mut u32,
+) -> Vec<String> {
+    let fx = IngestFixture::materialize(len);
+    assert_ingest_identity(&fx, INGEST_K);
+    let cells = measure_ingest(&fx, reps);
+    let mut rows = Vec::new();
+    let rps_of = |s: &str| {
+        cells
+            .iter()
+            .find(|(c, _)| *c == s)
+            .map(|&(_, r)| r)
+            .expect("all three strategies measured")
+    };
+    for (strategy, rps) in &cells {
+        let label = format!("ingest/{strategy}");
+        let bytes = if *strategy == "packed" {
+            fx.v2_bytes
+        } else {
+            fx.v1_bytes
+        };
+        let delta = delta_text(
+            committed,
+            &label,
+            "zipf-0.9",
+            INGEST_K,
+            "ingest",
+            *rps,
+            regressions,
+        );
+        println!(
+            "{prefix}{label:>16}  k={INGEST_K:<5} {:<20} {rps:>12.0} req/s   (decode only, {bytes} B, miss-identity ok){delta}",
+            "zipf-0.9"
+        );
+        let mut row = String::new();
+        write!(
+            row,
+            "    {{\"policy\": \"{label}\", \"workload\": \"zipf-0.9\", \"k\": {INGEST_K}, \
+             \"universe_pages\": {}, \"trace_len\": {len}, \"mode\": \"ingest\", \
+             \"requests_per_sec\": {rps:.0}, \"file_bytes\": {bytes}}}",
+            4 * INGEST_K,
+        )
+        .unwrap();
+        rows.push(row);
+    }
+    let ratio = rps_of("mmap") / rps_of("buffered");
+    let size_ratio = fx.v2_bytes as f64 / fx.v1_bytes as f64;
+    println!(
+        "{prefix}ingest ratios: mmap {ratio:.2}x buffered; occbin02 {} B = {size_ratio:.2}x \
+         occbin01 {} B ({len} requests)",
+        fx.v2_bytes, fx.v1_bytes
+    );
+    rows
+}
+
+/// `--ingest`: just the ingest block, on the full-sized fixture. The
+/// baseline file is left untouched — this mode exists for iterating on
+/// the ingestion paths without re-running the whole grid.
+fn run_ingest(committed: &[CommittedCell]) {
+    warm_up();
+    let mut regressions = 0u32;
+    ingest_block(
+        INGEST_TRACE_LEN,
+        THROUGHPUT_REPS,
+        "",
+        committed,
+        &mut regressions,
+    );
+    if regressions > 0 {
+        eprintln!(
+            "warning: {regressions} ingest cell(s) regressed more than 20% vs the committed baseline"
+        );
+    }
+    println!("INGEST OK: all three strategies replay miss-identical to the in-memory trace");
+}
+
 /// `--smoke`: lru/fifo/greedy-dual/alg-discrete on zipf-0.9 at both
 /// cache sizes, scalar vs monomorphized batched (paired best of
 /// three), plus a 1-shard trace-fed fleet. Asserts exact miss/stat
@@ -639,6 +891,19 @@ fn run_smoke(committed: &[CommittedCell]) {
         );
     }
 
+    // Ingest cell, reduced fixture: the miss-identity assert inside
+    // `ingest_block` is the non-flaky invariant; the throughput rows
+    // are informational (CI greps for them, the Δ gate would flap on a
+    // 1M-request drain).
+    let mut ingest_regressions = 0u32;
+    ingest_block(
+        SMOKE_INGEST_TRACE_LEN,
+        SMOKE_REPS,
+        "SMOKE ",
+        committed,
+        &mut ingest_regressions,
+    );
+
     if gate_failures > 0 {
         eprintln!(
             "SMOKE FAILED: {gate_failures} cell(s) more than {}% below the committed baseline",
@@ -647,7 +912,7 @@ fn run_smoke(committed: &[CommittedCell]) {
         std::process::exit(1);
     }
     println!(
-        "SMOKE OK: batched and fleet replay byte-identical to scalar on \
+        "SMOKE OK: batched, fleet and ingest replay byte-identical to scalar on \
          lru, fifo, greedy-dual, alg-discrete"
     );
 }
@@ -661,6 +926,10 @@ fn main() {
 
     if std::env::args().any(|a| a == "--smoke") {
         run_smoke(&committed);
+        return;
+    }
+    if std::env::args().any(|a| a == "--ingest") {
+        run_ingest(&committed);
         return;
     }
 
@@ -867,6 +1136,16 @@ fn main() {
         .unwrap();
         rows.push(row);
     }
+
+    // Ingest cells: decode-only throughput of the three binary access
+    // strategies, full-sized fixture, miss-identity asserted first.
+    rows.extend(ingest_block(
+        INGEST_TRACE_LEN,
+        THROUGHPUT_REPS,
+        "",
+        &committed,
+        &mut regressions,
+    ));
 
     let json = format!(
         "{{\n  \"benchmark\": \"bench_baseline\",\n  \"schema\": 3,\n  \"entries\": [\n{}\n  ]\n}}\n",

@@ -3,11 +3,16 @@
 
 use std::collections::BTreeMap;
 
-/// Parsed command line: a subcommand plus `--key value` flags.
+/// Parsed command line: a subcommand, an optional action (the second
+/// positional, used by `occ trace pack|unpack|import`), plus
+/// `--key value` flags.
 #[derive(Debug, Default)]
 pub struct Args {
     /// First positional argument.
     pub command: Option<String>,
+    /// Second positional argument. Only `occ trace` accepts one; the
+    /// dispatcher rejects it everywhere else.
+    pub action: Option<String>,
     flags: BTreeMap<String, String>,
 }
 
@@ -26,6 +31,8 @@ impl Args {
                 }
             } else if out.command.is_none() {
                 out.command = Some(tok);
+            } else if out.action.is_none() {
+                out.action = Some(tok);
             } else {
                 return Err(format!("unexpected positional argument '{tok}'"));
             }
@@ -137,8 +144,11 @@ mod tests {
     }
 
     #[test]
-    fn extra_positional_is_error() {
-        assert!(parse(&["run", "again"]).is_err());
+    fn second_positional_is_the_action_and_a_third_is_an_error() {
+        let a = parse(&["trace", "pack", "--in", "x"]).unwrap();
+        assert_eq!(a.command.as_deref(), Some("trace"));
+        assert_eq!(a.action.as_deref(), Some("pack"));
+        assert!(parse(&["trace", "pack", "again"]).is_err());
     }
 
     #[test]

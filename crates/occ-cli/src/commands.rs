@@ -17,11 +17,14 @@ use occ_probe::{
 };
 use occ_sim::concurrent::{replay_schedule, CommitSchedule, ReplayError, ReplayOutcome};
 use occ_sim::{
-    read_trace_auto, write_trace, write_trace_binary, BinaryTraceReader, EngineSnapshot,
-    FaultCounters, FaultHandler, FaultPolicy, ReplacementPolicy, Request, RequestSource, SimStats,
-    SteppingEngine, Time, Trace, TraceIoError, Universe, UserId,
+    read_trace_auto, write_trace, write_trace_binary, write_trace_binary_v2, Binary2TraceWriter,
+    BinarySource, BinaryTraceWriter, EngineSnapshot, FaultCounters, FaultHandler, FaultPolicy,
+    PageId, ReplacementPolicy, Request, RequestSource, SimStats, SteppingEngine, Time, Trace,
+    TraceIoError, Universe, UserId, BINARY2_TRACE_MAGIC, BINARY_TRACE_MAGIC,
 };
-use occ_workloads::{all_scenarios, ChaosSource, FaultPlan, Scenario, TenantMixSource};
+use occ_workloads::{
+    all_scenarios, ChaosSource, CsvAdapter, CsvFlavor, FaultPlan, Scenario, TenantMixSource,
+};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::Path;
@@ -33,11 +36,31 @@ occ — online caching with convex costs
 
 USAGE:
   occ scenarios                                 list built-in scenarios
-  occ generate --scenario NAME [--len N] [--seed S] [--format text|binary] --out FILE
+  occ generate --scenario NAME [--len N] [--seed S]
+               [--format text|binary|binary-v2] --out FILE
                write a trace file; binary is the fixed-width
                little-endian form (magic \"occbin01\", 4 bytes/request)
-               read without line parsing. Every trace-reading command
-               auto-detects the format.
+               read without line parsing, binary-v2 the delta+varint
+               compressed form (magic \"occbin02\", typically well under
+               half the occbin01 size for skewed workloads). --len
+               accepts k/M/B suffixes (500k, 10M). Every trace-reading
+               command auto-detects the format.
+  occ trace pack   --in FILE --out FILE [--limit N]
+               transcode a trace (occbin01/occbin02/text) to occbin02,
+               streaming — never materializes the trace. --limit N
+               (k/M/B suffixes) keeps only the first N requests.
+  occ trace unpack --in FILE --out FILE [--limit N]
+               transcode a trace to fixed-width occbin01 (the mmap-able
+               zero-copy form).
+  occ trace import --in FILE.csv --out FILE [--format binary|binary-v2]
+               [--csv-flavor auto|msr|twitter] [--tenants N] [--dict FILE]
+               convert a real-trace CSV (MSR-Cambridge block I/O or
+               Twitter-cluster key-access shapes, auto-sniffed) into a
+               binary trace. String keys are interned to dense page ids
+               in first-seen order and the recorded dictionary is
+               written to --dict (default OUT.dict) so ids stay mappable
+               back to keys. --tenants N hashes tenant keys into N
+               users (default: dense first-seen tenant ids).
   occ run      --policy NAME --k K (--trace FILE --scenario NAME | --scenario NAME [--len N] [--seed S])
   occ compare  --scenario NAME --k K [--len N] [--seed S]
   occ mrc      --scenario NAME [--len N] [--seed S] [--max-k K]
@@ -65,8 +88,12 @@ USAGE:
                telemetry window every W requests (default 1M) and
                appending each closed window to the JSONL series file.
                --len/--window/--checkpoint-every accept k/M/B suffixes
-               (500k, 5M, 1B). --trace streams a binary (occbin01) trace
-               instead of the scenario mixer; --from resumes a killed
+               (500k, 5M, 1B). --trace streams a trace file instead of
+               the scenario mixer: occbin01 (served zero-copy from a
+               memory mapping where the platform allows, buffered
+               otherwise), occbin02, or a real-trace CSV (msr/twitter
+               shapes, tenants hashed into the scenario's user count;
+               [--csv-flavor auto|msr|twitter]); --from resumes a killed
                soak from its checkpoint, continuing the series
                byte-identically (checkpoints land on window boundaries;
                pass the same --scenario and --seed — the checkpoint
@@ -84,6 +111,7 @@ USAGE:
                with per-window Δ miss-ratio markers
   occ fleet    --scenario NAME [--shards F] [--len N] [--seed S]
                [--policy NAME] [--k K] [--batch B] [--window W]
+               [--trace FILE [--csv-flavor F]]
                [--format table|json] [--out FILE]
                [--supervise on|off|auto] [--max-restarts N] [--backoff-ms MS]
                [--checkpoint-dir DIR] [--from-dir DIR] [--series-out FILE]
@@ -91,7 +119,11 @@ USAGE:
                run F independent cache shards of the scenario in
                parallel (one worker thread each, seeds derived per
                shard), streaming requests in O(1) memory, and merge the
-               per-shard telemetry into one fleet report. --window W
+               per-shard telemetry into one fleet report. --trace FILE
+               replays a trace file (occbin01/occbin02/CSV, as in soak)
+               on every shard instead of the mixer — occbin01 shards
+               serve batches zero-copy from a shared memory mapping
+               (unsupervised runs only). --window W
                additionally collects tumbling-window series per shard
                and merges them in shard order. Offline policies
                (belady*) are rejected: the fleet never materializes a
@@ -114,13 +146,17 @@ USAGE:
                (both seeded, deterministic, counts accept k/M/B).
   occ concurrent --scenario NAME [--threads M] [--table-shards S] [--len N]
                [--seed S] [--k K] [--policy lru|fifo|greedy-dual]
+               [--trace FILE [--csv-flavor F]]
                [--verify on|off] [--format table|json] [--out FILE]
                [--schedule-out FILE]
                [--chaos-page-rate P] [--chaos-owner-rate P]
                [--chaos-truncate N] [--chaos-seed S] [--degrade POLICY]
                run M worker threads against ONE shared k-sized cache
                (lock-striped over S page-table segments), each thread
-               streaming N scenario requests with a per-thread seed.
+               streaming N scenario requests with a per-thread seed
+               (or, with --trace, each thread replaying the same trace
+               file — occbin01/occbin02/CSV; chaos flags need the
+               synthetic stream).
                Every commit is recorded as (seq, thread, shard, page,
                user, outcome); --verify on (the default) replays the
                schedule single-threaded through the stock engine and
@@ -246,10 +282,21 @@ pub fn scenarios() -> Result<(), CliError> {
     Ok(())
 }
 
+/// Convert a scaled `u64` count into a `usize`, failing as a usage
+/// error on 32-bit targets rather than truncating.
+fn scaled_usize(args: &Args, name: &str, default: u64) -> Result<usize, CliError> {
+    let n = uarg(args.scaled_or(name, default))?;
+    usize::try_from(n).map_err(|_| {
+        CliError::Usage(format!(
+            "--{name} {n} does not fit in this platform's usize"
+        ))
+    })
+}
+
 /// `occ generate`
 pub fn generate(args: &Args) -> Result<(), CliError> {
     let scenario = find_scenario(&uarg(args.str_required("scenario"))?)?;
-    let len: usize = uarg(args.num_or("len", 60_000usize))?;
+    let len = scaled_usize(args, "len", 60_000)?;
     let seed: u64 = uarg(args.num_or("seed", 7u64))?;
     let out = uarg(args.str_required("out"))?;
     let format = args.str_or("format", "text");
@@ -257,14 +304,15 @@ pub fn generate(args: &Args) -> Result<(), CliError> {
     // Render in memory, then land on disk atomically: a crash or full
     // disk mid-generate leaves the old trace (or nothing), never a
     // half-written one. Binary traces additionally carry the occbin01
-    // checksum footer the writer appends.
+    // (or occbin02) checksum footer the writer appends.
     let mut buf = Vec::new();
     match format.as_str() {
         "text" => write_trace(&trace, &mut buf)?,
         "binary" => write_trace_binary(&trace, &mut buf)?,
+        "binary-v2" => write_trace_binary_v2(&trace, &mut buf)?,
         other => {
             return Err(CliError::Usage(format!(
-                "unknown trace format '{other}' (expected text or binary)"
+                "unknown trace format '{other}' (expected text, binary, or binary-v2)"
             )))
         }
     }
@@ -294,11 +342,369 @@ fn load_or_generate(args: &Args, scenario: &Scenario) -> Result<Trace, CliError>
             Ok(trace)
         }
         _ => {
-            let len: usize = uarg(args.num_or("len", 60_000usize))?;
+            let len = scaled_usize(args, "len", 60_000)?;
             let seed: u64 = uarg(args.num_or("seed", 7u64))?;
             Ok(scenario.trace(len, seed))
         }
     }
+}
+
+/// Attach the file path to a trace-reader error, keeping its exit class.
+fn feed_err(path: &str, e: TraceIoError) -> CliError {
+    match e {
+        TraceIoError::Io(io) => CliError::Io(format!("{path}: {io}")),
+        TraceIoError::Parse(m) => CliError::Parse(format!("{path}: {m}")),
+    }
+}
+
+/// `--csv-flavor auto|msr|twitter` (`None` = sniff).
+fn csv_flavor_from_args(args: &Args) -> Result<Option<CsvFlavor>, CliError> {
+    match args.str_or("csv-flavor", "auto").as_str() {
+        "auto" => Ok(None),
+        "msr" => Ok(Some(CsvFlavor::Msr)),
+        "twitter" => Ok(Some(CsvFlavor::Twitter)),
+        other => Err(CliError::Usage(format!(
+            "unknown --csv-flavor '{other}' (auto, msr, twitter)"
+        ))),
+    }
+}
+
+/// A streaming `--trace FILE` feed: one of the binary formats
+/// ([`BinarySource`] picks mmap / buffered / packed by sniffing the
+/// magic) or a real-trace CSV adapted on the fly. Holds O(1) heap
+/// regardless of trace length (the mmap path's pages are file-backed).
+enum FileFeed {
+    Bin(Box<BinarySource>),
+    Csv(Box<CsvAdapter>),
+}
+
+impl FileFeed {
+    /// Sniff the leading bytes and open the right reader: binary magic
+    /// goes to [`BinarySource`], anything else to the CSV adapter
+    /// (whose own sniffer rejects files that are neither).
+    fn open(
+        path: &str,
+        flavor: Option<CsvFlavor>,
+        tenants: Option<u32>,
+    ) -> Result<FileFeed, CliError> {
+        use std::io::Read as _;
+        // A pipe can only be read once: the probing open below would
+        // consume the magic bytes, so hand non-regular files straight
+        // to `BinarySource`, which sniffs through the one handle it
+        // opens. CSV needs two passes over a seekable file and cannot
+        // ride a pipe anyway.
+        let regular = std::fs::metadata(path)
+            .map(|m| m.is_file())
+            .unwrap_or(false);
+        if !regular {
+            let src = BinarySource::open(Path::new(path)).map_err(|e| feed_err(path, e))?;
+            return Ok(FileFeed::Bin(Box::new(src)));
+        }
+        let mut probe = [0u8; 8];
+        let mut got = 0;
+        {
+            let mut f = File::open(path).map_err(|e| CliError::Io(format!("open {path}: {e}")))?;
+            while got < probe.len() {
+                match f.read(&mut probe[got..]) {
+                    Ok(0) => break,
+                    Ok(n) => got += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(CliError::Io(format!("read {path}: {e}"))),
+                }
+            }
+        }
+        let head = &probe[..got];
+        if head == BINARY_TRACE_MAGIC || head == BINARY2_TRACE_MAGIC {
+            let src = BinarySource::open(Path::new(path)).map_err(|e| feed_err(path, e))?;
+            Ok(FileFeed::Bin(Box::new(src)))
+        } else {
+            let csv = CsvAdapter::open(Path::new(path), flavor, tenants)
+                .map_err(|e| feed_err(path, e))?;
+            Ok(FileFeed::Csv(Box::new(csv)))
+        }
+    }
+
+    fn total_requests(&self) -> u64 {
+        match self {
+            FileFeed::Bin(b) => b.total_requests(),
+            FileFeed::Csv(c) => c.total_requests(),
+        }
+    }
+
+    /// How the feed serves requests, for logs and reports.
+    fn strategy(&self) -> &'static str {
+        match self {
+            FileFeed::Bin(b) => b.strategy(),
+            FileFeed::Csv(c) => match c.flavor() {
+                CsvFlavor::Msr => "csv-msr",
+                CsvFlavor::Twitter => "csv-twitter",
+            },
+        }
+    }
+
+    fn error(&self) -> Option<&TraceIoError> {
+        match self {
+            FileFeed::Bin(b) => b.error(),
+            FileFeed::Csv(c) => c.error(),
+        }
+    }
+}
+
+impl RequestSource for FileFeed {
+    fn universe(&self) -> &Universe {
+        match self {
+            FileFeed::Bin(b) => RequestSource::universe(b.as_ref()),
+            FileFeed::Csv(c) => RequestSource::universe(c.as_ref()),
+        }
+    }
+
+    fn next_request(&mut self, ctx: &occ_sim::EngineCtx) -> Option<Request> {
+        match self {
+            FileFeed::Bin(b) => b.next_request(ctx),
+            FileFeed::Csv(c) => c.next_request(ctx),
+        }
+    }
+
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        match self {
+            FileFeed::Bin(b) => b.next_run(max),
+            FileFeed::Csv(_) => None,
+        }
+    }
+
+    fn next_page_run(&mut self, max: usize) -> Option<&[PageId]> {
+        match self {
+            FileFeed::Bin(b) => b.next_page_run(max),
+            FileFeed::Csv(_) => None,
+        }
+    }
+}
+
+/// Open a `--trace` feed for a scenario-driven command, enforcing that
+/// the trace's tenant structure matches the scenario's cost profile.
+/// CSV tenants are hashed into the scenario's user count, so only the
+/// binary formats can disagree.
+fn open_trace_feed(args: &Args, path: &str, scenario: &Scenario) -> Result<FileFeed, CliError> {
+    let flavor = csv_flavor_from_args(args)?;
+    let feed = FileFeed::open(path, flavor, Some(scenario.costs.num_users()))?;
+    let users = RequestSource::universe(&feed).num_users();
+    if users != scenario.costs.num_users() {
+        return Err(CliError::Usage(format!(
+            "trace has {users} users but scenario '{}' defines costs for {}",
+            scenario.name,
+            scenario.costs.num_users()
+        )));
+    }
+    Ok(feed)
+}
+
+/// `occ trace` — pack / unpack / import.
+pub fn trace(args: &Args) -> Result<(), CliError> {
+    match args.action.as_deref() {
+        Some("pack") => trace_transcode(args, true),
+        Some("unpack") => trace_transcode(args, false),
+        Some("import") => trace_import(args),
+        Some(other) => Err(CliError::Usage(format!(
+            "unknown trace action '{other}' (pack, unpack, import)"
+        ))),
+        None => Err(CliError::Usage(
+            "occ trace needs an action: pack, unpack, or import".into(),
+        )),
+    }
+}
+
+/// Streaming transcode between the binary trace formats (`pack` writes
+/// occbin02, `unpack` writes occbin01). Reads chunk runs, never
+/// materializes the trace; text-format inputs are the one exception
+/// (they are parsed whole, which is what the text reader does anyway).
+fn trace_transcode(args: &Args, pack: bool) -> Result<(), CliError> {
+    let in_path = uarg(args.str_required("in"))?;
+    let out_path = uarg(args.str_required("out"))?;
+    let limit = uarg(args.scaled_or("limit", 0))?;
+
+    let mut feed = match FileFeed::open(&in_path, None, None) {
+        Ok(f) => f,
+        Err(CliError::Parse(_)) => {
+            // Not binary and not CSV — maybe the v1 text format. Parse
+            // it whole and re-serve it as runs.
+            let file =
+                File::open(&in_path).map_err(|e| CliError::Io(format!("open {in_path}: {e}")))?;
+            let trace = read_trace_auto(BufReader::new(file)).map_err(|e| feed_err(&in_path, e))?;
+            let mut buf = Vec::new();
+            if pack {
+                write_trace_binary_v2(&trace, &mut buf)?;
+            } else {
+                write_trace_binary(&trace, &mut buf)?;
+            }
+            return finish_transcode(&in_path, &out_path, buf, trace.len() as u64, pack);
+        }
+        Err(e) => return Err(e),
+    };
+    let total = feed.total_requests();
+    let keep = if limit == 0 { total } else { limit.min(total) };
+    let universe = RequestSource::universe(&feed).clone();
+
+    // Render to memory, then land atomically (same discipline as
+    // `occ generate`); the read side still streams in chunk-sized runs.
+    let mut served = 0u64;
+    let buf = if pack {
+        let mut w = Binary2TraceWriter::new(universe, keep, Vec::new())?;
+        copy_requests(&mut feed, keep, &mut served, |req| w.push(req))?;
+        w.finish()?
+    } else {
+        let mut w = BinaryTraceWriter::new(universe, std::io::Cursor::new(Vec::new()))?;
+        copy_requests(&mut feed, keep, &mut served, |req| w.push(req))?;
+        w.finish()?.into_inner()
+    };
+    if let Some(e) = feed.error() {
+        return Err(feed_err(&in_path, TraceIoError::Parse(e.to_string())));
+    }
+    if served != keep {
+        return Err(CliError::Parse(format!(
+            "{in_path}: trace ended after {served} of {keep} requests"
+        )));
+    }
+    finish_transcode(&in_path, &out_path, buf, keep, pack)
+}
+
+/// Pull up to `keep` requests out of `feed` in runs and hand each to
+/// `push`. Chunked by the feed's own serving granularity.
+fn copy_requests(
+    feed: &mut FileFeed,
+    keep: u64,
+    served: &mut u64,
+    mut push: impl FnMut(Request) -> Result<(), TraceIoError>,
+) -> Result<(), CliError> {
+    const RUN: usize = 64 * 1024;
+    while *served < keep {
+        let max = (keep - *served).min(RUN as u64) as usize;
+        // The universe lookup for page runs matches what the buffered
+        // reader would have done to build each Request.
+        if let Some(run) = feed.next_page_run(max) {
+            if run.is_empty() {
+                break;
+            }
+            let run: Vec<PageId> = run.to_vec();
+            let universe = RequestSource::universe(feed);
+            let reqs: Vec<Request> = run
+                .iter()
+                .map(|&page| Request {
+                    page,
+                    user: universe.owner(page),
+                })
+                .collect();
+            for req in reqs {
+                push(req)?;
+            }
+            *served += run.len() as u64;
+            continue;
+        }
+        if let Some(run) = feed.next_run(max) {
+            if run.is_empty() {
+                break;
+            }
+            let reqs: Vec<Request> = run.to_vec();
+            for req in &reqs {
+                push(*req)?;
+            }
+            *served += reqs.len() as u64;
+            continue;
+        }
+        // CSV feeds serve per-request.
+        let Some(req) = (match feed {
+            FileFeed::Csv(c) => c.pull(),
+            FileFeed::Bin(_) => None,
+        }) else {
+            break;
+        };
+        push(req)?;
+        *served += 1;
+    }
+    Ok(())
+}
+
+/// Write the transcoded bytes atomically and report the size change.
+fn finish_transcode(
+    in_path: &str,
+    out_path: &str,
+    buf: Vec<u8>,
+    requests: u64,
+    pack: bool,
+) -> Result<(), CliError> {
+    let in_size = std::fs::metadata(in_path).map(|m| m.len()).unwrap_or(0);
+    let out_size = buf.len() as u64;
+    write_atomic(Path::new(out_path), &buf)
+        .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
+    let verb = if pack { "packed" } else { "unpacked" };
+    let ratio = if in_size > 0 {
+        format!("{:.2}x", out_size as f64 / in_size as f64)
+    } else {
+        "-".into()
+    };
+    println!(
+        "{verb} {requests} requests: {in_path} ({in_size} B) -> {out_path} ({out_size} B, {ratio})"
+    );
+    Ok(())
+}
+
+/// `occ trace import` — CSV → binary trace + recorded key dictionary.
+fn trace_import(args: &Args) -> Result<(), CliError> {
+    let in_path = uarg(args.str_required("in"))?;
+    let out_path = uarg(args.str_required("out"))?;
+    let dict_path = args.str_or("dict", &format!("{out_path}.dict"));
+    let flavor = csv_flavor_from_args(args)?;
+    let tenants: u32 = uarg(args.num_or("tenants", 0u32))?;
+    let tenants = if tenants == 0 { None } else { Some(tenants) };
+    let format = args.str_or("format", "binary-v2");
+
+    let mut csv = CsvAdapter::open(Path::new(&in_path), flavor, tenants)
+        .map_err(|e| feed_err(&in_path, e))?;
+    let universe = RequestSource::universe(&csv).clone();
+    let total = csv.total_requests();
+
+    let buf = match format.as_str() {
+        "binary-v2" => {
+            let mut w = Binary2TraceWriter::new(universe.clone(), total, Vec::new())?;
+            while let Some(req) = csv.pull() {
+                w.push(req)?;
+            }
+            w.finish()?
+        }
+        "binary" => {
+            let mut w = BinaryTraceWriter::new(universe.clone(), std::io::Cursor::new(Vec::new()))?;
+            while let Some(req) = csv.pull() {
+                w.push(req)?;
+            }
+            w.finish()?.into_inner()
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown trace format '{other}' (expected binary or binary-v2)"
+            )))
+        }
+    };
+    if let Some(e) = csv.error() {
+        return Err(feed_err(&in_path, TraceIoError::Parse(e.to_string())));
+    }
+    let mut dict_buf = Vec::new();
+    csv.key_dict().write_to(&mut dict_buf)?;
+    write_atomic(Path::new(&out_path), &buf)
+        .map_err(|e| CliError::Io(format!("write {out_path}: {e}")))?;
+    write_atomic(Path::new(&dict_path), &dict_buf)
+        .map_err(|e| CliError::Io(format!("write {dict_path}: {e}")))?;
+    println!(
+        "imported {total} requests over {} pages / {} users ({}) to {out_path} ({format}, {} B); \
+         dictionary: {dict_path} ({} keys)",
+        universe.num_pages(),
+        universe.num_users(),
+        match csv.flavor() {
+            CsvFlavor::Msr => "msr",
+            CsvFlavor::Twitter => "twitter",
+        },
+        buf.len(),
+        csv.key_dict().len(),
+    );
+    Ok(())
 }
 
 /// `occ run`
@@ -463,6 +869,14 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
             "supervised fleet runs checkpoint on window boundaries; pass --window W".into(),
         ));
     }
+    let trace_path = args.str_or("trace", "");
+    if supervised && !trace_path.is_empty() {
+        return Err(CliError::Usage(
+            "--trace drives unsupervised fleets only; drop the supervision flags \
+             or replay the trace through `occ soak --trace`"
+                .into(),
+        ));
+    }
 
     let costs = &scenario.costs;
     let shard_seed = |i: usize| seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -578,13 +992,34 @@ pub fn fleet(args: &Args) -> Result<(), CliError> {
         if window > 0 {
             cfg.window = Some(window);
         }
-        // Each shard is its own server: same scenario, decorrelated seed.
-        let sources: Vec<_> = (0..shards)
-            .map(|i| scenario.stream(len, shard_seed(i)))
-            .collect();
-        run_fleet(sources, &cfg, |_| {
-            make_online_policy(&policy_name, costs).expect("validated above")
-        })
+        if trace_path.is_empty() {
+            // Each shard is its own server: same scenario, decorrelated
+            // seed.
+            let sources: Vec<_> = (0..shards)
+                .map(|i| scenario.stream(len, shard_seed(i)))
+                .collect();
+            run_fleet(sources, &cfg, |_| {
+                make_online_policy(&policy_name, costs).expect("validated above")
+            })
+        } else {
+            // Every shard replays the same trace file through its own
+            // feed; occbin01 shards each map the file (the kernel
+            // shares the cached pages) and serve zero-copy runs.
+            let sources = (0..shards)
+                .map(|_| open_trace_feed(args, &trace_path, &scenario))
+                .collect::<Result<Vec<_>, _>>()?;
+            if let Some(f) = sources.first() {
+                eprintln!(
+                    "fleet: replaying {trace_path} ({} requests) on every shard \
+                     via the {} path",
+                    f.total_requests(),
+                    f.strategy()
+                );
+            }
+            run_fleet(sources, &cfg, |_| {
+                make_online_policy(&policy_name, costs).expect("validated above")
+            })
+        }
     };
 
     let json = report.to_json_value();
@@ -852,8 +1287,32 @@ pub fn concurrent(args: &Args) -> Result<(), CliError> {
     let costs = &scenario.costs;
     // Same derivation as the plain fleet: decorrelated, reproducible.
     let thread_seed = |t: usize| seed ^ (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let trace_path = args.str_or("trace", "");
+    if chaos_active && !trace_path.is_empty() {
+        return Err(CliError::Usage(
+            "the --chaos-* flags corrupt the synthetic stream and do not combine \
+             with --trace"
+                .into(),
+        ));
+    }
     let universe = scenario.stream(1, 0).universe().clone();
-    let result = if chaos_active {
+    let result = if !trace_path.is_empty() {
+        // Every worker thread replays the same trace file through its
+        // own feed (occbin01 threads share the kernel's cached pages).
+        let mut sources = (0..threads)
+            .map(|_| open_trace_feed(args, &trace_path, &scenario))
+            .collect::<Result<Vec<_>, _>>()?;
+        let universe = RequestSource::universe(&sources[0]).clone();
+        eprintln!(
+            "concurrent: replaying {trace_path} ({} requests) on every thread \
+             via the {} path",
+            sources[0].total_requests(),
+            sources[0].strategy()
+        );
+        run_shared_fleet(universe, &cfg, &mut sources, |_| {
+            make_shared_policy(&policy_name, costs).expect("validated above")
+        })
+    } else if chaos_active {
         let mut sources: Vec<_> = (0..threads)
             .map(|t| {
                 let mut plan = FaultPlan::seeded(chaos_seed ^ thread_seed(t))
@@ -1500,25 +1959,40 @@ pub fn resume(args: &Args) -> Result<(), CliError> {
 }
 
 /// Streaming request feed for `occ soak`: a synthetic scenario mix or a
-/// binary (`occbin01`) trace file. Both hold O(1) memory regardless of
-/// run length — soak never materializes a trace.
+/// trace file (binary occbin01/occbin02 — mmap-served where possible —
+/// or a real-trace CSV). All hold O(1) heap regardless of run length —
+/// soak never materializes a trace.
 enum SoakSource {
     Mix(TenantMixSource),
-    Bin(Box<BinaryTraceReader<BufReader<File>>>),
+    File(FileFeed),
 }
 
 impl RequestSource for SoakSource {
     fn universe(&self) -> &Universe {
         match self {
             SoakSource::Mix(m) => m.universe(),
-            SoakSource::Bin(r) => r.universe(),
+            SoakSource::File(f) => RequestSource::universe(f),
         }
     }
 
     fn next_request(&mut self, ctx: &occ_sim::EngineCtx) -> Option<Request> {
         match self {
             SoakSource::Mix(m) => m.next_request(ctx),
-            SoakSource::Bin(r) => r.next_request(ctx),
+            SoakSource::File(f) => f.next_request(ctx),
+        }
+    }
+
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        match self {
+            SoakSource::Mix(_) => None,
+            SoakSource::File(f) => f.next_run(max),
+        }
+    }
+
+    fn next_page_run(&mut self, max: usize) -> Option<&[PageId]> {
+        match self {
+            SoakSource::Mix(_) => None,
+            SoakSource::File(f) => f.next_page_run(max),
         }
     }
 }
@@ -1562,27 +2036,50 @@ struct SoakSummary {
     end_t: Time,
 }
 
-/// Pull the resident-set size (in kB) out of a `/proc/self/status`
-/// dump. Every step is fallible — the line can be absent (restricted
-/// /proc, non-Linux emulation layers) or malformed — and each failure
-/// is a `None`, never a panic in the heartbeat path.
-fn parse_vmrss_kb(status: &str) -> Option<u64> {
-    let line = status.lines().find(|l| l.starts_with("VmRSS:"))?;
+/// Pull one `kB`-valued field out of a `/proc/self/status` dump. Every
+/// step is fallible — the line can be absent (restricted /proc,
+/// non-Linux emulation layers) or malformed — and each failure is a
+/// `None`, never a panic in the heartbeat path.
+fn parse_status_kb(status: &str, field: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(field))?;
     line.split_whitespace().nth(1)?.parse().ok()
 }
 
-/// Resident set size, if the platform exposes it: `/proc/self/status`
-/// (`VmRSS:`), falling back to `/proc/self/statm` when the status field
-/// is missing.
-fn rss_bytes() -> Option<u64> {
+/// Pull the resident-set size (in kB) out of a `/proc/self/status`
+/// dump.
+fn parse_vmrss_kb(status: &str) -> Option<u64> {
+    parse_status_kb(status, "VmRSS:")
+}
+
+/// Resident-set figures for the heartbeat: total RSS plus, when the
+/// kernel breaks it down, the anonymous portion on its own. The
+/// distinction matters for mmap-backed ingestion: the file mapping's
+/// resident pages are reclaimable page cache counted into `VmRSS`, so
+/// on a big trace the total balloons while the engine's own footprint
+/// (`RssAnon`) stays flat. Reporting both keeps the O(1)-memory claim
+/// checkable from the heartbeat.
+struct RssSample {
+    total: u64,
+    /// `RssAnon` — absent when only the `/proc/self/statm` fallback (or
+    /// an old kernel's status file) is available.
+    anon: Option<u64>,
+}
+
+fn rss_sample() -> Option<RssSample> {
     if let Ok(text) = std::fs::read_to_string("/proc/self/status") {
         if let Some(kb) = parse_vmrss_kb(&text) {
-            return Some(kb * 1024);
+            return Some(RssSample {
+                total: kb * 1024,
+                anon: parse_status_kb(&text, "RssAnon:").map(|kb| kb * 1024),
+            });
         }
     }
     let text = std::fs::read_to_string("/proc/self/statm").ok()?;
     let pages: u64 = text.split_whitespace().nth(1)?.parse().ok()?;
-    Some(pages * 4096)
+    Some(RssSample {
+        total: pages * 4096,
+        anon: None,
+    })
 }
 
 /// Check that the window-delta totals match the engine's own counters
@@ -1649,7 +2146,7 @@ where
     // trace reader has to decode (and discard) the prefix.
     match source {
         SoakSource::Mix(m) => m.skip(start_t),
-        SoakSource::Bin(_) => {
+        SoakSource::File(_) => {
             for i in 0..start_t {
                 let next = {
                     let ctx = eng.ctx();
@@ -1698,13 +2195,35 @@ where
     let mut windows = 0u64;
     let mut served = 0u64;
     loop {
-        let next = {
-            let ctx = eng.ctx();
-            source.next_request(&ctx)
+        // Serve in batches clamped to the next window boundary, so the
+        // boundary work below still happens at exact multiples of the
+        // window width. Trace feeds hand out runs (zero-copy page-id
+        // slices from the mmap path); the mixer and CSV adapters fall
+        // through to the scalar pull.
+        let to_boundary = opts.window - (eng.time() % opts.window);
+        let max = to_boundary.min(occ_sim::DEFAULT_BATCH_SIZE as u64) as usize;
+        let stepped = if let Some(run) = source.next_page_run(max).filter(|r| !r.is_empty()) {
+            let n = run.len() as u64;
+            eng.step_page_batch(run);
+            n
+        } else if let Some(run) = source.next_run(max).filter(|r| !r.is_empty()) {
+            let n = run.len() as u64;
+            eng.step_batch(run);
+            n
+        } else {
+            let next = {
+                let ctx = eng.ctx();
+                source.next_request(&ctx)
+            };
+            match next {
+                Some(r) => {
+                    eng.step(r);
+                    1
+                }
+                None => break,
+            }
         };
-        let Some(r) = next else { break };
-        eng.step(r);
-        served += 1;
+        served += stepped;
         let t = eng.time();
         if !t.is_multiple_of(opts.window) {
             continue;
@@ -1735,9 +2254,18 @@ where
                 } else {
                     "-".into()
                 };
-                let rss = rss_bytes()
-                    .map(|b| format!("{} MB", b / (1 << 20)))
-                    .unwrap_or_else(|| "n/a".into());
+                let rss = match rss_sample() {
+                    // Report anon separately: the mmap ingestion path
+                    // legitimately pins file-backed pages into RSS.
+                    Some(RssSample {
+                        total,
+                        anon: Some(anon),
+                    }) => format!("{} MB (anon {} MB)", total / (1 << 20), anon / (1 << 20)),
+                    Some(RssSample { total, anon: None }) => {
+                        format!("{} MB", total / (1 << 20))
+                    }
+                    None => "n/a".into(),
+                };
                 eprintln!(
                     "soak: {t}/{} requests · {} req/s · ETA {eta} · RSS {rss}",
                     opts.target,
@@ -1766,8 +2294,8 @@ where
 
     // A trace that failed mid-stream parked its error and ended the
     // stream early; surface it instead of reporting a short run.
-    if let SoakSource::Bin(r) = source {
-        if let Some(e) = r.error() {
+    if let SoakSource::File(f) = source {
+        if let Some(e) = f.error() {
             return Err(match e {
                 TraceIoError::Io(io) => CliError::Io(format!("reading trace: {io}")),
                 TraceIoError::Parse(m) => CliError::Parse(format!("trace parse error: {m}")),
@@ -1881,32 +2409,23 @@ pub fn soak(args: &Args) -> Result<(), CliError> {
         checkpoint_every = rounded;
     }
 
-    // Source: the scenario's streaming mixer, or a binary trace.
+    // Source: the scenario's streaming mixer, or a trace file
+    // (occbin01/occbin02/CSV — `open_trace_feed` sniffs and checks the
+    // tenant structure against the scenario).
     let trace_path = args.str_or("trace", "");
     let mut source = if trace_path.is_empty() {
         SoakSource::Mix(scenario.stream(len, seed))
     } else {
-        let file =
-            File::open(&trace_path).map_err(|e| CliError::Io(format!("open {trace_path}: {e}")))?;
-        let reader = BinaryTraceReader::new(BufReader::new(file)).map_err(|e| {
-            CliError::Parse(format!(
-                "{trace_path}: {e} (soak streams binary traces only; \
-                 write one with `occ generate --format binary`)"
-            ))
-        })?;
-        if reader.universe().num_users() != scenario.costs.num_users() {
-            return Err(CliError::Usage(format!(
-                "trace has {} users but scenario '{}' defines costs for {}",
-                reader.universe().num_users(),
-                scenario.name,
-                scenario.costs.num_users()
-            )));
-        }
-        SoakSource::Bin(Box::new(reader))
+        let feed = open_trace_feed(args, &trace_path, &scenario)?;
+        eprintln!(
+            "soak: streaming {trace_path} via the {} path",
+            feed.strategy()
+        );
+        SoakSource::File(feed)
     };
     let target = match &source {
         SoakSource::Mix(_) => len,
-        SoakSource::Bin(r) => r.total_requests(),
+        SoakSource::File(f) => f.total_requests(),
     };
 
     // Resume from a checkpoint written by an earlier soak.

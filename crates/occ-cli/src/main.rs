@@ -2,7 +2,10 @@
 //! workspace.
 //!
 //! ```text
-//! occ generate --scenario two-tier --len 60000 --seed 7 --out trace.occ
+//! occ generate --scenario two-tier --len 60k --seed 7 --out trace.occ
+//! occ trace pack   --in trace.occ --out trace.occ2
+//! occ trace unpack --in trace.occ2 --out trace.occ
+//! occ trace import --in accesses.csv --out trace.occ2 --tenants 2
 //! occ run      --trace trace.occ --scenario two-tier --policy convex --k 24
 //! occ compare  --scenario sqlvm-like --len 60000 --k 96
 //! occ mrc      --scenario two-tier --len 40000 --max-k 48
@@ -45,8 +48,18 @@ fn main() {
             std::process::exit(2);
         }
     };
+    // Only `occ trace` takes a second positional (its action).
+    if args.action.is_some() && args.command.as_deref() != Some("trace") {
+        eprintln!(
+            "error: unexpected positional argument '{}'\n",
+            args.action.as_deref().unwrap_or("")
+        );
+        eprintln!("{}", commands::USAGE);
+        std::process::exit(2);
+    }
     let result = match args.command.as_deref() {
         Some("generate") => commands::generate(&args),
+        Some("trace") => commands::trace(&args),
         Some("run") => commands::run(&args),
         Some("compare") => commands::compare(&args),
         Some("mrc") => commands::mrc(&args),

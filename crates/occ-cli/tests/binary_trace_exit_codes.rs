@@ -154,6 +154,293 @@ fn corrupt_binary_trace_exits_with_parse_code() {
     );
 }
 
+fn generate_packed(path: &Path) {
+    let out = occ(&[
+        "generate",
+        "--scenario",
+        "two-tier",
+        "--len",
+        "2000",
+        "--seed",
+        "5",
+        "--format",
+        "binary-v2",
+        "--out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "generate binary-v2 failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+fn run_report(path: &Path) -> String {
+    let out = occ(&[
+        "run",
+        "--scenario",
+        "two-tier",
+        "--policy",
+        "lru",
+        "--k",
+        "24",
+        "--trace",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "run failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).unwrap()
+}
+
+#[test]
+fn packed_and_fixed_width_traces_replay_identically() {
+    let v1 = tmp("formats-v1.bin");
+    let v2 = tmp("formats-v2.bin");
+    generate_binary(&v1);
+    generate_packed(&v2);
+
+    // Same seed, either encoding, same report — and the packed encoding
+    // is strictly smaller than 4 bytes/request on this 64-page universe.
+    assert_eq!(run_report(&v1), run_report(&v2));
+    let v1_bytes = std::fs::metadata(&v1).unwrap().len();
+    let v2_bytes = std::fs::metadata(&v2).unwrap().len();
+    assert!(
+        v2_bytes < v1_bytes,
+        "occbin02 ({v2_bytes} B) should undercut occbin01 ({v1_bytes} B)"
+    );
+}
+
+#[test]
+fn truncated_packed_trace_exits_with_parse_code() {
+    let path = tmp("packed-truncated.bin");
+    generate_packed(&path);
+    let full = std::fs::read(&path).unwrap();
+    // Cut mid-header, mid-footer, and inside the varint request stream
+    // (the last cut lands mid-varint or at a chunk tag; both are
+    // truncations).
+    for cut in [10, full.len() - 3, full.len() - 20] {
+        let cut_path = tmp("packed-cut.bin");
+        std::fs::write(&cut_path, &full[..cut]).unwrap();
+        let out = occ(&[
+            "run",
+            "--scenario",
+            "two-tier",
+            "--policy",
+            "lru",
+            "--k",
+            "24",
+            "--trace",
+            cut_path.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(4),
+            "packed truncation at {cut} must exit 4; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn corrupt_packed_trace_exits_with_parse_code() {
+    let path = tmp("packed-corrupt.bin");
+    generate_packed(&path);
+    let full = std::fs::read(&path).unwrap();
+
+    // Flip the last byte (inside the footer CRC) and a payload byte in
+    // the request stream; both must surface as parse failures, not as a
+    // silently different replay.
+    let mut footer_flip = full.clone();
+    *footer_flip.last_mut().unwrap() ^= 0xFF;
+    let mut payload_flip = full.clone();
+    let mid = full.len() - 40; // well inside the encoded requests
+    payload_flip[mid] ^= 0x55;
+
+    for (label, bytes) in [("footer", footer_flip), ("payload", payload_flip)] {
+        let bad = tmp("packed-bad.bin");
+        std::fs::write(&bad, &bytes).unwrap();
+        let out = occ(&[
+            "run",
+            "--scenario",
+            "two-tier",
+            "--policy",
+            "lru",
+            "--k",
+            "24",
+            "--trace",
+            bad.to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(4),
+            "flipped {label} byte must exit 4; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+#[test]
+fn pack_unpack_round_trip_is_byte_identical() {
+    let v1 = tmp("roundtrip-v1.bin");
+    let packed = tmp("roundtrip.occbin02");
+    let unpacked = tmp("roundtrip-back.bin");
+    generate_binary(&v1);
+
+    let out = occ(&[
+        "trace",
+        "pack",
+        "--in",
+        v1.to_str().unwrap(),
+        "--out",
+        packed.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "pack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = occ(&[
+        "trace",
+        "unpack",
+        "--in",
+        packed.to_str().unwrap(),
+        "--out",
+        unpacked.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "unpack failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // occbin01 is canonical for a given trace, so pack → unpack must
+    // reproduce the original file bit for bit.
+    assert_eq!(
+        std::fs::read(&v1).unwrap(),
+        std::fs::read(&unpacked).unwrap(),
+        "pack → unpack must reproduce the original occbin01 bytes"
+    );
+}
+
+#[test]
+fn scaled_len_suffixes_generate_identical_traces() {
+    let spelled = tmp("len-spelled.bin");
+    let suffixed = tmp("len-suffixed.bin");
+    for (path, len) in [(&spelled, "2000"), (&suffixed, "2k")] {
+        let out = occ(&[
+            "generate",
+            "--scenario",
+            "two-tier",
+            "--len",
+            len,
+            "--seed",
+            "5",
+            "--format",
+            "binary",
+            "--out",
+            path.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "generate --len {len} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    assert_eq!(
+        std::fs::read(&spelled).unwrap(),
+        std::fs::read(&suffixed).unwrap(),
+        "--len 2k and --len 2000 must be the same trace"
+    );
+}
+
+#[test]
+fn malformed_scaled_len_is_a_usage_error() {
+    // Garbage suffix, fractional scale, and u64 overflow are all usage
+    // errors (exit 2), reported before any file is touched.
+    for len in ["5x", "1.5M", "99999999999999999999B", "20000000000B"] {
+        let out = occ(&[
+            "generate",
+            "--scenario",
+            "two-tier",
+            "--len",
+            len,
+            "--out",
+            tmp("never-len.bin").to_str().unwrap(),
+        ]);
+        assert_eq!(
+            out.status.code(),
+            Some(2),
+            "--len {len} must exit 2; stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+}
+
+/// A trace served through a FIFO — which cannot be probed twice or
+/// mapped — must fall back to buffered reads and produce the identical
+/// windowed series as the regular file.
+#[cfg(unix)]
+#[test]
+fn fifo_trace_falls_back_to_buffered_and_replays_identically() {
+    let bin = tmp("fifo-src.bin");
+    generate_binary(&bin);
+    let fifo = tmp("fifo-trace.pipe");
+    std::fs::remove_file(&fifo).ok();
+    let status = Command::new("mkfifo").arg(&fifo).status().expect("mkfifo");
+    assert!(status.success(), "mkfifo failed");
+
+    let soak = |trace: &Path, series: &Path| {
+        let out = occ(&[
+            "soak",
+            "--scenario",
+            "two-tier",
+            "--window",
+            "500",
+            "--heartbeat",
+            "off",
+            "--trace",
+            trace.to_str().unwrap(),
+            "--series",
+            series.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "soak failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The strategy announcement goes to stderr; the report table
+        // owns stdout.
+        String::from_utf8(out.stderr).unwrap()
+    };
+
+    let file_series = tmp("fifo-file.series.jsonl");
+    let file_stderr = soak(&bin, &file_series);
+    assert!(file_stderr.contains("via the mmap path"), "{file_stderr}");
+
+    let bytes = std::fs::read(&bin).unwrap();
+    let writer_path = fifo.clone();
+    let writer = std::thread::spawn(move || {
+        std::fs::write(&writer_path, &bytes).unwrap();
+    });
+    let fifo_series = tmp("fifo-pipe.series.jsonl");
+    let fifo_stderr = soak(&fifo, &fifo_series);
+    writer.join().unwrap();
+    std::fs::remove_file(&fifo).ok();
+    assert!(
+        fifo_stderr.contains("via the buffered path"),
+        "{fifo_stderr}"
+    );
+
+    assert_eq!(
+        std::fs::read_to_string(&file_series).unwrap(),
+        std::fs::read_to_string(&fifo_series).unwrap(),
+        "FIFO replay must produce the identical window series"
+    );
+}
+
 #[test]
 fn unknown_generate_format_is_a_usage_error() {
     let out = occ(&[

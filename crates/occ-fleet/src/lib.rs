@@ -264,11 +264,15 @@ impl FleetReport {
 
 /// Run one engine to exhaustion of its source, batch by batch.
 ///
-/// Sources that support bulk runs ([`RequestSource::next_run`] — fixed
-/// traces) feed [`SteppingEngine::step_batch`] slices of their own
-/// backing storage; everything else goes through the per-request pull
-/// loop into a reused batch buffer. The two styles can interleave
-/// freely without changing the served sequence.
+/// Sources that serve bare page-id runs
+/// ([`RequestSource::next_page_run`] — the mmap-backed binary reader)
+/// feed [`SteppingEngine::step_page_batch`] slices of the file mapping
+/// itself; sources that support materialized bulk runs
+/// ([`RequestSource::next_run`] — fixed traces) feed
+/// [`SteppingEngine::step_batch`] slices of their own backing storage;
+/// everything else goes through the per-request pull loop into a reused
+/// batch buffer. The three styles can interleave freely without
+/// changing the served sequence.
 fn drive<S, P, R>(engine: &mut SteppingEngine<P, R>, source: &mut S, cfg: &FleetConfig) -> u64
 where
     S: RequestSource,
@@ -281,6 +285,14 @@ where
     let mut buf = Vec::new();
     let mut served = 0u64;
     loop {
+        if let Some(run) = source
+            .next_page_run(cfg.batch_size)
+            .filter(|r| !r.is_empty())
+        {
+            served += run.len() as u64;
+            engine.step_page_batch(run);
+            continue;
+        }
         if let Some(run) = source.next_run(cfg.batch_size).filter(|r| !r.is_empty()) {
             served += run.len() as u64;
             engine.step_batch(run);

@@ -38,7 +38,9 @@ use crate::ids::{PageId, UserId};
 use crate::source::{RequestSource, SeekableSource};
 use crate::textio::TraceIoError;
 use crate::trace::{Request, Trace, TraceBuilder, Universe};
-use std::io::{BufRead, Read, Seek, SeekFrom, Write};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Seek, SeekFrom, Write};
+use std::path::Path;
 
 /// First eight bytes of every binary trace.
 pub const BINARY_TRACE_MAGIC: [u8; 8] = *b"occbin01";
@@ -133,8 +135,16 @@ fn check_footer<R: Read>(r: &mut R, payload_crc: u32) -> Result<(), TraceIoError
             Err(e) => return Err(TraceIoError::Io(e)),
         }
     }
-    if got >= 8 && foot[..8] == BINARY_TRACE_FOOTER_MAGIC {
-        if got < 12 {
+    verify_footer_probe(&foot[..got], payload_crc)
+}
+
+/// Verify an occbin01 footer given the (up to 12) bytes that follow the
+/// request payload. Shared by the buffered reader (which pulls the probe
+/// from its stream) and the mmap source (which slices it off the
+/// mapping), so both paths accept and reject exactly the same files.
+fn verify_footer_probe(foot: &[u8], payload_crc: u32) -> Result<(), TraceIoError> {
+    if foot.len() >= 8 && foot[..8] == BINARY_TRACE_FOOTER_MAGIC {
+        if foot.len() < 12 {
             return Err(parse_err(
                 "truncated binary trace: unexpected EOF in the footer checksum",
             ));
@@ -208,16 +218,19 @@ pub fn read_trace_binary<R: Read>(mut r: R) -> Result<Trace, TraceIoError> {
     Ok(builder.build())
 }
 
-/// Read a trace in either format, sniffing the first bytes: binary if
-/// they begin with [`BINARY_TRACE_MAGIC`], text otherwise.
+/// Read a trace in any of the three formats, sniffing the first bytes:
+/// fixed-width binary if they begin with [`BINARY_TRACE_MAGIC`], packed
+/// binary if with [`crate::binio2::BINARY2_TRACE_MAGIC`], text
+/// otherwise.
 pub fn read_trace_auto<R: BufRead>(mut r: R) -> Result<Trace, TraceIoError> {
     let head = r.fill_buf()?;
     // Compare against however much of the prefix is available — a file
     // shorter than the magic cannot be binary.
-    let looks_binary = head.len() >= BINARY_TRACE_MAGIC.len()
-        && head[..BINARY_TRACE_MAGIC.len()] == BINARY_TRACE_MAGIC;
-    if looks_binary {
+    let prefix = |magic: &[u8]| head.len() >= magic.len() && &head[..magic.len()] == magic;
+    if prefix(&BINARY_TRACE_MAGIC) {
         read_trace_binary(r)
+    } else if prefix(&crate::binio2::BINARY2_TRACE_MAGIC) {
+        crate::binio2::read_trace_binary_v2(r)
     } else {
         crate::textio::read_trace(r)
     }
@@ -431,6 +444,27 @@ impl<R: Read> RequestSource for BinaryTraceReader<R> {
         self.served += 1;
         Some(req)
     }
+
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        if max == 0 || self.error.is_some() {
+            return None;
+        }
+        if self.pos >= self.chunk.len() {
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        let take = (self.chunk.len() - self.pos).min(max);
+        let run = &self.chunk[self.pos..self.pos + take];
+        self.pos += take;
+        self.served += take as u64;
+        Some(run)
+    }
 }
 
 impl<R: Read> SeekableSource for BinaryTraceReader<R> {
@@ -459,6 +493,356 @@ impl<R: Read> SeekableSource for BinaryTraceReader<R> {
             self.pos += take as usize;
             self.served += take;
             remaining -= take;
+        }
+    }
+}
+
+/// Zero-copy occbin01 source backed by a read-only memory mapping.
+///
+/// The fixed-width format stores requests as bare little-endian page
+/// ids, and [`PageId`] is `repr(transparent)` over `u32`, so on a
+/// little-endian machine a mapped run of ids *is* a `&[PageId]` — no
+/// read syscalls, no kernel→user copy, no per-refill allocation, no
+/// per-request `Request` construction. [`next_page_run`] hands out
+/// slices straight from the mapping; the batched engine derives each
+/// request's owner from the universe exactly as the buffered decoder
+/// would have.
+///
+/// What is *not* skipped: every served run is still range-validated
+/// against the universe before the engine sees it (a max-scan, so the
+/// hot loop stays branch-light and vectorizable), the running CRC still
+/// covers every payload byte, and the footer is still verified when the
+/// stream drains — the mmap path accepts and rejects exactly the same
+/// files as [`BinaryTraceReader`], byte for byte.
+///
+/// Construction fails (`ErrorKind::Unsupported`) on non-unix targets,
+/// big-endian targets, and non-regular files (pipes, sockets,
+/// `/dev/stdin`); [`BinarySource::open`] falls back to the buffered
+/// reader in all those cases.
+///
+/// [`next_page_run`]: crate::source::RequestSource::next_page_run
+pub struct MmapTraceSource {
+    map: mmap::Mmap,
+    universe: Universe,
+    total: u64,
+    /// Byte offset of the first request id within the mapping.
+    payload_start: usize,
+    served: u64,
+    error: Option<TraceIoError>,
+    crc: Crc32,
+    footer_checked: bool,
+}
+
+impl MmapTraceSource {
+    /// Map `path` and parse its occbin01 header. Emits the
+    /// `madvise(MADV_SEQUENTIAL)` readahead hint immediately: trace
+    /// replay is a single front-to-back pass.
+    pub fn open(path: &Path) -> Result<Self, TraceIoError> {
+        if cfg!(not(all(unix, target_endian = "little"))) {
+            // The id bytes are little-endian on disk; reinterpreting
+            // them in place needs a little-endian host (and mmap needs
+            // unix). Everything else falls back to the buffered reader.
+            return Err(TraceIoError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "zero-copy traces need a little-endian unix host; use the buffered reader",
+            )));
+        }
+        let file = File::open(path)?;
+        let meta = file.metadata()?;
+        if !meta.is_file() {
+            return Err(TraceIoError::Io(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "not a regular file; use the buffered reader",
+            )));
+        }
+        let map = mmap::Mmap::map_readonly(&file)?;
+        map.advise_sequential();
+        Self::from_map(map)
+    }
+
+    fn from_map(map: mmap::Mmap) -> Result<Self, TraceIoError> {
+        // `&[u8]` is a `Read` that consumes from the front, so the
+        // header parser (and its error vocabulary) is shared verbatim
+        // with the buffered path.
+        let mut cursor: &[u8] = &map;
+        let universe = read_universe(&mut cursor)?;
+        let total = read_u64(&mut cursor, "the request count")?;
+        let payload_start = map.len() - cursor.len();
+        // Header layout guarantees 4-byte alignment of the payload
+        // (8 + 4 + 4 + 4·pages + 8), and mappings are page-aligned.
+        debug_assert_eq!(payload_start % 4, 0);
+        Ok(MmapTraceSource {
+            map,
+            universe,
+            total,
+            payload_start,
+            served: 0,
+            error: None,
+            crc: Crc32::new(),
+            footer_checked: false,
+        })
+    }
+
+    /// Total requests promised by the header.
+    pub fn total_requests(&self) -> u64 {
+        self.total
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    /// Tear down the source; returns the parked error if the stream
+    /// ended early, so callers can surface truncation with a `?`.
+    pub fn finish(self) -> Result<(), TraceIoError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Verify the optional footer against the mapped bytes after the
+    /// payload, once, parking any mismatch.
+    fn check_footer_once(&mut self) {
+        if self.footer_checked {
+            return;
+        }
+        self.footer_checked = true;
+        // `served == total` implies the payload fit in the mapping, so
+        // this offset is in bounds.
+        let after = self.payload_start + (self.total as usize) * 4;
+        let probe = &self.map[after..(after + 12).min(self.map.len())];
+        if let Err(e) = verify_footer_probe(probe, self.crc.value()) {
+            self.error = Some(e);
+        }
+    }
+
+    /// The run-serving core: validate, checksum, and hand out up to
+    /// `max` ids as a slice of the mapping.
+    fn serve_run(&mut self, max: usize) -> Option<&[PageId]> {
+        if max == 0 || self.error.is_some() {
+            return None;
+        }
+        let remaining = self.total - self.served;
+        if remaining == 0 {
+            self.check_footer_once();
+            return None;
+        }
+        let take = (remaining).min(max as u64) as usize;
+        let start = self.payload_start + (self.served as usize) * 4;
+        let end = start + take * 4;
+        if end > self.map.len() {
+            self.error = Some(parse_err(
+                "truncated binary trace: unexpected EOF in the request stream",
+            ));
+            return None;
+        }
+        let bytes = &self.map[start..end];
+        // Range-validate with a branch-light max-scan; only on failure
+        // (never in a healthy replay) rescan for the first offender so
+        // the report matches the buffered reader's.
+        let num_pages = self.universe.num_pages();
+        let mut worst = 0u32;
+        for id in bytes.chunks_exact(4) {
+            worst = worst.max(u32::from_le_bytes(id.try_into().expect("4-byte chunk")));
+        }
+        if worst >= num_pages {
+            let bad = bytes
+                .chunks_exact(4)
+                .map(|id| u32::from_le_bytes(id.try_into().expect("4-byte chunk")))
+                .find(|&id| id >= num_pages)
+                .expect("max-scan saw an out-of-range id");
+            self.error = Some(parse_err(format!("page {bad} out of range")));
+            return None;
+        }
+        self.crc.update(bytes);
+        self.served += take as u64;
+        // Safety: `bytes` is a 4-aligned (payload_start ≡ 0 mod 4 on a
+        // page-aligned mapping, and we advance in whole ids), in-bounds
+        // region of `take` little-endian u32s; `PageId` is
+        // `repr(transparent)` over `u32`, and construction is gated to
+        // little-endian hosts, so the reinterpretation is exact.
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<PageId>(), 0);
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const PageId, take) })
+    }
+}
+
+impl RequestSource for MmapTraceSource {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn next_request(&mut self, _ctx: &EngineCtx) -> Option<Request> {
+        let page = *self
+            .serve_run(1)?
+            .first()
+            .expect("serve_run(1) is non-empty");
+        Some(Request {
+            page,
+            user: self.universe.owner(page),
+        })
+    }
+
+    fn next_page_run(&mut self, max: usize) -> Option<&[PageId]> {
+        self.serve_run(max)
+    }
+}
+
+impl SeekableSource for MmapTraceSource {
+    /// Fast-forward through the same serving core as replay, so
+    /// validation, the running CRC and the footer check see exactly the
+    /// bytes a full replay would.
+    fn seek_forward(&mut self, n: u64) {
+        let mut remaining = n;
+        while remaining > 0 {
+            let max = remaining.min(CHUNK_IDS as u64) as usize;
+            match self.serve_run(max) {
+                Some(run) => remaining -= run.len() as u64,
+                None => return,
+            }
+        }
+    }
+}
+
+/// A binary trace opened from a path, with the access strategy chosen
+/// automatically from the file's magic and nature:
+///
+/// * occbin01, regular file, little-endian unix host → [`Mmap`]
+///   (zero-copy, [`MmapTraceSource`]),
+/// * occbin01 otherwise (pipe, `/dev/stdin`, exotic platform, or a
+///   filesystem where mapping fails) → [`Buffered`]
+///   ([`BinaryTraceReader`]),
+/// * occbin02 → [`Packed`] (streaming delta/varint decode,
+///   [`crate::binio2::Binary2TraceReader`]).
+///
+/// All three serve identical request streams for identical traces; the
+/// choice only affects throughput. Callers that care can log
+/// [`strategy`](Self::strategy).
+///
+/// [`Mmap`]: BinarySource::Mmap
+/// [`Buffered`]: BinarySource::Buffered
+/// [`Packed`]: BinarySource::Packed
+pub enum BinarySource {
+    /// Zero-copy mapping of a fixed-width trace.
+    Mmap(MmapTraceSource),
+    /// Chunked buffered reads of a fixed-width trace.
+    Buffered(BinaryTraceReader<BufReader<File>>),
+    /// Streaming decode of a packed (delta/varint) trace.
+    Packed(crate::binio2::Binary2TraceReader<BufReader<File>>),
+}
+
+impl BinarySource {
+    /// Open `path`, sniff its magic, and pick the fastest applicable
+    /// strategy. Unreadable headers are parse errors regardless of
+    /// strategy.
+    pub fn open(path: &Path) -> Result<BinarySource, TraceIoError> {
+        let file = File::open(path)?;
+        let mut reader = BufReader::new(file);
+        let head = reader.fill_buf()?;
+        let is_v2 = head.len() >= 8 && head[..8] == crate::binio2::BINARY2_TRACE_MAGIC;
+        if is_v2 {
+            return Ok(BinarySource::Packed(
+                crate::binio2::Binary2TraceReader::new(reader)?,
+            ));
+        }
+        let regular = reader
+            .get_ref()
+            .metadata()
+            .map(|m| m.is_file())
+            .unwrap_or(false);
+        if regular && cfg!(all(unix, target_endian = "little")) {
+            match MmapTraceSource::open(path) {
+                Ok(src) => return Ok(BinarySource::Mmap(src)),
+                // A malformed header is malformed however it is read —
+                // report it rather than re-parsing the same bytes.
+                Err(e @ TraceIoError::Parse(_)) => return Err(e),
+                // Mapping itself failed: fall through to buffered reads.
+                Err(TraceIoError::Io(_)) => {}
+            }
+        }
+        Ok(BinarySource::Buffered(BinaryTraceReader::new(reader)?))
+    }
+
+    /// Which access strategy was chosen ("mmap", "buffered" or
+    /// "packed") — for logs and reports.
+    pub fn strategy(&self) -> &'static str {
+        match self {
+            BinarySource::Mmap(_) => "mmap",
+            BinarySource::Buffered(_) => "buffered",
+            BinarySource::Packed(_) => "packed",
+        }
+    }
+
+    /// Total requests promised by the header.
+    pub fn total_requests(&self) -> u64 {
+        match self {
+            BinarySource::Mmap(s) => s.total_requests(),
+            BinarySource::Buffered(s) => s.total_requests(),
+            BinarySource::Packed(s) => s.total_requests(),
+        }
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&TraceIoError> {
+        match self {
+            BinarySource::Mmap(s) => s.error(),
+            BinarySource::Buffered(s) => s.error(),
+            BinarySource::Packed(s) => s.error(),
+        }
+    }
+
+    /// Tear down the source; returns the parked error if the stream
+    /// ended early.
+    pub fn finish(self) -> Result<(), TraceIoError> {
+        match self {
+            BinarySource::Mmap(s) => s.finish(),
+            BinarySource::Buffered(s) => s.finish(),
+            BinarySource::Packed(s) => s.finish(),
+        }
+    }
+}
+
+impl RequestSource for BinarySource {
+    fn universe(&self) -> &Universe {
+        match self {
+            BinarySource::Mmap(s) => s.universe(),
+            BinarySource::Buffered(s) => s.universe(),
+            BinarySource::Packed(s) => s.universe(),
+        }
+    }
+
+    fn next_request(&mut self, ctx: &EngineCtx) -> Option<Request> {
+        match self {
+            BinarySource::Mmap(s) => s.next_request(ctx),
+            BinarySource::Buffered(s) => s.next_request(ctx),
+            BinarySource::Packed(s) => s.next_request(ctx),
+        }
+    }
+
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        match self {
+            BinarySource::Mmap(s) => s.next_run(max),
+            BinarySource::Buffered(s) => s.next_run(max),
+            BinarySource::Packed(s) => s.next_run(max),
+        }
+    }
+
+    fn next_page_run(&mut self, max: usize) -> Option<&[PageId]> {
+        match self {
+            BinarySource::Mmap(s) => s.next_page_run(max),
+            BinarySource::Buffered(s) => s.next_page_run(max),
+            BinarySource::Packed(s) => s.next_page_run(max),
+        }
+    }
+}
+
+impl SeekableSource for BinarySource {
+    fn seek_forward(&mut self, n: u64) {
+        match self {
+            BinarySource::Mmap(s) => s.seek_forward(n),
+            BinarySource::Buffered(s) => s.seek_forward(n),
+            BinarySource::Packed(s) => s.seek_forward(n),
         }
     }
 }
@@ -802,6 +1186,209 @@ mod tests {
         write_trace_binary(&t, &mut buf).unwrap();
         let back = read_trace_binary(buf.as_slice()).unwrap();
         assert!(back.is_empty());
+        assert_eq!(back.universe(), t.universe());
+    }
+
+    #[test]
+    fn buffered_next_run_matches_scalar() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary(&t, &mut buf).unwrap();
+        let mut src = BinaryTraceReader::new(buf.as_slice()).unwrap();
+        let mut got = Vec::new();
+        while let Some(run) = src.next_run(2) {
+            got.extend_from_slice(run);
+        }
+        assert_eq!(got.as_slice(), t.requests());
+        src.finish().unwrap();
+    }
+
+    /// Write `bytes` to a fresh temp file and return its path.
+    fn tmp_file(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("occ-binio-unit-{name}-{}", std::process::id()));
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[cfg(all(unix, target_endian = "little"))]
+    mod zero_copy {
+        use super::*;
+
+        fn drain_pages(src: &mut MmapTraceSource) -> Vec<Request> {
+            let universe = src.universe().clone();
+            let mut got = Vec::new();
+            while let Some(run) = src.next_page_run(3) {
+                for &page in run {
+                    got.push(Request {
+                        page,
+                        user: universe.owner(page),
+                    });
+                }
+            }
+            got
+        }
+
+        #[test]
+        fn mmap_source_replays_identically() {
+            let t = sample();
+            let mut buf = Vec::new();
+            write_trace_binary(&t, &mut buf).unwrap();
+            let path = tmp_file("mmap-replay", &buf);
+            let mut src = MmapTraceSource::open(&path).unwrap();
+            assert_eq!(src.total_requests(), t.len() as u64);
+            assert_eq!(drain_pages(&mut src).as_slice(), t.requests());
+            src.finish().unwrap();
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn mmap_scalar_and_seek_match_buffered() {
+            let u = Universe::uniform(2, 3);
+            let pages: Vec<u32> = (0..50).map(|i| (i * 7) % 6).collect();
+            let t = Trace::from_page_indices(&u, &pages);
+            let mut buf = Vec::new();
+            write_trace_binary(&t, &mut buf).unwrap();
+            let path = tmp_file("mmap-seek", &buf);
+            let cache = crate::cache::CacheSet::new(1, u.num_pages());
+            let stats = crate::stats::SimStats::new(u.num_users());
+            let ctx = ctx_for(&u, &cache, &stats);
+            for skip in [0u64, 1, 49, 50, 80] {
+                let mut mapped = MmapTraceSource::open(&path).unwrap();
+                mapped.seek_forward(skip);
+                let mut buffered = BinaryTraceReader::new(buf.as_slice()).unwrap();
+                buffered.seek_forward(skip);
+                loop {
+                    let a = mapped.next_request(&ctx);
+                    let b = buffered.next_request(&ctx);
+                    assert_eq!(a, b, "skip={skip}");
+                    if a.is_none() {
+                        break;
+                    }
+                }
+                mapped.finish().unwrap();
+                buffered.finish().unwrap();
+            }
+            std::fs::remove_file(&path).ok();
+        }
+
+        #[test]
+        fn mmap_parks_truncation_and_checksum_errors() {
+            let t = sample();
+            let mut good = Vec::new();
+            write_trace_binary(&t, &mut good).unwrap();
+
+            // Payload cut mid-request.
+            let mut bad = good.clone();
+            bad.truncate(bad.len() - 12 - 3);
+            let path = tmp_file("mmap-trunc", &bad);
+            let mut src = MmapTraceSource::open(&path).unwrap();
+            let served = drain_pages(&mut src).len();
+            assert!(served < t.len());
+            let err = src.finish().unwrap_err();
+            assert!(err.to_string().contains("truncated"), "{err}");
+            std::fs::remove_file(&path).ok();
+
+            // In-range page swap: only the footer checksum can tell.
+            let mut bad = good.clone();
+            let first_req = bad.len() - 12 - 4 * t.len();
+            bad[first_req..first_req + 4].copy_from_slice(&1u32.to_le_bytes());
+            let path = tmp_file("mmap-crc", &bad);
+            let mut src = MmapTraceSource::open(&path).unwrap();
+            assert_eq!(drain_pages(&mut src).len(), t.len());
+            let err = src.finish().unwrap_err();
+            assert!(
+                err.to_string().contains("footer checksum mismatch"),
+                "{err}"
+            );
+            std::fs::remove_file(&path).ok();
+
+            // Legacy trailer-less form stays accepted, as on the
+            // buffered path.
+            let mut legacy = good.clone();
+            legacy.truncate(legacy.len() - 12);
+            let path = tmp_file("mmap-legacy", &legacy);
+            let mut src = MmapTraceSource::open(&path).unwrap();
+            assert_eq!(drain_pages(&mut src).len(), t.len());
+            src.finish().unwrap();
+            std::fs::remove_file(&path).ok();
+
+            // Out-of-range page: same report as the buffered reader.
+            let mut bad = good.clone();
+            let last = bad.len() - 12 - 4;
+            bad[last..last + 4].copy_from_slice(&9u32.to_le_bytes());
+            let path = tmp_file("mmap-range", &bad);
+            let mut src = MmapTraceSource::open(&path).unwrap();
+            let _ = drain_pages(&mut src);
+            let err = src.finish().unwrap_err();
+            assert!(err.to_string().contains("page 9 out of range"), "{err}");
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn binary_source_picks_a_strategy_per_format() {
+        let t = sample();
+
+        let mut v1 = Vec::new();
+        write_trace_binary(&t, &mut v1).unwrap();
+        let v1_path = tmp_file("strategy-v1", &v1);
+        let src = BinarySource::open(&v1_path).unwrap();
+        if cfg!(all(unix, target_endian = "little")) {
+            assert_eq!(src.strategy(), "mmap");
+        } else {
+            assert_eq!(src.strategy(), "buffered");
+        }
+        assert_eq!(src.total_requests(), t.len() as u64);
+
+        let mut v2 = Vec::new();
+        crate::binio2::write_trace_binary_v2(&t, &mut v2).unwrap();
+        let v2_path = tmp_file("strategy-v2", &v2);
+        let src = BinarySource::open(&v2_path).unwrap();
+        assert_eq!(src.strategy(), "packed");
+        assert_eq!(src.total_requests(), t.len() as u64);
+
+        // All strategies replay the same requests.
+        for path in [&v1_path, &v2_path] {
+            let mut src = BinarySource::open(path).unwrap();
+            let universe = RequestSource::universe(&src).clone();
+            let mut got: Vec<Request> = Vec::new();
+            loop {
+                if let Some(pages) = src.next_page_run(7) {
+                    for &page in pages {
+                        got.push(Request {
+                            page,
+                            user: universe.owner(page),
+                        });
+                    }
+                } else if let Some(run) = src.next_run(7) {
+                    got.extend_from_slice(run);
+                } else {
+                    break;
+                }
+            }
+            assert_eq!(got.as_slice(), t.requests(), "strategy {}", src.strategy());
+            src.finish().unwrap();
+        }
+
+        let garbage_path = tmp_file("strategy-garbage", b"not a trace at all");
+        let Err(err) = BinarySource::open(&garbage_path) else {
+            panic!("garbage opened successfully");
+        };
+        assert!(matches!(err, TraceIoError::Parse(_)), "{err}");
+
+        for p in [v1_path, v2_path, garbage_path] {
+            std::fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn auto_detect_reads_packed_traces_too() {
+        let t = sample();
+        let mut v2 = Vec::new();
+        crate::binio2::write_trace_binary_v2(&t, &mut v2).unwrap();
+        let back = read_trace_auto(std::io::BufReader::new(v2.as_slice())).unwrap();
+        assert_eq!(back.requests(), t.requests());
         assert_eq!(back.universe(), t.universe());
     }
 }

@@ -1,0 +1,1062 @@
+//! Compressed binary traces (`occbin02`): delta + varint encoding for
+//! cold storage.
+//!
+//! `occbin01` ([`crate::binio`]) spends four bytes per request no matter
+//! what the trace looks like. Real access streams are compressible two
+//! different ways: *locally clustered* streams (sequential scans, block
+//! runs) have tiny differences between consecutive page ids, while
+//! *skewed* streams (Zipf-like popularity) have small ids most of the
+//! time but sign-expanded jumps between them. Neither coding wins
+//! everywhere, so the request stream is cut into fixed 65 536-request
+//! chunks and each chunk carries a one-byte mode tag choosing whichever
+//! LEB128-varint coding is smaller for *its* ids: `0` = zigzag deltas
+//! (`page[t] − page[t−1]`, base carried across chunks, `page[−1] = 0`),
+//! `1` = raw page ids. The same run-length idea compresses the owner
+//! table: ownership is assigned in contiguous stretches, so it is
+//! stored as `(user, run-length)` pairs.
+//!
+//! ```text
+//! offset  size      field
+//! 0       8         magic  b"occbin02"
+//! 8       varint    num_users   (> 0)
+//! …       varint    num_pages
+//! …       pairs     owner table runs: (varint user, varint run-length > 0)
+//!                   until exactly num_pages pages are covered
+//! …       varint    num_requests
+//! …       chunks    requests in 65 536-request chunks (last one ragged):
+//!                   1-byte mode tag, then one varint per request —
+//!                   mode 0: zigzag(page[t] − page[t−1]), mode 1: page[t]
+//! …       8         footer magic b"occsum02"   (required)
+//! …       4         crc32 of the encoded request bytes (u32 LE,
+//!                   tag bytes included)
+//! ```
+//!
+//! Unlike occbin01 (whose footer is optional for legacy files), the
+//! occbin02 footer is mandatory — the format is new, so there are no
+//! legacy files to accept, and requiring it means truncation after the
+//! last request is always detected. The checksum covers the encoded
+//! request-delta bytes, mirroring occbin01's request-payload coverage.
+//!
+//! [`Binary2TraceReader`] streams: it decodes bounded chunks and serves
+//! them through [`RequestSource`], so a packed multi-billion-request
+//! trace replays without ever materializing. The decoder's memory is the
+//! owner table plus one chunk, independent of the request count.
+
+use crate::checksum::Crc32;
+use crate::engine::EngineCtx;
+use crate::ids::{PageId, UserId};
+use crate::source::{RequestSource, SeekableSource};
+use crate::textio::TraceIoError;
+use crate::trace::{Request, Trace, TraceBuilder, Universe};
+use std::io::{Read, Write};
+
+/// First eight bytes of every packed (delta/varint) binary trace.
+pub const BINARY2_TRACE_MAGIC: [u8; 8] = *b"occbin02";
+
+/// Magic introducing the mandatory checksum footer after the last
+/// request delta.
+pub const BINARY2_TRACE_FOOTER_MAGIC: [u8; 8] = *b"occsum02";
+
+/// Requests per encoded chunk — the adaptive-coding granularity, and
+/// the unit the streaming reader decodes at a time. Writer and reader
+/// must agree on this number: chunk boundaries are implied by position,
+/// not recorded in the file.
+const CHUNK_REQS: usize = 64 * 1024;
+
+/// Chunk mode tags: each chunk is coded whichever way is smaller.
+const CHUNK_MODE_DELTA: u8 = 0;
+const CHUNK_MODE_RAW: u8 = 1;
+
+/// Bytes pulled from the underlying reader per refill.
+const RAW_CHUNK: usize = 64 * 1024;
+
+/// A varint may carry at most 10 bytes for a u64 (9 × 7 payload bits
+/// plus a final byte contributing the top bit).
+const MAX_VARINT_LEN: usize = 10;
+
+fn parse_err(msg: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse(msg.into())
+}
+
+/// Append `value` as an LEB128 varint.
+fn push_varint(buf: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            return;
+        }
+        buf.push(byte | 0x80);
+    }
+}
+
+/// Outcome of decoding one varint from the front of a buffer.
+enum Varint {
+    /// A complete varint: its value and how many bytes it spanned.
+    Done(u64, usize),
+    /// The buffer ends mid-varint; more bytes may complete it.
+    Incomplete,
+}
+
+/// Decode one LEB128 varint from the front of `buf`. Over-long or
+/// overflowing encodings are parse errors; a buffer that simply ends
+/// early is [`Varint::Incomplete`] (the caller decides whether that
+/// means "refill" or "truncated file").
+fn pop_varint(buf: &[u8]) -> Result<Varint, TraceIoError> {
+    let mut value: u64 = 0;
+    for (i, &byte) in buf.iter().take(MAX_VARINT_LEN).enumerate() {
+        let payload = (byte & 0x7F) as u64;
+        // The 10th byte may only contribute the single remaining bit.
+        if i == MAX_VARINT_LEN - 1 && payload > 1 {
+            return Err(parse_err("varint overflows a u64"));
+        }
+        value |= payload << (7 * i);
+        if byte & 0x80 == 0 {
+            return Ok(Varint::Done(value, i + 1));
+        }
+    }
+    if buf.len() >= MAX_VARINT_LEN {
+        return Err(parse_err(format!(
+            "varint longer than {MAX_VARINT_LEN} bytes"
+        )));
+    }
+    Ok(Varint::Incomplete)
+}
+
+/// Encoded length of `value` as an LEB128 varint, without encoding it.
+fn varint_len(value: u64) -> usize {
+    (64 - value.leading_zeros() as usize).max(1).div_ceil(7)
+}
+
+/// Encode one chunk of page ids: cost both codings in a sizing pass,
+/// tag the chunk with the winner (ties go to delta), and emit it.
+/// `prev` is the delta base — the last page of the previous chunk — and
+/// leaves as the last page of this one regardless of the mode chosen,
+/// so a delta chunk can follow a raw chunk seamlessly.
+fn encode_chunk(buf: &mut Vec<u8>, pages: &[u32], prev: &mut i64) {
+    if pages.is_empty() {
+        return;
+    }
+    let mut delta_bytes = 0usize;
+    let mut raw_bytes = 0usize;
+    let mut base = *prev;
+    for &page in pages {
+        delta_bytes += varint_len(zigzag(page as i64 - base));
+        raw_bytes += varint_len(page as u64);
+        base = page as i64;
+    }
+    if delta_bytes <= raw_bytes {
+        buf.push(CHUNK_MODE_DELTA);
+        for &page in pages {
+            push_varint(buf, zigzag(page as i64 - *prev));
+            *prev = page as i64;
+        }
+    } else {
+        buf.push(CHUNK_MODE_RAW);
+        for &page in pages {
+            push_varint(buf, page as u64);
+        }
+        *prev = pages[pages.len() - 1] as i64;
+    }
+}
+
+/// Map a signed delta onto an unsigned varint domain: small magnitudes
+/// of either sign get small codes.
+fn zigzag(delta: i64) -> u64 {
+    ((delta << 1) ^ (delta >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+fn unzigzag(coded: u64) -> i64 {
+    ((coded >> 1) as i64) ^ -((coded & 1) as i64)
+}
+
+/// Read one varint directly from a reader, one byte at a time — used
+/// for the small header fields only; the request stream goes through
+/// the chunked buffer.
+fn read_varint<R: Read>(r: &mut R, what: &str) -> Result<u64, TraceIoError> {
+    let mut bytes = [0u8; MAX_VARINT_LEN];
+    for i in 0..MAX_VARINT_LEN {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                parse_err(format!(
+                    "truncated binary trace: unexpected EOF mid-varint in {what}"
+                ))
+            } else {
+                TraceIoError::Io(e)
+            }
+        })?;
+        bytes[i] = b[0];
+        if b[0] & 0x80 == 0 {
+            return match pop_varint(&bytes[..=i])? {
+                Varint::Done(v, _) => Ok(v),
+                Varint::Incomplete => unreachable!("terminator byte was just read"),
+            };
+        }
+    }
+    Err(parse_err(format!(
+        "varint longer than {MAX_VARINT_LEN} bytes in {what}"
+    )))
+}
+
+fn read_varint_u32<R: Read>(r: &mut R, what: &str) -> Result<u32, TraceIoError> {
+    let v = read_varint(r, what)?;
+    u32::try_from(v).map_err(|_| parse_err(format!("{what} {v} does not fit in 32 bits")))
+}
+
+/// Read the magic + varint universe header, leaving the reader
+/// positioned at the request count.
+fn read_universe_v2<R: Read>(r: &mut R) -> Result<Universe, TraceIoError> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            parse_err("truncated binary trace: unexpected EOF in the magic")
+        } else {
+            TraceIoError::Io(e)
+        }
+    })?;
+    if magic != BINARY2_TRACE_MAGIC {
+        return Err(parse_err(format!(
+            "bad magic {magic:?}, expected {BINARY2_TRACE_MAGIC:?}"
+        )));
+    }
+    let num_users = read_varint_u32(r, "the user count")?;
+    if num_users == 0 {
+        return Err(parse_err("a trace needs at least one user"));
+    }
+    let num_pages = read_varint_u32(r, "the page count")? as usize;
+    let mut owners: Vec<UserId> = Vec::with_capacity(num_pages.min(CHUNK_REQS));
+    while owners.len() < num_pages {
+        let user = read_varint_u32(r, "the owner table")?;
+        if user >= num_users {
+            return Err(parse_err(format!("owner {user} out of range")));
+        }
+        let run = read_varint(r, "the owner table")?;
+        if run == 0 {
+            return Err(parse_err("zero-length owner run"));
+        }
+        let remaining = (num_pages - owners.len()) as u64;
+        if run > remaining {
+            return Err(parse_err(format!(
+                "owner run of {run} pages overshoots the {num_pages}-page table"
+            )));
+        }
+        for _ in 0..run {
+            owners.push(UserId(user));
+        }
+    }
+    Ok(Universe::new(num_users, owners))
+}
+
+/// Write the varint header shared by the whole-trace and streaming
+/// writers; returns the header bytes.
+fn encode_header(universe: &Universe, count: u64) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.extend_from_slice(&BINARY2_TRACE_MAGIC);
+    push_varint(&mut buf, universe.num_users() as u64);
+    push_varint(&mut buf, universe.num_pages() as u64);
+    let owners = universe.owners();
+    let mut i = 0usize;
+    while i < owners.len() {
+        let user = owners[i];
+        let mut run = 1u64;
+        while i + (run as usize) < owners.len() && owners[i + run as usize] == user {
+            run += 1;
+        }
+        push_varint(&mut buf, user.0 as u64);
+        push_varint(&mut buf, run);
+        i += run as usize;
+    }
+    push_varint(&mut buf, count);
+    buf
+}
+
+/// Write an entire in-memory `trace` in the packed format.
+pub fn write_trace_binary_v2<W: Write>(trace: &Trace, mut w: W) -> Result<(), TraceIoError> {
+    w.write_all(&encode_header(trace.universe(), trace.len() as u64))?;
+    let mut crc = Crc32::new();
+    let mut buf = Vec::new();
+    let mut pages = Vec::with_capacity(CHUNK_REQS.min(trace.len()));
+    let mut prev: i64 = 0;
+    for reqs in trace.requests().chunks(CHUNK_REQS) {
+        pages.clear();
+        pages.extend(reqs.iter().map(|r| r.page.0));
+        buf.clear();
+        encode_chunk(&mut buf, &pages, &mut prev);
+        crc.update(&buf);
+        w.write_all(&buf)?;
+    }
+    w.write_all(&BINARY2_TRACE_FOOTER_MAGIC)?;
+    w.write_all(&crc.value().to_le_bytes())?;
+    Ok(())
+}
+
+/// Read a whole packed trace into memory. For traces that do not fit,
+/// use [`Binary2TraceReader`] and stream instead.
+pub fn read_trace_binary_v2<R: Read>(r: R) -> Result<Trace, TraceIoError> {
+    let mut reader = Binary2TraceReader::new(r)?;
+    let mut builder = TraceBuilder::new(reader.universe.clone());
+    loop {
+        match reader.refill() {
+            Ok(true) => {
+                for req in &reader.chunk {
+                    builder.push(req.page);
+                }
+                let n = reader.chunk.len();
+                reader.pos = n;
+                reader.served += n as u64;
+            }
+            Ok(false) => break,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Incremental packed-trace writer. The varint header cannot be patched
+/// in place, so the request count must be promised up front (every call
+/// site — `occ trace pack`, `occ generate` — knows it);
+/// [`finish`](Self::finish) fails if the promise was not kept.
+pub struct Binary2TraceWriter<W: Write> {
+    sink: W,
+    universe: Universe,
+    promised: u64,
+    written: u64,
+    prev: i64,
+    /// Page ids of the chunk being accumulated — the adaptive coder
+    /// needs the whole chunk in hand to cost both codings.
+    pending: Vec<u32>,
+    buf: Vec<u8>,
+    crc: Crc32,
+}
+
+impl<W: Write> Binary2TraceWriter<W> {
+    /// Write the header for `universe`, promising exactly `count`
+    /// requests, and return a writer ready to accept them.
+    pub fn new(universe: Universe, count: u64, mut sink: W) -> Result<Self, TraceIoError> {
+        sink.write_all(&encode_header(&universe, count))?;
+        Ok(Binary2TraceWriter {
+            sink,
+            universe,
+            promised: count,
+            written: 0,
+            prev: 0,
+            pending: Vec::new(),
+            buf: Vec::new(),
+            crc: Crc32::new(),
+        })
+    }
+
+    /// Encode and write the accumulated chunk (a no-op when empty).
+    fn flush_chunk(&mut self) -> Result<(), TraceIoError> {
+        self.buf.clear();
+        encode_chunk(&mut self.buf, &self.pending, &mut self.prev);
+        self.pending.clear();
+        self.crc.update(&self.buf);
+        self.sink.write_all(&self.buf)?;
+        Ok(())
+    }
+
+    /// Append one request. Rejects pages outside the universe, owner
+    /// claims that disagree with it, and pushes past the promised count.
+    pub fn push(&mut self, req: Request) -> Result<(), TraceIoError> {
+        match self.universe.try_owner(req.page) {
+            None => {
+                return Err(parse_err(format!(
+                    "request {}: page {} outside the universe",
+                    self.written, req.page
+                )))
+            }
+            Some(owner) if owner != req.user => {
+                return Err(parse_err(format!(
+                    "request {}: {} does not own {}",
+                    self.written, req.user, req.page
+                )))
+            }
+            Some(_) => {}
+        }
+        if self.written == self.promised {
+            return Err(parse_err(format!(
+                "more requests than the promised {}",
+                self.promised
+            )));
+        }
+        self.pending.push(req.page.0);
+        if self.pending.len() == CHUNK_REQS {
+            self.flush_chunk()?;
+        }
+        self.written += 1;
+        Ok(())
+    }
+
+    /// Encode the ragged final chunk, append the checksum footer, and
+    /// return the sink. Errors if fewer requests were pushed than
+    /// promised (the header already claims the promised count, so the
+    /// file would lie).
+    pub fn finish(mut self) -> Result<W, TraceIoError> {
+        if self.written != self.promised {
+            return Err(parse_err(format!(
+                "promised {} requests but {} were pushed",
+                self.promised, self.written
+            )));
+        }
+        self.flush_chunk()?;
+        self.sink.write_all(&BINARY2_TRACE_FOOTER_MAGIC)?;
+        self.sink.write_all(&self.crc.value().to_le_bytes())?;
+        self.sink.flush()?;
+        Ok(self.sink)
+    }
+}
+
+/// Streaming decoder for packed traces: a [`RequestSource`] whose
+/// memory footprint is the owner table plus one chunk, independent of
+/// the request count.
+///
+/// Like [`BinaryTraceReader`](crate::binio::BinaryTraceReader), a
+/// mid-stream failure ends the stream early and parks the error in
+/// [`error`](Self::error) / [`finish`](Self::finish).
+pub struct Binary2TraceReader<R: Read> {
+    reader: R,
+    universe: Universe,
+    total: u64,
+    served: u64,
+    /// Previous decoded page id (the delta base), as a signed value so
+    /// the first delta (base 0) needs no special case.
+    prev: i64,
+    /// Raw undecoded bytes: `raw[raw_start..]` is pending input.
+    raw: Vec<u8>,
+    raw_start: usize,
+    /// Whether the underlying reader has reached EOF.
+    raw_eof: bool,
+    chunk: Vec<Request>,
+    /// Next index to serve from `chunk`.
+    pos: usize,
+    error: Option<TraceIoError>,
+    crc: Crc32,
+    footer_checked: bool,
+}
+
+impl<R: Read> Binary2TraceReader<R> {
+    /// Read the header (universe + request count) and return a source
+    /// positioned at the first request.
+    pub fn new(mut reader: R) -> Result<Self, TraceIoError> {
+        let universe = read_universe_v2(&mut reader)?;
+        let total = read_varint(&mut reader, "the request count")?;
+        Ok(Binary2TraceReader {
+            reader,
+            universe,
+            total,
+            served: 0,
+            prev: 0,
+            raw: Vec::with_capacity(RAW_CHUNK),
+            raw_start: 0,
+            raw_eof: false,
+            chunk: Vec::new(),
+            pos: 0,
+            error: None,
+            crc: Crc32::new(),
+            footer_checked: false,
+        })
+    }
+
+    /// Total requests promised by the header.
+    pub fn total_requests(&self) -> u64 {
+        self.total
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    /// Tear down the source; returns the parked error if the stream
+    /// ended early, so callers can surface truncation with a `?`.
+    pub fn finish(self) -> Result<(), TraceIoError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Pull more bytes from the reader into `raw`, compacting first.
+    /// Returns how many new bytes arrived (0 at EOF).
+    fn fill_raw(&mut self) -> Result<usize, TraceIoError> {
+        if self.raw_start > 0 {
+            self.raw.drain(..self.raw_start);
+            self.raw_start = 0;
+        }
+        if self.raw_eof {
+            return Ok(0);
+        }
+        let old = self.raw.len();
+        self.raw.resize(old + RAW_CHUNK, 0);
+        let mut got = 0usize;
+        while got == 0 {
+            match self.reader.read(&mut self.raw[old + got..]) {
+                Ok(0) => {
+                    self.raw_eof = true;
+                    break;
+                }
+                Ok(n) => got += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.raw.truncate(old);
+                    return Err(TraceIoError::Io(e));
+                }
+            }
+        }
+        self.raw.truncate(old + got);
+        Ok(got)
+    }
+
+    /// Decode the next chunk of requests. `Ok(true)` leaves a fresh
+    /// chunk in `self.chunk` with `pos == 0`; `Ok(false)` means the
+    /// stream is cleanly drained (footer verified).
+    fn refill(&mut self) -> Result<bool, TraceIoError> {
+        let buffered = (self.chunk.len() - self.pos) as u64;
+        let remaining = self.total - self.served - buffered;
+        if remaining == 0 {
+            if !self.footer_checked {
+                self.footer_checked = true;
+                self.check_footer()?;
+            }
+            return Ok(false);
+        }
+        // `refill` is only reached with the previous chunk fully
+        // consumed, so `take` lands on exactly the boundaries the
+        // writer chunked at: CHUNK_REQS apiece, ragged last.
+        let take = (remaining as usize).min(CHUNK_REQS);
+        self.chunk.clear();
+        self.pos = 0;
+        let mode = loop {
+            if let Some(&m) = self.raw.get(self.raw_start) {
+                self.crc.update(&[m]);
+                self.raw_start += 1;
+                break m;
+            }
+            if self.fill_raw()? == 0 {
+                return Err(parse_err(
+                    "truncated binary trace: unexpected EOF at a chunk tag",
+                ));
+            }
+        };
+        if mode != CHUNK_MODE_DELTA && mode != CHUNK_MODE_RAW {
+            return Err(parse_err(format!("unknown chunk mode tag {mode}")));
+        }
+        let num_pages = self.universe.num_pages() as i64;
+        while self.chunk.len() < take {
+            match pop_varint(&self.raw[self.raw_start..])? {
+                Varint::Done(coded, len) => {
+                    self.crc
+                        .update(&self.raw[self.raw_start..self.raw_start + len]);
+                    self.raw_start += len;
+                    let page = if mode == CHUNK_MODE_DELTA {
+                        self.prev + unzigzag(coded)
+                    } else {
+                        i64::try_from(coded)
+                            .map_err(|_| parse_err(format!("page {coded} out of range")))?
+                    };
+                    if page < 0 || page >= num_pages {
+                        return Err(parse_err(format!("page {page} out of range")));
+                    }
+                    self.prev = page;
+                    let page = PageId(page as u32);
+                    self.chunk.push(Request {
+                        page,
+                        user: self.universe.owner(page),
+                    });
+                }
+                Varint::Incomplete => {
+                    if self.fill_raw()? == 0 {
+                        return Err(parse_err(
+                            "truncated binary trace: unexpected EOF mid-varint in the request \
+                             stream",
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Verify the mandatory footer once the promised requests have all
+    /// been decoded. Unlike occbin01 there is no legacy trailer-less
+    /// form: a missing or short footer is truncation, a wrong magic is
+    /// corruption.
+    fn check_footer(&mut self) -> Result<(), TraceIoError> {
+        while self.raw.len() - self.raw_start < 12 {
+            if self.fill_raw()? == 0 {
+                break;
+            }
+        }
+        let foot = &self.raw[self.raw_start..];
+        if foot.len() < 12 {
+            return Err(parse_err(
+                "truncated binary trace: unexpected EOF in the footer",
+            ));
+        }
+        if foot[..8] != BINARY2_TRACE_FOOTER_MAGIC {
+            return Err(parse_err(format!(
+                "bad footer magic {:?}, expected {BINARY2_TRACE_FOOTER_MAGIC:?}",
+                &foot[..8]
+            )));
+        }
+        let want = u32::from_le_bytes(foot[8..12].try_into().expect("4-byte slice"));
+        let got = self.crc.value();
+        if want != got {
+            return Err(parse_err(format!(
+                "footer checksum mismatch: footer says crc32 {want:08x}, request stream hashes \
+                 to {got:08x} (corrupt or torn trace)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl<R: Read> RequestSource for Binary2TraceReader<R> {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn next_request(&mut self, _ctx: &EngineCtx) -> Option<Request> {
+        if self.error.is_some() {
+            return None;
+        }
+        if self.pos >= self.chunk.len() {
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        let req = self.chunk[self.pos];
+        self.pos += 1;
+        self.served += 1;
+        Some(req)
+    }
+
+    fn next_run(&mut self, max: usize) -> Option<&[Request]> {
+        if max == 0 || self.error.is_some() {
+            return None;
+        }
+        if self.pos >= self.chunk.len() {
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        let take = (self.chunk.len() - self.pos).min(max);
+        let run = &self.chunk[self.pos..self.pos + take];
+        self.pos += take;
+        self.served += take as u64;
+        Some(run)
+    }
+}
+
+impl<R: Read> SeekableSource for Binary2TraceReader<R> {
+    /// Decode-and-discard fast-forward through the same chunked refill
+    /// path as serving, so validation (delta range, truncation, footer
+    /// checksum) and the running CRC see exactly the bytes a full
+    /// replay would.
+    fn seek_forward(&mut self, n: u64) {
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.error.is_some() {
+                return;
+            }
+            let avail = (self.chunk.len() - self.pos) as u64;
+            if avail == 0 {
+                match self.refill() {
+                    Ok(true) => continue,
+                    Ok(false) => return,
+                    Err(e) => {
+                        self.error = Some(e);
+                        return;
+                    }
+                }
+            }
+            let take = avail.min(remaining);
+            self.pos += take as usize;
+            self.served += take;
+            remaining -= take;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binio::write_trace_binary;
+
+    fn sample() -> Trace {
+        let u = Universe::uniform(2, 2);
+        Trace::from_page_indices(&u, &[0, 2, 1, 3, 0])
+    }
+
+    fn drain(src: &mut Binary2TraceReader<&[u8]>) -> Vec<Request> {
+        let mut got = Vec::new();
+        while let Some(run) = src.next_run(97) {
+            got.extend_from_slice(run);
+        }
+        got
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        let back = read_trace_binary_v2(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+        assert_eq!(back.universe(), t.universe());
+    }
+
+    #[test]
+    fn packed_form_is_smaller_than_fixed_width() {
+        // A locally clustered single-user trace: deltas are tiny, so the
+        // packed encoding should be ~1 byte/request vs 4.
+        let u = Universe::single_user(1000);
+        let pages: Vec<u32> = (0..10_000u32).map(|i| 500 + (i % 7)).collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut v1 = Vec::new();
+        write_trace_binary(&t, &mut v1).unwrap();
+        let mut v2 = Vec::new();
+        write_trace_binary_v2(&t, &mut v2).unwrap();
+        assert!(
+            v2.len() * 2 < v1.len(),
+            "packed {} bytes vs fixed {} bytes",
+            v2.len(),
+            v1.len()
+        );
+    }
+
+    #[test]
+    fn streaming_writer_matches_whole_trace_writer() {
+        let t = sample();
+        let mut whole = Vec::new();
+        write_trace_binary_v2(&t, &mut whole).unwrap();
+        let mut w =
+            Binary2TraceWriter::new(t.universe().clone(), t.len() as u64, Vec::new()).unwrap();
+        for &r in t.requests() {
+            w.push(r).unwrap();
+        }
+        let streamed = w.finish().unwrap();
+        assert_eq!(streamed, whole);
+    }
+
+    #[test]
+    fn streaming_writer_enforces_the_promise() {
+        let t = sample();
+        // Under-delivery fails at finish.
+        let mut w =
+            Binary2TraceWriter::new(t.universe().clone(), t.len() as u64, Vec::new()).unwrap();
+        w.push(t.requests()[0]).unwrap();
+        assert!(matches!(w.finish(), Err(TraceIoError::Parse(_))));
+        // Over-delivery fails at push.
+        let mut w = Binary2TraceWriter::new(t.universe().clone(), 1, Vec::new()).unwrap();
+        w.push(t.requests()[0]).unwrap();
+        assert!(w.push(t.requests()[1]).is_err());
+    }
+
+    #[test]
+    fn streaming_reader_replays_identically() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        let mut src = Binary2TraceReader::new(buf.as_slice()).unwrap();
+        assert_eq!(src.total_requests(), t.len() as u64);
+        let got = drain(&mut src);
+        assert_eq!(got.as_slice(), t.requests());
+        src.finish().unwrap();
+    }
+
+    #[test]
+    fn extreme_deltas_round_trip() {
+        // Jumps across the whole u32 page-id range in both directions.
+        let top = u32::MAX - 1;
+        let u = Universe::single_user(u32::MAX);
+        let pages = vec![top, 0, top, 1, top - 1, 0, 0, top];
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        let back = read_trace_binary_v2(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+    }
+
+    #[test]
+    fn empty_and_single_request_traces_round_trip() {
+        let u = Universe::single_user(3);
+        for pages in [vec![], vec![2u32]] {
+            let t = Trace::from_page_indices(&u, &pages);
+            let mut buf = Vec::new();
+            write_trace_binary_v2(&t, &mut buf).unwrap();
+            let back = read_trace_binary_v2(buf.as_slice()).unwrap();
+            assert_eq!(back.requests(), t.requests());
+            assert_eq!(back.universe(), t.universe());
+        }
+    }
+
+    #[test]
+    fn sequential_streams_pick_delta_coding() {
+        let u = Universe::single_user(100_000);
+        let pages: Vec<u32> = (0..5_000u32).collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        let hdr = encode_header(t.universe(), t.len() as u64).len();
+        assert_eq!(buf[hdr], CHUNK_MODE_DELTA);
+        // +1 deltas are one byte each: tag + 5000 bytes + 12-byte footer.
+        assert_eq!(buf.len(), hdr + 1 + 5_000 + 12);
+        let back = read_trace_binary_v2(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+    }
+
+    #[test]
+    fn skewed_streams_pick_raw_coding() {
+        // Small ids with sign-expanded jumps between them: raw varints
+        // are ~1 byte, zigzag deltas ~2 — the coder must notice.
+        let u = Universe::single_user(1 << 14);
+        let pages: Vec<u32> = (0..5_000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761) % 128)
+            .collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        let hdr = encode_header(t.universe(), t.len() as u64).len();
+        assert_eq!(buf[hdr], CHUNK_MODE_RAW);
+        // Every id < 128 is a one-byte varint.
+        assert_eq!(buf.len(), hdr + 1 + 5_000 + 12);
+        let back = read_trace_binary_v2(buf.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+    }
+
+    #[test]
+    fn mixed_chunks_round_trip_across_mode_boundaries() {
+        // First chunk sequential (delta wins), ragged second chunk
+        // skewed (raw wins); the delta base must carry across the
+        // mode switch. Exercises both the whole-trace and streaming
+        // writers and both readers.
+        let u = Universe::single_user(1 << 20);
+        let mut pages: Vec<u32> = (0..CHUNK_REQS as u32).collect();
+        pages.extend((0..2_000u32).map(|i| i.wrapping_mul(2_654_435_761) % 128));
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut whole = Vec::new();
+        write_trace_binary_v2(&t, &mut whole).unwrap();
+        let mut w =
+            Binary2TraceWriter::new(t.universe().clone(), t.len() as u64, Vec::new()).unwrap();
+        for &r in t.requests() {
+            w.push(r).unwrap();
+        }
+        assert_eq!(w.finish().unwrap(), whole);
+        let back = read_trace_binary_v2(whole.as_slice()).unwrap();
+        assert_eq!(back.requests(), t.requests());
+        let mut src = Binary2TraceReader::new(whole.as_slice()).unwrap();
+        let got = drain(&mut src);
+        assert_eq!(got.as_slice(), t.requests());
+        src.finish().unwrap();
+    }
+
+    #[test]
+    fn unknown_chunk_mode_tag_is_a_parse_error() {
+        let u = Universe::single_user(4);
+        let mut bad = encode_header(&u, 1);
+        bad.push(2); // neither delta (0) nor raw (1)
+        push_varint(&mut bad, 0);
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("unknown chunk mode tag 2"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn truncation_mid_varint_is_a_parse_error() {
+        // A two-byte varint delta: page 300 from base 0 → zigzag 600,
+        // which needs two LEB128 bytes. Cutting between them is a
+        // mid-varint truncation.
+        let u = Universe::single_user(1000);
+        let t = Trace::from_page_indices(&u, &[300]);
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 12 - 1); // drop footer + second delta byte
+        let err = read_trace_binary_v2(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("mid-varint"), "{err}");
+
+        // The streaming reader parks the same class of error.
+        let mut src = Binary2TraceReader::new(buf.as_slice()).unwrap();
+        let _ = drain(&mut src);
+        assert!(matches!(src.finish(), Err(TraceIoError::Parse(_))));
+    }
+
+    #[test]
+    fn missing_footer_is_a_parse_error() {
+        let t = sample();
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        buf.truncate(buf.len() - 12);
+        let err = read_trace_binary_v2(buf.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("EOF in the footer"), "{err}");
+    }
+
+    #[test]
+    fn flipped_footer_byte_is_a_parse_error() {
+        let t = sample();
+        let mut good = Vec::new();
+        write_trace_binary_v2(&t, &mut good).unwrap();
+        // Flip each footer byte in turn: magic bytes report corruption,
+        // checksum bytes report a mismatch — all of them parse errors.
+        for i in 1..=12 {
+            let mut bad = good.clone();
+            let idx = bad.len() - i;
+            bad[idx] ^= 0x01;
+            let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+            assert!(
+                matches!(err, TraceIoError::Parse(_)),
+                "flip at -{i}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_payload_byte_fails_the_checksum() {
+        // Flipping the low bit of a one-byte delta keeps it structurally
+        // valid (still in range), so only the CRC can catch it.
+        let u = Universe::single_user(8);
+        let t = Trace::from_page_indices(&u, &[1, 2, 3, 4]);
+        let mut bad = Vec::new();
+        write_trace_binary_v2(&t, &mut bad).unwrap();
+        let first_delta = bad.len() - 12 - 4;
+        bad[first_delta] ^= 0x02;
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(
+            err.to_string().contains("footer checksum mismatch"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_delta_is_a_parse_error() {
+        let u = Universe::single_user(4);
+        let t = Trace::from_page_indices(&u, &[3]);
+        let mut bad = Vec::new();
+        write_trace_binary_v2(&t, &mut bad).unwrap();
+        // The single delta is zigzag(3) = 6, one byte just before the
+        // footer. Rewrite it to zigzag(-1) = 1: decodes to page −1.
+        let delta_at = bad.len() - 13;
+        assert_eq!(bad[delta_at], 6);
+        bad[delta_at] = 1;
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+    }
+
+    #[test]
+    fn overlong_varint_is_a_parse_error() {
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&BINARY2_TRACE_MAGIC);
+        bad.extend_from_slice(&[0xFF; 11]); // user count never terminates
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("varint"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_owner_runs_are_parse_errors() {
+        // Owner out of range.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&BINARY2_TRACE_MAGIC);
+        push_varint(&mut bad, 1); // users
+        push_varint(&mut bad, 2); // pages
+        push_varint(&mut bad, 5); // owner 5 of a 1-user trace
+        push_varint(&mut bad, 2);
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("owner 5 out of range"), "{err}");
+
+        // Run overshooting the table.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&BINARY2_TRACE_MAGIC);
+        push_varint(&mut bad, 1);
+        push_varint(&mut bad, 2);
+        push_varint(&mut bad, 0);
+        push_varint(&mut bad, 3); // 3-page run in a 2-page table
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("overshoots"), "{err}");
+
+        // Zero-length run.
+        let mut bad = Vec::new();
+        bad.extend_from_slice(&BINARY2_TRACE_MAGIC);
+        push_varint(&mut bad, 1);
+        push_varint(&mut bad, 2);
+        push_varint(&mut bad, 0);
+        push_varint(&mut bad, 0);
+        let err = read_trace_binary_v2(bad.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("zero-length owner run"), "{err}");
+    }
+
+    #[test]
+    fn seek_forward_matches_pull_and_discard() {
+        let u = Universe::uniform(2, 3);
+        let pages: Vec<u32> = (0..50).map(|i| (i * 7) % 6).collect();
+        let t = Trace::from_page_indices(&u, &pages);
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&t, &mut buf).unwrap();
+        let cache = crate::cache::CacheSet::new(1, u.num_pages());
+        let stats = crate::stats::SimStats::new(u.num_users());
+        let ctx = EngineCtx {
+            time: 0,
+            cache: &cache,
+            stats: &stats,
+            universe: &u,
+        };
+        for skip in [0u64, 1, 7, 49, 50, 80] {
+            let mut pulled = Binary2TraceReader::new(buf.as_slice()).unwrap();
+            for _ in 0..skip.min(50) {
+                pulled.next_request(&ctx);
+            }
+            let mut sought = Binary2TraceReader::new(buf.as_slice()).unwrap();
+            sought.seek_forward(skip);
+            loop {
+                let a = pulled.next_request(&ctx);
+                let b = sought.next_request(&ctx);
+                assert_eq!(a, b, "skip={skip}");
+                if a.is_none() {
+                    break;
+                }
+            }
+            pulled.finish().unwrap();
+            sought.finish().unwrap();
+        }
+    }
+
+    #[test]
+    fn varint_primitives() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            push_varint(&mut buf, v);
+            match pop_varint(&buf).unwrap() {
+                Varint::Done(got, len) => {
+                    assert_eq!(got, v);
+                    assert_eq!(len, buf.len());
+                }
+                Varint::Incomplete => panic!("complete varint reported incomplete"),
+            }
+            // A cut anywhere inside is incomplete, not an error.
+            for cut in 0..buf.len() {
+                assert!(matches!(pop_varint(&buf[..cut]), Ok(Varint::Incomplete)));
+            }
+        }
+        for d in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 63, -64] {
+            assert_eq!(unzigzag(zigzag(d)), d);
+        }
+        // u64::MAX zigzag-decodes from 10 bytes; an 11th continuation
+        // byte is over-long.
+        assert!(pop_varint(&[0xFF; 10]).is_err());
+    }
+}

@@ -13,13 +13,20 @@ use std::fmt;
 /// Page ids are dense: a [`crate::Universe`] with `P` pages uses ids
 /// `0..P`. This lets policies use `Vec`-indexed side tables instead of hash
 /// maps in hot paths.
+///
+/// `repr(transparent)`: a `PageId` is layout-identical to its `u32`, an
+/// invariant the zero-copy binary reader ([`crate::binio`]) relies on to
+/// reinterpret mapped little-endian id bytes as `&[PageId]` without
+/// copying.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct PageId(pub u32);
 
 /// Identifier of a tenant (user) sharing the cache.
 ///
 /// User ids are dense: a universe with `n` users uses ids `0..n`.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct UserId(pub u32);
 
 /// Discrete simulation time.

@@ -45,6 +45,7 @@
 //! ```
 
 pub mod binio;
+pub mod binio2;
 pub mod cache;
 pub mod checksum;
 pub mod concurrent;
@@ -65,8 +66,12 @@ pub mod textio;
 pub mod trace;
 
 pub use binio::{
-    read_trace_auto, read_trace_binary, write_trace_binary, BinaryTraceReader, BinaryTraceWriter,
-    BINARY_TRACE_FOOTER_MAGIC, BINARY_TRACE_MAGIC,
+    read_trace_auto, read_trace_binary, write_trace_binary, BinarySource, BinaryTraceReader,
+    BinaryTraceWriter, MmapTraceSource, BINARY_TRACE_FOOTER_MAGIC, BINARY_TRACE_MAGIC,
+};
+pub use binio2::{
+    read_trace_binary_v2, write_trace_binary_v2, Binary2TraceReader, Binary2TraceWriter,
+    BINARY2_TRACE_FOOTER_MAGIC, BINARY2_TRACE_MAGIC,
 };
 pub use cache::CacheSet;
 pub use checksum::{crc32, Crc32};

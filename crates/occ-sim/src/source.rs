@@ -35,6 +35,21 @@ pub trait RequestSource {
         let _ = max;
         None
     }
+
+    /// Zero-copy twin of [`next_run`](Self::next_run) for sources whose
+    /// backing storage holds bare page ids rather than materialized
+    /// [`Request`]s (the mmap-backed binary reader): hand out a borrowed
+    /// run of up to `max` upcoming page ids and advance past them. The
+    /// consumer derives each owner from the universe — the same lookup
+    /// the source would have performed to build a `Request`, so nothing
+    /// is lost, and the ids can be served straight from a file mapping
+    /// without decoding. Replay loops try this first, then
+    /// [`next_run`](Self::next_run), then scalar pulls. The default
+    /// returns `None`.
+    fn next_page_run(&mut self, max: usize) -> Option<&[PageId]> {
+        let _ = max;
+        None
+    }
 }
 
 /// A [`RequestSource`] that can deterministically fast-forward.

@@ -253,6 +253,30 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
         }
     }
 
+    /// [`step_batch`](Self::step_batch) for a run of bare page ids, the
+    /// shape a zero-copy source
+    /// ([`RequestSource::next_page_run`](crate::source::RequestSource::next_page_run))
+    /// hands out: each request's owner is derived from the universe
+    /// inline — the identical lookup a decoding source performs when it
+    /// materializes [`Request`]s, moved to the one place that actually
+    /// consumes the owner. Byte-identical outcome to building the
+    /// `Request` slice and calling `step_batch`; the ids must be in
+    /// range (zero-copy sources validate each run before handing it
+    /// out), out-of-range ids panic just as malformed requests do on
+    /// the trusting path.
+    pub fn step_page_batch(&mut self, pages: &[PageId]) {
+        if R::ACTIVE || R::TIMED || self.events.is_some() {
+            for &page in pages {
+                let user = self.universe.owner(page);
+                self.step(Request { page, user });
+            }
+            return;
+        }
+        if let Err(violation) = self.serve_page_batch(pages) {
+            panic!("{violation}");
+        }
+    }
+
     /// Replay a whole request slice through [`step_batch`](Self::step_batch)
     /// in `batch_size`-request chunks (the trailing chunk may be
     /// shorter). Panics if `batch_size` is zero.
@@ -330,27 +354,7 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
                 req.user,
                 "request owner disagrees with the universe"
             );
-            if self.cache.contains(req.page) {
-                self.stats.record_hit(req.user);
-                let ctx = EngineCtx {
-                    time: self.time,
-                    cache: &self.cache,
-                    stats: &self.stats,
-                    universe: &self.universe,
-                };
-                self.policy.on_hit(&ctx, req.page);
-            } else {
-                self.cache.insert(req.page);
-                self.stats.record_miss(req.user);
-                let ctx = EngineCtx {
-                    time: self.time,
-                    cache: &self.cache,
-                    stats: &self.stats,
-                    universe: &self.universe,
-                };
-                self.policy.on_insert(&ctx, req.page);
-            }
-            self.time += 1;
+            self.serve_filling(req);
             i += 1;
         }
         let steady = &batch[i..];
@@ -364,6 +368,68 @@ impl<P: ReplacementPolicy, R: Recorder> SteppingEngine<P, R> {
             self.serve_full(req)?;
         }
         Ok(())
+    }
+
+    /// [`serve_batch`](Self::serve_batch) over bare page ids: the same
+    /// warmup / prefetching-steady / plain-tail structure, with each
+    /// owner derived from the universe at the single point it is
+    /// consumed.
+    fn serve_page_batch(&mut self, pages: &[PageId]) -> Result<(), PolicyViolation> {
+        let mut i = 0;
+        while i < pages.len() && !self.cache.is_full() {
+            let page = pages[i];
+            self.serve_filling(Request {
+                page,
+                user: self.universe.owner(page),
+            });
+            i += 1;
+        }
+        let steady = &pages[i..];
+        let main = steady.len().saturating_sub(PREFETCH_DISTANCE);
+        let lookahead = &steady[PREFETCH_DISTANCE.min(steady.len())..];
+        for (&page, &ahead) in steady[..main].iter().zip(lookahead) {
+            self.cache.prefetch_probe(ahead);
+            self.serve_full(Request {
+                page,
+                user: self.universe.owner(page),
+            })?;
+        }
+        for &page in &steady[main..] {
+            self.serve_full(Request {
+                page,
+                user: self.universe.owner(page),
+            })?;
+        }
+        Ok(())
+    }
+
+    /// One warmup (cache not yet full) request of the batched kernel:
+    /// hit or free-slot insert, no eviction case, no instrumentation.
+    /// Shared by [`serve_batch`](Self::serve_batch) and
+    /// [`serve_page_batch`](Self::serve_page_batch).
+    #[inline(always)]
+    fn serve_filling(&mut self, req: Request) {
+        if self.cache.contains(req.page) {
+            self.stats.record_hit(req.user);
+            let ctx = EngineCtx {
+                time: self.time,
+                cache: &self.cache,
+                stats: &self.stats,
+                universe: &self.universe,
+            };
+            self.policy.on_hit(&ctx, req.page);
+        } else {
+            self.cache.insert(req.page);
+            self.stats.record_miss(req.user);
+            let ctx = EngineCtx {
+                time: self.time,
+                cache: &self.cache,
+                stats: &self.stats,
+                universe: &self.universe,
+            };
+            self.policy.on_insert(&ctx, req.page);
+        }
+        self.time += 1;
     }
 
     /// One steady-state (cache already full) request of the batched
@@ -786,6 +852,31 @@ mod tests {
         assert_eq!(batched.stats(), scalar.stats());
         assert_eq!(batched.time(), scalar.time());
         assert_eq!(batched.cache().pages(), scalar.cache().pages());
+    }
+
+    #[test]
+    fn page_batches_match_request_batches() {
+        let u = Universe::uniform(2, 3);
+        let pages_raw: Vec<u32> = (0..121u32).map(|i| (i * 7 + 1) % 6).collect();
+        let trace = Trace::from_page_indices(&u, &pages_raw);
+        let pages: Vec<PageId> = trace.requests().iter().map(|r| r.page).collect();
+
+        let mut by_request = SteppingEngine::new(3, u.clone(), EvictFirst);
+        by_request.run_batched(trace.requests(), 16);
+        let mut by_page = SteppingEngine::new(3, u.clone(), EvictFirst);
+        for chunk in pages.chunks(16) {
+            by_page.step_page_batch(chunk);
+        }
+        assert_eq!(by_page.stats(), by_request.stats());
+        assert_eq!(by_page.time(), by_request.time());
+        assert_eq!(by_page.cache().pages(), by_request.cache().pages());
+
+        // The instrumented fallback derives the same owners too.
+        let mut with_events = SteppingEngine::new(3, u.clone(), EvictFirst).with_events();
+        for chunk in pages.chunks(16) {
+            with_events.step_page_batch(chunk);
+        }
+        assert_eq!(with_events.stats(), by_request.stats());
     }
 
     #[test]

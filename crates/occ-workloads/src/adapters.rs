@@ -1,0 +1,743 @@
+//! Real-trace adapters: key-access CSV logs → replayable request streams.
+//!
+//! The experiments are driven by synthetic generators by default, but the
+//! paper's motivating workloads are real multi-tenant storage traces. This
+//! module adapts the two publicly documented CSV shapes to the engine's
+//! [`RequestSource`] model:
+//!
+//! * **MSR-Cambridge style** block I/O logs, one record per line:
+//!   `timestamp,hostname,disk,type,offset,size,response_time`. The tenant
+//!   is the `hostname.disk` volume; a record covering `size` bytes at
+//!   `offset` touches one page per 4 KiB block in `[offset, offset+size)`.
+//! * **Twitter-cluster style** cache access logs:
+//!   `timestamp,key,key_size,value_size,client_id,operation,ttl`. The
+//!   tenant is the anonymized client id; each record touches the one page
+//!   named by `key`.
+//!
+//! Both shapes name pages (and tenants) with *strings*, while the engine
+//! wants dense `u32` ids. The adapter interns every distinct key into a
+//! [`KeyDict`] in first-seen order — a *recorded* dictionary that can be
+//! written next to a converted trace (`occ trace import`), so a page id in
+//! a report can always be mapped back to the original key, and a re-import
+//! of the same file reproduces the identical id assignment. Page ownership
+//! follows the model's single-owner constraint: the first tenant to touch
+//! a page owns it for the whole trace.
+//!
+//! Tenant ids are dense first-seen ids by default; passing
+//! `tenants: Some(n)` instead buckets tenant keys into `n` users via a
+//! deterministic FNV-1a hash, which is how a trace with thousands of
+//! volumes is made to fit a scenario with a handful of SLA classes.
+//!
+//! [`CsvAdapter`] makes two passes over the file: pass 1 builds the
+//! dictionaries, owner table and request count (memory proportional to
+//! the number of *distinct* keys, not records); pass 2 streams records as
+//! a [`RequestSource`] + [`SeekableSource`] with the same parked-error
+//! discipline as the binary readers.
+
+use occ_sim::engine::EngineCtx;
+use occ_sim::{PageId, Request, RequestSource, SeekableSource, TraceIoError, Universe, UserId};
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+
+/// Bytes per cache page when expanding MSR-style byte extents.
+pub const MSR_BLOCK_BYTES: u64 = 4096;
+
+/// Upper bound on blocks a single MSR record may expand to; a corrupt
+/// `size` field must not demand millions of requests.
+const MAX_BLOCKS_PER_RECORD: u64 = 65_536;
+
+/// Which CSV dialect a file speaks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CsvFlavor {
+    /// MSR-Cambridge style block I/O: `ts,host,disk,type,offset,size,rt`.
+    Msr,
+    /// Twitter cache-cluster style: `ts,key,ksize,vsize,client,op,ttl`.
+    Twitter,
+}
+
+impl CsvFlavor {
+    /// Name used in logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            CsvFlavor::Msr => "msr",
+            CsvFlavor::Twitter => "twitter",
+        }
+    }
+}
+
+fn parse_err(msg: impl Into<String>) -> TraceIoError {
+    TraceIoError::Parse(msg.into())
+}
+
+/// Deterministic FNV-1a (64-bit) over a tenant key — the bucketing hash.
+/// Stable across runs and platforms by construction (no seed, no
+/// pointer-dependent state), which is what replayability requires.
+pub fn fnv1a64(key: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in key.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Guess the flavor from one data line. `None` if it matches neither
+/// shape.
+pub fn sniff_flavor(line: &str) -> Option<CsvFlavor> {
+    let f: Vec<&str> = line.split(',').collect();
+    if f.len() >= 6 {
+        let op = f[3].trim();
+        if (op.eq_ignore_ascii_case("read") || op.eq_ignore_ascii_case("write"))
+            && f[4].trim().parse::<u64>().is_ok()
+            && f[5].trim().parse::<u64>().is_ok()
+        {
+            return Some(CsvFlavor::Msr);
+        }
+    }
+    if f.len() >= 6
+        && f[2].trim().parse::<u64>().is_ok()
+        && f[3].trim().parse::<u64>().is_ok()
+        && !f[1].trim().is_empty()
+        && !f[4].trim().is_empty()
+    {
+        return Some(CsvFlavor::Twitter);
+    }
+    None
+}
+
+/// An order-preserving string→dense-id interner, writable to (and
+/// readable from) a sidecar file so converted traces stay mappable back
+/// to their original keys.
+#[derive(Debug, Default, Clone)]
+pub struct KeyDict {
+    ids: HashMap<String, u32>,
+    names: Vec<String>,
+}
+
+/// First line of a serialized [`KeyDict`].
+pub const DICT_HEADER: &str = "#occdict01";
+
+impl KeyDict {
+    /// An empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Id for `key`, interning it as the next dense id if unseen.
+    pub fn intern(&mut self, key: &str) -> u32 {
+        if let Some(&id) = self.ids.get(key) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.ids.insert(key.to_string(), id);
+        self.names.push(key.to_string());
+        id
+    }
+
+    /// Id for `key` if already interned.
+    pub fn get(&self, key: &str) -> Option<u32> {
+        self.ids.get(key).copied()
+    }
+
+    /// Original key for a dense id.
+    pub fn name(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned keys.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no key has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Serialize: a header line, then one key per line in id order.
+    /// Keys must not contain newlines (CSV fields never do).
+    pub fn write_to<W: Write>(&self, mut w: W) -> Result<(), TraceIoError> {
+        writeln!(w, "{DICT_HEADER}")?;
+        for name in &self.names {
+            writeln!(w, "{name}")?;
+        }
+        Ok(())
+    }
+
+    /// Deserialize a dictionary written by [`write_to`](Self::write_to).
+    pub fn read_from<R: Read>(r: R) -> Result<Self, TraceIoError> {
+        let mut lines = BufReader::new(r).lines();
+        match lines.next() {
+            Some(Ok(head)) if head.trim_end() == DICT_HEADER => {}
+            Some(Ok(head)) => {
+                return Err(parse_err(format!(
+                    "bad dictionary header {head:?}, expected {DICT_HEADER:?}"
+                )))
+            }
+            Some(Err(e)) => return Err(TraceIoError::Io(e)),
+            None => return Err(parse_err("empty dictionary file")),
+        }
+        let mut dict = KeyDict::new();
+        for line in lines {
+            let line = line.map_err(TraceIoError::Io)?;
+            dict.intern(line.trim_end_matches(['\r', '\n']));
+        }
+        Ok(dict)
+    }
+}
+
+/// One parsed CSV record: the tenant key plus the page keys it touches
+/// (one per block for MSR extents, exactly one for Twitter).
+fn parse_record(
+    flavor: CsvFlavor,
+    line: &str,
+    line_no: u64,
+    mut emit: impl FnMut(&str, &str),
+) -> Result<(), TraceIoError> {
+    let bad = |what: &str| {
+        parse_err(format!(
+            "line {}: {what} in {} record {line:?}",
+            line_no + 1,
+            flavor.name()
+        ))
+    };
+    let fields: Vec<&str> = line.split(',').collect();
+    match flavor {
+        CsvFlavor::Msr => {
+            if fields.len() < 6 {
+                return Err(bad("expected at least 6 comma-separated fields"));
+            }
+            let host = fields[1].trim();
+            let disk = fields[2].trim();
+            let op = fields[3].trim();
+            if !op.eq_ignore_ascii_case("read") && !op.eq_ignore_ascii_case("write") {
+                return Err(bad("operation is neither Read nor Write"));
+            }
+            let offset: u64 = fields[4]
+                .trim()
+                .parse()
+                .map_err(|_| bad("offset is not an unsigned integer"))?;
+            let size: u64 = fields[5]
+                .trim()
+                .parse()
+                .map_err(|_| bad("size is not an unsigned integer"))?;
+            let tenant = format!("{host}.{disk}");
+            let first = offset / MSR_BLOCK_BYTES;
+            // A zero-byte record still touches the block at `offset`.
+            let last = offset.saturating_add(size.max(1) - 1) / MSR_BLOCK_BYTES;
+            if last - first >= MAX_BLOCKS_PER_RECORD {
+                return Err(bad("extent spans implausibly many blocks"));
+            }
+            for block in first..=last {
+                emit(&tenant, &format!("{tenant}:{block}"));
+            }
+            Ok(())
+        }
+        CsvFlavor::Twitter => {
+            if fields.len() < 6 {
+                return Err(bad("expected at least 6 comma-separated fields"));
+            }
+            let key = fields[1].trim();
+            let client = fields[4].trim();
+            if key.is_empty() || client.is_empty() {
+                return Err(bad("empty key or client id"));
+            }
+            emit(client, key);
+            Ok(())
+        }
+    }
+}
+
+/// Whether a line carries no record: blank, or a `#` comment.
+fn is_skippable(line: &str) -> bool {
+    let t = line.trim();
+    t.is_empty() || t.starts_with('#')
+}
+
+/// Whether the *first* data line is a column header rather than a record.
+/// Both supported shapes lead with a numeric timestamp, so a non-numeric
+/// first field (`timestamp,hostname,...`) marks a header. Only ever
+/// applied to the first non-skippable line — later lines must parse.
+fn looks_like_header(line: &str) -> bool {
+    line.split(',')
+        .next()
+        .is_none_or(|f| f.trim().parse::<f64>().is_err())
+}
+
+/// A replayable [`RequestSource`] over a real-trace CSV file.
+///
+/// Built by [`open`](Self::open) in two passes; see the module docs for
+/// the shape of each pass. The second (serving) pass re-reads the file,
+/// so the file must not change between passes — a key that no longer
+/// resolves, or a record count that disagrees with pass 1, parks a parse
+/// error exactly like a truncated binary trace.
+#[derive(Debug)]
+pub struct CsvAdapter {
+    path: PathBuf,
+    flavor: CsvFlavor,
+    /// `Some(n)` hashes tenants into `n` buckets; `None` assigns dense
+    /// first-seen tenant ids.
+    tenant_buckets: Option<u32>,
+    universe: Universe,
+    key_dict: KeyDict,
+    tenant_dict: KeyDict,
+    total: u64,
+    served: u64,
+    reader: BufReader<File>,
+    /// Line number of the next line to read (0-based), for error reports.
+    line_no: u64,
+    /// Whether the next non-skippable line is the first — and so may be
+    /// a column header.
+    first_data_line: bool,
+    pending: VecDeque<Request>,
+    error: Option<TraceIoError>,
+}
+
+impl CsvAdapter {
+    /// Open `path`, sniffing the flavor from the first data line when
+    /// `flavor` is `None`, and bucketing tenants into `tenant_buckets`
+    /// users when given. An unparseable first line is treated as a
+    /// column header and skipped; every later line must parse.
+    pub fn open(
+        path: &Path,
+        flavor: Option<CsvFlavor>,
+        tenant_buckets: Option<u32>,
+    ) -> Result<Self, TraceIoError> {
+        if tenant_buckets == Some(0) {
+            return Err(parse_err("tenant bucket count must be positive"));
+        }
+        // Pass 1: dictionaries, owner table, count.
+        let mut key_dict = KeyDict::new();
+        let mut tenant_dict = KeyDict::new();
+        let mut owners: Vec<u32> = Vec::new();
+        let mut total: u64 = 0;
+        let mut resolved = flavor;
+        let reader = BufReader::new(File::open(path)?);
+        let mut first_data_line = true;
+        for (line_no, line) in reader.lines().enumerate() {
+            let line = line.map_err(TraceIoError::Io)?;
+            if is_skippable(&line) {
+                continue;
+            }
+            if first_data_line {
+                first_data_line = false;
+                if looks_like_header(&line) {
+                    continue;
+                }
+            }
+            let flavor = match resolved {
+                Some(f) => f,
+                None => match sniff_flavor(&line) {
+                    Some(f) => {
+                        resolved = Some(f);
+                        f
+                    }
+                    None => {
+                        return Err(parse_err(format!(
+                            "line {}: matches neither the msr nor the twitter csv shape",
+                            line_no + 1
+                        )))
+                    }
+                },
+            };
+            parse_record(flavor, &line, line_no as u64, |tenant, page_key| {
+                let owner = match tenant_buckets {
+                    Some(n) => (fnv1a64(tenant) % n as u64) as u32,
+                    None => tenant_dict.intern(tenant),
+                };
+                let pid = key_dict.intern(page_key);
+                if pid as usize == owners.len() {
+                    owners.push(owner);
+                }
+                total += 1;
+            })?;
+        }
+        let Some(flavor) = resolved else {
+            return Err(parse_err("no recognizable csv records in the file"));
+        };
+        if total == 0 {
+            return Err(parse_err("no csv records in the file"));
+        }
+        let num_users = tenant_buckets.unwrap_or(tenant_dict.len() as u32);
+        let universe = Universe::new(num_users, owners.into_iter().map(UserId).collect());
+
+        // Pass 2 setup: reopen for serving.
+        let reader = BufReader::new(File::open(path)?);
+        Ok(CsvAdapter {
+            path: path.to_path_buf(),
+            flavor,
+            tenant_buckets,
+            universe,
+            key_dict,
+            tenant_dict,
+            total,
+            served: 0,
+            reader,
+            line_no: 0,
+            first_data_line: true,
+            pending: VecDeque::new(),
+            error: None,
+        })
+    }
+
+    /// The flavor this adapter parsed (sniffed or given).
+    pub fn flavor(&self) -> CsvFlavor {
+        self.flavor
+    }
+
+    /// Total requests counted in pass 1.
+    pub fn total_requests(&self) -> u64 {
+        self.total
+    }
+
+    /// The recorded page-key dictionary (page id = insertion order).
+    pub fn key_dict(&self) -> &KeyDict {
+        &self.key_dict
+    }
+
+    /// The tenant dictionary (empty when tenants are hash-bucketed).
+    pub fn tenant_dict(&self) -> &KeyDict {
+        &self.tenant_dict
+    }
+
+    /// The error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&TraceIoError> {
+        self.error.as_ref()
+    }
+
+    /// Tear down the source; returns the parked error if the stream
+    /// ended early.
+    pub fn finish(self) -> Result<(), TraceIoError> {
+        match self.error {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Restart the serving pass from the top of the file — a fresh
+    /// replay of the identical stream (dictionaries are *not* rebuilt).
+    pub fn rewind(&mut self) -> Result<(), TraceIoError> {
+        self.reader = BufReader::new(File::open(&self.path)?);
+        self.line_no = 0;
+        self.first_data_line = true;
+        self.served = 0;
+        self.pending.clear();
+        self.error = None;
+        Ok(())
+    }
+
+    /// Refill `pending` from the next data line. `Ok(false)` at clean
+    /// end of stream.
+    fn refill(&mut self) -> Result<bool, TraceIoError> {
+        loop {
+            let mut line = String::new();
+            let n = self.reader.read_line(&mut line)?;
+            if n == 0 {
+                if self.served + self.pending.len() as u64 != self.total {
+                    return Err(parse_err(format!(
+                        "csv ended after {} of {} requests (file changed between passes?)",
+                        self.served + self.pending.len() as u64,
+                        self.total
+                    )));
+                }
+                return Ok(false);
+            }
+            let line_no = self.line_no;
+            self.line_no += 1;
+            let trimmed = line.trim_end_matches(['\r', '\n']);
+            if is_skippable(trimmed) {
+                continue;
+            }
+            if self.first_data_line {
+                self.first_data_line = false;
+                if looks_like_header(trimmed) {
+                    continue;
+                }
+            }
+            let key_dict = &self.key_dict;
+            let tenant_dict = &self.tenant_dict;
+            let tenant_buckets = self.tenant_buckets;
+            let universe = &self.universe;
+            let pending = &mut self.pending;
+            let mut stale = None;
+            let parse = parse_record(self.flavor, trimmed, line_no, |tenant, page_key| {
+                let Some(pid) = key_dict.get(page_key) else {
+                    stale = Some(format!(
+                        "line {}: key {page_key:?} is not in the recorded dictionary \
+                         (file changed between passes?)",
+                        line_no + 1
+                    ));
+                    return;
+                };
+                // The request's user is the page's owner (first toucher,
+                // fixed in pass 1); the tenant lookup only detects a file
+                // that changed between passes.
+                if tenant_buckets.is_none() && tenant_dict.get(tenant).is_none() {
+                    stale = Some(format!(
+                        "line {}: tenant {tenant:?} is not in the recorded \
+                         dictionary (file changed between passes?)",
+                        line_no + 1
+                    ));
+                    return;
+                }
+                pending.push_back(Request {
+                    page: PageId(pid),
+                    user: universe.owner(PageId(pid)),
+                });
+            });
+            if let Some(msg) = stale {
+                return Err(parse_err(msg));
+            }
+            parse?;
+            if !self.pending.is_empty() {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Pull the next request without an engine context (converters use
+    /// this; the engine goes through [`RequestSource::next_request`],
+    /// which delegates here).
+    pub fn pull(&mut self) -> Option<Request> {
+        if self.error.is_some() {
+            return None;
+        }
+        while self.pending.is_empty() {
+            match self.refill() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.error = Some(e);
+                    return None;
+                }
+            }
+        }
+        let req = self.pending.pop_front();
+        if req.is_some() {
+            self.served += 1;
+        }
+        req
+    }
+}
+
+impl RequestSource for CsvAdapter {
+    fn universe(&self) -> &Universe {
+        &self.universe
+    }
+
+    fn next_request(&mut self, _ctx: &EngineCtx) -> Option<Request> {
+        self.pull()
+    }
+}
+
+impl SeekableSource for CsvAdapter {
+    /// Parse-and-discard fast-forward: the stream after a seek is
+    /// exactly the stream a full replay would serve from that position,
+    /// including parked errors.
+    fn seek_forward(&mut self, n: u64) {
+        for _ in 0..n {
+            if self.pull().is_none() {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("occ-adapter-{name}-{}", std::process::id()));
+        std::fs::write(&path, contents).unwrap();
+        path
+    }
+
+    fn drain(src: &mut CsvAdapter) -> Vec<Request> {
+        let mut out = Vec::new();
+        while let Some(r) = src.pull() {
+            out.push(r);
+        }
+        out
+    }
+
+    const MSR_SAMPLE: &str = "\
+128166372003061629,web0,0,Read,0,8192,1231\n\
+128166372003061630,web0,0,Write,4096,4096,421\n\
+128166372003061631,db1,2,Read,12288,1,87\n\
+128166372003061632,web0,0,Read,0,4096,100\n";
+
+    const TWITTER_SAMPLE: &str = "\
+100,keyA,12,340,clientX,get,0\n\
+101,keyB,10,120,clientY,set,500\n\
+102,keyA,12,340,clientY,get,0\n\
+103,keyC,8,88,clientX,gets,0\n";
+
+    #[test]
+    fn sniffs_both_flavors() {
+        assert_eq!(
+            sniff_flavor(MSR_SAMPLE.lines().next().unwrap()),
+            Some(CsvFlavor::Msr)
+        );
+        assert_eq!(
+            sniff_flavor(TWITTER_SAMPLE.lines().next().unwrap()),
+            Some(CsvFlavor::Twitter)
+        );
+        assert_eq!(sniff_flavor("just,some,text"), None);
+    }
+
+    #[test]
+    fn msr_extents_expand_to_blocks_with_first_touch_ownership() {
+        let path = tmp("msr-basic", MSR_SAMPLE);
+        let mut src = CsvAdapter::open(&path, None, None).unwrap();
+        assert_eq!(src.flavor(), CsvFlavor::Msr);
+        // Records expand to: [web0.0:0, web0.0:1], [web0.0:1], [db1.2:3],
+        // [web0.0:0] — 5 requests over 3 distinct pages, 2 tenants.
+        assert_eq!(src.total_requests(), 5);
+        assert_eq!(src.universe().num_pages(), 3);
+        assert_eq!(src.universe().num_users(), 2);
+        let reqs = drain(&mut src);
+        assert_eq!(reqs.len(), 5);
+        // First-seen interning: web0.0:0 → p0, web0.0:1 → p1, db1.2:3 → p2.
+        let pages: Vec<u32> = reqs.iter().map(|r| r.page.0).collect();
+        assert_eq!(pages, vec![0, 1, 1, 2, 0]);
+        // web0.0 = u0 owns p0 p1; db1.2 = u1 owns p2.
+        assert_eq!(reqs[0].user, UserId(0));
+        assert_eq!(reqs[3].user, UserId(1));
+        assert_eq!(src.key_dict().name(2), Some("db1.2:3"));
+        src.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn twitter_records_map_keys_and_clients() {
+        let path = tmp("twitter-basic", TWITTER_SAMPLE);
+        let mut src = CsvAdapter::open(&path, None, None).unwrap();
+        assert_eq!(src.flavor(), CsvFlavor::Twitter);
+        assert_eq!(src.total_requests(), 4);
+        assert_eq!(src.universe().num_pages(), 3);
+        assert_eq!(src.universe().num_users(), 2);
+        let reqs = drain(&mut src);
+        let pages: Vec<u32> = reqs.iter().map(|r| r.page.0).collect();
+        assert_eq!(pages, vec![0, 1, 0, 2]);
+        // keyA was first touched by clientX, so even clientY's later
+        // access to keyA is owned by clientX (single-owner model).
+        assert_eq!(reqs[2].user, reqs[0].user);
+        src.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn header_lines_and_comments_are_skipped() {
+        let with_header = format!("timestamp,key,key_size,value_size,client_id,operation,ttl\n# a comment\n\n{TWITTER_SAMPLE}");
+        let path = tmp("twitter-header", &with_header);
+        let mut src = CsvAdapter::open(&path, Some(CsvFlavor::Twitter), None).unwrap();
+        assert_eq!(src.total_requests(), 4);
+        assert_eq!(drain(&mut src).len(), 4);
+        src.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tenant_bucketing_is_deterministic_and_bounded() {
+        let path = tmp("twitter-buckets", TWITTER_SAMPLE);
+        let mut a = CsvAdapter::open(&path, None, Some(2)).unwrap();
+        assert_eq!(a.universe().num_users(), 2);
+        let reqs_a = drain(&mut a);
+        let mut b = CsvAdapter::open(&path, None, Some(2)).unwrap();
+        let reqs_b = drain(&mut b);
+        assert_eq!(reqs_a, reqs_b);
+        for r in &reqs_a {
+            assert!(r.user.0 < 2);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn malformed_lines_are_parse_errors() {
+        let bad = format!("{MSR_SAMPLE}128,web0,0,Read,notanumber,4096,1\n");
+        let path = tmp("msr-bad", &bad);
+        let err = CsvAdapter::open(&path, Some(CsvFlavor::Msr), None).unwrap_err();
+        assert!(err.to_string().contains("offset"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        let huge = "1,web0,0,Read,0,999999999999,1\n";
+        let path = tmp("msr-huge", huge);
+        let err = CsvAdapter::open(&path, Some(CsvFlavor::Msr), None).unwrap_err();
+        assert!(err.to_string().contains("implausibly"), "{err}");
+        std::fs::remove_file(&path).ok();
+
+        let path = tmp("empty", "# only a comment\n");
+        let err = CsvAdapter::open(&path, None, None).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn file_change_between_passes_parks_an_error() {
+        let path = tmp("twitter-shrink", TWITTER_SAMPLE);
+        let mut src = CsvAdapter::open(&path, None, None).unwrap();
+        // Shrink the file after pass 1.
+        std::fs::write(&path, TWITTER_SAMPLE.lines().next().unwrap()).unwrap();
+        src.rewind().unwrap();
+        let got = drain(&mut src);
+        assert!(got.len() < 4);
+        let err = src.finish().unwrap_err();
+        assert!(err.to_string().contains("file changed"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn seek_forward_matches_pull_and_discard() {
+        let path = tmp("twitter-seek", TWITTER_SAMPLE);
+        for skip in [0u64, 1, 3, 4, 9] {
+            let mut pulled = CsvAdapter::open(&path, None, None).unwrap();
+            for _ in 0..skip.min(4) {
+                pulled.pull();
+            }
+            let mut sought = CsvAdapter::open(&path, None, None).unwrap();
+            sought.seek_forward(skip);
+            loop {
+                let a = pulled.pull();
+                let b = sought.pull();
+                assert_eq!(a, b, "skip={skip}");
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn dict_round_trips_through_its_sidecar_form() {
+        let mut dict = KeyDict::new();
+        for key in ["web0.0:0", "web0.0:1", "db1.2:3"] {
+            dict.intern(key);
+        }
+        let mut buf = Vec::new();
+        dict.write_to(&mut buf).unwrap();
+        let back = KeyDict::read_from(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 3);
+        for (id, key) in ["web0.0:0", "web0.0:1", "db1.2:3"].iter().enumerate() {
+            assert_eq!(back.get(key), Some(id as u32));
+            assert_eq!(back.name(id as u32), Some(*key));
+        }
+        let err = KeyDict::read_from(&b"not a dict\nx\n"[..]).unwrap_err();
+        assert!(matches!(err, TraceIoError::Parse(_)));
+    }
+
+    #[test]
+    fn rewound_replay_is_identical() {
+        let path = tmp("msr-rewind", MSR_SAMPLE);
+        let mut src = CsvAdapter::open(&path, None, None).unwrap();
+        let first = drain(&mut src);
+        src.rewind().unwrap();
+        let second = drain(&mut src);
+        assert_eq!(first, second);
+        src.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -18,6 +18,7 @@
 //!
 //! [`RequestSource`]: occ_sim::RequestSource
 
+pub mod adapters;
 pub mod adversary;
 pub mod chaos;
 pub mod generators;
@@ -26,6 +27,7 @@ pub mod presets;
 pub mod streaming;
 pub mod zipf;
 
+pub use adapters::{sniff_flavor, CsvAdapter, CsvFlavor, KeyDict, MSR_BLOCK_BYTES};
 pub use adversary::{run_lower_bound, LowerBoundAdversary};
 pub use chaos::{ChaosSource, FaultPlan, InjectedFaults};
 pub use generators::{AccessPattern, PatternGen};

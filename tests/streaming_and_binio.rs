@@ -12,12 +12,14 @@
 
 use occ_baselines::Lru;
 use occ_sim::{
-    read_trace, read_trace_auto, read_trace_binary, write_trace, write_trace_binary, PageId,
-    Simulator, Trace, TraceBuilder, Universe, DEFAULT_BATCH_SIZE,
+    read_trace, read_trace_auto, read_trace_binary, read_trace_binary_v2, write_trace,
+    write_trace_binary, write_trace_binary_v2, BinaryTraceReader, MmapTraceSource, PageId,
+    RequestSource, Simulator, SteppingEngine, Trace, TraceBuilder, Universe, DEFAULT_BATCH_SIZE,
 };
 use occ_workloads::{zipf_trace, AccessPattern, PatternSource, TenantMixSource, TenantSpec};
 use proptest::prelude::*;
 use std::io::Cursor;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// An arbitrary multi-user trace (including empty request streams).
 fn arb_trace() -> impl Strategy<Value = Trace> {
@@ -32,6 +34,38 @@ fn arb_trace() -> impl Strategy<Value = Trace> {
             builder.build()
         })
     })
+}
+
+/// A single-tenant trace over a wide page universe, so consecutive page
+/// ids can jump by ~2^17 in either direction. This drives occbin02 into
+/// its multi-byte zigzag-varint paths, which the small universe of
+/// [`arb_trace`] never reaches.
+fn arb_wide_trace() -> impl Strategy<Value = Trace> {
+    const SPAN: u32 = 1 << 17;
+    proptest::collection::vec(0..SPAN, 0..64).prop_map(|pages| {
+        let universe = Universe::single_user(SPAN);
+        let mut builder = TraceBuilder::new(universe);
+        for &p in &pages {
+            builder.push(PageId(p));
+        }
+        builder.build()
+    })
+}
+
+/// Write `trace` as occbin01 to a fresh temp file and return its path.
+/// Callers must remove the file; a process-wide counter keeps concurrent
+/// proptest cases from colliding.
+fn write_v1_temp_file(trace: &Trace) -> std::path::PathBuf {
+    static SEQ: AtomicUsize = AtomicUsize::new(0);
+    let path = std::env::temp_dir().join(format!(
+        "occ-test-mmap-eq-{}-{}.occbin01",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let mut bytes = Vec::new();
+    write_trace_binary(trace, &mut bytes).unwrap();
+    std::fs::write(&path, bytes).unwrap();
+    path
 }
 
 proptest! {
@@ -62,6 +96,91 @@ proptest! {
         // The explicit text reader sees the same thing the auto reader saw.
         let explicit = read_trace(Cursor::new(&text)).unwrap();
         prop_assert_eq!(explicit.requests(), trace.requests());
+    }
+
+    #[test]
+    fn binary_v2_round_trip_is_lossless(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&trace, &mut buf).unwrap();
+        let back = read_trace_binary_v2(Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(back.universe(), trace.universe());
+        prop_assert_eq!(back.requests(), trace.requests());
+
+        // The auto-detecting reader sniffs the occbin02 magic too.
+        let auto = read_trace_auto(Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(auto.requests(), trace.requests());
+    }
+
+    #[test]
+    fn v1_to_v2_transcode_is_lossless(trace in arb_trace()) {
+        // The `occ trace pack` path at the library level: occbin01 bytes
+        // → Trace → occbin02 bytes → Trace → occbin01 bytes. Both decoded
+        // traces and both v1 encodings must be identical.
+        let mut v1 = Vec::new();
+        write_trace_binary(&trace, &mut v1).unwrap();
+        let from_v1 = read_trace_binary(Cursor::new(&v1)).unwrap();
+
+        let mut v2 = Vec::new();
+        write_trace_binary_v2(&from_v1, &mut v2).unwrap();
+        let from_v2 = read_trace_binary_v2(Cursor::new(&v2)).unwrap();
+        prop_assert_eq!(from_v2.universe(), from_v1.universe());
+        prop_assert_eq!(from_v2.requests(), from_v1.requests());
+
+        let mut v1_again = Vec::new();
+        write_trace_binary(&from_v2, &mut v1_again).unwrap();
+        prop_assert_eq!(v1_again, v1);
+    }
+
+    #[test]
+    fn binary_v2_survives_wide_deltas(trace in arb_wide_trace()) {
+        let mut buf = Vec::new();
+        write_trace_binary_v2(&trace, &mut buf).unwrap();
+        let back = read_trace_binary_v2(Cursor::new(&buf)).unwrap();
+        prop_assert_eq!(back.requests(), trace.requests());
+    }
+
+    #[test]
+    fn mmap_and_buffered_replays_are_byte_identical(
+        trace in arb_trace(),
+        batch in prop_oneof![
+            Just(DEFAULT_BATCH_SIZE - 1),
+            Just(DEFAULT_BATCH_SIZE),
+            Just(DEFAULT_BATCH_SIZE + 1),
+            1usize..128,
+        ],
+    ) {
+        let path = write_v1_temp_file(&trace);
+
+        // Drain both sources into explicit page sequences, and replay
+        // each through its own engine; the straddle cases around
+        // DEFAULT_BATCH_SIZE exercise run splits at the mmap serve
+        // boundary.
+        let mut mmap = MmapTraceSource::open(&path).unwrap();
+        let mut mmap_pages = Vec::new();
+        let mut mmap_engine = SteppingEngine::new(8, mmap.universe().clone(), Lru::new());
+        while let Some(run) = mmap.next_page_run(batch) {
+            mmap_pages.extend_from_slice(run);
+            mmap_engine.step_page_batch(run);
+        }
+        mmap.finish().unwrap();
+
+        let file = std::fs::File::open(&path).unwrap();
+        let mut buffered = BinaryTraceReader::new(std::io::BufReader::new(file)).unwrap();
+        let mut buf_pages = Vec::new();
+        let mut buf_engine = SteppingEngine::new(8, buffered.universe().clone(), Lru::new());
+        while let Some(run) = buffered.next_run(batch) {
+            buf_pages.extend(run.iter().map(|r| r.page));
+            buf_engine.step_batch(run);
+        }
+        buffered.finish().unwrap();
+        std::fs::remove_file(&path).ok();
+
+        prop_assert_eq!(&mmap_pages, &buf_pages);
+        prop_assert_eq!(
+            mmap_pages,
+            trace.requests().iter().map(|r| r.page).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(mmap_engine.stats(), buf_engine.stats());
     }
 }
 
@@ -102,6 +221,55 @@ fn ten_million_request_stream_runs_in_constant_memory() {
     assert_eq!(result.steps, LEN);
     assert_eq!(result.stats.total_hits() + result.stats.total_misses(), LEN);
     assert!(result.stats.total_misses() > 0);
+}
+
+/// A fixed-width trace served from a FIFO — a non-regular file that
+/// cannot be mapped — must fall back to buffered reads and still replay
+/// the identical request stream. `BinarySource::open` sniffs and reads
+/// through a single file handle, so no bytes are lost to probing.
+#[cfg(unix)]
+#[test]
+fn non_regular_file_falls_back_to_buffered_strategy() {
+    use occ_sim::BinarySource;
+
+    let trace = zipf_trace(64, 5_000, 0.9, 7);
+    let mut bytes = Vec::new();
+    write_trace_binary(&trace, &mut bytes).unwrap();
+
+    let fifo = std::env::temp_dir().join(format!("occ-test-fifo-{}.occbin01", std::process::id()));
+    std::fs::remove_file(&fifo).ok();
+    let status = std::process::Command::new("mkfifo")
+        .arg(&fifo)
+        .status()
+        .expect("mkfifo");
+    assert!(status.success(), "mkfifo failed");
+
+    let writer_path = fifo.clone();
+    let writer = std::thread::spawn(move || {
+        // Blocks until the reader opens the other end.
+        std::fs::write(&writer_path, &bytes).unwrap();
+    });
+
+    let mut source = BinarySource::open(&fifo).unwrap();
+    assert_eq!(source.strategy(), "buffered", "a FIFO cannot be mapped");
+    let mut pages = Vec::new();
+    loop {
+        if let Some(run) = source.next_page_run(DEFAULT_BATCH_SIZE) {
+            pages.extend_from_slice(run);
+            continue;
+        }
+        if let Some(run) = source.next_run(DEFAULT_BATCH_SIZE) {
+            pages.extend(run.iter().map(|r| r.page));
+            continue;
+        }
+        break;
+    }
+    source.finish().unwrap();
+    writer.join().unwrap();
+    std::fs::remove_file(&fifo).ok();
+
+    let expected: Vec<PageId> = trace.requests().iter().map(|r| r.page).collect();
+    assert_eq!(pages, expected);
 }
 
 #[test]

@@ -1,0 +1,229 @@
+#![warn(missing_docs)]
+//! Read-only memory-mapped files, offline stand-in edition.
+//!
+//! The build environment has no crates.io access, so this crate
+//! implements exactly the subset the workspace needs: map a whole file
+//! read-only, deref it as `&[u8]`, optionally hint sequential access to
+//! the kernel, and unmap on drop. The syscalls come from the platform
+//! libc that `std` already links — no new dependency enters the build.
+//!
+//! On non-Unix targets [`Mmap::map_readonly`] returns
+//! `ErrorKind::Unsupported`; callers are expected to fall back to
+//! buffered reads (which is also the right move for pipes and other
+//! non-regular files, where mapping is impossible or meaningless).
+
+use std::fs::File;
+use std::io;
+use std::ops::Deref;
+
+/// A read-only mapping of an entire file.
+///
+/// The mapping is private (`MAP_PRIVATE`) and never written through, so
+/// concurrent appends to the underlying file are invisible and harmless;
+/// truncating the file underneath a live mapping is the usual mmap
+/// hazard (SIGBUS on access) and is on the caller, exactly as with any
+/// mmap crate.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// An immutable byte region with no interior mutability is safe to send
+// and share; the pointer is only freed in `Drop`.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `file` read-only in its entirety. Empty files produce an
+    /// empty mapping without touching `mmap` (a zero-length map is
+    /// `EINVAL` on most kernels).
+    pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        let len = usize::try_from(len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "file too large to map"))?;
+        if len == 0 {
+            return Ok(Mmap {
+                ptr: std::ptr::NonNull::<u8>::dangling().as_ptr(),
+                len: 0,
+            });
+        }
+        sys::map(file, len)
+    }
+
+    /// Number of mapped bytes (the file length at map time).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tell the kernel the mapping will be read front to back
+    /// (`madvise(MADV_SEQUENTIAL)`), so readahead is aggressive and
+    /// already-consumed pages are cheap to reclaim. Purely a hint:
+    /// failures and unsupported platforms are ignored.
+    pub fn advise_sequential(&self) {
+        if self.len > 0 {
+            sys::advise_sequential(self.ptr, self.len);
+        }
+    }
+}
+
+impl Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // Safety: `ptr` is either a live mapping of exactly `len` bytes
+        // or a dangling-but-aligned pointer with `len == 0`; both are
+        // valid `&[u8]` constructions for the lifetime of `self`.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len > 0 {
+            sys::unmap(self.ptr, self.len);
+        }
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::Mmap;
+    use std::fs::File;
+    use std::io;
+    use std::os::unix::io::AsRawFd;
+
+    // The platform libc is already linked by std; declaring the three
+    // calls we need avoids depending on the `libc` crate.
+    use std::ffi::{c_int, c_void};
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> c_int;
+        #[cfg(target_os = "linux")]
+        fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+    }
+
+    const PROT_READ: c_int = 1;
+    const MAP_PRIVATE: c_int = 2;
+    #[cfg(target_os = "linux")]
+    const MADV_SEQUENTIAL: c_int = 2;
+
+    pub fn map(file: &File, len: usize) -> io::Result<Mmap> {
+        // Safety: len > 0 (checked by the caller) and the fd is live for
+        // the duration of the call; mmap keeps the mapping valid even
+        // after the fd closes.
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap {
+            ptr: ptr as *const u8,
+            len,
+        })
+    }
+
+    pub fn unmap(ptr: *const u8, len: usize) {
+        // Safety: (ptr, len) came from a successful `map` and is
+        // unmapped exactly once, in Drop.
+        unsafe {
+            munmap(ptr as *mut c_void, len);
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    pub fn advise_sequential(ptr: *const u8, len: usize) {
+        // Safety: (ptr, len) is a live mapping; madvise is a pure hint.
+        unsafe {
+            madvise(ptr as *mut c_void, len, MADV_SEQUENTIAL);
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    pub fn advise_sequential(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(not(unix))]
+mod sys {
+    use super::Mmap;
+    use std::fs::File;
+    use std::io;
+
+    pub fn map(_file: &File, _len: usize) -> io::Result<Mmap> {
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "memory-mapped traces are only supported on unix; use the buffered reader",
+        ))
+    }
+
+    pub fn unmap(_ptr: *const u8, _len: usize) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("mmap-stub-{name}-{}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn maps_file_contents() {
+        let path = tmp("basic", b"hello mapping");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&file).unwrap();
+        assert_eq!(&map[..], b"hello mapping");
+        assert_eq!(map.len(), 13);
+        map.advise_sequential();
+        assert_eq!(&map[6..], b"mapping");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty", b"");
+        let file = File::open(&path).unwrap();
+        let map = Mmap::map_readonly(&file).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(&map[..], b"");
+        map.advise_sequential();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    #[cfg(unix)]
+    fn mapping_outlives_the_file_handle() {
+        let path = tmp("outlive", b"still here");
+        let map = {
+            let file = File::open(&path).unwrap();
+            Mmap::map_readonly(&file).unwrap()
+        };
+        assert_eq!(&map[..], b"still here");
+        std::fs::remove_file(&path).ok();
+    }
+}
